@@ -1,0 +1,94 @@
+//===- bench/BenchSupport.h - Shared benchmark harness helpers -*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction binaries: the SDBA
+/// corpus (harvested + generated, substituting for the paper's 1159
+/// Ultimate-produced SDBAs), analysis-run helpers with per-task budgets,
+/// and tiny table formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_BENCH_BENCHSUPPORT_H
+#define TERMCHECK_BENCH_BENCHSUPPORT_H
+
+#include "benchgen/ProgramFamilies.h"
+#include "benchgen/RandomAutomata.h"
+#include "benchgen/SdbaHarvest.h"
+#include "program/Parser.h"
+#include "termination/Analyzer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace termcheck {
+namespace bench {
+
+/// One SDBA corpus entry.
+struct CorpusSdba {
+  std::string Name;
+  Buchi A;
+};
+
+/// Builds the Figure 4 corpus: SDBAs harvested from analysis runs over the
+/// benchmark suite plus seeded random SDBAs of growing size.
+inline std::vector<CorpusSdba> sdbaCorpus(size_t RandomCount = 120,
+                                          double HarvestTimeout = 1.0) {
+  std::vector<CorpusSdba> Corpus;
+  std::vector<Buchi> Harvested =
+      harvestSdbas(smallBenchmarkSuite(), HarvestTimeout);
+  for (size_t I = 0; I < Harvested.size(); ++I)
+    Corpus.push_back({"harvest_" + std::to_string(I), Harvested[I]});
+  Rng R(0xF1640001);
+  for (size_t I = 0; I < RandomCount; ++I) {
+    uint32_t Q1 = 1 + static_cast<uint32_t>(R.below(6));
+    uint32_t Q2 = 3 + static_cast<uint32_t>(R.below(9));
+    uint32_t Symbols = 2 + static_cast<uint32_t>(R.below(3));
+    Corpus.push_back(
+        {"random_" + std::to_string(I), randomSdba(R, Q1, Q2, Symbols)});
+  }
+  return Corpus;
+}
+
+/// Runs the analyzer on WHILE source with the given options and budget.
+inline AnalysisResult runTask(const BenchProgram &B, AnalyzerOptions Opts,
+                              double TimeoutSeconds, uint64_t MaxIters = 80) {
+  ParseResult R = parseProgram(B.Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "bench: parse error in %s: %s\n", B.Name.c_str(),
+                 R.Error.c_str());
+    AnalysisResult Fail;
+    Fail.V = Verdict::Unknown;
+    return Fail;
+  }
+  Opts.TimeoutSeconds = TimeoutSeconds;
+  Opts.MaxIterations = MaxIters;
+  TerminationAnalyzer A(*R.Prog, Opts);
+  return A.run();
+}
+
+/// "Solved" in the paper's sense: a definite verdict within budget.
+inline bool solved(const AnalysisResult &R, Expected E) {
+  if (R.V == Verdict::Timeout)
+    return false;
+  if (E == Expected::Terminating)
+    return R.V == Verdict::Terminating;
+  if (E == Expected::Nonterminating)
+    return R.V == Verdict::NonterminatingCandidate ||
+           R.V == Verdict::Unknown; // counterexample reported
+  return false; // Hard: nobody solves it
+}
+
+inline void hr() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+} // namespace bench
+} // namespace termcheck
+
+#endif // TERMCHECK_BENCH_BENCHSUPPORT_H

@@ -1,0 +1,67 @@
+//===- examples/quickstart.cpp - Five-minute tour of the API --------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: parse a WHILE-language program, run the automata-based
+/// termination analysis, and inspect the certified modules that prove
+/// termination. Build and run:
+///
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "program/Parser.h"
+#include "termination/Analyzer.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace termcheck;
+
+int main() {
+  // 1. A program in the WHILE language (see README for the grammar).
+  const char *Source = R"(
+program gauss(n) {
+  sum := 0;
+  while (n > 0) {
+    sum := sum + n;
+    n := n - 1;
+  }
+})";
+
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  Program &P = *Parsed.Prog;
+  std::printf("== control-flow graph ==\n%s\n", P.str().c_str());
+
+  // 2. Run the Figure 1 analysis loop. Options expose the paper's
+  //    evaluation axes; the defaults are the strongest configuration
+  //    (multi-stage, NCSB-Lazy, subsumption antichain).
+  AnalyzerOptions Opts;
+  Opts.TimeoutSeconds = 10;
+  TerminationAnalyzer Analyzer(P, Opts);
+  AnalysisResult Result = Analyzer.run();
+
+  // 3. Inspect the verdict and the certified modules.
+  std::printf("== verdict: %s (%.3f s) ==\n", verdictName(Result.V),
+              Result.Seconds);
+  for (size_t I = 0; I < Result.Modules.size(); ++I) {
+    const CertifiedModule &M = Result.Modules[I];
+    std::printf("module %zu: %s, %u states, ranking function f = %s\n", I,
+                moduleKindName(M.Kind), M.A.numStates(),
+                M.Rank.str(P.vars()).c_str());
+    // Every module carries a machine-checkable rank certificate
+    // (Definition 3.1); re-validate it here.
+    std::string Err = validateModule(M, P);
+    std::printf("  certificate: %s\n", Err.empty() ? "valid" : Err.c_str());
+  }
+  std::printf("== statistics ==\n");
+  Result.Stats.print(std::cout);
+  return Result.V == Verdict::Terminating ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+//===- automata/Buchi.cpp - (Generalized) Büchi automata -----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Buchi.h"
+
+#include <deque>
+
+using namespace termcheck;
+
+bool Buchi::isComplete() const {
+  for (State S = 0; S < numStates(); ++S) {
+    // Count distinct symbols with at least one outgoing arc.
+    std::vector<bool> Seen(Symbols, false);
+    uint32_t Distinct = 0;
+    for (const Arc &A : Adj[S]) {
+      if (!Seen[A.Sym]) {
+        Seen[A.Sym] = true;
+        ++Distinct;
+      }
+    }
+    if (Distinct != Symbols)
+      return false;
+  }
+  return true;
+}
+
+bool Buchi::isDeterministic() const {
+  if (Initial.size() > 1)
+    return false;
+  for (State S = 0; S < numStates(); ++S) {
+    std::vector<bool> Seen(Symbols, false);
+    for (const Arc &A : Adj[S]) {
+      if (Seen[A.Sym])
+        return false;
+      Seen[A.Sym] = true;
+    }
+  }
+  return true;
+}
+
+StateSet Buchi::reachableStates() const {
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<State> Work;
+  for (State S : Initial.elems()) {
+    Seen[S] = true;
+    Work.push_back(S);
+  }
+  std::vector<State> Out;
+  while (!Work.empty()) {
+    State S = Work.front();
+    Work.pop_front();
+    Out.push_back(S);
+    for (const Arc &A : Adj[S]) {
+      if (!Seen[A.To]) {
+        Seen[A.To] = true;
+        Work.push_back(A.To);
+      }
+    }
+  }
+  return StateSet(std::move(Out));
+}
+
+std::string Buchi::str() const {
+  std::string S = "GBA: " + std::to_string(numStates()) + " states, " +
+                  std::to_string(Symbols) + " symbols, " +
+                  std::to_string(Conditions) + " conditions\n";
+  S += "  initial: " + Initial.str() + "\n";
+  for (State Q = 0; Q < numStates(); ++Q) {
+    S += "  q" + std::to_string(Q);
+    if (AcceptMask[Q] != 0)
+      S += " [acc mask " + std::to_string(AcceptMask[Q]) + "]";
+    S += ":";
+    for (const Arc &A : Adj[Q])
+      S += " (" + std::to_string(A.Sym) + "->q" + std::to_string(A.To) + ")";
+    S += "\n";
+  }
+  return S;
+}

@@ -1,0 +1,161 @@
+//===- automata/Buchi.h - (Generalized) Büchi automata --------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit generalized Büchi automata over a dense symbol alphabet, as in
+/// Section 2 of the paper. A GBA carries up to 64 acceptance conditions,
+/// stored as a per-state bitmask; a plain BA is the k = 1 case. The
+/// analysis keeps the remaining-paths automaton generalized because GBA
+/// products are smaller and intersect more cheaply than degeneralized BAs
+/// (the paper's footnote at the start of Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_BUCHI_H
+#define TERMCHECK_AUTOMATA_BUCHI_H
+
+#include "automata/StateSet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace termcheck {
+
+/// An explicit GBA with bitmask acceptance.
+class Buchi {
+public:
+  /// One labeled transition out of a state.
+  struct Arc {
+    Symbol Sym;
+    State To;
+    bool operator==(const Arc &O) const {
+      return Sym == O.Sym && To == O.To;
+    }
+  };
+
+  /// Creates an automaton over \p NumSymbols symbols with \p NumConditions
+  /// acceptance conditions (1..64).
+  explicit Buchi(uint32_t NumSymbols, uint32_t NumConditions = 1)
+      : Symbols(NumSymbols), Conditions(NumConditions) {
+    assert(NumConditions >= 1 && NumConditions <= 64 &&
+           "acceptance conditions must fit a 64-bit mask");
+  }
+
+  uint32_t numSymbols() const { return Symbols; }
+  uint32_t numConditions() const { return Conditions; }
+  uint32_t numStates() const { return static_cast<uint32_t>(Adj.size()); }
+
+  size_t numTransitions() const {
+    size_t N = 0;
+    for (const auto &Arcs : Adj)
+      N += Arcs.size();
+    return N;
+  }
+
+  /// Bitmask with one bit per acceptance condition.
+  uint64_t fullMask() const {
+    return Conditions == 64 ? ~0ULL : ((1ULL << Conditions) - 1);
+  }
+
+  State addState() {
+    Adj.emplace_back();
+    AcceptMask.push_back(0);
+    return numStates() - 1;
+  }
+
+  /// Adds \p N fresh states, returning the first id.
+  State addStates(uint32_t N) {
+    State First = numStates();
+    for (uint32_t I = 0; I < N; ++I)
+      addState();
+    return First;
+  }
+
+  void addInitial(State S) {
+    assert(S < numStates() && "unknown state");
+    Initial.insert(S);
+  }
+
+  const StateSet &initials() const { return Initial; }
+
+  /// Marks \p S accepting for condition \p Cond.
+  void setAccepting(State S, uint32_t Cond = 0) {
+    assert(S < numStates() && Cond < Conditions && "out of range");
+    AcceptMask[S] |= 1ULL << Cond;
+  }
+
+  void setAcceptMask(State S, uint64_t Mask) {
+    assert(S < numStates() && (Mask & ~fullMask()) == 0 && "bad mask");
+    AcceptMask[S] = Mask;
+  }
+
+  uint64_t acceptMask(State S) const {
+    assert(S < numStates() && "unknown state");
+    return AcceptMask[S];
+  }
+
+  /// \returns true when \p S is in every acceptance set.
+  bool isAcceptingAll(State S) const { return acceptMask(S) == fullMask(); }
+
+  /// Adds the transition, deduplicating.
+  void addTransition(State From, Symbol Sym, State To) {
+    assert(From < numStates() && To < numStates() && Sym < Symbols &&
+           "transition out of range");
+    for (const Arc &A : Adj[From])
+      if (A.Sym == Sym && A.To == To)
+        return;
+    Adj[From].push_back({Sym, To});
+  }
+
+  const std::vector<Arc> &arcsFrom(State S) const {
+    assert(S < numStates() && "unknown state");
+    return Adj[S];
+  }
+
+  /// All \p Sym-successors of \p S.
+  std::vector<State> successors(State S, Symbol Sym) const {
+    std::vector<State> Out;
+    for (const Arc &A : Adj[S])
+      if (A.Sym == Sym)
+        Out.push_back(A.To);
+    return Out;
+  }
+
+  /// All successors of \p S over any symbol (the paper's post(q)).
+  StateSet post(State S) const {
+    StateSet Out;
+    for (const Arc &A : Adj[S])
+      Out.insert(A.To);
+    return Out;
+  }
+
+  /// \returns true when every state has a successor on every symbol.
+  bool isComplete() const;
+
+  /// \returns true when there is at most one initial state and at most one
+  /// successor per state and symbol.
+  bool isDeterministic() const;
+
+  /// States reachable from the initial states.
+  StateSet reachableStates() const;
+
+  /// Multi-line dump for debugging.
+  std::string str() const;
+
+private:
+  uint32_t Symbols;
+  uint32_t Conditions;
+  std::vector<std::vector<Arc>> Adj;
+  std::vector<uint64_t> AcceptMask;
+  StateSet Initial;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_BUCHI_H

@@ -1,0 +1,44 @@
+//===- automata/ComplementOracle.cpp - On-the-fly complements ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/ComplementOracle.h"
+
+#include <deque>
+#include <unordered_map>
+
+using namespace termcheck;
+
+Buchi ComplementOracle::materialize() {
+  Buchi Out(numSymbols(), 1);
+  std::unordered_map<State, State> Map; // oracle id -> explicit id
+  std::deque<State> Work;
+  auto Intern = [&](State S) {
+    auto It = Map.find(S);
+    if (It != Map.end())
+      return It->second;
+    State Fresh = Out.addState();
+    if (isAccepting(S))
+      Out.setAccepting(Fresh);
+    Map.emplace(S, Fresh);
+    Work.push_back(S);
+    return Fresh;
+  };
+  for (State S : initialStates())
+    Out.addInitial(Intern(S));
+  std::vector<State> Buf;
+  while (!Work.empty()) {
+    State S = Work.front();
+    Work.pop_front();
+    State From = Map.at(S);
+    for (Symbol Sym = 0; Sym < numSymbols(); ++Sym) {
+      Buf.clear();
+      successors(S, Sym, Buf);
+      for (State T : Buf)
+        Out.addTransition(From, Sym, Intern(T));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- automata/DbaComplement.cpp - Kurshan DBA complement ---------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/DbaComplement.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace termcheck;
+
+DbaComplementOracle::DbaComplementOracle(const Buchi &A) : A(A) {
+  assert(A.numConditions() == 1 && "DBA complement expects a plain BA");
+  assert(A.isDeterministic() && "DBA complement expects a DBA");
+  assert(A.isComplete() && "DBA complement expects a complete DBA");
+  Seen.assign(static_cast<size_t>(A.numStates()) * 2, false);
+}
+
+State DbaComplementOracle::encode(State Q, bool Copy2) {
+  State Id = (Q << 1) | (Copy2 ? 1 : 0);
+  Seen[Id] = true;
+  return Id;
+}
+
+size_t DbaComplementOracle::numStatesDiscovered() const {
+  return static_cast<size_t>(std::count(Seen.begin(), Seen.end(), true));
+}
+
+std::vector<State> DbaComplementOracle::initialStates() {
+  std::vector<State> Out;
+  for (State Q : A.initials().elems()) {
+    Out.push_back(encode(Q, false));
+    if (A.acceptMask(Q) == 0)
+      Out.push_back(encode(Q, true));
+  }
+  return Out;
+}
+
+void DbaComplementOracle::successors(State S, Symbol Sym,
+                                     std::vector<State> &Out) {
+  State Q = S >> 1;
+  bool Copy2 = (S & 1) != 0;
+  for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
+    if (Arc.Sym != Sym)
+      continue;
+    if (!Copy2) {
+      Out.push_back(encode(Arc.To, false));
+      if (A.acceptMask(Arc.To) == 0)
+        Out.push_back(encode(Arc.To, true));
+    } else if (A.acceptMask(Arc.To) == 0) {
+      Out.push_back(encode(Arc.To, true));
+    }
+  }
+}

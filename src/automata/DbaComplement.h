@@ -1,0 +1,49 @@
+//===- automata/DbaComplement.h - Kurshan DBA complement ------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Complementation of deterministic Büchi automata in linear space
+/// (Kurshan [35]; the stage-2 deterministic certified module M_det is
+/// complemented this way). A word is rejected by a complete DBA iff its
+/// unique run visits the accepting set only finitely often, so the
+/// complement runs the DBA and nondeterministically jumps into a second
+/// copy restricted to non-accepting states; staying in that copy forever is
+/// accepting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_DBACOMPLEMENT_H
+#define TERMCHECK_AUTOMATA_DBACOMPLEMENT_H
+
+#include "automata/ComplementOracle.h"
+
+namespace termcheck {
+
+/// Lazy Kurshan complement of a complete DBA.
+class DbaComplementOracle : public ComplementOracle {
+public:
+  /// \p A must be deterministic and complete with one acceptance condition.
+  /// The oracle keeps a reference; \p A must outlive it.
+  explicit DbaComplementOracle(const Buchi &A);
+
+  uint32_t numSymbols() const override { return A.numSymbols(); }
+  std::vector<State> initialStates() override;
+  void successors(State S, Symbol Sym, std::vector<State> &Out) override;
+  bool isAccepting(State S) override { return (S & 1) != 0; }
+  size_t numStatesDiscovered() const override;
+
+private:
+  // Macro-state encoding: (q << 1) | copy; copy 1 states are the
+  // waiting-for-no-more-accepting copy and are never accepting DBA states.
+  const Buchi &A;
+  std::vector<bool> Seen;
+
+  State encode(State Q, bool Copy2);
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_DBACOMPLEMENT_H

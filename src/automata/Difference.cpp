@@ -1,0 +1,163 @@
+//===- automata/Difference.cpp - On-the-fly GBA \ BA difference ----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Difference.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace termcheck;
+
+namespace {
+
+/// The on-the-fly product A x B-bar as a GbaSource. Product states are
+/// interned (aState, cState) pairs; arcs are memoized because Algorithm 1
+/// asks for them once per expansion and the materialization step asks
+/// again.
+class ProductSource : public GbaSource {
+public:
+  ProductSource(const Buchi &A, ComplementOracle &BC) : A(A), BC(BC) {}
+
+  uint64_t fullMask() const override {
+    return (A.fullMask() << 1) | 1; // bit 0: complement acceptance
+  }
+
+  std::vector<State> initialStates() override {
+    std::vector<State> Out;
+    for (State P : A.initials().elems())
+      for (State Q : BC.initialStates())
+        Out.push_back(intern(P, Q));
+    return Out;
+  }
+
+  uint64_t acceptMask(State S) override {
+    auto [P, Q] = Info[S];
+    return (A.acceptMask(P) << 1) | (BC.isAccepting(Q) ? 1 : 0);
+  }
+
+  void arcs(State S, std::vector<Buchi::Arc> &Out) override {
+    auto It = ArcCache.find(S);
+    if (It != ArcCache.end()) {
+      Out.insert(Out.end(), It->second.begin(), It->second.end());
+      return;
+    }
+    std::vector<Buchi::Arc> Arcs;
+    auto [P, Q] = Info[S];
+    std::vector<State> Buf;
+    for (const Buchi::Arc &ArcA : A.arcsFrom(P)) {
+      Buf.clear();
+      BC.successors(Q, ArcA.Sym, Buf);
+      for (State CTo : Buf)
+        Arcs.push_back({ArcA.Sym, intern(ArcA.To, CTo)});
+    }
+    Out.insert(Out.end(), Arcs.begin(), Arcs.end());
+    ArcCache.emplace(S, std::move(Arcs));
+  }
+
+  /// Decodes a product id.
+  std::pair<State, State> decode(State S) const { return Info[S]; }
+
+  size_t numProductStates() const { return Info.size(); }
+
+private:
+  const Buchi &A;
+  ComplementOracle &BC;
+  std::vector<std::pair<State, State>> Info;
+  std::unordered_map<uint64_t, State> Index;
+  std::unordered_map<State, std::vector<Buchi::Arc>> ArcCache;
+
+  State intern(State P, State Q) {
+    uint64_t Key = (static_cast<uint64_t>(P) << 32) | Q;
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    State S = static_cast<State>(Info.size());
+    Info.push_back({P, Q});
+    Index.emplace(Key, S);
+    return S;
+  }
+};
+
+} // namespace
+
+DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
+                                       const DifferenceOptions &Opts) {
+  assert(A.numSymbols() == BC.numSymbols() && "alphabet mismatch");
+  assert(A.numConditions() + 1 <= 64 && "too many acceptance conditions");
+
+  ProductSource Src(A, BC);
+  UselessStateRemover Remover;
+  Remover.ShouldAbort = Opts.ShouldAbort;
+
+  // emp as a per-A-state antichain of complement macro-states, compared
+  // with the oracle's subsumption relation (Section 6, Eq. 10). Without
+  // subsumption the oracle relation degrades to equality, which makes this
+  // an exact set.
+  std::unordered_map<State, std::vector<State>> Emp;
+  if (Opts.UseSubsumption) {
+    Remover.IsKnownUseless = [&](State S) {
+      auto [P, Q] = Src.decode(S);
+      auto It = Emp.find(P);
+      if (It == Emp.end())
+        return false;
+      for (State R : It->second)
+        if (BC.subsumedBy(Q, R))
+          return true;
+      return false;
+    };
+    Remover.AddUseless = [&](State S) {
+      auto [P, Q] = Src.decode(S);
+      std::vector<State> &Chain = Emp[P];
+      // Keep only subsumption-maximal elements ("emp can be maintained in
+      // the form of an antichain", Section 6).
+      for (State R : Chain)
+        if (BC.subsumedBy(Q, R))
+          return;
+      size_t Keep = 0;
+      for (size_t I = 0; I < Chain.size(); ++I)
+        if (!BC.subsumedBy(Chain[I], Q))
+          Chain[Keep++] = Chain[I];
+      Chain.resize(Keep);
+      Chain.push_back(Q);
+    };
+  }
+
+  RemoveUselessResult R = Remover.run(Src);
+
+  DifferenceResult Out{Buchi(A.numSymbols(), A.numConditions() + 1), true, 0,
+                       0, false};
+  Out.IsEmpty = R.LanguageEmpty;
+  Out.ProductStatesExplored = R.StatesExplored;
+  Out.ComplementStatesDiscovered = BC.numStatesDiscovered();
+  Out.Aborted = R.Aborted;
+  if (R.Aborted)
+    return Out;
+
+  // Materialize the useful part. Product condition bit 0 is the
+  // complement's; shift A's conditions up by one to match acceptMask().
+  std::unordered_map<State, State> Map;
+  for (State S : R.Useful) {
+    State Fresh = Out.D.addState();
+    Out.D.setAcceptMask(Fresh, Src.acceptMask(S));
+    Map.emplace(S, Fresh);
+  }
+  std::vector<Buchi::Arc> Buf;
+  for (State S : R.Useful) {
+    Buf.clear();
+    Src.arcs(S, Buf);
+    for (const Buchi::Arc &Arc : Buf) {
+      auto It = Map.find(Arc.To);
+      if (It != Map.end())
+        Out.D.addTransition(Map.at(S), Arc.Sym, It->second);
+    }
+  }
+  for (State S : Src.initialStates()) {
+    auto It = Map.find(S);
+    if (It != Map.end())
+      Out.D.addInitial(It->second);
+  }
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- automata/Dot.cpp - Graphviz export ---------------------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Dot.h"
+
+using namespace termcheck;
+
+static std::string escapeDot(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string termcheck::toDot(
+    const Buchi &A, const std::function<std::string(Symbol)> &SymbolName,
+    const std::string &GraphName) {
+  std::string S = "digraph " + GraphName + " {\n  rankdir=LR;\n"
+                  "  node [shape=circle];\n";
+  // Invisible entry arrows for initial states.
+  for (State Q : A.initials().elems()) {
+    S += "  init" + std::to_string(Q) + " [shape=point, style=invis];\n";
+    S += "  init" + std::to_string(Q) + " -> q" + std::to_string(Q) + ";\n";
+  }
+  for (State Q = 0; Q < A.numStates(); ++Q) {
+    uint64_t Mask = A.acceptMask(Q);
+    std::string Label = "q" + std::to_string(Q);
+    if (Mask != 0 && A.numConditions() > 1) {
+      Label += " {";
+      bool First = true;
+      for (uint32_t C = 0; C < A.numConditions(); ++C) {
+        if (!(Mask & (1ULL << C)))
+          continue;
+        if (!First)
+          Label += ",";
+        Label += std::to_string(C);
+        First = false;
+      }
+      Label += "}";
+    }
+    S += "  q" + std::to_string(Q) + " [label=\"" + escapeDot(Label) + "\"";
+    if (Mask != 0)
+      S += ", shape=doublecircle";
+    S += "];\n";
+  }
+  for (State Q = 0; Q < A.numStates(); ++Q) {
+    for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
+      std::string Label = SymbolName ? SymbolName(Arc.Sym)
+                                     : std::to_string(Arc.Sym);
+      S += "  q" + std::to_string(Q) + " -> q" + std::to_string(Arc.To) +
+           " [label=\"" + escapeDot(Label) + "\"];\n";
+    }
+  }
+  S += "}\n";
+  return S;
+}

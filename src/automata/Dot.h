@@ -1,0 +1,33 @@
+//===- automata/Dot.h - Graphviz export -----------------------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) renderings of automata and CFGs, for debugging and for
+/// the figures in the docs. Accepting states become double circles;
+/// generalized acceptance is shown as a bit list; an optional symbol-name
+/// callback renders statement text on the edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_DOT_H
+#define TERMCHECK_AUTOMATA_DOT_H
+
+#include "automata/Buchi.h"
+
+#include <functional>
+#include <string>
+
+namespace termcheck {
+
+/// Renders \p A as a DOT digraph. \p SymbolName (optional) maps symbols to
+/// edge labels; the default prints the numeric symbol.
+std::string toDot(const Buchi &A,
+                  const std::function<std::string(Symbol)> &SymbolName = {},
+                  const std::string &GraphName = "buchi");
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_DOT_H

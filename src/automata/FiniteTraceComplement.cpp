@@ -1,0 +1,54 @@
+//===- automata/FiniteTraceComplement.cpp - Prefix complement ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/FiniteTraceComplement.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+FiniteTraceComplementOracle::FiniteTraceComplementOracle(const Buchi &A,
+                                                         State Universal)
+    : A(A), Universal(Universal) {
+  assert(Universal < A.numStates() && "unknown universal state");
+  assert(A.acceptMask(Universal) != 0 && "universal state must accept");
+}
+
+State FiniteTraceComplementOracle::intern(StateSet S) {
+  size_t H = S.hash();
+  auto It = Index.find(H);
+  if (It != Index.end())
+    for (State Id : It->second)
+      if (Subsets[Id] == S)
+        return Id;
+  State Id = static_cast<State>(Subsets.size());
+  Subsets.push_back(std::move(S));
+  Index[H].push_back(Id);
+  return Id;
+}
+
+std::vector<State> FiniteTraceComplementOracle::initialStates() {
+  StateSet Init;
+  for (State S : A.initials().elems())
+    Init.insert(S);
+  if (Init.contains(Universal))
+    return {}; // the module accepts everything; its complement is empty
+  return {intern(std::move(Init))};
+}
+
+void FiniteTraceComplementOracle::successors(State S, Symbol Sym,
+                                             std::vector<State> &Out) {
+  StateSet Next;
+  for (State Q : Subsets[S].elems())
+    for (const Buchi::Arc &Arc : A.arcsFrom(Q))
+      if (Arc.Sym == Sym)
+        Next.insert(Arc.To);
+  // Reaching the universal accepting state means the consumed prefix is in
+  // Pref, so every continuation is accepted by the module: kill this run.
+  if (Next.contains(Universal))
+    return;
+  Out.push_back(intern(std::move(Next)));
+}

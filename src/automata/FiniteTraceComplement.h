@@ -1,0 +1,63 @@
+//===- automata/FiniteTraceComplement.h - Prefix complement ---*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Complementation of finite-trace BAs (stage 1, Section 3.1.2). A
+/// finite-trace module accepts Pref . Sigma^omega where Pref is the
+/// finite-word language of the automaton's prefix part leading to a single
+/// universal accepting state. The complement is the safety language "no
+/// prefix of the word is in Pref": a subset construction over the prefix
+/// part whose runs die the moment the accepting state becomes reachable.
+/// Every surviving subset is accepting. The paper calls this the O(1)-space
+/// complement; here it is a deterministic on-the-fly safety automaton.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_FINITETRACECOMPLEMENT_H
+#define TERMCHECK_AUTOMATA_FINITETRACECOMPLEMENT_H
+
+#include "automata/ComplementOracle.h"
+#include "automata/StateSet.h"
+
+#include <unordered_map>
+
+namespace termcheck {
+
+/// Lazy complement of a finite-trace BA.
+class FiniteTraceComplementOracle : public ComplementOracle {
+public:
+  /// \p A is the finite-trace BA; \p Universal is its single accepting
+  /// state (which must carry self-loops on every symbol). The oracle keeps
+  /// a reference; \p A must outlive it.
+  FiniteTraceComplementOracle(const Buchi &A, State Universal);
+
+  uint32_t numSymbols() const override { return A.numSymbols(); }
+  std::vector<State> initialStates() override;
+  void successors(State S, Symbol Sym, std::vector<State> &Out) override;
+  bool isAccepting(State) override { return true; } // safety automaton
+  size_t numStatesDiscovered() const override { return Subsets.size(); }
+
+  /// Larger subsets reach the universal state more easily, so their
+  /// complement language is smaller: Sub supseteq Sup implies
+  /// L(Sub) subseteq L(Sup).
+  bool subsumedBy(State Sub, State Sup) const override {
+    return Subsets[Sub].supersetOf(Subsets[Sup]);
+  }
+
+  const StateSet &subset(State S) const { return Subsets[S]; }
+
+private:
+  const Buchi &A;
+  State Universal;
+  std::vector<StateSet> Subsets;
+  std::unordered_map<size_t, std::vector<State>> Index;
+
+  State intern(StateSet S);
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_FINITETRACECOMPLEMENT_H

@@ -1,0 +1,362 @@
+//===- automata/Hoa.cpp - HOA-format interop -------------------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Hoa.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+using namespace termcheck;
+
+namespace {
+
+/// Number of atomic propositions needed for \p NumSymbols symbols.
+uint32_t apCount(uint32_t NumSymbols) {
+  uint32_t Bits = 0;
+  while ((1u << Bits) < NumSymbols)
+    ++Bits;
+  return Bits == 0 ? 1 : Bits;
+}
+
+/// Renders symbol \p Sym as a full AP conjunction, e.g. "0&!1&2".
+std::string labelOf(Symbol Sym, uint32_t Aps) {
+  std::string S;
+  for (uint32_t B = 0; B < Aps; ++B) {
+    if (B != 0)
+      S += "&";
+    if (!(Sym & (1u << B)))
+      S += "!";
+    S += std::to_string(B);
+  }
+  return S;
+}
+
+} // namespace
+
+std::string termcheck::toHoa(const Buchi &A, const std::string &Name) {
+  uint32_t Aps = apCount(A.numSymbols());
+  std::ostringstream OS;
+  OS << "HOA: v1\n";
+  OS << "name: \"" << Name << "\"\n";
+  OS << "States: " << A.numStates() << "\n";
+  for (State S : A.initials().elems())
+    OS << "Start: " << S << "\n";
+  OS << "AP: " << Aps;
+  for (uint32_t B = 0; B < Aps; ++B)
+    OS << " \"p" << B << "\"";
+  OS << "\n";
+  OS << "acc-name: generalized-Buchi " << A.numConditions() << "\n";
+  OS << "Acceptance: " << A.numConditions() << " ";
+  for (uint32_t C = 0; C < A.numConditions(); ++C) {
+    if (C != 0)
+      OS << " & ";
+    OS << "Inf(" << C << ")";
+  }
+  OS << "\n";
+  OS << "properties: explicit-labels state-acc\n";
+  OS << "--BODY--\n";
+  for (State S = 0; S < A.numStates(); ++S) {
+    OS << "State: " << S;
+    uint64_t Mask = A.acceptMask(S);
+    if (Mask != 0) {
+      OS << " {";
+      bool First = true;
+      for (uint32_t C = 0; C < A.numConditions(); ++C) {
+        if (!(Mask & (1ULL << C)))
+          continue;
+        if (!First)
+          OS << " ";
+        OS << C;
+        First = false;
+      }
+      OS << "}";
+    }
+    OS << "\n";
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      OS << "  [" << labelOf(Arc.Sym, Aps) << "] " << Arc.To << "\n";
+  }
+  OS << "--END--\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Minimal tokenizer over the HOA text.
+class HoaReader {
+public:
+  explicit HoaReader(const std::string &Text) : Text(Text) {}
+
+  HoaParseResult run();
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      if (std::isspace(static_cast<unsigned char>(Text[Pos]))) {
+        ++Pos;
+      } else if (Text[Pos] == '/' && Pos + 1 < Text.size() &&
+                 Text[Pos + 1] == '*') {
+        Pos += 2;
+        while (Pos + 1 < Text.size() &&
+               !(Text[Pos] == '*' && Text[Pos + 1] == '/'))
+          ++Pos;
+        Pos = Pos + 2 <= Text.size() ? Pos + 2 : Text.size();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  /// Reads the next whitespace-delimited token; quoted strings are one
+  /// token (quotes stripped); bracketed labels are one token including the
+  /// brackets.
+  std::string next() {
+    skipSpace();
+    if (Pos >= Text.size())
+      return "";
+    if (Text[Pos] == '"') {
+      size_t End = Text.find('"', Pos + 1);
+      if (End == std::string::npos)
+        End = Text.size() - 1;
+      std::string Tok = Text.substr(Pos + 1, End - Pos - 1);
+      Pos = End + 1;
+      return Tok;
+    }
+    if (Text[Pos] == '[') {
+      size_t End = Text.find(']', Pos);
+      if (End == std::string::npos)
+        End = Text.size() - 1;
+      std::string Tok = Text.substr(Pos, End - Pos + 1);
+      Pos = End + 1;
+      return Tok;
+    }
+    if (Text[Pos] == '{') {
+      size_t End = Text.find('}', Pos);
+      if (End == std::string::npos)
+        End = Text.size() - 1;
+      std::string Tok = Text.substr(Pos, End - Pos + 1);
+      Pos = End + 1;
+      return Tok;
+    }
+    size_t Begin = Pos;
+    while (Pos < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[Pos])) &&
+           Text[Pos] != '[' && Text[Pos] != '{')
+      ++Pos;
+    return Text.substr(Begin, Pos - Begin);
+  }
+
+  std::string peek() {
+    size_t Saved = Pos;
+    std::string Tok = next();
+    Pos = Saved;
+    return Tok;
+  }
+};
+
+/// Parses "a&!b&c"-style full conjunctions into a symbol, or `t` into all
+/// symbols. \returns false on malformed/partial labels.
+bool parseLabel(const std::string &Label, uint32_t Aps, uint32_t NumSymbols,
+                std::vector<Symbol> &Out) {
+  assert(Label.size() >= 2 && Label.front() == '[' && Label.back() == ']');
+  std::string Body = Label.substr(1, Label.size() - 2);
+  // Strip blanks.
+  std::string Clean;
+  for (char C : Body)
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      Clean.push_back(C);
+  if (Clean == "t") {
+    for (Symbol S = 0; S < NumSymbols; ++S)
+      Out.push_back(S);
+    return true;
+  }
+  std::vector<int> BitOf(Aps, -1); // -1 unset, 0/1 fixed
+  size_t I = 0;
+  while (I < Clean.size()) {
+    bool Neg = false;
+    if (Clean[I] == '!') {
+      Neg = true;
+      ++I;
+    }
+    size_t Begin = I;
+    while (I < Clean.size() && std::isdigit(static_cast<unsigned char>(Clean[I])))
+      ++I;
+    if (Begin == I)
+      return false;
+    uint32_t Ap = static_cast<uint32_t>(std::stoul(Clean.substr(Begin, I - Begin)));
+    if (Ap >= Aps)
+      return false;
+    BitOf[Ap] = Neg ? 0 : 1;
+    if (I < Clean.size()) {
+      if (Clean[I] != '&')
+        return false;
+      ++I;
+    }
+  }
+  // Expand unset bits (partial labels denote several symbols).
+  std::vector<Symbol> Partial{0};
+  Symbol Fixed = 0;
+  std::vector<uint32_t> Free;
+  for (uint32_t B = 0; B < Aps; ++B) {
+    if (BitOf[B] == 1)
+      Fixed |= 1u << B;
+    else if (BitOf[B] == -1)
+      Free.push_back(B);
+  }
+  uint32_t Count = 1u << Free.size();
+  for (uint32_t Bits = 0; Bits < Count; ++Bits) {
+    Symbol S = Fixed;
+    for (size_t F = 0; F < Free.size(); ++F)
+      if (Bits & (1u << F))
+        S |= 1u << Free[F];
+    if (S < NumSymbols)
+      Out.push_back(S);
+  }
+  return true;
+}
+
+} // namespace
+
+HoaParseResult HoaReader::run() {
+  HoaParseResult Result;
+  auto Fail = [&](const std::string &Msg) {
+    Result.A.reset();
+    Result.Error = Msg;
+    return Result;
+  };
+
+  uint32_t NumStates = 0, Aps = 0, NumConds = 1;
+  std::vector<State> Starts;
+  bool SawHoa = false;
+
+  // Header.
+  while (!eof()) {
+    std::string Tok = next();
+    if (Tok == "HOA:") {
+      if (next() != "v1")
+        return Fail("unsupported HOA version");
+      SawHoa = true;
+    } else if (Tok == "States:") {
+      NumStates = static_cast<uint32_t>(std::stoul(next()));
+    } else if (Tok == "Start:") {
+      Starts.push_back(static_cast<State>(std::stoul(next())));
+    } else if (Tok == "AP:") {
+      Aps = static_cast<uint32_t>(std::stoul(next()));
+      for (uint32_t B = 0; B < Aps; ++B)
+        next(); // AP names
+    } else if (Tok == "Acceptance:") {
+      NumConds = static_cast<uint32_t>(std::stoul(next()));
+      if (NumConds == 0)
+        return Fail("acceptance with zero sets is not Buchi");
+      // Swallow the acceptance formula tokens up to end of line content:
+      // we trust acc-name / the writer's Inf-conjunction convention.
+      for (uint32_t C = 0; C < NumConds; ++C) {
+        std::string F = next();
+        if (C + 1 < NumConds)
+          next(); // '&'
+        (void)F;
+      }
+    } else if (Tok == "--BODY--") {
+      break;
+    } else if (Tok == "name:" || Tok == "acc-name:" || Tok == "tool:" ||
+               Tok == "properties:") {
+      // Swallow the rest of the logical line lazily: tokens until one that
+      // looks like the next header keyword. Simplest: consume tokens while
+      // the upcoming token does not end with ':' and is not --BODY--.
+      while (!eof()) {
+        std::string Ahead = peek();
+        if (Ahead == "--BODY--" || (!Ahead.empty() && Ahead.back() == ':'))
+          break;
+        next();
+      }
+    } else if (Tok.empty()) {
+      break;
+    } else {
+      // Unknown headers are skipped the same lazy way.
+      while (!eof()) {
+        std::string Ahead = peek();
+        if (Ahead == "--BODY--" || (!Ahead.empty() && Ahead.back() == ':'))
+          break;
+        next();
+      }
+    }
+  }
+  if (!SawHoa)
+    return Fail("missing HOA: v1 header");
+  if (Aps == 0)
+    return Fail("missing AP: header");
+
+  uint32_t NumSymbols = 1u << Aps;
+  Buchi A(NumSymbols, NumConds);
+  A.addStates(NumStates);
+  for (State S : Starts) {
+    if (S >= NumStates)
+      return Fail("Start state out of range");
+    A.addInitial(S);
+  }
+
+  // Body.
+  State Cur = 0;
+  bool HaveState = false;
+  while (!eof()) {
+    std::string Tok = next();
+    if (Tok == "--END--")
+      break;
+    if (Tok == "State:") {
+      Cur = static_cast<State>(std::stoul(next()));
+      if (Cur >= NumStates)
+        return Fail("State id out of range");
+      HaveState = true;
+      // Optional accset {..} and optional quoted name.
+      while (!eof()) {
+        std::string Ahead = peek();
+        if (!Ahead.empty() && Ahead.front() == '{') {
+          std::string Sets = next();
+          std::string Body = Sets.substr(1, Sets.size() - 2);
+          std::istringstream IS(Body);
+          uint32_t C;
+          while (IS >> C) {
+            if (C >= NumConds)
+              return Fail("acceptance set out of range");
+            A.setAccepting(Cur, C);
+          }
+        } else {
+          break;
+        }
+      }
+      continue;
+    }
+    if (!Tok.empty() && Tok.front() == '[') {
+      if (!HaveState)
+        return Fail("edge before any State:");
+      std::vector<Symbol> Syms;
+      if (!parseLabel(Tok, Aps, NumSymbols, Syms))
+        return Fail("unsupported edge label " + Tok);
+      State To = static_cast<State>(std::stoul(next()));
+      if (To >= NumStates)
+        return Fail("edge target out of range");
+      for (Symbol S : Syms)
+        A.addTransition(Cur, S, To);
+      continue;
+    }
+    return Fail("unexpected body token '" + Tok + "'");
+  }
+
+  Result.A = std::move(A);
+  return Result;
+}
+
+HoaParseResult termcheck::parseHoa(const std::string &Text) {
+  return HoaReader(Text).run();
+}

@@ -1,0 +1,47 @@
+//===- automata/Hoa.h - HOA-format interop --------------------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of (generalized) Büchi automata in the Hanoi Omega
+/// Automata format (HOA v1), the interchange format of the Spot / Owl /
+/// Seminator ecosystem the paper's algorithms live in. Our dense symbol
+/// alphabet is encoded over ceil(log2(|Sigma|)) atomic propositions: symbol
+/// s is the conjunction fixing every AP to the corresponding bit of s.
+///
+/// The reader accepts the subset the writer emits (state-based generalized
+/// Büchi acceptance, complete single-symbol edge labels) plus `t` labels
+/// (all symbols); it is meant for round-tripping corpora between runs and
+/// importing automata produced by external tools under those conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_HOA_H
+#define TERMCHECK_AUTOMATA_HOA_H
+
+#include "automata/Buchi.h"
+
+#include <optional>
+#include <string>
+
+namespace termcheck {
+
+/// Renders \p A in HOA v1.
+std::string toHoa(const Buchi &A, const std::string &Name = "termcheck");
+
+/// Result of parsing a HOA document.
+struct HoaParseResult {
+  std::optional<Buchi> A;
+  std::string Error; // empty on success
+  bool ok() const { return A.has_value(); }
+};
+
+/// Parses the HOA subset documented above. The number of alphabet symbols
+/// is 2^|AP| (every AP valuation is a symbol).
+HoaParseResult parseHoa(const std::string &Text);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_HOA_H

@@ -1,0 +1,195 @@
+//===- automata/Ncsb.cpp - NCSB complementation of SDBAs ------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ncsb.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+NcsbOracle::NcsbOracle(const Sdba &In, NcsbVariant Variant)
+    : In(In), Variant(Variant) {
+  assert(In.A.isComplete() && "NCSB expects a complete SDBA");
+}
+
+State NcsbOracle::intern(NcsbMacroState M) {
+  size_t H = M.hash();
+  auto It = Index.find(H);
+  if (It != Index.end())
+    for (State S : It->second)
+      if (Macro[S] == M)
+        return S;
+  State S = static_cast<State>(Macro.size());
+  Macro.push_back(std::move(M));
+  Index[H].push_back(S);
+  return S;
+}
+
+std::vector<State> NcsbOracle::initialStates() {
+  // (Q1 cap QI, Q2 cap QI, empty, Q2 cap QI), Definition 5.1.
+  NcsbMacroState M;
+  for (State S : In.A.initials().elems()) {
+    if (In.inQ2(S)) {
+      M.C.insert(S);
+      M.B.insert(S);
+    } else {
+      M.N.insert(S);
+    }
+  }
+  return {intern(std::move(M))};
+}
+
+StateSet NcsbOracle::delta2(const StateSet &X, Symbol Sym) const {
+  StateSet Out;
+  for (State S : X.elems()) {
+    assert(In.inQ2(S) && "delta2 applies to Q2 states only");
+    for (const Buchi::Arc &Arc : In.A.arcsFrom(S))
+      if (Arc.Sym == Sym)
+        Out.insert(Arc.To);
+  }
+  return Out;
+}
+
+void NcsbOracle::deltaFromN(const StateSet &N, Symbol Sym, StateSet &N1,
+                            StateSet &T) const {
+  for (State S : N.elems()) {
+    for (const Buchi::Arc &Arc : In.A.arcsFrom(S)) {
+      if (Arc.Sym != Sym)
+        continue;
+      if (In.inQ2(Arc.To))
+        T.insert(Arc.To);
+      else
+        N1.insert(Arc.To);
+    }
+  }
+}
+
+StateSet NcsbOracle::acceptingOf(const StateSet &X) const {
+  StateSet Out;
+  for (State S : X.elems())
+    if (In.isAccepting(S))
+      Out.insert(S);
+  return Out;
+}
+
+template <typename Fn>
+void NcsbOracle::enumerateSplits(const StateSet &Free, Fn Emit) {
+  const auto &Elems = Free.elems();
+  assert(Elems.size() <= 24 && "free-set explosion; automaton too wide");
+  uint32_t Count = 1u << Elems.size();
+  for (uint32_t Bits = 0; Bits < Count; ++Bits) {
+    StateSet ToFirst, ToSecond;
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (Bits & (1u << I))
+        ToFirst.insert(Elems[I]);
+      else
+        ToSecond.insert(Elems[I]);
+    }
+    Emit(std::move(ToFirst), std::move(ToSecond));
+  }
+}
+
+void NcsbOracle::successors(State S, Symbol Sym, std::vector<State> &Out) {
+  // Copy: intern() may grow Macro and invalidate references.
+  NcsbMacroState M = Macro[S];
+  if (Variant == NcsbVariant::Original)
+    succOriginal(M, Sym, Out);
+  else
+    succLazy(M, Sym, Out);
+}
+
+void NcsbOracle::succOriginal(const NcsbMacroState &M, Symbol Sym,
+                              std::vector<State> &Out) {
+  // Definition 5.1. D = delta_t(N, a) cup delta_2(C cup S, a) must be
+  // partitioned into C' and S' with
+  //   S' supseteq delta_2(S, a)           (rule 4)
+  //   C' supseteq delta_2(C \ F, a)       (rule 5)
+  //   C' supseteq D cap F                 (S' is accepting-free)
+  StateSet NPrime, T;
+  deltaFromN(M.N, Sym, NPrime, T);
+  StateSet D = T.unionWith(delta2(M.C.unionWith(M.S), Sym));
+
+  StateSet MustS = delta2(M.S, Sym);
+  if (!acceptingOf(MustS).empty())
+    return; // blocked: a safe run touched an accepting state
+  StateSet MustC =
+      delta2(M.C.minus(acceptingOf(M.C)), Sym).unionWith(acceptingOf(D));
+  if (MustC.intersects(MustS))
+    return; // blocked: rule 3 cannot hold
+
+  StateSet Free = D.minus(MustC.unionWith(MustS));
+  StateSet BSucc = M.B.empty() ? StateSet() : delta2(M.B, Sym);
+  enumerateSplits(Free, [&](StateSet ToC, StateSet ToS) {
+    NcsbMacroState Next;
+    Next.N = NPrime;
+    Next.C = MustC.unionWith(ToC);
+    Next.S = MustS.unionWith(ToS);
+    Next.B = M.B.empty() ? Next.C : BSucc.intersectWith(Next.C);
+    Out.push_back(intern(std::move(Next)));
+  });
+}
+
+void NcsbOracle::succLazy(const NcsbMacroState &M, Symbol Sym,
+                          std::vector<State> &Out) {
+  StateSet NPrime, T;
+  deltaFromN(M.N, Sym, NPrime, T);
+
+  if (M.B.empty()) {
+    // Rules a1-a6: like the original but with rule 5 removed -- on leaving
+    // an accepting macro-state, ALL postponed guesses are made at once.
+    StateSet D = T.unionWith(delta2(M.C.unionWith(M.S), Sym));
+    StateSet MustS = delta2(M.S, Sym);
+    if (!acceptingOf(MustS).empty())
+      return;
+    StateSet MustC = acceptingOf(D);
+    if (MustC.intersects(MustS))
+      return;
+    StateSet Free = D.minus(MustC.unionWith(MustS));
+    enumerateSplits(Free, [&](StateSet ToC, StateSet ToS) {
+      NcsbMacroState Next;
+      Next.N = NPrime;
+      Next.C = MustC.unionWith(ToC);
+      Next.S = MustS.unionWith(ToS);
+      Next.B = Next.C; // rule a6
+      Out.push_back(intern(std::move(Next)));
+    });
+    return;
+  }
+
+  // Rules b1-b6: only the successors of accepting states inside B may be
+  // guessed into S; C follows deterministically (rule b5).
+  StateSet DB = delta2(M.B.unionWith(M.S), Sym);
+  StateSet MustS = delta2(M.S, Sym);
+  if (!acceptingOf(MustS).empty())
+    return; // a safe run touched an accepting state
+  StateSet MustB =
+      delta2(M.B.minus(acceptingOf(M.B)), Sym).unionWith(acceptingOf(DB));
+  if (MustB.intersects(MustS))
+    return; // rule b3 cannot hold
+  StateSet Free = DB.minus(MustB.unionWith(MustS));
+  StateSet CSucc = delta2(M.C, Sym).unionWith(T);
+  enumerateSplits(Free, [&](StateSet ToB, StateSet ToS) {
+    NcsbMacroState Next;
+    Next.N = NPrime;
+    Next.B = MustB.unionWith(ToB);
+    Next.S = MustS.unionWith(ToS);
+    Next.C = CSucc.minus(Next.S); // rule b5
+    Out.push_back(intern(std::move(Next)));
+  });
+}
+
+bool NcsbOracle::subsumedBy(State Sub, State Sup) const {
+  const NcsbMacroState &P = Macro[Sub];
+  const NcsbMacroState &R = Macro[Sup];
+  // p [= r  iff  Np supseteq Nr, Cp supseteq Cr, Sp supseteq Sr (Eq. 4);
+  // the lazy variant needs the stronger [=_B with Bp supseteq Br (Eq. 5,
+  // Theorem 6.4 and the Remark in Section 6.2).
+  if (!P.N.supersetOf(R.N) || !P.C.supersetOf(R.C) || !P.S.supersetOf(R.S))
+    return false;
+  if (Variant == NcsbVariant::Lazy && !P.B.supersetOf(R.B))
+    return false;
+  return true;
+}

@@ -1,0 +1,112 @@
+//===- automata/Ncsb.h - NCSB complementation of SDBAs --------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two SDBA complementation algorithms of Section 5:
+///
+/// * NCSB-Original (Definition 5.1, Blahoudek et al. [12]): macro-states
+///   (N, C, S, B); every time a run in C leaves an accepting state the
+///   algorithm eagerly guesses whether it stays in C or moves to the safe
+///   set S.
+/// * NCSB-Lazy (Section 5.3): the guess is delayed -- while B is nonempty
+///   only successors of accepting states inside B may be released to S;
+///   when B empties (an accepting macro-state) the accumulated C/S split is
+///   guessed wholesale. Proposition 5.2: the lazy complement never has more
+///   macro-states than the original.
+///
+/// Both are exposed as ComplementOracles (on-the-fly, Section 4
+/// optimization 1) and implement the subsumption relations of Section 6
+/// ([= for Original, [=_B for Lazy) for the antichain-based emp set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_NCSB_H
+#define TERMCHECK_AUTOMATA_NCSB_H
+
+#include "automata/ComplementOracle.h"
+#include "automata/Sdba.h"
+#include "automata/StateSet.h"
+
+#include <unordered_map>
+
+namespace termcheck {
+
+/// Which NCSB variant to run.
+enum class NcsbVariant : uint8_t { Original, Lazy };
+
+/// An NCSB macro-state (N, C, S, B) with B subseteq C and S cap F = empty.
+struct NcsbMacroState {
+  StateSet N, C, S, B;
+
+  bool operator==(const NcsbMacroState &O) const {
+    return N == O.N && C == O.C && S == O.S && B == O.B;
+  }
+
+  size_t hash() const {
+    size_t H = N.hash();
+    H = H * 0x100000001b3ULL ^ C.hash();
+    H = H * 0x100000001b3ULL ^ S.hash();
+    H = H * 0x100000001b3ULL ^ B.hash();
+    return H;
+  }
+
+  std::string str() const {
+    return "(" + N.str() + "," + C.str() + "," + S.str() + "," + B.str() +
+           ")";
+  }
+};
+
+/// NCSB complementation as a lazily-evaluated complement BA.
+class NcsbOracle : public ComplementOracle {
+public:
+  /// \p In must come from prepareSdba (normalized and complete).
+  /// The oracle keeps a reference; \p In must outlive it.
+  NcsbOracle(const Sdba &In, NcsbVariant Variant);
+
+  uint32_t numSymbols() const override { return In.A.numSymbols(); }
+  std::vector<State> initialStates() override;
+  void successors(State S, Symbol Sym, std::vector<State> &Out) override;
+  bool isAccepting(State S) override { return Macro[S].B.empty(); }
+  size_t numStatesDiscovered() const override { return Macro.size(); }
+
+  /// Section 6: [= (Original) ignores the B component; [=_B (Lazy)
+  /// additionally requires B(Sub) supseteq B(Sup). Both mean
+  /// component-wise superset of Sub over Sup.
+  bool subsumedBy(State Sub, State Sup) const override;
+
+  /// The interned macro-state behind a dense id (tests, debugging).
+  const NcsbMacroState &macroState(State S) const { return Macro[S]; }
+
+private:
+  const Sdba &In;
+  NcsbVariant Variant;
+
+  std::vector<NcsbMacroState> Macro;
+  std::unordered_map<size_t, std::vector<State>> Index;
+
+  State intern(NcsbMacroState M);
+
+  /// Deterministic-part successors of every state of \p X on \p Sym.
+  StateSet delta2(const StateSet &X, Symbol Sym) const;
+  /// Splits delta(N, Sym) into its Q1 part (into \p N1) and Q2 part
+  /// (into \p T).
+  void deltaFromN(const StateSet &N, Symbol Sym, StateSet &N1,
+                  StateSet &T) const;
+  /// Accepting states of \p X.
+  StateSet acceptingOf(const StateSet &X) const;
+
+  void succOriginal(const NcsbMacroState &M, Symbol Sym,
+                    std::vector<State> &Out);
+  void succLazy(const NcsbMacroState &M, Symbol Sym, std::vector<State> &Out);
+
+  /// Emits every (MustTo + subset-of-Free) split into \p Emit.
+  template <typename Fn>
+  void enumerateSplits(const StateSet &Free, Fn Emit);
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_NCSB_H

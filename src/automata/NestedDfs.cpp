@@ -1,0 +1,139 @@
+//===- automata/NestedDfs.cpp - CVWY nested-DFS emptiness ----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/NestedDfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace termcheck;
+
+namespace {
+
+/// Shared state of one nested-DFS run.
+struct NestedDfsRun {
+  const Buchi &A;
+  std::vector<bool> BlueVisited;
+  std::vector<bool> OnBlueStack;
+  std::vector<bool> RedVisited;
+
+  /// Blue DFS stack with incoming symbols (for lasso reconstruction).
+  struct BlueFrame {
+    State S;
+    size_t ArcIdx;
+    Symbol InSym; // symbol on the edge that discovered S (root: unused)
+  };
+  std::vector<BlueFrame> BlueStack;
+
+  explicit NestedDfsRun(const Buchi &A)
+      : A(A), BlueVisited(A.numStates(), false),
+        OnBlueStack(A.numStates(), false), RedVisited(A.numStates(), false) {}
+
+  /// Red DFS from \p Seed: \returns the symbol path of a walk from Seed to
+  /// some state on the blue stack (the closing state is appended to
+  /// \p Closing), or std::nullopt.
+  std::optional<std::vector<Symbol>> redSearch(State Seed, State &Closing) {
+    struct RedFrame {
+      State S;
+      size_t ArcIdx;
+      Symbol InSym;
+    };
+    std::vector<RedFrame> Stack{{Seed, 0, 0}};
+    RedVisited[Seed] = true;
+    while (!Stack.empty()) {
+      RedFrame &F = Stack.back();
+      const auto &Arcs = A.arcsFrom(F.S);
+      if (F.ArcIdx >= Arcs.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      const Buchi::Arc &Arc = Arcs[F.ArcIdx++];
+      if (OnBlueStack[Arc.To]) {
+        // Found a cycle closing into the blue stack.
+        std::vector<Symbol> Path;
+        for (size_t I = 1; I < Stack.size(); ++I)
+          Path.push_back(Stack[I].InSym);
+        Path.push_back(Arc.Sym);
+        Closing = Arc.To;
+        return Path;
+      }
+      if (!RedVisited[Arc.To]) {
+        RedVisited[Arc.To] = true;
+        Stack.push_back({Arc.To, 0, Arc.Sym});
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Blue DFS from \p Root; \returns an accepting lasso if one exists in
+  /// this exploration.
+  std::optional<LassoWord> blueSearch(State Root) {
+    BlueVisited[Root] = true;
+    OnBlueStack[Root] = true;
+    BlueStack.push_back({Root, 0, 0});
+    while (!BlueStack.empty()) {
+      BlueFrame &F = BlueStack.back();
+      const auto &Arcs = A.arcsFrom(F.S);
+      if (F.ArcIdx < Arcs.size()) {
+        const Buchi::Arc &Arc = Arcs[F.ArcIdx++];
+        if (!BlueVisited[Arc.To]) {
+          BlueVisited[Arc.To] = true;
+          OnBlueStack[Arc.To] = true;
+          BlueStack.push_back({Arc.To, 0, Arc.Sym});
+        }
+        continue;
+      }
+      // Post-order on F.S: red search from accepting states. Red marks
+      // persist across searches (the classic CVWY invariant), but the seed
+      // is always expanded because the blue stack has changed.
+      State S = F.S;
+      if (A.acceptMask(S) != 0) {
+        State Closing = 0;
+        if (auto RedPath = redSearch(S, Closing)) {
+          // Lasso: stem = blue-stack prefix up to Closing; loop =
+          // blue-stack segment Closing..S plus the red path back.
+          LassoWord W;
+          size_t ClosePos = 0;
+          for (size_t I = 0; I < BlueStack.size(); ++I) {
+            if (BlueStack[I].S == Closing) {
+              ClosePos = I;
+              break;
+            }
+          }
+          for (size_t I = 1; I <= ClosePos; ++I)
+            W.Stem.push_back(BlueStack[I].InSym);
+          for (size_t I = ClosePos + 1; I < BlueStack.size(); ++I)
+            W.Loop.push_back(BlueStack[I].InSym);
+          for (Symbol Sym : *RedPath)
+            W.Loop.push_back(Sym);
+          return W;
+        }
+      }
+      OnBlueStack[S] = false;
+      BlueStack.pop_back();
+    }
+    return std::nullopt;
+  }
+};
+
+} // namespace
+
+std::optional<LassoWord> termcheck::findLassoNestedDfs(const Buchi &A) {
+  assert(A.numConditions() == 1 &&
+         "nested DFS handles plain BAs; degeneralize first");
+  NestedDfsRun Run(A);
+  for (State Root : A.initials().elems()) {
+    if (Run.BlueVisited[Root])
+      continue;
+    if (auto W = Run.blueSearch(Root))
+      return W;
+  }
+  return std::nullopt;
+}
+
+bool termcheck::isEmptyNestedDfs(const Buchi &A) {
+  return !findLassoNestedDfs(A).has_value();
+}

@@ -1,0 +1,41 @@
+//===- automata/NestedDfs.h - CVWY nested-DFS emptiness -------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic nested depth-first search emptiness check of Courcoubetis,
+/// Vardi, Wolper and Yannakakis for plain Büchi automata. The paper's
+/// Algorithm 1 builds on the SCC-based Gaiser-Schwoon algorithm instead --
+/// Gaiser & Schwoon's own paper [26] is a comparison of exactly these two
+/// families -- so this implementation serves as an independent oracle for
+/// the test suite and as an ablation point in the microbenchmarks.
+///
+/// Unlike Algorithm 1, nested DFS answers only emptiness (it cannot
+/// classify useless states), and it needs a degeneralized (single
+/// acceptance set) automaton.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_NESTEDDFS_H
+#define TERMCHECK_AUTOMATA_NESTEDDFS_H
+
+#include "automata/Buchi.h"
+#include "automata/Scc.h"
+
+#include <optional>
+
+namespace termcheck {
+
+/// \returns true iff L(A) is empty. \p A must have one acceptance
+/// condition (degeneralize first for GBAs).
+bool isEmptyNestedDfs(const Buchi &A);
+
+/// Nested-DFS emptiness with counterexample extraction: \returns an
+/// accepting lasso when the language is nonempty.
+std::optional<LassoWord> findLassoNestedDfs(const Buchi &A);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_NESTEDDFS_H

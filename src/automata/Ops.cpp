@@ -1,0 +1,263 @@
+//===- automata/Ops.cpp - Basic automata operations -----------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ops.h"
+
+#include "automata/DbaComplement.h"
+#include "automata/Difference.h"
+#include "automata/Ncsb.h"
+#include "automata/Sdba.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace termcheck;
+
+Buchi termcheck::completeWithSink(const Buchi &A) {
+  // First check completeness to avoid a useless copy with a dead sink.
+  bool NeedsSink = !A.isComplete();
+  Buchi Out(A.numSymbols(), A.numConditions());
+  Out.addStates(A.numStates());
+  for (State S = 0; S < A.numStates(); ++S) {
+    Out.setAcceptMask(S, A.acceptMask(S));
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      Out.addTransition(S, Arc.Sym, Arc.To);
+  }
+  for (State S : A.initials().elems())
+    Out.addInitial(S);
+  if (!NeedsSink)
+    return Out;
+  State Sink = Out.addState();
+  for (Symbol Sym = 0; Sym < A.numSymbols(); ++Sym)
+    Out.addTransition(Sink, Sym, Sink);
+  for (State S = 0; S < A.numStates(); ++S) {
+    std::vector<bool> Has(A.numSymbols(), false);
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      Has[Arc.Sym] = true;
+    for (Symbol Sym = 0; Sym < A.numSymbols(); ++Sym)
+      if (!Has[Sym])
+        Out.addTransition(S, Sym, Sink);
+  }
+  return Out;
+}
+
+Buchi termcheck::restrictToStates(const Buchi &A, const StateSet &Keep) {
+  Buchi Out(A.numSymbols(), A.numConditions());
+  std::unordered_map<State, State> Map;
+  for (State S : Keep.elems()) {
+    State Fresh = Out.addState();
+    Out.setAcceptMask(Fresh, A.acceptMask(S));
+    Map.emplace(S, Fresh);
+  }
+  for (State S : Keep.elems()) {
+    for (const Buchi::Arc &Arc : A.arcsFrom(S)) {
+      auto It = Map.find(Arc.To);
+      if (It != Map.end())
+        Out.addTransition(Map.at(S), Arc.Sym, It->second);
+    }
+  }
+  for (State S : A.initials().elems()) {
+    auto It = Map.find(S);
+    if (It != Map.end())
+      Out.addInitial(It->second);
+  }
+  return Out;
+}
+
+Buchi termcheck::trim(const Buchi &A) {
+  return restrictToStates(A, A.reachableStates());
+}
+
+Buchi termcheck::dropFullConditions(const Buchi &A) {
+  // A condition is full when every state satisfies it.
+  uint64_t FullConds = A.fullMask();
+  for (State S = 0; S < A.numStates(); ++S)
+    FullConds &= A.acceptMask(S);
+  if (FullConds == 0)
+    return A;
+
+  // Build the index remap for the surviving conditions.
+  std::vector<uint32_t> KeptBits;
+  for (uint32_t C = 0; C < A.numConditions(); ++C)
+    if (!(FullConds & (1ULL << C)))
+      KeptBits.push_back(C);
+  if (KeptBits.empty())
+    KeptBits.push_back(0); // fully trivial acceptance: keep one condition
+
+  Buchi Out(A.numSymbols(), static_cast<uint32_t>(KeptBits.size()));
+  Out.addStates(A.numStates());
+  for (State S = 0; S < A.numStates(); ++S) {
+    uint64_t Mask = 0;
+    for (size_t I = 0; I < KeptBits.size(); ++I)
+      if (A.acceptMask(S) & (1ULL << KeptBits[I]))
+        Mask |= 1ULL << I;
+    Out.setAcceptMask(S, Mask);
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      Out.addTransition(S, Arc.Sym, Arc.To);
+  }
+  for (State S : A.initials().elems())
+    Out.addInitial(S);
+  return Out;
+}
+
+Buchi termcheck::degeneralize(const Buchi &A) {
+  const uint32_t K = A.numConditions();
+  if (K == 1)
+    return A;
+  // Layers 0..K-1 await condition i; layer K marks a completed round and is
+  // the (only) accepting layer. Successor layers advance through every
+  // condition the target state satisfies.
+  Buchi Out(A.numSymbols(), 1);
+  std::unordered_map<uint64_t, State> Index;
+  std::vector<std::pair<State, uint32_t>> Info;
+  auto Intern = [&](State Q, uint32_t Layer) {
+    uint64_t Key = (static_cast<uint64_t>(Q) << 32) | Layer;
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    State Fresh = Out.addState();
+    if (Layer == K)
+      Out.setAccepting(Fresh);
+    Index.emplace(Key, Fresh);
+    Info.push_back({Q, Layer});
+    return Fresh;
+  };
+  auto Advance = [&](uint32_t Layer, State Target) {
+    uint32_t J = Layer == K ? 0 : Layer;
+    while (J < K && (A.acceptMask(Target) & (1ULL << J)))
+      ++J;
+    return J;
+  };
+  std::deque<State> Work;
+  for (State Q : A.initials().elems()) {
+    State S = Intern(Q, Advance(K, Q));
+    Out.addInitial(S);
+    Work.push_back(S);
+  }
+  std::vector<bool> Expanded;
+  while (!Work.empty()) {
+    State S = Work.front();
+    Work.pop_front();
+    if (S < Expanded.size() && Expanded[S])
+      continue;
+    if (S >= Expanded.size())
+      Expanded.resize(S + 1, false);
+    Expanded[S] = true;
+    auto [Q, Layer] = Info[S];
+    for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
+      State T = Intern(Arc.To, Advance(Layer, Arc.To));
+      Out.addTransition(S, Arc.Sym, T);
+      if (T >= Expanded.size() || !Expanded[T])
+        Work.push_back(T);
+    }
+  }
+  return Out;
+}
+
+Buchi termcheck::intersect(const Buchi &A, const Buchi &B) {
+  assert(A.numSymbols() == B.numSymbols() && "alphabet mismatch");
+  uint32_t Conds = A.numConditions() + B.numConditions();
+  assert(Conds <= 64 && "too many acceptance conditions");
+  Buchi Out(A.numSymbols(), Conds);
+
+  std::unordered_map<uint64_t, State> Index;
+  std::vector<std::pair<State, State>> Info;
+  auto Intern = [&](State P, State Q) {
+    uint64_t Key = (static_cast<uint64_t>(P) << 32) | Q;
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    State Fresh = Out.addState();
+    uint64_t Mask =
+        A.acceptMask(P) | (B.acceptMask(Q) << A.numConditions());
+    Out.setAcceptMask(Fresh, Mask);
+    Index.emplace(Key, Fresh);
+    Info.push_back({P, Q});
+    return Fresh;
+  };
+
+  std::deque<State> Work;
+  for (State P : A.initials().elems()) {
+    for (State Q : B.initials().elems()) {
+      State S = Intern(P, Q);
+      Out.addInitial(S);
+      Work.push_back(S);
+    }
+  }
+  std::vector<bool> Expanded;
+  while (!Work.empty()) {
+    State S = Work.front();
+    Work.pop_front();
+    if (S < Expanded.size() && Expanded[S])
+      continue;
+    if (S >= Expanded.size())
+      Expanded.resize(S + 1, false);
+    Expanded[S] = true;
+    auto [P, Q] = Info[S];
+    for (const Buchi::Arc &ArcA : A.arcsFrom(P)) {
+      for (const Buchi::Arc &ArcB : B.arcsFrom(Q)) {
+        if (ArcA.Sym != ArcB.Sym)
+          continue;
+        State T = Intern(ArcA.To, ArcB.To);
+        Out.addTransition(S, ArcA.Sym, T);
+        if (T >= Expanded.size() || !Expanded[T])
+          Work.push_back(T);
+      }
+    }
+  }
+  return Out;
+}
+
+Buchi termcheck::unionBa(const Buchi &A, const Buchi &B) {
+  assert(A.numSymbols() == B.numSymbols() && "alphabet mismatch");
+  assert(A.numConditions() == 1 && B.numConditions() == 1 &&
+         "union expects plain BAs");
+  Buchi Out(A.numSymbols(), 1);
+  State BaseA = Out.addStates(A.numStates());
+  State BaseB = Out.addStates(B.numStates());
+  for (State S = 0; S < A.numStates(); ++S) {
+    Out.setAcceptMask(BaseA + S, A.acceptMask(S));
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      Out.addTransition(BaseA + S, Arc.Sym, BaseA + Arc.To);
+  }
+  for (State S = 0; S < B.numStates(); ++S) {
+    Out.setAcceptMask(BaseB + S, B.acceptMask(S));
+    for (const Buchi::Arc &Arc : B.arcsFrom(S))
+      Out.addTransition(BaseB + S, Arc.Sym, BaseB + Arc.To);
+  }
+  for (State S : A.initials().elems())
+    Out.addInitial(BaseA + S);
+  for (State S : B.initials().elems())
+    Out.addInitial(BaseB + S);
+  return Out;
+}
+
+std::optional<bool> termcheck::isIncludedIn(const Buchi &A, const Buchi &B) {
+  assert(A.numSymbols() == B.numSymbols() && "alphabet mismatch");
+  Buchi Complete = completeWithSink(B);
+  if (Complete.isDeterministic()) {
+    DbaComplementOracle O(Complete);
+    return difference(A, O).IsEmpty;
+  }
+  std::optional<Sdba> Prepared = prepareSdba(Complete);
+  if (!Prepared)
+    return std::nullopt;
+  NcsbOracle O(*Prepared, NcsbVariant::Lazy);
+  return difference(A, O).IsEmpty;
+}
+
+std::optional<bool> termcheck::isEquivalent(const Buchi &A, const Buchi &B) {
+  std::optional<bool> AB = isIncludedIn(A, B);
+  if (!AB)
+    return std::nullopt;
+  if (!*AB)
+    return false;
+  std::optional<bool> BA = isIncludedIn(B, A);
+  if (!BA)
+    return std::nullopt;
+  return *BA;
+}

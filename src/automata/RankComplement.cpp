@@ -1,0 +1,114 @@
+//===- automata/RankComplement.cpp - Rank-based BA complement ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/RankComplement.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+RankComplementOracle::RankComplementOracle(const Buchi &A) : A(A) {
+  assert(A.numConditions() == 1 && "rank complement expects a plain BA");
+  assert(A.isComplete() && "rank complement expects a complete BA");
+  assert(A.numStates() <= MaxInputStates &&
+         "rank-based complementation is restricted to tiny automata");
+  MaxRank = static_cast<int8_t>(2 * A.numStates());
+}
+
+State RankComplementOracle::intern(RankState R) {
+  size_t H = R.hash();
+  auto It = Index.find(H);
+  if (It != Index.end())
+    for (State S : It->second)
+      if (Macro[S] == R)
+        return S;
+  State S = static_cast<State>(Macro.size());
+  Macro.push_back(std::move(R));
+  Index[H].push_back(S);
+  return S;
+}
+
+std::vector<State> RankComplementOracle::initialStates() {
+  RankState R;
+  R.Rank.assign(A.numStates(), -1);
+  for (State Q : A.initials().elems())
+    R.Rank[Q] = MaxRank; // 2n is even, legal also for accepting states
+  return {intern(std::move(R))};
+}
+
+void RankComplementOracle::successors(State S, Symbol Sym,
+                                      std::vector<State> &Out) {
+  RankState Cur = Macro[S]; // copy: intern() may reallocate Macro
+  const uint32_t N = A.numStates();
+
+  // Per-successor rank bound: min over present predecessors.
+  std::vector<int8_t> Bound(N, -1); // -1: not in the next level
+  for (State Q = 0; Q < N; ++Q) {
+    if (Cur.Rank[Q] < 0)
+      continue;
+    for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
+      if (Arc.Sym != Sym)
+        continue;
+      if (Bound[Arc.To] < 0 || Cur.Rank[Q] < Bound[Arc.To])
+        Bound[Arc.To] = Cur.Rank[Q];
+    }
+  }
+  std::vector<State> Domain;
+  for (State Q = 0; Q < N; ++Q)
+    if (Bound[Q] >= 0)
+      Domain.push_back(Q);
+  if (Domain.empty())
+    return; // cannot happen on complete inputs with nonempty levels
+
+  // delta(O, Sym) restricted to the next level.
+  StateSet OSucc;
+  for (State Q : Cur.O.elems())
+    for (const Buchi::Arc &Arc : A.arcsFrom(Q))
+      if (Arc.Sym == Sym)
+        OSucc.insert(Arc.To);
+
+  // Enumerate every legal level ranking f' <= Bound pointwise, with even
+  // ranks on accepting states.
+  std::vector<int8_t> Choice(Domain.size(), 0);
+  std::vector<std::vector<int8_t>> Options(Domain.size());
+  for (size_t I = 0; I < Domain.size(); ++I) {
+    State Q = Domain[I];
+    bool Accepting = A.acceptMask(Q) != 0;
+    for (int8_t V = 0; V <= Bound[Q]; ++V)
+      if (!Accepting || V % 2 == 0)
+        Options[I].push_back(V);
+    assert(!Options[I].empty() && "rank 0 is always available");
+  }
+
+  // Odometer over the option lists.
+  std::vector<size_t> Idx(Domain.size(), 0);
+  while (true) {
+    RankState Next;
+    Next.Rank.assign(N, -1);
+    for (size_t I = 0; I < Domain.size(); ++I)
+      Next.Rank[Domain[I]] = Options[I][Idx[I]];
+    // Breakpoint: reset to all even-ranked states when O was empty,
+    // otherwise keep tracking the still-even successors of O.
+    for (State Q : Domain) {
+      if (Next.Rank[Q] % 2 != 0)
+        continue;
+      if (Cur.O.empty() || OSucc.contains(Q))
+        Next.O.insert(Q);
+    }
+    Out.push_back(intern(std::move(Next)));
+
+    // Advance the odometer.
+    size_t I = 0;
+    while (I < Idx.size()) {
+      if (++Idx[I] < Options[I].size())
+        break;
+      Idx[I] = 0;
+      ++I;
+    }
+    if (I == Idx.size())
+      break;
+  }
+}

@@ -1,0 +1,76 @@
+//===- automata/RankComplement.h - Rank-based BA complement ---*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rank-based complementation of general nondeterministic BAs
+/// (Kupferman-Vardi), needed for the stage-4 nondeterministic certified
+/// module M_nondet -- the construction the multi-stage approach exists to
+/// avoid (the paper's evaluation created only 3 such modules out of 7578).
+///
+/// A word is rejected iff its run DAG admits an *odd ranking* bounded by
+/// 2n: accepting states carry even ranks, ranks never increase along edges,
+/// and every run is eventually trapped in an odd rank. The complement
+/// guesses a ranking level by level; the breakpoint set O tracks
+/// even-ranked runs and acceptance is O = empty. The macro-state space is
+/// exponential with a (2n+1)^n factor, so this oracle is only suitable for
+/// the small automata stage 4 produces; the caller caps sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_RANKCOMPLEMENT_H
+#define TERMCHECK_AUTOMATA_RANKCOMPLEMENT_H
+
+#include "automata/ComplementOracle.h"
+#include "automata/StateSet.h"
+
+#include <unordered_map>
+
+namespace termcheck {
+
+/// Lazy Kupferman-Vardi complement of a complete BA.
+class RankComplementOracle : public ComplementOracle {
+public:
+  /// \p A must be complete with one acceptance condition and at most
+  /// MaxStates states. The oracle keeps a reference; \p A must outlive it.
+  explicit RankComplementOracle(const Buchi &A);
+
+  /// Hard limit on input size (the construction is for tiny automata).
+  static constexpr uint32_t MaxInputStates = 14;
+
+  uint32_t numSymbols() const override { return A.numSymbols(); }
+  std::vector<State> initialStates() override;
+  void successors(State S, Symbol Sym, std::vector<State> &Out) override;
+  bool isAccepting(State S) override { return Macro[S].O.empty(); }
+  size_t numStatesDiscovered() const override { return Macro.size(); }
+
+private:
+  /// A level ranking plus breakpoint set. Rank -1 encodes "not present".
+  struct RankState {
+    std::vector<int8_t> Rank; // indexed by input state
+    StateSet O;
+
+    bool operator==(const RankState &R) const {
+      return Rank == R.Rank && O == R.O;
+    }
+    size_t hash() const {
+      size_t H = O.hash();
+      for (int8_t V : Rank)
+        H = H * 31 + static_cast<size_t>(V + 1);
+      return H;
+    }
+  };
+
+  const Buchi &A;
+  int8_t MaxRank;
+  std::vector<RankState> Macro;
+  std::unordered_map<size_t, std::vector<State>> Index;
+
+  State intern(RankState R);
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_RANKCOMPLEMENT_H

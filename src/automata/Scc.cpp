@@ -1,0 +1,467 @@
+//===- automata/Scc.cpp - SCC-based emptiness and Algorithm 1 ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Scc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace termcheck;
+
+//===----------------------------------------------------------------------===//
+// Algorithm 1 (iterative)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// DFS frame of the iterative construct() of Algorithm 1.
+struct Frame {
+  State S;
+  std::vector<Buchi::Arc> Succs;
+  size_t Idx = 0;
+  bool IsNemp = false;
+};
+
+/// Entry of the SCCs stack: a potential SCC root with the acceptance
+/// conditions its candidate component covers so far.
+struct SccEntry {
+  State Root;
+  uint32_t DfsNum;
+  uint64_t Mask;
+};
+
+} // namespace
+
+RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
+  RemoveUselessResult Result;
+  const uint64_t Full = Src.fullMask();
+
+  std::unordered_map<State, uint32_t> DfsNum;
+  std::unordered_set<State> Useful;
+  std::unordered_set<State> EmpFallback;
+  std::unordered_set<State> OnAct;
+  std::vector<State> Act;
+  std::vector<SccEntry> SCCs;
+  std::vector<Frame> Frames;
+  uint32_t Cnt = 0;
+
+  auto KnownUseless = [&](State Q) {
+    if (IsKnownUseless)
+      return IsKnownUseless(Q);
+    return EmpFallback.count(Q) != 0;
+  };
+  auto MarkUseless = [&](State Q) {
+    if (AddUseless)
+      AddUseless(Q);
+    else
+      EmpFallback.insert(Q);
+  };
+
+  auto enter = [&](State S) {
+    DfsNum.emplace(S, ++Cnt);
+    SCCs.push_back({S, Cnt, Src.acceptMask(S)});
+    Act.push_back(S);
+    OnAct.insert(S);
+    Frames.push_back(Frame{S, {}, 0, false});
+    Src.arcs(S, Frames.back().Succs);
+    ++Result.StatesExplored;
+  };
+
+  bool FoundAccepting = false;
+  uint32_t AbortPollCountdown = 256;
+  auto PollAbort = [&]() {
+    if (!ShouldAbort)
+      return false;
+    if (--AbortPollCountdown != 0)
+      return false;
+    AbortPollCountdown = 256;
+    return ShouldAbort();
+  };
+
+  for (State QI : Src.initialStates()) {
+    if (Useful.count(QI)) {
+      Result.LanguageEmpty = false;
+      continue;
+    }
+    if (KnownUseless(QI) || DfsNum.count(QI))
+      continue;
+    enter(QI);
+
+    while (!Frames.empty()) {
+      if (PollAbort()) {
+        Result.Aborted = true;
+        return Result;
+      }
+      Frame &F = Frames.back();
+      if (F.Idx < F.Succs.size()) {
+        State T = F.Succs[F.Idx++].To;
+        if (Useful.count(T)) {
+          F.IsNemp = true;
+          continue;
+        }
+        if (KnownUseless(T))
+          continue;
+        auto It = DfsNum.find(T);
+        if (It == DfsNum.end()) {
+          enter(T);
+          continue;
+        }
+        if (!OnAct.count(T))
+          continue; // fully explored and classified elsewhere
+        // T closes a cycle: merge the SCC candidates younger than T.
+        uint32_t TNum = It->second;
+        uint64_t Mask = 0;
+        SccEntry Last{};
+        do {
+          assert(!SCCs.empty() && "SCC stack underflow");
+          Last = SCCs.back();
+          SCCs.pop_back();
+          Mask |= Last.Mask;
+        } while (Last.DfsNum > TNum);
+        if (Mask == Full)
+          F.IsNemp = true;
+        SCCs.push_back({Last.Root, Last.DfsNum, Mask});
+        if (F.IsNemp && StopAtFirstAccepting) {
+          FoundAccepting = true;
+          break;
+        }
+        continue;
+      }
+      // Leaving F.S: pop its SCC if F.S is the current candidate root.
+      bool ChildNemp = F.IsNemp;
+      if (!SCCs.empty() && SCCs.back().Root == F.S) {
+        // A singleton state with a self-loop covering all conditions also
+        // forms an accepting SCC; that case was handled by the merge above
+        // (the self-loop closes a cycle on F.S itself).
+        SCCs.pop_back();
+        State U;
+        do {
+          assert(!Act.empty() && "act stack underflow");
+          U = Act.back();
+          Act.pop_back();
+          OnAct.erase(U);
+          if (F.IsNemp) {
+            Useful.insert(U);
+            Result.Useful.push_back(U);
+          } else {
+            MarkUseless(U);
+          }
+        } while (U != F.S);
+      }
+      Frames.pop_back();
+      if (!Frames.empty())
+        Frames.back().IsNemp |= ChildNemp;
+    }
+
+    if (FoundAccepting) {
+      Result.LanguageEmpty = false;
+      return Result;
+    }
+    if (Useful.count(QI))
+      Result.LanguageEmpty = false;
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Explicit-automaton helpers
+//===----------------------------------------------------------------------===//
+
+bool termcheck::isEmpty(const Buchi &A) {
+  ExplicitGbaSource Src(A);
+  UselessStateRemover R;
+  R.StopAtFirstAccepting = true;
+  return R.run(Src).LanguageEmpty;
+}
+
+std::string LassoWord::str() const {
+  std::string S = "u=[";
+  for (size_t I = 0; I < Stem.size(); ++I)
+    S += (I ? " " : "") + std::to_string(Stem[I]);
+  S += "] v=[";
+  for (size_t I = 0; I < Loop.size(); ++I)
+    S += (I ? " " : "") + std::to_string(Loop[I]);
+  return S + "]";
+}
+
+namespace {
+
+/// Tarjan SCC decomposition (iterative). Component ids are assigned in
+/// reverse topological completion order.
+struct SccDecomposition {
+  std::vector<int32_t> CompOf; // -1 for unreachable
+  uint32_t NumComps = 0;
+};
+
+SccDecomposition tarjan(const Buchi &A) {
+  const uint32_t N = A.numStates();
+  SccDecomposition D;
+  D.CompOf.assign(N, -1);
+  std::vector<uint32_t> Index(N, UINT32_MAX), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<State> Stack;
+  uint32_t Next = 0;
+
+  struct TFrame {
+    State S;
+    size_t Idx;
+  };
+  std::vector<TFrame> Frames;
+
+  for (State Root : A.initials().elems()) {
+    if (Index[Root] != UINT32_MAX)
+      continue;
+    Frames.push_back({Root, 0});
+    Index[Root] = Low[Root] = Next++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Frames.empty()) {
+      TFrame &F = Frames.back();
+      const auto &Arcs = A.arcsFrom(F.S);
+      if (F.Idx < Arcs.size()) {
+        State T = Arcs[F.Idx++].To;
+        if (Index[T] == UINT32_MAX) {
+          Index[T] = Low[T] = Next++;
+          Stack.push_back(T);
+          OnStack[T] = true;
+          Frames.push_back({T, 0});
+        } else if (OnStack[T]) {
+          if (Index[T] < Low[F.S])
+            Low[F.S] = Index[T];
+        }
+        continue;
+      }
+      State S = F.S;
+      Frames.pop_back();
+      if (!Frames.empty() && Low[S] < Low[Frames.back().S])
+        Low[Frames.back().S] = Low[S];
+      if (Low[S] == Index[S]) {
+        uint32_t Comp = D.NumComps++;
+        State U;
+        do {
+          U = Stack.back();
+          Stack.pop_back();
+          OnStack[U] = false;
+          D.CompOf[U] = static_cast<int32_t>(Comp);
+        } while (U != S);
+      }
+    }
+  }
+  return D;
+}
+
+/// BFS over the whole automaton from the initial states; fills predecessor
+/// arcs so paths can be reconstructed.
+struct BfsTree {
+  std::vector<int64_t> PredState;  // -1 for roots/unreached
+  std::vector<Symbol> PredSym;
+  std::vector<bool> Reached;
+  std::vector<State> Order;
+};
+
+BfsTree bfsFromInitials(const Buchi &A) {
+  BfsTree T;
+  T.PredState.assign(A.numStates(), -1);
+  T.PredSym.assign(A.numStates(), 0);
+  T.Reached.assign(A.numStates(), false);
+  std::deque<State> Work;
+  for (State S : A.initials().elems()) {
+    T.Reached[S] = true;
+    Work.push_back(S);
+  }
+  while (!Work.empty()) {
+    State S = Work.front();
+    Work.pop_front();
+    T.Order.push_back(S);
+    for (const Buchi::Arc &Arc : A.arcsFrom(S)) {
+      if (T.Reached[Arc.To])
+        continue;
+      T.Reached[Arc.To] = true;
+      T.PredState[Arc.To] = S;
+      T.PredSym[Arc.To] = Arc.Sym;
+      Work.push_back(Arc.To);
+    }
+  }
+  return T;
+}
+
+/// BFS restricted to one SCC; \returns the symbol path from \p From to the
+/// first state satisfying \p Goal, or std::nullopt.
+std::optional<std::pair<std::vector<Symbol>, State>>
+bfsWithinScc(const Buchi &A, const SccDecomposition &D, int32_t Comp,
+             State From, const std::function<bool(State)> &Goal) {
+  std::unordered_map<State, std::pair<State, Symbol>> Pred;
+  std::deque<State> Work{From};
+  std::unordered_set<State> Seen{From};
+  auto Reconstruct = [&](State Target) {
+    std::vector<Symbol> Path;
+    State Cur = Target;
+    while (Cur != From) {
+      auto [P, Sym] = Pred.at(Cur);
+      Path.push_back(Sym);
+      Cur = P;
+    }
+    std::reverse(Path.begin(), Path.end());
+    return Path;
+  };
+  if (Goal(From))
+    return std::make_pair(std::vector<Symbol>{}, From);
+  while (!Work.empty()) {
+    State S = Work.front();
+    Work.pop_front();
+    for (const Buchi::Arc &Arc : A.arcsFrom(S)) {
+      if (D.CompOf[Arc.To] != Comp || Seen.count(Arc.To))
+        continue;
+      Seen.insert(Arc.To);
+      Pred[Arc.To] = {S, Arc.Sym};
+      if (Goal(Arc.To))
+        return std::make_pair(Reconstruct(Arc.To), Arc.To);
+      Work.push_back(Arc.To);
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<LassoWord> termcheck::findAcceptingLasso(const Buchi &A) {
+  SccDecomposition D = tarjan(A);
+  BfsTree T = bfsFromInitials(A);
+
+  // Classify components: nontrivial (has an internal arc) and covering all
+  // acceptance conditions.
+  std::vector<uint64_t> CompMask(D.NumComps, 0);
+  std::vector<bool> CompNontrivial(D.NumComps, false);
+  for (State S = 0; S < A.numStates(); ++S) {
+    if (D.CompOf[S] < 0)
+      continue;
+    uint32_t C = static_cast<uint32_t>(D.CompOf[S]);
+    CompMask[C] |= A.acceptMask(S);
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      if (D.CompOf[Arc.To] == D.CompOf[S])
+        CompNontrivial[C] = true;
+  }
+  const uint64_t Full = A.fullMask();
+
+  // The BFS order yields the accepting component with the shortest stem.
+  State Target = 0;
+  bool FoundTarget = false;
+  for (State S : T.Order) {
+    int32_t C = D.CompOf[S];
+    if (C < 0)
+      continue;
+    if (CompNontrivial[C] && CompMask[C] == Full) {
+      Target = S;
+      FoundTarget = true;
+      break;
+    }
+  }
+  if (!FoundTarget)
+    return std::nullopt;
+
+  LassoWord W;
+  // Reconstruct the stem.
+  {
+    std::vector<Symbol> Rev;
+    State Cur = Target;
+    while (T.PredState[Cur] >= 0) {
+      Rev.push_back(T.PredSym[Cur]);
+      Cur = static_cast<State>(T.PredState[Cur]);
+    }
+    W.Stem.assign(Rev.rbegin(), Rev.rend());
+  }
+
+  // Build the loop: from Target, greedily visit a state of each missing
+  // acceptance condition inside the SCC, then close back to Target.
+  int32_t Comp = D.CompOf[Target];
+  uint64_t Covered = A.acceptMask(Target);
+  State Cur = Target;
+  for (uint32_t Cond = 0; Cond < A.numConditions(); ++Cond) {
+    uint64_t Bit = 1ULL << Cond;
+    if (Covered & Bit)
+      continue;
+    auto Hop = bfsWithinScc(A, D, Comp, Cur,
+                            [&](State S) { return (A.acceptMask(S) & Bit) != 0; });
+    assert(Hop && "condition state must exist inside the accepting SCC");
+    for (Symbol Sym : Hop->first)
+      W.Loop.push_back(Sym);
+    Cur = Hop->second;
+    Covered |= A.acceptMask(Cur);
+  }
+  if (Cur == Target && W.Loop.empty()) {
+    // Force at least one step before closing the cycle.
+    for (const Buchi::Arc &Arc : A.arcsFrom(Cur)) {
+      if (D.CompOf[Arc.To] == Comp) {
+        W.Loop.push_back(Arc.Sym);
+        Cur = Arc.To;
+        break;
+      }
+    }
+  }
+  if (Cur != Target) {
+    auto Back = bfsWithinScc(A, D, Comp, Cur,
+                             [&](State S) { return S == Target; });
+    assert(Back && "SCC must be strongly connected");
+    for (Symbol Sym : Back->first)
+      W.Loop.push_back(Sym);
+  }
+  assert(!W.Loop.empty() && "accepting lasso needs a nonempty loop");
+  return W;
+}
+
+bool termcheck::acceptsLasso(const Buchi &A, const LassoWord &W) {
+  assert(!W.Loop.empty() && "ultimately periodic word needs a loop");
+  const uint32_t StemLen = static_cast<uint32_t>(W.Stem.size());
+  const uint32_t Total = StemLen + static_cast<uint32_t>(W.Loop.size());
+  auto SymbolAt = [&](uint32_t Pos) {
+    return Pos < StemLen ? W.Stem[Pos] : W.Loop[Pos - StemLen];
+  };
+  auto NextPos = [&](uint32_t Pos) {
+    return Pos + 1 < Total ? Pos + 1 : StemLen;
+  };
+
+  // Product of A with the one-word lasso automaton, over a 1-symbol
+  // alphabet (the word fixes all symbols).
+  Buchi P(1, A.numConditions());
+  std::unordered_map<uint64_t, State> Index;
+  std::vector<std::pair<State, uint32_t>> Info;
+  auto Intern = [&](State Q, uint32_t Pos) {
+    uint64_t Key = (static_cast<uint64_t>(Q) << 32) | Pos;
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    State Fresh = P.addState();
+    P.setAcceptMask(Fresh, A.acceptMask(Q));
+    Index.emplace(Key, Fresh);
+    Info.push_back({Q, Pos});
+    return Fresh;
+  };
+
+  std::deque<State> Work;
+  for (State Q : A.initials().elems()) {
+    State S = Intern(Q, 0);
+    P.addInitial(S);
+    Work.push_back(S);
+  }
+  std::unordered_set<State> Expanded;
+  while (!Work.empty()) {
+    State S = Work.front();
+    Work.pop_front();
+    if (!Expanded.insert(S).second)
+      continue;
+    auto [Q, Pos] = Info[S];
+    Symbol Want = SymbolAt(Pos);
+    for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
+      if (Arc.Sym != Want)
+        continue;
+      State T = Intern(Arc.To, NextPos(Pos));
+      P.addTransition(S, 0, T);
+      Work.push_back(T);
+    }
+  }
+  return !isEmpty(P);
+}

@@ -1,0 +1,63 @@
+//===- automata/Sdba.h - Semideterministic BA toolkit ---------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semideterministic Büchi automata (Section 2). An SDBA's state space
+/// splits into a nondeterministic part Q1 and a deterministic part Q2 (the
+/// states reachable from accepting states). This header provides:
+///
+/// * classification (is a BA deterministic / semideterministic, and what is
+///   its Q1/Q2 split),
+/// * the normalization of Section 2 (every entry point of Q2 and every
+///   initial state inside Q2 must be accepting), and
+/// * SDBA-preserving completion: Q1 and Q2 get separate rejecting sinks so
+///   that completion neither merges the parts nor creates non-accepting
+///   entries into Q2.
+///
+/// The resulting `Sdba` value is the input format of the NCSB
+/// complementation algorithms (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_SDBA_H
+#define TERMCHECK_AUTOMATA_SDBA_H
+
+#include "automata/Buchi.h"
+
+#include <optional>
+
+namespace termcheck {
+
+/// Result of semideterminism classification.
+struct SdbaSplit {
+  bool IsSemideterministic = false;
+  /// Per-state flag: true when the state belongs to Q2 (reachable from an
+  /// accepting state). Meaningful only when IsSemideterministic.
+  std::vector<bool> InQ2;
+};
+
+/// Computes the Q1/Q2 split of a BA (one acceptance condition) and checks
+/// that the Q2 part is deterministic.
+SdbaSplit classifySdba(const Buchi &A);
+
+/// A normalized, complete SDBA ready for NCSB complementation.
+struct Sdba {
+  Buchi A;                 ///< complete BA, one acceptance condition
+  std::vector<bool> InQ2;  ///< Q1/Q2 split of A
+
+  bool inQ2(State S) const { return InQ2[S]; }
+  bool isAccepting(State S) const { return A.acceptMask(S) != 0; }
+};
+
+/// Prepares \p A for NCSB: verifies semideterminism, applies the Section 2
+/// normalization (accepting Q2 entry points / initial states), and
+/// completes both parts with their own sinks. \returns std::nullopt when
+/// \p A is not semideterministic.
+std::optional<Sdba> prepareSdba(const Buchi &A);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_SDBA_H

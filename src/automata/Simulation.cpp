@@ -1,0 +1,188 @@
+//===- automata/Simulation.cpp - Early simulations (Section 6.1) ---------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Simulation.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+size_t SimulationRelation::pairCount() const {
+  size_t Count = 0;
+  for (bool B : Rel)
+    Count += B ? 1 : 0;
+  return Count;
+}
+
+namespace {
+
+/// One duplicator step outcome: the spoiler moved to P2, the duplicator to
+/// R2, with an obligation window \p Pending. \returns false when the move
+/// violates the simulation condition, otherwise sets \p NextPending.
+bool stepOk(const Buchi &A, bool Pending, State P2, State R2,
+            bool &NextPending) {
+  bool SpoilerAcc = A.acceptMask(P2) != 0;
+  bool Satisfied = A.acceptMask(R2) != 0;
+  if (Pending && SpoilerAcc && !Satisfied)
+    return false; // the window closed at P2 without a duplicator visit
+  NextPending = SpoilerAcc || (Pending && !Satisfied);
+  return true;
+}
+
+} // namespace
+
+SimulationRelation termcheck::computeEarlySimulation(const Buchi &A,
+                                                     SimulationKind Kind) {
+  assert(A.numConditions() == 1 && "early simulation expects a plain BA");
+  const size_t N = A.numStates();
+  // Win[(p * N + r) * 2 + pending]: duplicator survives forever from the
+  // configuration. Greatest fixpoint: start optimistic, strike losing
+  // configurations until stable.
+  std::vector<bool> Win(N * N * 2, true);
+  auto Index = [N](State P, State R, bool Pending) {
+    return (static_cast<size_t>(P) * N + R) * 2 + (Pending ? 1 : 0);
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (State P = 0; P < N; ++P) {
+      for (State R = 0; R < N; ++R) {
+        for (int Pending = 0; Pending < 2; ++Pending) {
+          if (!Win[Index(P, R, Pending)])
+            continue;
+          // The spoiler picks any transition; the duplicator must answer
+          // with a same-symbol transition that keeps a winning config.
+          bool Lost = false;
+          for (const Buchi::Arc &Move : A.arcsFrom(P)) {
+            bool Answered = false;
+            for (const Buchi::Arc &Reply : A.arcsFrom(R)) {
+              if (Reply.Sym != Move.Sym)
+                continue;
+              bool Next;
+              if (!stepOk(A, Pending != 0, Move.To, Reply.To, Next))
+                continue;
+              if (Win[Index(Move.To, Reply.To, Next)]) {
+                Answered = true;
+                break;
+              }
+            }
+            if (!Answered) {
+              Lost = true;
+              break;
+            }
+          }
+          if (Lost) {
+            Win[Index(P, R, Pending)] = false;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Project to the state relation with the initial-window rules: for the
+  // early simulation the i = -1 window is open from the start (so an
+  // accepting spoiler start must be matched immediately); early+1 opens a
+  // window only at the spoiler's first accepting visit.
+  SimulationRelation Out;
+  Out.N = N;
+  Out.Rel.assign(N * N, false);
+  for (State P = 0; P < N; ++P) {
+    for (State R = 0; R < N; ++R) {
+      bool PAcc = A.acceptMask(P) != 0;
+      bool RAcc = A.acceptMask(R) != 0;
+      bool InitPending;
+      if (Kind == SimulationKind::Early) {
+        if (PAcc && !RAcc)
+          continue; // the -1 window is already violated at position 0
+        InitPending = PAcc || !RAcc;
+      } else {
+        InitPending = PAcc;
+      }
+      Out.Rel[static_cast<size_t>(P) * N + R] = Win[Index(P, R, InitPending)];
+    }
+  }
+  return Out;
+}
+
+SimulationRelation termcheck::computeDirectSimulation(const Buchi &A) {
+  const size_t N = A.numStates();
+  SimulationRelation Out;
+  Out.N = N;
+  Out.Rel.assign(N * N, true);
+  // Initial refinement: acceptance-mark containment.
+  for (State P = 0; P < N; ++P)
+    for (State R = 0; R < N; ++R)
+      if ((A.acceptMask(P) & ~A.acceptMask(R)) != 0)
+        Out.Rel[static_cast<size_t>(P) * N + R] = false;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (State P = 0; P < N; ++P) {
+      for (State R = 0; R < N; ++R) {
+        size_t Idx = static_cast<size_t>(P) * N + R;
+        if (!Out.Rel[Idx])
+          continue;
+        bool Ok = true;
+        for (const Buchi::Arc &Move : A.arcsFrom(P)) {
+          bool Matched = false;
+          for (const Buchi::Arc &Reply : A.arcsFrom(R)) {
+            if (Reply.Sym == Move.Sym &&
+                Out.Rel[static_cast<size_t>(Move.To) * N + Reply.To]) {
+              Matched = true;
+              break;
+            }
+          }
+          if (!Matched) {
+            Ok = false;
+            break;
+          }
+        }
+        if (!Ok) {
+          Out.Rel[Idx] = false;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+Buchi termcheck::quotientByDirectSimulation(const Buchi &A) {
+  SimulationRelation Sim = computeDirectSimulation(A);
+  const uint32_t N = A.numStates();
+  // Class representative: the smallest mutually-similar state.
+  std::vector<State> ClassOf(N);
+  std::vector<State> Repr;
+  for (State S = 0; S < N; ++S) {
+    State Found = UINT32_MAX;
+    for (size_t I = 0; I < Repr.size(); ++I) {
+      State R = Repr[I];
+      if (Sim.simulates(S, R) && Sim.simulates(R, S)) {
+        Found = static_cast<State>(I);
+        break;
+      }
+    }
+    if (Found == UINT32_MAX) {
+      Found = static_cast<State>(Repr.size());
+      Repr.push_back(S);
+    }
+    ClassOf[S] = Found;
+  }
+
+  Buchi Out(A.numSymbols(), A.numConditions());
+  Out.addStates(static_cast<uint32_t>(Repr.size()));
+  for (size_t I = 0; I < Repr.size(); ++I)
+    Out.setAcceptMask(static_cast<State>(I), A.acceptMask(Repr[I]));
+  for (State S = 0; S < N; ++S)
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      Out.addTransition(ClassOf[S], Arc.Sym, ClassOf[Arc.To]);
+  for (State S : A.initials().elems())
+    Out.addInitial(ClassOf[S]);
+  return Out;
+}

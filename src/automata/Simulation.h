@@ -1,0 +1,76 @@
+//===- automata/Simulation.h - Early simulations (Section 6.1) -*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The early and early+1 simulation relations of Section 6.1. Intuitively,
+/// early+1 simulation requires that between every two accepting visits of
+/// the simulated trace the simulating trace also visits an accepting
+/// state; early simulation additionally requires the simulating trace to
+/// reach its first accepting state no later. Proposition 6.1:
+///
+///    early  subseteq  early+1  subseteq  language inclusion,
+///
+/// which is what makes the subsumption relations of Section 6 sound --
+/// Lemma 6.2 shows they are instances of these simulations.
+///
+/// The relations are computed as the winning region of a two-player game
+/// with one bit of memory (an "open obligation window"); game-based
+/// winning strategies are positional, so this computes a (sound)
+/// under-approximation of the trace-based definition, which in turn
+/// under-approximates language inclusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_SIMULATION_H
+#define TERMCHECK_AUTOMATA_SIMULATION_H
+
+#include "automata/Buchi.h"
+
+namespace termcheck {
+
+/// Which simulation of Section 6.1 to compute.
+enum class SimulationKind : uint8_t {
+  Early,     ///< Eq. 11: windows start open (the i = -1 clause)
+  EarlyPlus1 ///< Eq. 12: windows open at the spoiler's first accepting visit
+};
+
+/// A computed simulation preorder over the states of one BA.
+class SimulationRelation {
+public:
+  /// \returns true when \p P is simulated by \p R.
+  bool simulates(State P, State R) const {
+    return Rel[static_cast<size_t>(P) * N + R];
+  }
+
+  /// Number of related pairs (diagonal included).
+  size_t pairCount() const;
+
+private:
+  friend SimulationRelation computeEarlySimulation(const Buchi &A,
+                                                   SimulationKind Kind);
+  friend SimulationRelation computeDirectSimulation(const Buchi &A);
+  size_t N = 0;
+  std::vector<bool> Rel; // row-major [p][r]
+};
+
+/// Computes the early / early+1 simulation preorder of \p A (one
+/// acceptance condition; the automaton need not be complete -- a spoiler
+/// move the duplicator cannot match loses).
+SimulationRelation computeEarlySimulation(const Buchi &A, SimulationKind Kind);
+
+/// Computes the classical direct (strong) simulation preorder: p is
+/// simulated by r when r covers p's acceptance marks and can match every
+/// move forever. Works for generalized acceptance (mask containment).
+SimulationRelation computeDirectSimulation(const Buchi &A);
+
+/// Quotients \p A by direct-simulation equivalence (mutual simulation), a
+/// language-preserving reduction usable as preprocessing before
+/// complementation. \returns the reduced automaton.
+Buchi quotientByDirectSimulation(const Buchi &A);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_SIMULATION_H

@@ -1,0 +1,141 @@
+//===- automata/StateSet.h - Sorted sets of automaton states --*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small sorted-vector sets of state ids. These are the N/C/S/B components
+/// of NCSB macro-states (Section 5) and the subset-construction states of
+/// the deterministic and finite-trace complements, so the operations that
+/// matter are union, difference, intersection, subset tests (the
+/// subsumption relations of Section 6 are component-wise supersets), and
+/// cheap hashing for macro-state interning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_STATESET_H
+#define TERMCHECK_AUTOMATA_STATESET_H
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace termcheck {
+
+/// Index of an automaton state.
+using State = uint32_t;
+
+/// Index of an alphabet symbol.
+using Symbol = uint32_t;
+
+/// An immutable-ish sorted set of states.
+class StateSet {
+public:
+  StateSet() = default;
+  StateSet(std::initializer_list<State> Init) : Elems(Init) { normalize(); }
+  explicit StateSet(std::vector<State> V) : Elems(std::move(V)) {
+    normalize();
+  }
+
+  bool empty() const { return Elems.empty(); }
+  size_t size() const { return Elems.size(); }
+  const std::vector<State> &elems() const { return Elems; }
+
+  bool contains(State S) const {
+    return std::binary_search(Elems.begin(), Elems.end(), S);
+  }
+
+  /// Inserts \p S, keeping the set sorted.
+  void insert(State S) {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), S);
+    if (It == Elems.end() || *It != S)
+      Elems.insert(It, S);
+  }
+
+  /// Removes \p S if present.
+  void erase(State S) {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), S);
+    if (It != Elems.end() && *It == S)
+      Elems.erase(It);
+  }
+
+  StateSet unionWith(const StateSet &O) const {
+    StateSet R;
+    R.Elems.reserve(Elems.size() + O.Elems.size());
+    std::set_union(Elems.begin(), Elems.end(), O.Elems.begin(), O.Elems.end(),
+                   std::back_inserter(R.Elems));
+    return R;
+  }
+
+  StateSet intersectWith(const StateSet &O) const {
+    StateSet R;
+    std::set_intersection(Elems.begin(), Elems.end(), O.Elems.begin(),
+                          O.Elems.end(), std::back_inserter(R.Elems));
+    return R;
+  }
+
+  StateSet minus(const StateSet &O) const {
+    StateSet R;
+    std::set_difference(Elems.begin(), Elems.end(), O.Elems.begin(),
+                        O.Elems.end(), std::back_inserter(R.Elems));
+    return R;
+  }
+
+  bool intersects(const StateSet &O) const {
+    auto A = Elems.begin(), B = O.Elems.begin();
+    while (A != Elems.end() && B != O.Elems.end()) {
+      if (*A == *B)
+        return true;
+      if (*A < *B)
+        ++A;
+      else
+        ++B;
+    }
+    return false;
+  }
+
+  /// \returns true when this set is a subset of \p O.
+  bool subsetOf(const StateSet &O) const {
+    return std::includes(O.Elems.begin(), O.Elems.end(), Elems.begin(),
+                         Elems.end());
+  }
+
+  /// \returns true when this set is a superset of \p O.
+  bool supersetOf(const StateSet &O) const { return O.subsetOf(*this); }
+
+  bool operator==(const StateSet &O) const { return Elems == O.Elems; }
+  bool operator!=(const StateSet &O) const { return !(*this == O); }
+
+  size_t hash() const {
+    size_t H = 0x9e3779b97f4a7c15ULL ^ Elems.size();
+    for (State S : Elems)
+      H = (H * 0x100000001b3ULL) ^ S;
+    return H;
+  }
+
+  /// Rendering such as "{1,4,7}".
+  std::string str() const {
+    std::string S = "{";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I != 0)
+        S += ",";
+      S += std::to_string(Elems[I]);
+    }
+    return S + "}";
+  }
+
+private:
+  void normalize() {
+    std::sort(Elems.begin(), Elems.end());
+    Elems.erase(std::unique(Elems.begin(), Elems.end()), Elems.end());
+  }
+
+  std::vector<State> Elems;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_STATESET_H

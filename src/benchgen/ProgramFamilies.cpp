@@ -1,0 +1,313 @@
+//===- benchgen/ProgramFamilies.cpp - Benchmark program suite ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/ProgramFamilies.h"
+
+using namespace termcheck;
+
+namespace {
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+/// while (i > 0) i := i - Step;  with Pad extra busywork statements.
+BenchProgram countdown(int Step, int Pad) {
+  std::string Body = "    i := i - " + num(Step) + ";\n";
+  for (int K = 0; K < Pad; ++K)
+    Body += "    w" + num(K) + " := w" + num(K) + " + 1;\n";
+  return {"countdown_s" + num(Step) + "_p" + num(Pad),
+          "program countdown(i) {\n  while (i > 0) {\n" + Body + "  }\n}\n",
+          Expected::Terminating};
+}
+
+/// The paper's Psort (Figure 2a) with optional extra inner-body padding.
+BenchProgram psort(int Pad) {
+  std::string Inner = "      j := j + 1;\n";
+  for (int K = 0; K < Pad; ++K)
+    Inner += "      w" + num(K) + " := w" + num(K) + " + 1;\n";
+  return {"psort_p" + num(Pad),
+          "program sort(i) {\n"
+          "  while (i > 0) {\n"
+          "    j := 1;\n"
+          "    while (j < i) {\n" +
+              Inner +
+              "    }\n"
+              "    i := i - 1;\n"
+              "  }\n"
+              "}\n",
+          Expected::Terminating};
+}
+
+/// Nested loops of the given depth; each level resets the next counter.
+BenchProgram nested(int Depth) {
+  std::string Src = "program nested(x0) {\n";
+  std::string Indent = "  ";
+  for (int D = 0; D < Depth; ++D) {
+    std::string V = "x" + num(D);
+    Src += Indent + "while (" + V + " > 0) {\n";
+    Indent += "  ";
+    if (D + 1 < Depth)
+      Src += Indent + "x" + num(D + 1) + " := " + V + ";\n";
+  }
+  for (int D = Depth - 1; D >= 0; --D) {
+    std::string V = "x" + num(D);
+    Src += Indent + V + " := " + V + " - 1;\n";
+    Indent.resize(Indent.size() - 2);
+    Src += Indent + "}\n";
+  }
+  Src += "}\n";
+  return {"nested_d" + num(Depth), Src, Expected::Terminating};
+}
+
+/// Branching loop body: every branch decreases i by a different amount.
+BenchProgram branching(int Branches) {
+  std::string Src = "program branching(i) {\n  while (i > 0) {\n"
+                    "    either { i := i - 1; }\n";
+  for (int B = 2; B <= Branches; ++B)
+    Src += "    or { i := i - " + num(B) + "; }\n";
+  Src += "  }\n}\n";
+  return {"branching_b" + num(Branches), Src, Expected::Terminating};
+}
+
+/// Sequential phases, each its own loop and counter.
+BenchProgram phases(int Count) {
+  std::string Src = "program phases(y0) {\n";
+  for (int K = 0; K < Count; ++K) {
+    std::string V = "y" + num(K);
+    Src += "  while (" + V + " > 0) { " + V + " := " + V + " - 1; }\n";
+    if (K + 1 < Count)
+      Src += "  y" + num(K + 1) + " := " + V + " + " + num(K + 8) + ";\n";
+  }
+  Src += "}\n";
+  return {"phases_k" + num(Count), Src, Expected::Terminating};
+}
+
+/// Euclid-style difference loop (sum ranking function).
+BenchProgram gcdLike() {
+  return {"gcd_like",
+          "program gcd(i, j) {\n"
+          "  assume(i > 0 && j > 0);\n"
+          "  while (i != j) {\n"
+          "    if (i > j) { i := i - j; assume(i > 0); }\n"
+          "    else { j := j - i; assume(j > 0); }\n"
+          "  }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+/// Needs the supporting invariant j == Step established by the stem.
+BenchProgram invariantNeeded(int Step) {
+  return {"invariant_s" + num(Step),
+          "program inv(i) {\n  j := " + num(Step) +
+              ";\n  while (i > 0) { i := i - j; }\n}\n",
+          Expected::Terminating};
+}
+
+/// Havoc on a variable unrelated to the ranking argument.
+BenchProgram havocNoise() {
+  return {"havoc_noise",
+          "program havocnoise(i) {\n"
+          "  while (i > 0) { i := i - 1; havoc j; }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+/// Unreachable loop: a finite-trace module removes the whole language.
+BenchProgram unreachableLoop() {
+  return {"unreachable_loop",
+          "program unreach(i) {\n"
+          "  i := 0;\n"
+          "  while (i > 5) { i := i; }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+/// Interleaved two-counter loop: one combined linear ranking suffices.
+BenchProgram twoCounterSum() {
+  return {"two_counter_sum",
+          "program sum2(i, j) {\n"
+          "  while (i + j > 0) {\n"
+          "    if (*) { assume(i > 0); i := i - 1; }\n"
+          "    else { assume(j > 0); j := j - 1; }\n"
+          "    assume(i >= 0 && j >= 0);\n"
+          "  }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+/// Alternating phases inside a single loop guarded by a mode flag.
+BenchProgram modedLoop() {
+  return {"moded_loop",
+          "program moded(i, m) {\n"
+          "  assume(m >= 0 && m <= 1);\n"
+          "  while (i > 0) {\n"
+          "    if (m > 0) { i := i - 2; m := 0; }\n"
+          "    else { i := i - 1; m := 1; }\n"
+          "  }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+BenchProgram whileTrue() {
+  return {"while_true",
+          "program diverge(i) { while (true) { i := i + 1; } }\n",
+          Expected::Nonterminating};
+}
+
+BenchProgram countUp() {
+  return {"count_up",
+          "program up(i) { while (i > 0) { i := i + 1; } }\n",
+          Expected::Nonterminating};
+}
+
+BenchProgram oscillator() {
+  return {"oscillator",
+          "program osc(i) {\n"
+          "  assume(i > 0);\n"
+          "  while (i > 0) { either { i := i + 1; } or { i := i - 1; } }\n"
+          "}\n",
+          Expected::Nonterminating};
+}
+
+/// Terminating, but beyond a single linear ranking function.
+BenchProgram lexicographicHard() {
+  return {"lexicographic_hard",
+          "program lex(i, j) {\n"
+          "  while (i > 0) { i := i + j; j := j - 1; }\n"
+          "}\n",
+          Expected::Hard};
+}
+
+
+/// Triangular nest: the inner bound shrinks with the outer counter.
+BenchProgram triangular() {
+  return {"triangular",
+          "program tri(i) {\n"
+          "  while (i > 0) {\n"
+          "    j := i;\n"
+          "    while (j > 0) { j := j - 1; }\n"
+          "    i := i - 1;\n"
+          "  }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+/// Conditional step size refreshed nondeterministically each round.
+BenchProgram conditionalStep() {
+  return {"conditional_step",
+          "program cstep(i, j) {\n"
+          "  while (i > 0) {\n"
+          "    if (j > 0) { i := i - 1; } else { i := i - 2; }\n"
+          "    havoc j;\n"
+          "  }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+/// Single loop alternating an up phase and a down phase via a budget.
+BenchProgram upDownBudget() {
+  return {"up_down_budget",
+          "program updown(i, b) {\n"
+          "  assume(b >= 0);\n"
+          "  while (i > 0 || b > 0) {\n"
+          "    if (b > 0) { b := b - 1; i := i + 1; }\n"
+          "    else { assume(i > 0); i := i - 1; }\n"
+          "  }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+/// A loop whose guard mixes two variables linearly.
+BenchProgram mixedGuard() {
+  return {"mixed_guard",
+          "program mixed(i, j) {\n"
+          "  while (2 * i + j > 0) {\n"
+          "    either { assume(i > 0); i := i - 1; }\n"
+          "    or { assume(j > 0); j := j - 1; }\n"
+          "    assume(i >= 0 && j >= 0);\n"
+          "  }\n"
+          "}\n",
+          Expected::Terminating};
+}
+
+} // namespace
+
+std::vector<BenchProgram> termcheck::smallBenchmarkSuite() {
+  return {
+      countdown(1, 0), countdown(2, 1), psort(0),        nested(2),
+      branching(2),    phases(2),       invariantNeeded(2), havocNoise(),
+      unreachableLoop(), modedLoop(),   whileTrue(),     countUp(),
+  };
+}
+
+std::vector<BenchProgram> termcheck::benchmarkSuite() {
+  std::vector<BenchProgram> Out;
+  for (int Step : {1, 2, 3})
+    for (int Pad : {0, 1, 2, 4})
+      Out.push_back(countdown(Step, Pad));
+  for (int Pad : {0, 1, 2, 3})
+    Out.push_back(psort(Pad));
+  for (int Depth : {1, 2, 3})
+    Out.push_back(nested(Depth));
+  for (int Branches : {2, 3, 4})
+    Out.push_back(branching(Branches));
+  for (int Count : {1, 2, 3, 4})
+    Out.push_back(phases(Count));
+  Out.push_back(gcdLike());
+  for (int Step : {1, 2, 5})
+    Out.push_back(invariantNeeded(Step));
+  Out.push_back(havocNoise());
+  Out.push_back(unreachableLoop());
+  Out.push_back(twoCounterSum());
+  Out.push_back(modedLoop());
+  Out.push_back(whileTrue());
+  Out.push_back(countUp());
+  Out.push_back(oscillator());
+  Out.push_back(triangular());
+  Out.push_back(conditionalStep());
+  Out.push_back(upDownBudget());
+  Out.push_back(mixedGuard());
+  Out.push_back(lexicographicHard());
+
+  Rng R(20180618); // PLDI'18 started June 18, 2018
+  std::vector<BenchProgram> Random = randomPrograms(R, 24);
+  Out.insert(Out.end(), Random.begin(), Random.end());
+  return Out;
+}
+
+std::vector<BenchProgram> termcheck::randomPrograms(Rng &R, size_t Count) {
+  std::vector<BenchProgram> Out;
+  for (size_t N = 0; N < Count; ++N) {
+    // Structured skeleton: a sequence of 1..3 loops, possibly nested once,
+    // counters decremented by random positive steps, optional branching.
+    std::string Src = "program rnd" + num(static_cast<int64_t>(N)) + "(a, b) {\n";
+    int Loops = 1 + static_cast<int>(R.below(3));
+    for (int L = 0; L < Loops; ++L) {
+      std::string V = L % 2 == 0 ? "a" : "b";
+      int Step = 1 + static_cast<int>(R.below(3));
+      bool Nest = R.chance(1, 3);
+      bool Branch = R.chance(1, 3);
+      Src += "  while (" + V + " > 0) {\n";
+      if (Branch) {
+        int Step2 = 1 + static_cast<int>(R.below(3));
+        Src += "    either { " + V + " := " + V + " - " + num(Step) +
+               "; }\n    or { " + V + " := " + V + " - " + num(Step2) +
+               "; }\n";
+      } else {
+        Src += "    " + V + " := " + V + " - " + num(Step) + ";\n";
+      }
+      if (Nest) {
+        std::string W = V == "a" ? "b" : "a";
+        Src += "    " + W + " := " + num(2 + R.below(4)) + ";\n";
+        Src += "    while (" + W + " > 0) { " + W + " := " + W + " - 1; }\n";
+      }
+      Src += "  }\n";
+    }
+    Src += "}\n";
+    Out.push_back({"random_" + num(static_cast<int64_t>(N)), Src,
+                   Expected::Terminating});
+  }
+  return Out;
+}

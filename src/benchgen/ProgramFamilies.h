@@ -1,0 +1,57 @@
+//===- benchgen/ProgramFamilies.h - Benchmark program suite ---*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark-program suite standing in for the SV-Comp Termination
+/// category (see DESIGN.md, substitutions). Families are parameterized so
+/// the suite sweeps the features that drive the paper's evaluation: loop
+/// nesting (multiple ranking arguments), branching inside loops (automaton
+/// nondeterminism), lasso length (module and complement size), infeasible
+/// branches (finite-trace modules), and known-nonterminating instances
+/// (counterexample path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_BENCHGEN_PROGRAMFAMILIES_H
+#define TERMCHECK_BENCHGEN_PROGRAMFAMILIES_H
+
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace termcheck {
+
+/// Ground-truth expectation for a benchmark instance.
+enum class Expected : uint8_t {
+  Terminating,
+  Nonterminating,
+  /// Terminating, but beyond linear-ranking provers (the analyzer is
+  /// expected to answer Unknown; the paper's tools also lose such cases).
+  Hard,
+};
+
+/// One benchmark program.
+struct BenchProgram {
+  std::string Name;
+  std::string Source; // WHILE-language text
+  Expected Expect;
+};
+
+/// The full deterministic suite (all families, all parameterizations).
+std::vector<BenchProgram> benchmarkSuite();
+
+/// A reduced suite for fast smoke benches and tests.
+std::vector<BenchProgram> smallBenchmarkSuite();
+
+/// Seeded structured random programs (nested/sequential loops with linear
+/// updates and guards); adds volume beyond the hand-written families.
+std::vector<BenchProgram> randomPrograms(Rng &R, size_t Count);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_BENCHGEN_PROGRAMFAMILIES_H

@@ -1,0 +1,34 @@
+//===- benchgen/SdbaHarvest.cpp - Collecting analysis SDBAs --------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/SdbaHarvest.h"
+
+#include "automata/Ops.h"
+#include "program/Parser.h"
+#include "termination/Analyzer.h"
+
+using namespace termcheck;
+
+std::vector<Buchi>
+termcheck::harvestSdbas(const std::vector<BenchProgram> &Suite,
+                        double PerTaskTimeout) {
+  std::vector<Buchi> Out;
+  for (const BenchProgram &B : Suite) {
+    ParseResult R = parseProgram(B.Source);
+    if (!R.ok())
+      continue;
+    AnalyzerOptions Opts;
+    Opts.TimeoutSeconds = PerTaskTimeout;
+    TerminationAnalyzer A(*R.Prog, Opts);
+    AnalysisResult Res = A.run();
+    for (const CertifiedModule &M : Res.Modules) {
+      if (M.Kind != ModuleKind::Semideterministic)
+        continue;
+      Out.push_back(completeWithSink(M.A));
+    }
+  }
+  return Out;
+}

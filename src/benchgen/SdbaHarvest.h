@@ -1,0 +1,34 @@
+//===- benchgen/SdbaHarvest.h - Collecting analysis SDBAs -----*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 4 corpus is "the set of all 1159 SDBAs produced by
+/// Ultimate Automizer during termination analysis" of SV-Comp. This helper
+/// reproduces the methodology against our benchmark suite: run the analyzer
+/// on every program and keep the automaton of every semideterministic
+/// module it certified, completed over the program alphabet (the exact
+/// input handed to NCSB during the run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_BENCHGEN_SDBAHARVEST_H
+#define TERMCHECK_BENCHGEN_SDBAHARVEST_H
+
+#include "benchgen/ProgramFamilies.h"
+#include "automata/Buchi.h"
+
+#include <vector>
+
+namespace termcheck {
+
+/// Analyzes every program in \p Suite (each with \p PerTaskTimeout seconds)
+/// and returns the completed automata of all semideterministic modules.
+std::vector<Buchi> harvestSdbas(const std::vector<BenchProgram> &Suite,
+                                double PerTaskTimeout);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_BENCHGEN_SDBAHARVEST_H

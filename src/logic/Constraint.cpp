@@ -1,0 +1,103 @@
+//===- logic/Constraint.cpp - Normalized linear constraints --------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Constraint.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace termcheck;
+
+Constraint Constraint::make(LinearExpr E, RelKind Rel) {
+  Constraint C;
+  C.Expr = std::move(E);
+  C.Rel = Rel;
+  C.normalize();
+  return C;
+}
+
+Constraint Constraint::le(const LinearExpr &L, const LinearExpr &R) {
+  return make(L - R, RelKind::LE);
+}
+
+Constraint Constraint::lt(const LinearExpr &L, const LinearExpr &R) {
+  return make(L - R + LinearExpr::constant(1), RelKind::LE);
+}
+
+Constraint Constraint::ge(const LinearExpr &L, const LinearExpr &R) {
+  return make(R - L, RelKind::LE);
+}
+
+Constraint Constraint::gt(const LinearExpr &L, const LinearExpr &R) {
+  return make(R - L + LinearExpr::constant(1), RelKind::LE);
+}
+
+Constraint Constraint::eq(const LinearExpr &L, const LinearExpr &R) {
+  return make(L - R, RelKind::EQ);
+}
+
+/// Floor division with mathematically correct rounding for negatives.
+static int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "divisor must be positive");
+  int64_t Q = A / B;
+  if (A % B != 0 && A < 0)
+    --Q;
+  return Q;
+}
+
+void Constraint::normalize() {
+  if (Expr.isConstant()) {
+    int64_t C = Expr.constantTerm();
+    bool Holds = Rel == RelKind::LE ? C <= 0 : C == 0;
+    Stat = Holds ? Status::TriviallyTrue : Status::TriviallyFalse;
+    return;
+  }
+  Stat = Status::Proper;
+  int64_t G = Expr.coefficientGcd();
+  if (G <= 1)
+    return;
+  int64_t C = Expr.constantTerm();
+  if (Rel == RelKind::EQ) {
+    if (C % G != 0) {
+      // g | lhs but g does not divide the constant: no integer solution.
+      Stat = Status::TriviallyFalse;
+      return;
+    }
+    // Divide all coefficients and the constant by g.
+    LinearExpr Reduced;
+    for (const LinearExpr::Term &T : Expr.terms())
+      Reduced = Reduced + LinearExpr::scaled(T.Var, T.Coeff / G);
+    Expr = Reduced + LinearExpr::constant(C / G);
+    return;
+  }
+  // g*t + c <= 0  <=>  t <= floor(-c / g)  <=>  t + ceil(c/g) <= 0.
+  LinearExpr Reduced;
+  for (const LinearExpr::Term &T : Expr.terms())
+    Reduced = Reduced + LinearExpr::scaled(T.Var, T.Coeff / G);
+  Expr = Reduced + LinearExpr::constant(-floorDiv(-C, G));
+}
+
+std::vector<Constraint> Constraint::negation() const {
+  // not (e <= 0)  <=>  e >= 1        (integers)
+  // not (e == 0)  <=>  e >= 1 or e <= -1
+  std::vector<Constraint> Out;
+  LinearExpr One = LinearExpr::constant(1);
+  if (Rel == RelKind::LE) {
+    Out.push_back(make(One - Expr, RelKind::LE));
+    return Out;
+  }
+  Out.push_back(make(One - Expr, RelKind::LE));
+  Out.push_back(make(Expr + One, RelKind::LE));
+  return Out;
+}
+
+std::string Constraint::str(const VarTable &Vars) const {
+  if (Stat == Status::TriviallyTrue)
+    return "true";
+  if (Stat == Status::TriviallyFalse)
+    return "false";
+  return Expr.str(Vars) + (Rel == RelKind::LE ? " <= 0" : " == 0");
+}

@@ -1,0 +1,94 @@
+//===- logic/Constraint.h - Normalized linear constraints -----*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic linear constraints in the canonical form `expr <= 0` or
+/// `expr == 0`. All program variables range over the integers, so strict
+/// inequalities are tightened on construction (`a < b` becomes
+/// `a - b + 1 <= 0`) and coefficients are gcd-reduced with floor rounding of
+/// the constant; this integer tightening is what lets the Fourier-Motzkin
+/// engine decide guards like `i > 0` exactly in the paper's running example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_CONSTRAINT_H
+#define TERMCHECK_LOGIC_CONSTRAINT_H
+
+#include "logic/LinearExpr.h"
+
+#include <string>
+
+namespace termcheck {
+
+/// Relation of a canonical constraint.
+enum class RelKind : uint8_t {
+  LE, ///< expr <= 0
+  EQ, ///< expr == 0
+};
+
+/// A normalized atomic constraint `Expr Rel 0`.
+class Constraint {
+public:
+  /// Triviality status after normalization.
+  enum class Status : uint8_t { Proper, TriviallyTrue, TriviallyFalse };
+
+  Constraint() = default;
+
+  /// Builds `L <= R`.
+  static Constraint le(const LinearExpr &L, const LinearExpr &R);
+  /// Builds `L < R` (tightened to `L <= R - 1`).
+  static Constraint lt(const LinearExpr &L, const LinearExpr &R);
+  /// Builds `L >= R`.
+  static Constraint ge(const LinearExpr &L, const LinearExpr &R);
+  /// Builds `L > R` (tightened to `L >= R + 1`).
+  static Constraint gt(const LinearExpr &L, const LinearExpr &R);
+  /// Builds `L == R`.
+  static Constraint eq(const LinearExpr &L, const LinearExpr &R);
+
+  /// Builds `E Rel 0` directly from a canonical-form expression.
+  static Constraint make(LinearExpr E, RelKind Rel);
+
+  const LinearExpr &expr() const { return Expr; }
+  RelKind rel() const { return Rel; }
+  Status status() const { return Stat; }
+  bool isTrivallyTrue() const { return Stat == Status::TriviallyTrue; }
+  bool isTrivallyFalse() const { return Stat == Status::TriviallyFalse; }
+
+  /// \returns the negation as a list of constraints whose *disjunction* is
+  /// equivalent to the negation (one element for LE, two for EQ).
+  std::vector<Constraint> negation() const;
+
+  /// Evaluates the constraint under an integer assignment.
+  template <typename Fn> bool holds(Fn ValueOf) const {
+    int64_t V = Expr.evaluate(ValueOf);
+    return Rel == RelKind::LE ? V <= 0 : V == 0;
+  }
+
+  bool mentions(VarId V) const { return Expr.mentions(V); }
+
+  bool operator==(const Constraint &O) const {
+    return Rel == O.Rel && Expr == O.Expr;
+  }
+  bool operator!=(const Constraint &O) const { return !(*this == O); }
+
+  size_t hash() const {
+    return Expr.hash() * 3 + static_cast<size_t>(Rel);
+  }
+
+  /// Rendering such as "i - j + 1 <= 0".
+  std::string str(const VarTable &Vars) const;
+
+private:
+  LinearExpr Expr;
+  RelKind Rel = RelKind::LE;
+  Status Stat = Status::TriviallyTrue;
+
+  void normalize();
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_CONSTRAINT_H

@@ -1,0 +1,134 @@
+//===- logic/Cube.cpp - Conjunctions of linear constraints ---------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Cube.h"
+
+#include <algorithm>
+
+using namespace termcheck;
+
+/// \returns true when both expressions have identical variable terms
+/// (the constants may differ).
+static bool sameTerms(const LinearExpr &A, const LinearExpr &B) {
+  return A.terms() == B.terms();
+}
+
+void Cube::add(const Constraint &C) {
+  if (Contradictory || C.isTrivallyTrue())
+    return;
+  if (C.isTrivallyFalse()) {
+    Contradictory = true;
+    Atoms.clear();
+    return;
+  }
+  // Merge with an existing atom over the same terms, keeping the tightest.
+  for (size_t I = 0; I < Atoms.size(); ++I) {
+    Constraint &Old = Atoms[I];
+    if (!sameTerms(Old.expr(), C.expr()))
+      continue;
+    int64_t OldC = Old.expr().constantTerm();
+    int64_t NewC = C.expr().constantTerm();
+    if (Old.rel() == RelKind::EQ && C.rel() == RelKind::EQ) {
+      if (OldC != NewC) {
+        Contradictory = true;
+        Atoms.clear();
+      }
+      return;
+    }
+    if (Old.rel() == RelKind::EQ && C.rel() == RelKind::LE) {
+      // t + OldC == 0 forces t == -OldC; t + NewC <= 0 iff NewC <= OldC.
+      if (NewC > OldC) {
+        Contradictory = true;
+        Atoms.clear();
+      }
+      return;
+    }
+    if (Old.rel() == RelKind::LE && C.rel() == RelKind::EQ) {
+      if (OldC > NewC) {
+        Contradictory = true;
+        Atoms.clear();
+        return;
+      }
+      Old = C;
+      return;
+    }
+    // Both LE: larger constant is tighter (t <= -c).
+    if (NewC > OldC)
+      Old = C;
+    return;
+  }
+  Atoms.push_back(C);
+}
+
+void Cube::conjoin(const Cube &Other) {
+  if (Other.Contradictory) {
+    Contradictory = true;
+    Atoms.clear();
+    return;
+  }
+  for (const Constraint &C : Other.Atoms)
+    add(C);
+}
+
+bool Cube::mentions(VarId V) const {
+  for (const Constraint &C : Atoms)
+    if (C.mentions(V))
+      return true;
+  return false;
+}
+
+Cube Cube::map(const std::function<Constraint(const Constraint &)> &Fn) const {
+  if (Contradictory)
+    return contradiction();
+  Cube Out;
+  for (const Constraint &C : Atoms)
+    Out.add(Fn(C));
+  return Out;
+}
+
+void Cube::sortAtoms() {
+  std::sort(Atoms.begin(), Atoms.end(),
+            [](const Constraint &A, const Constraint &B) {
+              if (A.hash() != B.hash())
+                return A.hash() < B.hash();
+              return static_cast<int>(A.rel()) < static_cast<int>(B.rel());
+            });
+}
+
+bool Cube::operator==(const Cube &O) const {
+  if (Contradictory != O.Contradictory)
+    return false;
+  if (Atoms.size() != O.Atoms.size())
+    return false;
+  Cube A = *this, B = O;
+  A.sortAtoms();
+  B.sortAtoms();
+  return A.Atoms == B.Atoms;
+}
+
+size_t Cube::hash() const {
+  if (Contradictory)
+    return 0x5bd1e995U;
+  // Order-independent combination so hash() agrees with operator==.
+  size_t H = 0x9e3779b97f4a7c15ULL ^ Atoms.size();
+  for (const Constraint &C : Atoms)
+    H ^= C.hash() * 0xff51afd7ed558ccdULL;
+  return H;
+}
+
+std::string Cube::str(const VarTable &Vars) const {
+  if (Contradictory)
+    return "false";
+  if (Atoms.empty())
+    return "true";
+  std::string S;
+  for (size_t I = 0; I < Atoms.size(); ++I) {
+    if (I != 0)
+      S += " /\\ ";
+    S += Atoms[I].str(Vars);
+  }
+  return S;
+}

@@ -1,0 +1,92 @@
+//===- logic/Cube.h - Conjunctions of linear constraints ------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cube is a conjunction of atomic linear constraints. Cubes are the
+/// predicate domain of this framework instance: rank certificates
+/// (Definition 3.1), strongest postconditions along lassos, and the Hoare
+/// triples queried by the module constructions (Definition 3.2) all live in
+/// this domain. Insertion keeps the cube lightly reduced: trivially true
+/// atoms are dropped, a trivially false atom collapses the cube, and atoms
+/// with an identical left-hand side keep only the tightest bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_CUBE_H
+#define TERMCHECK_LOGIC_CUBE_H
+
+#include "logic/Constraint.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace termcheck {
+
+/// A conjunction of constraints, possibly the canonical contradiction.
+class Cube {
+public:
+  Cube() = default;
+
+  /// \returns the canonical contradictory cube.
+  static Cube contradiction() {
+    Cube C;
+    C.Contradictory = true;
+    return C;
+  }
+
+  /// Conjoins one constraint (no-op once contradictory).
+  void add(const Constraint &C);
+
+  /// Conjoins all constraints of \p Other.
+  void conjoin(const Cube &Other);
+
+  /// \returns true if the cube is the syntactic contradiction. A false
+  /// result does NOT imply satisfiability; use FourierMotzkin for that.
+  bool isContradictory() const { return Contradictory; }
+
+  /// \returns true if the cube is the empty conjunction (i.e. `true`).
+  bool isTrue() const { return !Contradictory && Atoms.empty(); }
+
+  const std::vector<Constraint> &atoms() const { return Atoms; }
+  size_t size() const { return Atoms.size(); }
+
+  /// \returns true if any atom mentions \p V.
+  bool mentions(VarId V) const;
+
+  /// Applies \p Fn to every atom, rebuilding the cube (used by
+  /// substitution-based postcondition computation).
+  Cube map(const std::function<Constraint(const Constraint &)> &Fn) const;
+
+  /// Evaluates under an integer assignment.
+  template <typename Fn> bool holds(Fn ValueOf) const {
+    if (Contradictory)
+      return false;
+    for (const Constraint &C : Atoms)
+      if (!C.holds(ValueOf))
+        return false;
+    return true;
+  }
+
+  /// Structural equality after light reduction. Atoms are order-normalized.
+  bool operator==(const Cube &O) const;
+  bool operator!=(const Cube &O) const { return !(*this == O); }
+
+  size_t hash() const;
+
+  /// Rendering such as "i - 1 >= 0 /\ j == 1" ("true"/"false" when trivial).
+  std::string str(const VarTable &Vars) const;
+
+private:
+  std::vector<Constraint> Atoms; // kept sorted by (expr-hash, rel) on demand
+  bool Contradictory = false;
+
+  void sortAtoms();
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_CUBE_H

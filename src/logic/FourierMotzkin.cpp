@@ -1,0 +1,163 @@
+//===- logic/FourierMotzkin.cpp - Linear satisfiability & entailment -----===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/FourierMotzkin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace termcheck;
+
+namespace {
+
+/// Substitutes variable \p V away in \p Target using the equality
+/// `Eq.expr() == 0`, which must mention V. The transformation multiplies the
+/// target through by the (positive) V-coefficient of the equality, which
+/// preserves both EQ and LE atoms.
+Constraint substituteViaEquality(const Constraint &Target, const Constraint &Eq,
+                                 VarId V) {
+  assert(Eq.rel() == RelKind::EQ && Eq.mentions(V) && "bad pivot equality");
+  int64_t A = Eq.expr().coeff(V);
+  LinearExpr EqExpr = Eq.expr();
+  if (A < 0) {
+    EqExpr = -EqExpr;
+    A = -A;
+  }
+  int64_t C = Target.expr().coeff(V);
+  if (C == 0)
+    return Target;
+  // a*(target) - c*(equality) cancels V; a > 0 keeps LE orientation.
+  LinearExpr Combined = Target.expr().scaledBy(A) - EqExpr.scaledBy(C);
+  return Constraint::make(std::move(Combined), Target.rel());
+}
+
+} // namespace
+
+Cube fm::eliminate(const Cube &C, VarId V) {
+  if (C.isContradictory())
+    return Cube::contradiction();
+  if (!C.mentions(V))
+    return C;
+
+  // Prefer substitution through an equality: exact and no blowup.
+  for (const Constraint &Atom : C.atoms()) {
+    if (Atom.rel() != RelKind::EQ || !Atom.mentions(V))
+      continue;
+    Cube Out;
+    for (const Constraint &Other : C.atoms()) {
+      if (&Other == &Atom)
+        continue;
+      Out.add(substituteViaEquality(Other, Atom, V));
+      if (Out.isContradictory())
+        return Out;
+    }
+    return Out;
+  }
+
+  // Classical FM combination of lower and upper bounds on V.
+  std::vector<const Constraint *> Pos, Neg;
+  Cube Out;
+  for (const Constraint &Atom : C.atoms()) {
+    int64_t Coeff = Atom.expr().coeff(V);
+    if (Coeff > 0)
+      Pos.push_back(&Atom); // a*V + e <= 0: upper bound
+    else if (Coeff < 0)
+      Neg.push_back(&Atom); // -a*V + e <= 0: lower bound
+    else
+      Out.add(Atom);
+  }
+  for (const Constraint *U : Pos) {
+    for (const Constraint *L : Neg) {
+      int64_t A = U->expr().coeff(V);
+      int64_t B = -L->expr().coeff(V);
+      assert(A > 0 && B > 0 && "sign classification broken");
+      LinearExpr Combined = U->expr().scaledBy(B) + L->expr().scaledBy(A);
+      Out.add(Constraint::make(std::move(Combined), RelKind::LE));
+      if (Out.isContradictory())
+        return Out;
+    }
+  }
+  return Out;
+}
+
+Cube fm::eliminateAll(Cube C, const std::vector<VarId> &Vars) {
+  for (VarId V : Vars) {
+    C = eliminate(C, V);
+    if (C.isContradictory())
+      break;
+  }
+  return C;
+}
+
+std::vector<VarId> fm::variablesOf(const Cube &C) {
+  std::set<VarId> Vars;
+  for (const Constraint &Atom : C.atoms())
+    for (const LinearExpr::Term &T : Atom.expr().terms())
+      Vars.insert(T.Var);
+  return std::vector<VarId>(Vars.begin(), Vars.end());
+}
+
+bool fm::isSatisfiable(const Cube &C) {
+  if (C.isContradictory())
+    return false;
+  Cube Work = C;
+  // Eliminate cheapest variables first (fewest bound pairs) to delay blowup.
+  while (true) {
+    if (Work.isContradictory())
+      return false;
+    std::vector<VarId> Vars = variablesOf(Work);
+    if (Vars.empty())
+      return true; // all atoms ground and individually true by normalization
+    VarId Best = Vars.front();
+    size_t BestCost = static_cast<size_t>(-1);
+    for (VarId V : Vars) {
+      size_t NPos = 0, NNeg = 0, NEq = 0;
+      for (const Constraint &Atom : Work.atoms()) {
+        int64_t Coeff = Atom.expr().coeff(V);
+        if (Coeff == 0)
+          continue;
+        if (Atom.rel() == RelKind::EQ)
+          ++NEq;
+        else if (Coeff > 0)
+          ++NPos;
+        else
+          ++NNeg;
+      }
+      size_t Cost = NEq > 0 ? 0 : NPos * NNeg;
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        Best = V;
+      }
+    }
+    Work = eliminate(Work, Best);
+  }
+}
+
+bool fm::entails(const Cube &P, const Constraint &C) {
+  if (P.isContradictory() || C.isTrivallyTrue())
+    return true;
+  if (C.isTrivallyFalse())
+    return !isSatisfiable(P);
+  // P |= C  iff  P /\ not(C) is unsatisfiable; the negation of an equality
+  // is a disjunction, so every disjunct must be jointly unsat with P.
+  for (const Constraint &NegAtom : C.negation()) {
+    Cube Query = P;
+    Query.add(NegAtom);
+    if (isSatisfiable(Query))
+      return false;
+  }
+  return true;
+}
+
+bool fm::entails(const Cube &P, const Cube &Q) {
+  if (Q.isContradictory())
+    return !isSatisfiable(P);
+  for (const Constraint &Atom : Q.atoms())
+    if (!entails(P, Atom))
+      return false;
+  return true;
+}

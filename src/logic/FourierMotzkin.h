@@ -1,0 +1,56 @@
+//===- logic/FourierMotzkin.h - Linear satisfiability & entailment -*-C++-*-=//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifier elimination, satisfiability and entailment for cubes of linear
+/// integer constraints via Fourier-Motzkin elimination with integer
+/// tightening. This engine replaces the SMT solver used by the original
+/// Ultimate Automizer implementation; in this framework instance every
+/// queried formula is a cube over linear integer arithmetic.
+///
+/// Soundness contract: UNSAT answers are sound over the integers (rational
+/// relaxation plus gcd tightening only removes rational-but-not-integer
+/// points). SAT answers may overapproximate integer satisfiability; callers
+/// rely only on the UNSAT direction (Hoare validity, infeasibility).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_FOURIERMOTZKIN_H
+#define TERMCHECK_LOGIC_FOURIERMOTZKIN_H
+
+#include "logic/Cube.h"
+
+namespace termcheck {
+
+/// Fourier-Motzkin based decision procedures for cubes.
+namespace fm {
+
+/// Eliminates variable \p V from \p C, preferring exact substitution through
+/// an equality atom and falling back to pairwise combination of opposite-sign
+/// inequalities. The result is an integer overapproximation of
+/// `exists V. C` that is exact over the rationals.
+Cube eliminate(const Cube &C, VarId V);
+
+/// Eliminates every variable in \p Vars in sequence.
+Cube eliminateAll(Cube C, const std::vector<VarId> &Vars);
+
+/// \returns false only when \p C has no integer solution (sound UNSAT);
+/// a true answer means "no contradiction found".
+bool isSatisfiable(const Cube &C);
+
+/// \returns true when \p P entails the single atom \p C over the integers.
+bool entails(const Cube &P, const Constraint &C);
+
+/// \returns true when \p P entails every atom of \p Q.
+bool entails(const Cube &P, const Cube &Q);
+
+/// \returns the set of variables occurring in \p C, ascending.
+std::vector<VarId> variablesOf(const Cube &C);
+
+} // namespace fm
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_FOURIERMOTZKIN_H

@@ -1,0 +1,144 @@
+//===- logic/LinearExpr.cpp - Integer linear expressions -----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/LinearExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace termcheck;
+
+int64_t LinearExpr::clampToInt64(__int128 V) {
+  assert(V <= INT64_MAX && V >= INT64_MIN && "coefficient overflow");
+  return static_cast<int64_t>(V);
+}
+
+LinearExpr LinearExpr::constant(int64_t C) {
+  LinearExpr E;
+  E.Constant = C;
+  return E;
+}
+
+LinearExpr LinearExpr::variable(VarId V) { return scaled(V, 1); }
+
+LinearExpr LinearExpr::scaled(VarId V, int64_t Coeff) {
+  LinearExpr E;
+  if (Coeff != 0)
+    E.Terms.push_back({V, Coeff});
+  return E;
+}
+
+int64_t LinearExpr::coeff(VarId V) const {
+  for (const Term &T : Terms)
+    if (T.Var == V)
+      return T.Coeff;
+  return 0;
+}
+
+void LinearExpr::addTerm(VarId V, __int128 Coeff) {
+  if (Coeff == 0)
+    return;
+  for (Term &T : Terms) {
+    if (T.Var != V)
+      continue;
+    __int128 NewCoeff = static_cast<__int128>(T.Coeff) + Coeff;
+    T.Coeff = clampToInt64(NewCoeff);
+    return;
+  }
+  Terms.push_back({V, clampToInt64(Coeff)});
+}
+
+void LinearExpr::canonicalize() {
+  std::sort(Terms.begin(), Terms.end(),
+            [](const Term &A, const Term &B) { return A.Var < B.Var; });
+  Terms.erase(std::remove_if(Terms.begin(), Terms.end(),
+                             [](const Term &T) { return T.Coeff == 0; }),
+              Terms.end());
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr &O) const {
+  LinearExpr R = *this;
+  R.Constant = clampToInt64(static_cast<__int128>(R.Constant) + O.Constant);
+  for (const Term &T : O.Terms)
+    R.addTerm(T.Var, T.Coeff);
+  R.canonicalize();
+  return R;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr &O) const {
+  return *this + (-O);
+}
+
+LinearExpr LinearExpr::operator-() const { return scaledBy(-1); }
+
+LinearExpr LinearExpr::scaledBy(int64_t K) const {
+  LinearExpr R;
+  if (K == 0)
+    return R;
+  R.Constant = clampToInt64(static_cast<__int128>(Constant) * K);
+  R.Terms.reserve(Terms.size());
+  for (const Term &T : Terms)
+    R.Terms.push_back({T.Var, clampToInt64(static_cast<__int128>(T.Coeff) * K)});
+  return R;
+}
+
+LinearExpr LinearExpr::substitute(VarId V, const LinearExpr &Repl) const {
+  int64_t C = coeff(V);
+  if (C == 0)
+    return *this;
+  LinearExpr R = *this;
+  // Remove the V term, then add Coeff * Repl.
+  R.Terms.erase(std::remove_if(R.Terms.begin(), R.Terms.end(),
+                               [V](const Term &T) { return T.Var == V; }),
+                R.Terms.end());
+  return R + Repl.scaledBy(C);
+}
+
+int64_t LinearExpr::coefficientGcd() const {
+  int64_t G = 0;
+  for (const Term &T : Terms)
+    G = std::gcd(G, T.Coeff < 0 ? -T.Coeff : T.Coeff);
+  return G;
+}
+
+size_t LinearExpr::hash() const {
+  size_t H = static_cast<size_t>(Constant) * 0x9e3779b97f4a7c15ULL;
+  for (const Term &T : Terms) {
+    H ^= (static_cast<size_t>(T.Var) + 0x9e3779b9U) + (H << 6) + (H >> 2);
+    H ^= (static_cast<size_t>(T.Coeff) * 0xff51afd7ed558ccdULL) + (H << 6) +
+         (H >> 2);
+  }
+  return H;
+}
+
+std::string LinearExpr::str(const VarTable &Vars) const {
+  std::string S;
+  bool First = true;
+  for (const Term &T : Terms) {
+    int64_t C = T.Coeff;
+    if (First) {
+      if (C == -1)
+        S += "-";
+      else if (C != 1)
+        S += std::to_string(C) + "*";
+    } else {
+      S += C < 0 ? " - " : " + ";
+      int64_t A = C < 0 ? -C : C;
+      if (A != 1)
+        S += std::to_string(A) + "*";
+    }
+    S += Vars.name(T.Var);
+    First = false;
+  }
+  if (First)
+    return std::to_string(Constant);
+  if (Constant > 0)
+    S += " + " + std::to_string(Constant);
+  else if (Constant < 0)
+    S += " - " + std::to_string(-Constant);
+  return S;
+}

@@ -1,0 +1,108 @@
+//===- logic/LinearExpr.h - Integer linear expressions --------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear expressions `c1*x1 + ... + cn*xn + b` with 64-bit integer
+/// coefficients over interned variables. This is the term language of the
+/// WHILE front end (right-hand sides of assignments, guard atoms) and of the
+/// constraint engine. Terms are kept sorted by variable id so that equality
+/// and hashing are structural.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_LINEAREXPR_H
+#define TERMCHECK_LOGIC_LINEAREXPR_H
+
+#include "logic/Var.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace termcheck {
+
+/// A linear expression with integer coefficients and a constant term.
+class LinearExpr {
+public:
+  /// One summand: coefficient times variable.
+  struct Term {
+    VarId Var;
+    int64_t Coeff;
+    bool operator==(const Term &O) const {
+      return Var == O.Var && Coeff == O.Coeff;
+    }
+  };
+
+  LinearExpr() = default;
+
+  /// \returns the expression consisting of the constant \p C.
+  static LinearExpr constant(int64_t C);
+
+  /// \returns the expression `1 * V`.
+  static LinearExpr variable(VarId V);
+
+  /// \returns the expression `Coeff * V`.
+  static LinearExpr scaled(VarId V, int64_t Coeff);
+
+  int64_t constantTerm() const { return Constant; }
+  const std::vector<Term> &terms() const { return Terms; }
+  bool isConstant() const { return Terms.empty(); }
+
+  /// \returns the coefficient of \p V (zero when absent).
+  int64_t coeff(VarId V) const;
+
+  /// \returns true if \p V occurs with a nonzero coefficient.
+  bool mentions(VarId V) const { return coeff(V) != 0; }
+
+  LinearExpr operator+(const LinearExpr &O) const;
+  LinearExpr operator-(const LinearExpr &O) const;
+  LinearExpr operator-() const;
+
+  /// Multiplies every coefficient and the constant by \p K.
+  LinearExpr scaledBy(int64_t K) const;
+
+  /// Replaces every occurrence of \p V by \p Repl.
+  LinearExpr substitute(VarId V, const LinearExpr &Repl) const;
+
+  /// Evaluates the expression under an assignment \p ValueOf(V).
+  /// \p ValueOf must be defined for every variable of the expression.
+  template <typename Fn> int64_t evaluate(Fn ValueOf) const {
+    __int128 Acc = Constant;
+    for (const Term &T : Terms)
+      Acc += static_cast<__int128>(T.Coeff) * ValueOf(T.Var);
+    return clampToInt64(Acc);
+  }
+
+  /// gcd of the variable coefficients (0 for constant expressions).
+  int64_t coefficientGcd() const;
+
+  bool operator==(const LinearExpr &O) const {
+    return Constant == O.Constant && Terms == O.Terms;
+  }
+  bool operator!=(const LinearExpr &O) const { return !(*this == O); }
+
+  /// Structural hash (used by cube dedup).
+  size_t hash() const;
+
+  /// Rendering such as "2*i - j + 1" with names from \p Vars.
+  std::string str(const VarTable &Vars) const;
+
+  /// Asserts \p V fits int64 and converts (shared with the FM engine).
+  static int64_t clampToInt64(__int128 V);
+
+private:
+  friend class ConstraintBuilder;
+  void addTerm(VarId V, __int128 Coeff);
+  void canonicalize();
+
+  std::vector<Term> Terms; // sorted by Var, no zero coefficients
+  int64_t Constant = 0;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_LINEAREXPR_H

@@ -1,0 +1,61 @@
+//===- logic/Predicate.cpp - Predicates over vars + oldrnk ---------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Predicate.h"
+
+using namespace termcheck;
+
+Predicate Predicate::conjoin(const Predicate &A, const Predicate &B) {
+  Cube C = A.C;
+  C.conjoin(B.C);
+  return Predicate(std::move(C), A.OldrnkInf || B.OldrnkInf);
+}
+
+Cube Predicate::restrictToInf(VarId Oldrnk) const {
+  if (C.isContradictory())
+    return Cube::contradiction();
+  Cube Out;
+  for (const Constraint &Atom : C.atoms()) {
+    int64_t Co = Atom.expr().coeff(Oldrnk);
+    if (Co == 0) {
+      Out.add(Atom);
+      continue;
+    }
+    // oldrnk = INF: an equality or an upper bound on oldrnk is false, a
+    // lower bound ("e <= oldrnk", negative coefficient) is trivially true.
+    if (Atom.rel() == RelKind::EQ || Co > 0)
+      return Cube::contradiction();
+  }
+  return Out;
+}
+
+bool Predicate::isUnsatisfiable(VarId Oldrnk) const {
+  bool InfBranchSat = fm::isSatisfiable(restrictToInf(Oldrnk));
+  if (OldrnkInf)
+    return !InfBranchSat;
+  // Without the INF conjunct the predicate also has finite-oldrnk models.
+  return !InfBranchSat && !fm::isSatisfiable(C);
+}
+
+bool Predicate::entails(const Predicate &Q, VarId Oldrnk) const {
+  // Branch 1: models with oldrnk = INF. Q's INF conjunct holds for free.
+  if (!fm::entails(restrictToInf(Oldrnk), Q.restrictToInf(Oldrnk)))
+    return false;
+  if (OldrnkInf)
+    return true;
+  // Branch 2: models with a finite oldrnk (treated as an ordinary integer).
+  if (Q.OldrnkInf)
+    return !fm::isSatisfiable(C);
+  return fm::entails(C, Q.C);
+}
+
+std::string Predicate::str(const VarTable &Vars) const {
+  if (!OldrnkInf)
+    return C.str(Vars);
+  if (C.isTrue())
+    return "oldrnk = INF";
+  return "oldrnk = INF /\\ " + C.str(Vars);
+}

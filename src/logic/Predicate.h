@@ -1,0 +1,90 @@
+//===- logic/Predicate.h - Predicates over vars + oldrnk ------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rank-certificate predicates (Definition 3.1). A predicate is a cube over
+/// the program variables and the auxiliary variable `oldrnk`, optionally
+/// conjoined with the atom `oldrnk = INF`. `oldrnk` ranges over the
+/// well-ordered set extended with a top element INF, so atoms mentioning
+/// oldrnk are evaluated specially when oldrnk is INF:
+///
+///   e - oldrnk <= 0   -> true    (anything is <= INF)
+///   oldrnk + e <= 0   -> false   (INF exceeds every bound)
+///   oldrnk ... == 0   -> false
+///
+/// Entailment and satisfiability case-split on whether oldrnk is INF, which
+/// is exactly what the constructions in Sections 3.1.2-3.1.5 need: stem
+/// states imply oldrnk = INF while loop states constrain a finite oldrnk
+/// (the paper notes this is why stem and loop states can never merge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_PREDICATE_H
+#define TERMCHECK_LOGIC_PREDICATE_H
+
+#include "logic/Cube.h"
+#include "logic/FourierMotzkin.h"
+
+namespace termcheck {
+
+/// A certificate predicate: cube plus optional `oldrnk = INF` conjunct.
+class Predicate {
+public:
+  Predicate() = default;
+  explicit Predicate(Cube C, bool OldrnkIsInf = false)
+      : C(std::move(C)), OldrnkInf(OldrnkIsInf) {}
+
+  /// \returns the predicate `oldrnk = INF` (initial states, Def. 3.1).
+  static Predicate oldrnkInfinity() { return Predicate(Cube(), true); }
+
+  /// \returns the canonical contradictory predicate.
+  static Predicate contradiction() {
+    return Predicate(Cube::contradiction(), false);
+  }
+
+  const Cube &cube() const { return C; }
+  bool oldrnkIsInf() const { return OldrnkInf; }
+
+  /// Conjoins two predicates.
+  static Predicate conjoin(const Predicate &A, const Predicate &B);
+
+  /// \returns true iff the predicate mentions oldrnk at all -- either the
+  /// INF conjunct or an atom over \p Oldrnk. This implements the
+  /// `oldrnk in var(I(q))` test of Definition 3.2.
+  bool mentionsOldrnk(VarId Oldrnk) const {
+    return OldrnkInf || C.mentions(Oldrnk);
+  }
+
+  /// Sound unsatisfiability check over the extended domain.
+  bool isUnsatisfiable(VarId Oldrnk) const;
+
+  /// \returns true when every model of this predicate (finite and INF
+  /// oldrnk alike) satisfies \p Q.
+  bool entails(const Predicate &Q, VarId Oldrnk) const;
+
+  /// \returns the cube describing the INF-oldrnk models: atoms mentioning
+  /// \p Oldrnk are evaluated under oldrnk = INF.
+  Cube restrictToInf(VarId Oldrnk) const;
+
+  /// Structural equality (used to merge lasso-module states, Section 3.1.1).
+  bool operator==(const Predicate &O) const {
+    return OldrnkInf == O.OldrnkInf && C == O.C;
+  }
+  bool operator!=(const Predicate &O) const { return !(*this == O); }
+
+  size_t hash() const { return C.hash() * 2 + (OldrnkInf ? 1 : 0); }
+
+  /// Rendering such as "oldrnk = INF /\ i - 1 >= 0".
+  std::string str(const VarTable &Vars) const;
+
+private:
+  Cube C;
+  bool OldrnkInf = false;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_PREDICATE_H

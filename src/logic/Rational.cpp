@@ -1,0 +1,35 @@
+//===- logic/Rational.cpp - Exact rational arithmetic --------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Rational.h"
+
+#include <algorithm>
+
+using namespace termcheck;
+
+static std::string int128ToString(__int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  // Peel digits off an unsigned copy to avoid overflow on INT128_MIN.
+  unsigned __int128 U =
+      Neg ? -static_cast<unsigned __int128>(V) : static_cast<unsigned __int128>(V);
+  std::string S;
+  while (U != 0) {
+    S.push_back(static_cast<char>('0' + static_cast<int>(U % 10)));
+    U /= 10;
+  }
+  if (Neg)
+    S.push_back('-');
+  std::reverse(S.begin(), S.end());
+  return S;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return int128ToString(Num);
+  return int128ToString(Num) + "/" + int128ToString(Den);
+}

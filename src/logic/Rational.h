@@ -1,0 +1,126 @@
+//===- logic/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over 128-bit integers, used by the simplex LP solver that
+/// backs Farkas-based ranking-function synthesis. Values stay tiny in
+/// practice (lasso relations have single-digit coefficients); the 128-bit
+/// headroom plus gcd normalization after every operation keeps the
+/// representation canonical, and overflow is trapped by assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_RATIONAL_H
+#define TERMCHECK_LOGIC_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace termcheck {
+
+/// An exact rational number with canonical representation (gcd-reduced,
+/// positive denominator).
+class Rational {
+public:
+  using Int = __int128;
+
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t N) : Num(N), Den(1) {}
+  Rational(Int N, Int D) : Num(N), Den(D) { normalize(); }
+
+  Int num() const { return Num; }
+  Int den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isPositive() const { return Num > 0; }
+  bool isInteger() const { return Den == 1; }
+
+  Rational operator+(const Rational &O) const {
+    return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+  }
+  Rational operator-(const Rational &O) const {
+    return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+  }
+  Rational operator*(const Rational &O) const {
+    return Rational(Num * O.Num, Den * O.Den);
+  }
+  Rational operator/(const Rational &O) const {
+    assert(!O.isZero() && "division by zero");
+    return Rational(Num * O.Den, Den * O.Num);
+  }
+  Rational operator-() const {
+    Rational R;
+    R.Num = -Num;
+    R.Den = Den;
+    return R;
+  }
+
+  Rational &operator+=(const Rational &O) { return *this = *this + O; }
+  Rational &operator-=(const Rational &O) { return *this = *this - O; }
+  Rational &operator*=(const Rational &O) { return *this = *this * O; }
+  Rational &operator/=(const Rational &O) { return *this = *this / O; }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const {
+    return Num * O.Den < O.Num * Den;
+  }
+  bool operator<=(const Rational &O) const {
+    return Num * O.Den <= O.Num * Den;
+  }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  /// \returns the value as int64, asserting it is an integral value in range.
+  int64_t toInt64() const {
+    assert(Den == 1 && "not an integer");
+    assert(Num <= INT64_MAX && Num >= INT64_MIN && "int64 overflow");
+    return static_cast<int64_t>(Num);
+  }
+
+  /// Decimal rendering, e.g. "-3/2" or "7".
+  std::string str() const;
+
+private:
+  static Int gcd(Int A, Int B) {
+    if (A < 0)
+      A = -A;
+    if (B < 0)
+      B = -B;
+    while (B != 0) {
+      Int T = A % B;
+      A = B;
+      B = T;
+    }
+    return A;
+  }
+
+  void normalize() {
+    assert(Den != 0 && "zero denominator");
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
+    Int G = gcd(Num, Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+    if (Num == 0)
+      Den = 1;
+  }
+
+  Int Num;
+  Int Den;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_RATIONAL_H

@@ -1,0 +1,224 @@
+//===- logic/Simplex.cpp - Exact rational LP feasibility -----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Implementation notes. The problem is brought into standard form
+///   A y = b,  y >= 0,  b >= 0
+/// by (1) splitting every free variable x into x+ - x-, (2) flipping rows so
+/// the right-hand side is nonnegative, (3) adding slack variables for LE
+/// rows, surplus variables for GE rows, and artificial variables wherever a
+/// row lacks a natural basic column. Phase 1 minimizes the sum of the
+/// artificials with Bland's anti-cycling rule; feasibility holds iff the
+/// optimum is zero, and the original assignment is read off the basis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "logic/Simplex.h"
+
+#include <cassert>
+
+using namespace termcheck;
+using namespace termcheck::lp;
+
+int Problem::addVar(bool NonNegative) {
+  VarNonNeg.push_back(NonNegative);
+  return static_cast<int>(VarNonNeg.size()) - 1;
+}
+
+void Problem::addRow(std::vector<std::pair<int, Rational>> Terms, Rel R,
+                     Rational Rhs) {
+  for ([[maybe_unused]] const auto &[Var, Coeff] : Terms)
+    assert(Var >= 0 && Var < numVars() && "unknown LP variable");
+  Rows.push_back({std::move(Terms), R, std::move(Rhs)});
+}
+
+namespace {
+
+/// Dense phase-1 tableau.
+struct Tableau {
+  // A has NumRows rows and NumCols columns; column j of row i at A[i][j].
+  std::vector<std::vector<Rational>> A;
+  std::vector<Rational> B;     // right-hand sides, kept nonnegative
+  std::vector<int> Basis;      // basic column of each row
+  std::vector<Rational> Cost;  // phase-1 objective coefficients
+  int NumCols = 0;
+
+  void pivot(int Row, int Col) {
+    Rational P = A[Row][Col];
+    assert(!P.isZero() && "pivot on zero entry");
+    for (int J = 0; J < NumCols; ++J)
+      A[Row][J] /= P;
+    B[Row] /= P;
+    for (size_t I = 0; I < A.size(); ++I) {
+      if (static_cast<int>(I) == Row)
+        continue;
+      Rational F = A[I][Col];
+      if (F.isZero())
+        continue;
+      for (int J = 0; J < NumCols; ++J)
+        A[I][J] -= F * A[Row][J];
+      B[I] -= F * B[Row];
+    }
+    Basis[Row] = Col;
+  }
+};
+
+} // namespace
+
+std::optional<std::vector<Rational>> Problem::solve() const {
+  // Map original variables to standard-form columns.
+  // Nonnegative variable v -> column PosCol[v].
+  // Free variable v        -> columns PosCol[v] (x+) and NegCol[v] (x-).
+  int NumOrig = numVars();
+  std::vector<int> PosCol(NumOrig), NegCol(NumOrig, -1);
+  int Cols = 0;
+  for (int V = 0; V < NumOrig; ++V) {
+    PosCol[V] = Cols++;
+    if (!VarNonNeg[V])
+      NegCol[V] = Cols++;
+  }
+  int StructCols = Cols;
+
+  // Expand rows into dense standard form with nonnegative rhs.
+  int M = numRows();
+  std::vector<std::vector<Rational>> Dense(M,
+                                           std::vector<Rational>(StructCols));
+  std::vector<Rational> Rhs(M);
+  std::vector<Rel> RowRel(M);
+  for (int I = 0; I < M; ++I) {
+    const Row &R = Rows[I];
+    for (const auto &[Var, Coeff] : R.Terms) {
+      Dense[I][PosCol[Var]] += Coeff;
+      if (NegCol[Var] >= 0)
+        Dense[I][NegCol[Var]] -= Coeff;
+    }
+    Rhs[I] = R.Rhs;
+    RowRel[I] = R.R;
+    if (Rhs[I].isNegative()) {
+      for (Rational &C : Dense[I])
+        C = -C;
+      Rhs[I] = -Rhs[I];
+      if (RowRel[I] == Rel::LE)
+        RowRel[I] = Rel::GE;
+      else if (RowRel[I] == Rel::GE)
+        RowRel[I] = Rel::LE;
+    }
+  }
+
+  // Count slack/surplus and artificial columns.
+  int NumSlack = 0, NumArt = 0;
+  for (int I = 0; I < M; ++I) {
+    if (RowRel[I] != Rel::EQ)
+      ++NumSlack;
+    if (RowRel[I] != Rel::LE)
+      ++NumArt;
+  }
+
+  Tableau T;
+  T.NumCols = StructCols + NumSlack + NumArt;
+  T.A.assign(M, std::vector<Rational>(T.NumCols));
+  T.B = Rhs;
+  T.Basis.assign(M, -1);
+  T.Cost.assign(T.NumCols, Rational(0));
+
+  int SlackBase = StructCols;
+  int ArtBase = StructCols + NumSlack;
+  int SlackIdx = 0, ArtIdx = 0;
+  for (int I = 0; I < M; ++I) {
+    for (int J = 0; J < StructCols; ++J)
+      T.A[I][J] = Dense[I][J];
+    if (RowRel[I] == Rel::LE) {
+      int C = SlackBase + SlackIdx++;
+      T.A[I][C] = Rational(1);
+      T.Basis[I] = C; // slack starts basic
+    } else if (RowRel[I] == Rel::GE) {
+      int C = SlackBase + SlackIdx++;
+      T.A[I][C] = Rational(-1); // surplus
+      int Art = ArtBase + ArtIdx++;
+      T.A[I][Art] = Rational(1);
+      T.Cost[Art] = Rational(1);
+      T.Basis[I] = Art;
+    } else {
+      int Art = ArtBase + ArtIdx++;
+      T.A[I][Art] = Rational(1);
+      T.Cost[Art] = Rational(1);
+      T.Basis[I] = Art;
+    }
+  }
+
+  // Reduced costs: z_j - c_j for the phase-1 objective. Start from the
+  // basic solution (artificials basic), i.e. reduced[j] = sum over rows
+  // with artificial basis of A[i][j], minus cost[j].
+  std::vector<Rational> Reduced(T.NumCols);
+  Rational Objective(0);
+  for (int I = 0; I < M; ++I) {
+    if (T.Cost[T.Basis[I]].isZero())
+      continue;
+    for (int J = 0; J < T.NumCols; ++J)
+      Reduced[J] += T.A[I][J];
+    Objective += T.B[I];
+  }
+  for (int J = 0; J < T.NumCols; ++J)
+    Reduced[J] -= T.Cost[J];
+
+  // Phase-1 iterations with Bland's rule (enter: lowest index with positive
+  // reduced cost; leave: lowest basic index among minimal ratios).
+  while (true) {
+    int Enter = -1;
+    for (int J = 0; J < T.NumCols; ++J) {
+      if (Reduced[J].isPositive()) {
+        Enter = J;
+        break;
+      }
+    }
+    if (Enter < 0)
+      break; // optimal
+    int Leave = -1;
+    Rational BestRatio(0);
+    for (int I = 0; I < M; ++I) {
+      if (!T.A[I][Enter].isPositive())
+        continue;
+      Rational Ratio = T.B[I] / T.A[I][Enter];
+      if (Leave < 0 || Ratio < BestRatio ||
+          (Ratio == BestRatio && T.Basis[I] < T.Basis[Leave])) {
+        Leave = I;
+        BestRatio = Ratio;
+      }
+    }
+    if (Leave < 0)
+      return std::nullopt; // phase-1 objective unbounded: cannot happen,
+                           // but fail closed rather than loop
+    // Update objective and reduced costs incrementally by re-deriving them
+    // after the pivot (simpler and still cheap at our sizes).
+    T.pivot(Leave, Enter);
+    Objective = Rational(0);
+    for (Rational &R : Reduced)
+      R = Rational(0);
+    for (int I = 0; I < M; ++I) {
+      if (T.Cost[T.Basis[I]].isZero())
+        continue;
+      for (int J = 0; J < T.NumCols; ++J)
+        Reduced[J] += T.A[I][J];
+      Objective += T.B[I];
+    }
+    for (int J = 0; J < T.NumCols; ++J)
+      Reduced[J] -= T.Cost[J];
+  }
+
+  if (Objective.isPositive())
+    return std::nullopt; // infeasible
+
+  // Read the solution off the basis.
+  std::vector<Rational> ColValue(T.NumCols);
+  for (int I = 0; I < M; ++I)
+    ColValue[T.Basis[I]] = T.B[I];
+  std::vector<Rational> Out(NumOrig);
+  for (int V = 0; V < NumOrig; ++V) {
+    Out[V] = ColValue[PosCol[V]];
+    if (NegCol[V] >= 0)
+      Out[V] -= ColValue[NegCol[V]];
+  }
+  return Out;
+}

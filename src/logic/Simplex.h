@@ -1,0 +1,65 @@
+//===- logic/Simplex.h - Exact rational LP feasibility --------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small exact-arithmetic simplex solver. The termination layer uses it to
+/// discharge the Farkas-lemma systems of the Podelski-Rybalchenko linear
+/// ranking-function synthesis (the "off-the-shelf approach" of Figure 1):
+/// the multipliers must be nonnegative rationals satisfying a set of linear
+/// equations, which is precisely LP feasibility. Phase-1 simplex with
+/// Bland's rule over exact rationals; no floating point anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_SIMPLEX_H
+#define TERMCHECK_LOGIC_SIMPLEX_H
+
+#include "logic/Rational.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace termcheck {
+namespace lp {
+
+/// Row relation of an LP constraint.
+enum class Rel : uint8_t { LE, GE, EQ };
+
+/// A feasibility problem `A x rel b` with optional per-variable
+/// nonnegativity. Free variables are handled by internal splitting.
+class Problem {
+public:
+  /// Adds a decision variable; \returns its index.
+  /// \p NonNegative constrains the variable to `>= 0`.
+  int addVar(bool NonNegative);
+
+  /// Adds the row `sum Terms rel Rhs`. Term indices must come from addVar.
+  void addRow(std::vector<std::pair<int, Rational>> Terms, Rel R,
+              Rational Rhs);
+
+  /// Runs phase-1 simplex. \returns an assignment for every variable when
+  /// the system is feasible, std::nullopt otherwise.
+  std::optional<std::vector<Rational>> solve() const;
+
+  int numVars() const { return static_cast<int>(VarNonNeg.size()); }
+  int numRows() const { return static_cast<int>(Rows.size()); }
+
+private:
+  struct Row {
+    std::vector<std::pair<int, Rational>> Terms;
+    Rel R;
+    Rational Rhs;
+  };
+
+  std::vector<bool> VarNonNeg;
+  std::vector<Row> Rows;
+};
+
+} // namespace lp
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_SIMPLEX_H

@@ -1,0 +1,68 @@
+//===- logic/Var.h - Variable identifiers and name table ------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned program-variable identifiers. The logic layer manipulates plain
+/// integer ids; the program layer owns a VarTable mapping ids to source
+/// names. The auxiliary ranking variable `oldrnk` (Definition 3.1 of the
+/// paper) is just another VarId allocated by the termination layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_LOGIC_VAR_H
+#define TERMCHECK_LOGIC_VAR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace termcheck {
+
+/// Index of a variable in a VarTable.
+using VarId = uint32_t;
+
+/// Sentinel for "no variable".
+inline constexpr VarId InvalidVar = static_cast<VarId>(-1);
+
+/// Bidirectional map between variable names and dense ids.
+class VarTable {
+public:
+  /// Interns \p Name, returning its id (existing or fresh).
+  VarId intern(const std::string &Name) {
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    VarId Id = static_cast<VarId>(Names.size());
+    Names.push_back(Name);
+    Ids.emplace(Name, Id);
+    return Id;
+  }
+
+  /// \returns the id of \p Name, or InvalidVar when unknown.
+  VarId lookup(const std::string &Name) const {
+    auto It = Ids.find(Name);
+    return It == Ids.end() ? InvalidVar : It->second;
+  }
+
+  /// \returns the name of \p Id.
+  const std::string &name(VarId Id) const {
+    assert(Id < Names.size() && "unknown variable id");
+    return Names[Id];
+  }
+
+  /// Number of interned variables.
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, VarId> Ids;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_LOGIC_VAR_H

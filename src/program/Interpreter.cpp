@@ -1,0 +1,56 @@
+//===- program/Interpreter.cpp - Concrete CFG execution ------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Interpreter.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+RunResult Interpreter::run(const std::map<VarId, int64_t> &Initial,
+                           uint64_t Fuel) {
+  std::map<VarId, int64_t> Vals = Initial;
+  auto ValueOf = [&](VarId V) -> int64_t {
+    auto It = Vals.find(V);
+    return It == Vals.end() ? 0 : It->second;
+  };
+
+  // Index outgoing edges once.
+  std::vector<std::vector<const Program::Edge *>> Out(P.numLocations());
+  for (const Program::Edge &E : P.edges())
+    Out[E.From].push_back(&E);
+
+  Location Loc = P.entry();
+  uint64_t Steps = 0;
+  while (Steps < Fuel) {
+    // Collect the enabled edges at the current location.
+    std::vector<const Program::Edge *> Enabled;
+    for (const Program::Edge *E : Out[Loc]) {
+      const Statement &S = P.statement(E->Sym);
+      if (S.kind() == StmtKind::Assume && !S.guard().holds(ValueOf))
+        continue;
+      Enabled.push_back(E);
+    }
+    if (Enabled.empty())
+      return {RunStatus::Exited, Steps, Vals};
+
+    const Program::Edge *E = Enabled[R.below(Enabled.size())];
+    const Statement &S = P.statement(E->Sym);
+    switch (S.kind()) {
+    case StmtKind::Assume:
+      break; // guard already checked
+    case StmtKind::Assign:
+      Vals[S.target()] = S.rhs().evaluate(ValueOf);
+      break;
+    case StmtKind::Havoc:
+      Vals[S.target()] = R.range(HavocLo, HavocHi);
+      break;
+    }
+    Loc = E->To;
+    ++Steps;
+  }
+  return {RunStatus::OutOfFuel, Steps, Vals};
+}

@@ -1,0 +1,60 @@
+//===- program/Interpreter.h - Concrete CFG execution ---------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fuel-bounded concrete interpreter for CFG programs. Nondeterminism
+/// (havoc values, choice among enabled edges) is resolved by a seeded RNG,
+/// so runs are reproducible. The test suites use it to differentially check
+/// the analyzer: a TERMINATING verdict must never be contradicted by an
+/// exhausted-fuel run far above the program's known bound, and a concretely
+/// nonterminating family must never be claimed terminating.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_PROGRAM_INTERPRETER_H
+#define TERMCHECK_PROGRAM_INTERPRETER_H
+
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <map>
+
+namespace termcheck {
+
+/// How a bounded run ended.
+enum class RunStatus : uint8_t {
+  Exited,       ///< reached a location with no enabled edge
+  OutOfFuel,    ///< executed the full fuel budget
+};
+
+/// Result of one interpreted run.
+struct RunResult {
+  RunStatus Status;
+  uint64_t Steps;                ///< statements executed
+  std::map<VarId, int64_t> Final; ///< final valuation
+};
+
+/// Executes programs concretely with bounded fuel.
+class Interpreter {
+public:
+  /// \p HavocLo / \p HavocHi bound the values drawn for havoc statements.
+  Interpreter(const Program &P, uint64_t Seed = 1,
+              int64_t HavocLo = -16, int64_t HavocHi = 16)
+      : P(P), R(Seed), HavocLo(HavocLo), HavocHi(HavocHi) {}
+
+  /// Runs from the entry location with the given initial valuation
+  /// (unlisted variables start at zero) for at most \p Fuel statements.
+  RunResult run(const std::map<VarId, int64_t> &Initial, uint64_t Fuel);
+
+private:
+  const Program &P;
+  Rng R;
+  int64_t HavocLo, HavocHi;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_PROGRAM_INTERPRETER_H

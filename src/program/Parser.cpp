@@ -1,0 +1,732 @@
+//===- program/Parser.cpp - WHILE-language front end ----------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Parser.h"
+
+#include <cassert>
+#include <cctype>
+#include <vector>
+
+using namespace termcheck;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind : uint8_t {
+  Ident,
+  Int,
+  KwProgram,
+  KwWhile,
+  KwIf,
+  KwElse,
+  KwHavoc,
+  KwAssume,
+  KwSkip,
+  KwEither,
+  KwOr,
+  KwTrue,
+  KwFalse,
+  Assign,  // :=
+  Plus,
+  Minus,
+  Star,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Semi,
+  Comma,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  Ne,
+  AndAnd,
+  OrOr,
+  Bang,
+  Eof,
+  Bad,
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  int64_t IntVal = 0;
+  int Line = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  Token next() {
+    skipTrivia();
+    Token T;
+    T.Line = Line;
+    if (Pos >= Src.size()) {
+      T.Kind = TokKind::Eof;
+      return T;
+    }
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexWord();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+    ++Pos;
+    switch (C) {
+    case '+': T.Kind = TokKind::Plus; return T;
+    case '-': T.Kind = TokKind::Minus; return T;
+    case '*': T.Kind = TokKind::Star; return T;
+    case '(': T.Kind = TokKind::LParen; return T;
+    case ')': T.Kind = TokKind::RParen; return T;
+    case '{': T.Kind = TokKind::LBrace; return T;
+    case '}': T.Kind = TokKind::RBrace; return T;
+    case ';': T.Kind = TokKind::Semi; return T;
+    case ',': T.Kind = TokKind::Comma; return T;
+    case ':':
+      if (eat('=')) {
+        T.Kind = TokKind::Assign;
+        return T;
+      }
+      break;
+    case '<':
+      T.Kind = eat('=') ? TokKind::Le : TokKind::Lt;
+      return T;
+    case '>':
+      T.Kind = eat('=') ? TokKind::Ge : TokKind::Gt;
+      return T;
+    case '=':
+      if (eat('=')) {
+        T.Kind = TokKind::EqEq;
+        return T;
+      }
+      break;
+    case '!':
+      T.Kind = eat('=') ? TokKind::Ne : TokKind::Bang;
+      return T;
+    case '&':
+      if (eat('&')) {
+        T.Kind = TokKind::AndAnd;
+        return T;
+      }
+      break;
+    case '|':
+      if (eat('|')) {
+        T.Kind = TokKind::OrOr;
+        return T;
+      }
+      break;
+    default:
+      break;
+    }
+    T.Kind = TokKind::Bad;
+    T.Text = std::string(1, C);
+    return T;
+  }
+
+public:
+  /// Checkpoint for parser backtracking.
+  struct State {
+    size_t Pos;
+    int Line;
+  };
+  State save() const { return {Pos, Line}; }
+  void restore(State S) {
+    Pos = S.Pos;
+    Line = S.Line;
+  }
+
+private:
+  bool eat(char C) {
+    if (Pos < Src.size() && Src[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  void skipTrivia() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lexWord() {
+    Token T;
+    T.Line = Line;
+    size_t Begin = Pos;
+    while (Pos < Src.size() && (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                                Src[Pos] == '_'))
+      ++Pos;
+    T.Text = Src.substr(Begin, Pos - Begin);
+    if (T.Text == "program")
+      T.Kind = TokKind::KwProgram;
+    else if (T.Text == "while")
+      T.Kind = TokKind::KwWhile;
+    else if (T.Text == "if")
+      T.Kind = TokKind::KwIf;
+    else if (T.Text == "else")
+      T.Kind = TokKind::KwElse;
+    else if (T.Text == "havoc")
+      T.Kind = TokKind::KwHavoc;
+    else if (T.Text == "assume")
+      T.Kind = TokKind::KwAssume;
+    else if (T.Text == "skip")
+      T.Kind = TokKind::KwSkip;
+    else if (T.Text == "either")
+      T.Kind = TokKind::KwEither;
+    else if (T.Text == "or")
+      T.Kind = TokKind::KwOr;
+    else if (T.Text == "true")
+      T.Kind = TokKind::KwTrue;
+    else if (T.Text == "false")
+      T.Kind = TokKind::KwFalse;
+    else
+      T.Kind = TokKind::Ident;
+    return T;
+  }
+
+  Token lexNumber() {
+    Token T;
+    T.Line = Line;
+    T.Kind = TokKind::Int;
+    int64_t V = 0;
+    while (Pos < Src.size() && std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+      V = V * 10 + (Src[Pos] - '0');
+      ++Pos;
+    }
+    T.IntVal = V;
+    return T;
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Condition AST (compiled to DNF at CFG-construction time)
+//===----------------------------------------------------------------------===//
+
+struct BoolExpr;
+using BoolPtr = std::shared_ptr<BoolExpr>;
+
+struct BoolExpr {
+  enum class Kind : uint8_t { Cmp, And, Or, Not, True, False, Star } K;
+  // Cmp payload.
+  TokKind Op = TokKind::Bad;
+  LinearExpr Lhs, Rhs;
+  // And/Or/Not payload.
+  BoolPtr A, B;
+
+  static BoolPtr cmp(TokKind Op, LinearExpr L, LinearExpr R) {
+    auto E = std::make_shared<BoolExpr>();
+    E->K = Kind::Cmp;
+    E->Op = Op;
+    E->Lhs = std::move(L);
+    E->Rhs = std::move(R);
+    return E;
+  }
+  static BoolPtr binary(Kind K, BoolPtr A, BoolPtr B) {
+    auto E = std::make_shared<BoolExpr>();
+    E->K = K;
+    E->A = std::move(A);
+    E->B = std::move(B);
+    return E;
+  }
+  static BoolPtr leaf(Kind K) {
+    auto E = std::make_shared<BoolExpr>();
+    E->K = K;
+    return E;
+  }
+  static BoolPtr negate(BoolPtr A) {
+    auto E = std::make_shared<BoolExpr>();
+    E->K = Kind::Not;
+    E->A = std::move(A);
+    return E;
+  }
+};
+
+/// A disjunct list; each cube is one assume-edge guard.
+using Dnf = std::vector<Cube>;
+
+Dnf toDnf(const BoolPtr &E, bool Negated);
+
+Dnf dnfOfCmp(TokKind Op, const LinearExpr &L, const LinearExpr &R,
+             bool Negated) {
+  // Negation maps each comparison to its complement.
+  TokKind Eff = Op;
+  if (Negated) {
+    switch (Op) {
+    case TokKind::Lt: Eff = TokKind::Ge; break;
+    case TokKind::Le: Eff = TokKind::Gt; break;
+    case TokKind::Gt: Eff = TokKind::Le; break;
+    case TokKind::Ge: Eff = TokKind::Lt; break;
+    case TokKind::EqEq: Eff = TokKind::Ne; break;
+    case TokKind::Ne: Eff = TokKind::EqEq; break;
+    default: assert(false && "not a comparison");
+    }
+  }
+  auto Single = [](Constraint C) {
+    Cube Q;
+    Q.add(C);
+    return Dnf{Q};
+  };
+  switch (Eff) {
+  case TokKind::Lt: return Single(Constraint::lt(L, R));
+  case TokKind::Le: return Single(Constraint::le(L, R));
+  case TokKind::Gt: return Single(Constraint::gt(L, R));
+  case TokKind::Ge: return Single(Constraint::ge(L, R));
+  case TokKind::EqEq: return Single(Constraint::eq(L, R));
+  case TokKind::Ne: {
+    // a != b becomes a < b or a > b.
+    Cube Less, Greater;
+    Less.add(Constraint::lt(L, R));
+    Greater.add(Constraint::gt(L, R));
+    return {Less, Greater};
+  }
+  default:
+    assert(false && "not a comparison");
+    return {};
+  }
+}
+
+Dnf crossProduct(const Dnf &A, const Dnf &B) {
+  Dnf Out;
+  for (const Cube &CA : A) {
+    for (const Cube &CB : B) {
+      Cube C = CA;
+      C.conjoin(CB);
+      if (!C.isContradictory())
+        Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+Dnf toDnf(const BoolPtr &E, bool Negated) {
+  switch (E->K) {
+  case BoolExpr::Kind::Cmp:
+    return dnfOfCmp(E->Op, E->Lhs, E->Rhs, Negated);
+  case BoolExpr::Kind::Not:
+    return toDnf(E->A, !Negated);
+  case BoolExpr::Kind::And: {
+    if (Negated) {
+      Dnf Out = toDnf(E->A, true);
+      for (Cube &C : toDnf(E->B, true))
+        Out.push_back(std::move(C));
+      return Out;
+    }
+    return crossProduct(toDnf(E->A, false), toDnf(E->B, false));
+  }
+  case BoolExpr::Kind::Or: {
+    if (Negated)
+      return crossProduct(toDnf(E->A, true), toDnf(E->B, true));
+    Dnf Out = toDnf(E->A, false);
+    for (Cube &C : toDnf(E->B, false))
+      Out.push_back(std::move(C));
+    return Out;
+  }
+  case BoolExpr::Kind::True:
+    return Negated ? Dnf{} : Dnf{Cube()};
+  case BoolExpr::Kind::False:
+    return Negated ? Dnf{Cube()} : Dnf{};
+  case BoolExpr::Kind::Star:
+    // The nondeterministic condition: both it and its negation can fire.
+    return Dnf{Cube()};
+  }
+  assert(false && "unknown bool expr");
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  explicit Parser(const std::string &Src) : Lex(Src) { advance(); }
+
+  ParseResult run() {
+    ParseResult R;
+    Program P = parseProgram();
+    if (!Err.empty()) {
+      R.Error = Err;
+      return R;
+    }
+    R.Prog = std::move(P);
+    return R;
+  }
+
+private:
+  Lexer Lex;
+  Token Tok;
+  std::string Err;
+
+  void advance() { Tok = Lex.next(); }
+
+  /// Full parser checkpoint (lexer position, lookahead, diagnostics).
+  struct Snapshot {
+    Lexer::State LexState;
+    Token Tok;
+    std::string Err;
+  };
+
+  Snapshot snapshot() const { return {Lex.save(), Tok, Err}; }
+
+  void rollback(const Snapshot &S) {
+    Lex.restore(S.LexState);
+    Tok = S.Tok;
+    Err = S.Err;
+  }
+
+  static bool isComparison(TokKind K) {
+    return K == TokKind::Lt || K == TokKind::Le || K == TokKind::Gt ||
+           K == TokKind::Ge || K == TokKind::EqEq || K == TokKind::Ne;
+  }
+
+  bool failed() const { return !Err.empty(); }
+
+  void error(const std::string &Msg) {
+    if (Err.empty())
+      Err = "line " + std::to_string(Tok.Line) + ": " + Msg;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (failed())
+      return false;
+    if (Tok.Kind != K) {
+      error(std::string("expected ") + What);
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  Program parseProgram() {
+    Program P;
+    if (!expect(TokKind::KwProgram, "'program'"))
+      return P;
+    if (Tok.Kind != TokKind::Ident) {
+      error("expected program name");
+      return P;
+    }
+    P = Program(Tok.Text);
+    advance();
+    if (!expect(TokKind::LParen, "'('"))
+      return P;
+    if (Tok.Kind == TokKind::Ident) {
+      P.addParam(P.vars().intern(Tok.Text));
+      advance();
+      while (Tok.Kind == TokKind::Comma) {
+        advance();
+        if (Tok.Kind != TokKind::Ident) {
+          error("expected parameter name");
+          return P;
+        }
+        P.addParam(P.vars().intern(Tok.Text));
+        advance();
+      }
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return P;
+    Location Entry = P.addLocation();
+    P.setEntry(Entry);
+    Location Exit = parseBlock(P, Entry);
+    (void)Exit; // the exit location simply has no outgoing edges
+    if (!failed() && Tok.Kind != TokKind::Eof)
+      error("trailing input after program body");
+    return P;
+  }
+
+  /// Parses a block starting at \p From; \returns the fall-through location.
+  Location parseBlock(Program &P, Location From) {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return From;
+    Location Cur = From;
+    while (!failed() && Tok.Kind != TokKind::RBrace && Tok.Kind != TokKind::Eof)
+      Cur = parseStmt(P, Cur);
+    expect(TokKind::RBrace, "'}'");
+    return Cur;
+  }
+
+  Location parseStmt(Program &P, Location Cur) {
+    switch (Tok.Kind) {
+    case TokKind::Ident: {
+      std::string Name = Tok.Text;
+      advance();
+      if (!expect(TokKind::Assign, "':='"))
+        return Cur;
+      LinearExpr E = parseExpr(P);
+      if (!expect(TokKind::Semi, "';'"))
+        return Cur;
+      Location Next = P.addLocation();
+      P.addEdge(Cur, Statement::assign(P.vars().intern(Name), E), Next);
+      return Next;
+    }
+    case TokKind::KwHavoc: {
+      advance();
+      if (Tok.Kind != TokKind::Ident) {
+        error("expected variable after 'havoc'");
+        return Cur;
+      }
+      std::string Name = Tok.Text;
+      advance();
+      if (!expect(TokKind::Semi, "';'"))
+        return Cur;
+      Location Next = P.addLocation();
+      P.addEdge(Cur, Statement::havoc(P.vars().intern(Name)), Next);
+      return Next;
+    }
+    case TokKind::KwAssume: {
+      advance();
+      if (!expect(TokKind::LParen, "'('"))
+        return Cur;
+      BoolPtr C = parseCond(P);
+      if (!expect(TokKind::RParen, "')'") || !expect(TokKind::Semi, "';'"))
+        return Cur;
+      Location Next = P.addLocation();
+      emitGuardEdges(P, Cur, Next, toDnf(C, false));
+      return Next;
+    }
+    case TokKind::KwSkip: {
+      advance();
+      expect(TokKind::Semi, "';'");
+      return Cur;
+    }
+    case TokKind::KwWhile: {
+      advance();
+      if (!expect(TokKind::LParen, "'('"))
+        return Cur;
+      BoolPtr C = parseCond(P);
+      if (!expect(TokKind::RParen, "')'"))
+        return Cur;
+      Location BodyEntry = P.addLocation();
+      Location After = P.addLocation();
+      emitGuardEdges(P, Cur, BodyEntry, toDnf(C, false));
+      emitGuardEdges(P, Cur, After, toDnf(C, true));
+      Location BodyExit = parseBlock(P, BodyEntry);
+      // Back edge: fuse the body's fall-through with the loop head.
+      if (BodyExit != Cur)
+        P.mergeLocationInto(BodyExit, Cur);
+      return After;
+    }
+    case TokKind::KwIf: {
+      advance();
+      if (!expect(TokKind::LParen, "'('"))
+        return Cur;
+      BoolPtr C = parseCond(P);
+      if (!expect(TokKind::RParen, "')'"))
+        return Cur;
+      Location ThenEntry = P.addLocation();
+      emitGuardEdges(P, Cur, ThenEntry, toDnf(C, false));
+      Location ThenExit = parseBlock(P, ThenEntry);
+      Location After = P.addLocation();
+      if (Tok.Kind == TokKind::KwElse) {
+        advance();
+        Location ElseEntry = P.addLocation();
+        emitGuardEdges(P, Cur, ElseEntry, toDnf(C, true));
+        Location ElseExit = parseBlock(P, ElseEntry);
+        if (ElseExit != After)
+          P.mergeLocationInto(ElseExit, After);
+      } else {
+        emitGuardEdges(P, Cur, After, toDnf(C, true));
+      }
+      if (ThenExit != After)
+        P.mergeLocationInto(ThenExit, After);
+      return After;
+    }
+    case TokKind::KwEither: {
+      advance();
+      Location After = P.addLocation();
+      Location Entry1 = P.addLocation();
+      P.addEdge(Cur, Statement::assume(Cube()), Entry1);
+      Location Exit1 = parseBlock(P, Entry1);
+      if (Exit1 != After)
+        P.mergeLocationInto(Exit1, After);
+      if (Tok.Kind != TokKind::KwOr) {
+        error("'either' needs at least one 'or' branch");
+        return Cur;
+      }
+      while (Tok.Kind == TokKind::KwOr) {
+        advance();
+        Location EntryN = P.addLocation();
+        P.addEdge(Cur, Statement::assume(Cube()), EntryN);
+        Location ExitN = parseBlock(P, EntryN);
+        if (ExitN != After)
+          P.mergeLocationInto(ExitN, After);
+      }
+      return After;
+    }
+    default:
+      error("expected a statement");
+      advance();
+      return Cur;
+    }
+  }
+
+  /// Adds one assume-edge per DNF disjunct. An empty DNF (condition `false`)
+  /// adds no edge, making the target unreachable along this path.
+  void emitGuardEdges(Program &P, Location From, Location To, const Dnf &D) {
+    for (const Cube &C : D)
+      P.addEdge(From, Statement::assume(C), To);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Conditions
+  //===--------------------------------------------------------------------===//
+
+  BoolPtr parseCond(Program &P) { return parseOr(P); }
+
+  BoolPtr parseOr(Program &P) {
+    BoolPtr L = parseAnd(P);
+    while (!failed() && Tok.Kind == TokKind::OrOr) {
+      advance();
+      L = BoolExpr::binary(BoolExpr::Kind::Or, L, parseAnd(P));
+    }
+    return L;
+  }
+
+  BoolPtr parseAnd(Program &P) {
+    BoolPtr L = parseAtom(P);
+    while (!failed() && Tok.Kind == TokKind::AndAnd) {
+      advance();
+      L = BoolExpr::binary(BoolExpr::Kind::And, L, parseAtom(P));
+    }
+    return L;
+  }
+
+  BoolPtr parseAtom(Program &P) {
+    if (Tok.Kind == TokKind::Bang) {
+      advance();
+      return BoolExpr::negate(parseAtom(P));
+    }
+    if (Tok.Kind == TokKind::KwTrue) {
+      advance();
+      return BoolExpr::leaf(BoolExpr::Kind::True);
+    }
+    if (Tok.Kind == TokKind::KwFalse) {
+      advance();
+      return BoolExpr::leaf(BoolExpr::Kind::False);
+    }
+    if (Tok.Kind == TokKind::Star) {
+      advance();
+      return BoolExpr::leaf(BoolExpr::Kind::Star);
+    }
+    if (Tok.Kind == TokKind::LParen) {
+      // Ambiguity: '(' starts either a parenthesized condition or a
+      // parenthesized arithmetic subexpression of a comparison. Try the
+      // comparison route first and backtrack to the condition route.
+      Snapshot S = snapshot();
+      LinearExpr L = parseExpr(P);
+      if (!failed() && isComparison(Tok.Kind)) {
+        TokKind Op = Tok.Kind;
+        advance();
+        LinearExpr R = parseExpr(P);
+        return BoolExpr::cmp(Op, std::move(L), std::move(R));
+      }
+      rollback(S);
+      advance(); // consume '('
+      BoolPtr C = parseCond(P);
+      expect(TokKind::RParen, "')'");
+      return C;
+    }
+    LinearExpr L = parseExpr(P);
+    TokKind Op = Tok.Kind;
+    switch (Op) {
+    case TokKind::Lt:
+    case TokKind::Le:
+    case TokKind::Gt:
+    case TokKind::Ge:
+    case TokKind::EqEq:
+    case TokKind::Ne:
+      advance();
+      break;
+    default:
+      error("expected a comparison operator");
+      return BoolExpr::leaf(BoolExpr::Kind::True);
+    }
+    LinearExpr R = parseExpr(P);
+    return BoolExpr::cmp(Op, std::move(L), std::move(R));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Linear expressions
+  //===--------------------------------------------------------------------===//
+
+  LinearExpr parseExpr(Program &P) {
+    LinearExpr E = parseTerm(P);
+    while (!failed() &&
+           (Tok.Kind == TokKind::Plus || Tok.Kind == TokKind::Minus)) {
+      bool Add = Tok.Kind == TokKind::Plus;
+      advance();
+      LinearExpr T = parseTerm(P);
+      E = Add ? E + T : E - T;
+    }
+    return E;
+  }
+
+  LinearExpr parseTerm(Program &P) {
+    LinearExpr F = parseFactor(P);
+    while (!failed() && Tok.Kind == TokKind::Star) {
+      advance();
+      LinearExpr G = parseFactor(P);
+      if (F.isConstant())
+        F = G.scaledBy(F.constantTerm());
+      else if (G.isConstant())
+        F = F.scaledBy(G.constantTerm());
+      else
+        error("nonlinear multiplication is not supported");
+    }
+    return F;
+  }
+
+  LinearExpr parseFactor(Program &P) {
+    if (Tok.Kind == TokKind::Minus) {
+      advance();
+      return -parseFactor(P);
+    }
+    if (Tok.Kind == TokKind::Int) {
+      int64_t V = Tok.IntVal;
+      advance();
+      return LinearExpr::constant(V);
+    }
+    if (Tok.Kind == TokKind::Ident) {
+      VarId V = P.vars().intern(Tok.Text);
+      advance();
+      return LinearExpr::variable(V);
+    }
+    if (Tok.Kind == TokKind::LParen) {
+      advance();
+      LinearExpr E = parseExpr(P);
+      expect(TokKind::RParen, "')'");
+      return E;
+    }
+    error("expected an arithmetic factor");
+    return LinearExpr::constant(0);
+  }
+};
+
+} // namespace
+
+ParseResult termcheck::parseProgram(const std::string &Source) {
+  return Parser(Source).run();
+}

@@ -1,0 +1,56 @@
+//===- program/Parser.h - WHILE-language front end ------------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the small WHILE language used by the
+/// examples and benchmark programs. Grammar (informal):
+///
+///   program  := 'program' IDENT '(' [IDENT (',' IDENT)*] ')' block
+///   block    := '{' stmt* '}'
+///   stmt     := IDENT ':=' expr ';'
+///             | 'havoc' IDENT ';'
+///             | 'assume' '(' cond ')' ';'
+///             | 'skip' ';'
+///             | 'while' '(' cond ')' block
+///             | 'if' '(' cond ')' block ['else' block]
+///             | 'either' block ('or' block)+
+///   cond     := orc ;  orc := andc ('||' andc)* ;  andc := atom ('&&' atom)*
+///   atom     := expr ('<'|'<='|'>'|'>='|'=='|'!=') expr
+///             | '!' atom | '(' cond ')' | 'true' | 'false' | '*'
+///   expr     := linear integer arithmetic over IDENTs (+, -, constant *)
+///
+/// Conditions are compiled to DNF; each disjunct becomes one `assume` edge,
+/// so branching control flow surfaces as automaton nondeterminism exactly
+/// as in Figure 2 of the paper. The token '*' is the nondeterministic
+/// condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_PROGRAM_PARSER_H
+#define TERMCHECK_PROGRAM_PARSER_H
+
+#include "program/Program.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace termcheck {
+
+/// Outcome of parsing: a program, or a diagnostic.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::string Error; // empty on success; "line N: message" otherwise
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses WHILE-language \p Source into a CFG.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_PROGRAM_PARSER_H

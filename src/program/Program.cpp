@@ -1,0 +1,40 @@
+//===- program/Program.cpp - Control-flow graphs -------------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Program.h"
+
+using namespace termcheck;
+
+SymbolId Program::internStatement(const Statement &S) {
+  size_t H = S.hash();
+  auto It = PoolIndex.find(H);
+  if (It != PoolIndex.end())
+    for (SymbolId Id : It->second)
+      if (Pool[Id] == S)
+        return Id;
+  SymbolId Id = static_cast<SymbolId>(Pool.size());
+  Pool.push_back(S);
+  PoolIndex[H].push_back(Id);
+  return Id;
+}
+
+std::vector<uint32_t> Program::outgoing(Location L) const {
+  std::vector<uint32_t> Out;
+  for (uint32_t I = 0; I < Edges.size(); ++I)
+    if (Edges[I].From == L)
+      Out.push_back(I);
+  return Out;
+}
+
+std::string Program::str() const {
+  std::string S = "program " + Name + " (entry l" + std::to_string(EntryLoc) +
+                  ", " + std::to_string(NumLocations) + " locations)\n";
+  for (const Edge &E : Edges) {
+    S += "  l" + std::to_string(E.From) + " --[" +
+         Pool[E.Sym].str(Vars) + "]--> l" + std::to_string(E.To) + "\n";
+  }
+  return S;
+}

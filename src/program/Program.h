@@ -1,0 +1,124 @@
+//===- program/Program.h - Control-flow graphs ----------------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A program is a control-flow graph whose edges are labeled with interned
+/// statements, exactly the structure Figure 2 of the paper turns into the
+/// Büchi automaton A_P: locations become states, the statement set becomes
+/// the alphabet, and every infinite walk is a word. The statement pool
+/// doubles as the alphabet-symbol table used by the automata layer (which
+/// only sees dense uint32 symbols).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_PROGRAM_PROGRAM_H
+#define TERMCHECK_PROGRAM_PROGRAM_H
+
+#include "program/Statement.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace termcheck {
+
+/// Index of a CFG location.
+using Location = uint32_t;
+
+/// Index of an interned statement (an alphabet symbol).
+using SymbolId = uint32_t;
+
+/// A control-flow graph over linear-arithmetic statements.
+class Program {
+public:
+  /// One labeled CFG edge.
+  struct Edge {
+    Location From;
+    SymbolId Sym;
+    Location To;
+  };
+
+  explicit Program(std::string Name = "main") : Name(std::move(Name)) {
+    // Reserve the auxiliary variables up front so user variables can never
+    // collide with them ('$' is not a legal identifier character).
+    Scratch = Vars.intern("$scratch");
+    Oldrnk = Vars.intern("oldrnk");
+  }
+
+  const std::string &name() const { return Name; }
+
+  VarTable &vars() { return Vars; }
+  const VarTable &vars() const { return Vars; }
+
+  /// The reserved fresh variable for postcondition computation.
+  VarId scratchVar() const { return Scratch; }
+  /// The reserved `oldrnk` auxiliary variable of Definition 3.1.
+  VarId oldrnkVar() const { return Oldrnk; }
+
+  /// Declares an input parameter (used by the interpreter and examples).
+  void addParam(VarId V) { Params.push_back(V); }
+  const std::vector<VarId> &params() const { return Params; }
+
+  /// Creates a fresh location.
+  Location addLocation() { return NumLocations++; }
+  uint32_t numLocations() const { return NumLocations; }
+
+  Location entry() const { return EntryLoc; }
+  void setEntry(Location L) { EntryLoc = L; }
+
+  /// Interns \p S, returning its stable symbol id.
+  SymbolId internStatement(const Statement &S);
+
+  /// Adds the edge `From --S--> To`, interning the statement.
+  void addEdge(Location From, const Statement &S, Location To) {
+    Edges.push_back({From, internStatement(S), To});
+  }
+
+  const std::vector<Edge> &edges() const { return Edges; }
+
+  /// Redirects every edge endpoint at \p From to \p Into (used by the
+  /// parser to fuse fall-through locations with join points instead of
+  /// emitting no-op `assume(true)` edges, keeping the CFG as small as the
+  /// paper's Figure 2b).
+  void mergeLocationInto(Location From, Location Into) {
+    for (Edge &E : Edges) {
+      if (E.From == From)
+        E.From = Into;
+      if (E.To == From)
+        E.To = Into;
+    }
+    if (EntryLoc == From)
+      EntryLoc = Into;
+  }
+
+  /// \returns the statement behind symbol \p Sym.
+  const Statement &statement(SymbolId Sym) const { return Pool[Sym]; }
+
+  /// Number of distinct statements (the alphabet size of A_P).
+  uint32_t numSymbols() const { return static_cast<uint32_t>(Pool.size()); }
+
+  /// \returns the outgoing edges of \p L (index list into edges()).
+  std::vector<uint32_t> outgoing(Location L) const;
+
+  /// Multi-line dump of the CFG for debugging and examples.
+  std::string str() const;
+
+private:
+  std::string Name;
+  VarTable Vars;
+  VarId Scratch = InvalidVar;
+  VarId Oldrnk = InvalidVar;
+  std::vector<VarId> Params;
+  uint32_t NumLocations = 0;
+  Location EntryLoc = 0;
+  std::vector<Statement> Pool;
+  std::unordered_map<size_t, std::vector<SymbolId>> PoolIndex;
+  std::vector<Edge> Edges;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_PROGRAM_PROGRAM_H

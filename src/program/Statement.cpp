@@ -1,0 +1,117 @@
+//===- program/Statement.cpp - Program statements ------------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Statement.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+Statement Statement::assume(Cube G) {
+  Statement S;
+  S.Kind = StmtKind::Assume;
+  S.Guard = std::move(G);
+  return S;
+}
+
+Statement Statement::assign(VarId X, LinearExpr E) {
+  Statement S;
+  S.Kind = StmtKind::Assign;
+  S.Target = X;
+  S.Rhs = std::move(E);
+  return S;
+}
+
+Statement Statement::havoc(VarId X) {
+  Statement S;
+  S.Kind = StmtKind::Havoc;
+  S.Target = X;
+  return S;
+}
+
+Cube Statement::post(const Cube &Pre, VarId Scratch) const {
+  switch (Kind) {
+  case StmtKind::Assume: {
+    Cube Out = Pre;
+    Out.conjoin(Guard);
+    return Out;
+  }
+  case StmtKind::Havoc:
+    return fm::eliminate(Pre, Target);
+  case StmtKind::Assign: {
+    assert(!Pre.mentions(Scratch) && !Rhs.mentions(Scratch) &&
+           Scratch != Target && "scratch variable is not fresh");
+    // Rename the old value of Target to Scratch, assert the new value, and
+    // project the old value away:
+    //   sp(P, x := e) = exists x0. P[x->x0] /\ x == e[x->x0].
+    LinearExpr X0 = LinearExpr::variable(Scratch);
+    Cube Renamed = Pre.map([&](const Constraint &C) {
+      return Constraint::make(C.expr().substitute(Target, X0), C.rel());
+    });
+    LinearExpr NewVal = Rhs.substitute(Target, X0);
+    Renamed.add(Constraint::eq(LinearExpr::variable(Target), NewVal));
+    return fm::eliminate(Renamed, Scratch);
+  }
+  }
+  assert(false && "unknown statement kind");
+  return Cube();
+}
+
+bool Statement::hoareValid(const Cube &Pre, const Cube &Post,
+                           VarId Scratch) const {
+  return fm::entails(post(Pre, Scratch), Post);
+}
+
+bool Statement::mentions(VarId V) const {
+  switch (Kind) {
+  case StmtKind::Assume:
+    return Guard.mentions(V);
+  case StmtKind::Havoc:
+    return Target == V;
+  case StmtKind::Assign:
+    return Target == V || Rhs.mentions(V);
+  }
+  return false;
+}
+
+bool Statement::operator==(const Statement &O) const {
+  if (Kind != O.Kind)
+    return false;
+  switch (Kind) {
+  case StmtKind::Assume:
+    return Guard == O.Guard;
+  case StmtKind::Havoc:
+    return Target == O.Target;
+  case StmtKind::Assign:
+    return Target == O.Target && Rhs == O.Rhs;
+  }
+  return false;
+}
+
+size_t Statement::hash() const {
+  size_t H = static_cast<size_t>(Kind) * 0x9e3779b97f4a7c15ULL;
+  switch (Kind) {
+  case StmtKind::Assume:
+    return H ^ Guard.hash();
+  case StmtKind::Havoc:
+    return H ^ Target;
+  case StmtKind::Assign:
+    return H ^ (Target * 0x100000001b3ULL) ^ Rhs.hash();
+  }
+  return H;
+}
+
+std::string Statement::str(const VarTable &Vars) const {
+  switch (Kind) {
+  case StmtKind::Assume:
+    return "assume(" + Guard.str(Vars) + ")";
+  case StmtKind::Havoc:
+    return "havoc " + Vars.name(Target);
+  case StmtKind::Assign:
+    return Vars.name(Target) + " := " + Rhs.str(Vars);
+  }
+  return "<?>";
+}

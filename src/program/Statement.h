@@ -1,0 +1,85 @@
+//===- program/Statement.h - Program statements ---------------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statements are the alphabet of the program automaton (Section 1 of the
+/// paper: "The alphabet of A_P is the set of all statements occurring in
+/// P"). Three kinds suffice for the WHILE fragment:
+///
+///   assume(cube)  -- guard; the associated relation keeps valuations that
+///                    satisfy the cube and leaves them unchanged,
+///   x := e        -- deterministic linear assignment,
+///   havoc x       -- nondeterministic assignment.
+///
+/// Every statement knows its strongest postcondition on the cube domain,
+/// which is the single primitive needed for the Hoare-triple queries of
+/// Definitions 3.1 and 3.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_PROGRAM_STATEMENT_H
+#define TERMCHECK_PROGRAM_STATEMENT_H
+
+#include "logic/Cube.h"
+#include "logic/FourierMotzkin.h"
+
+#include <string>
+
+namespace termcheck {
+
+/// Discriminator for Statement.
+enum class StmtKind : uint8_t { Assume, Assign, Havoc };
+
+/// An atomic program statement with relational semantics.
+class Statement {
+public:
+  /// Builds `assume(G)`.
+  static Statement assume(Cube G);
+  /// Builds `X := E`.
+  static Statement assign(VarId X, LinearExpr E);
+  /// Builds `havoc X`.
+  static Statement havoc(VarId X);
+
+  StmtKind kind() const { return Kind; }
+  const Cube &guard() const { return Guard; }
+  VarId target() const { return Target; }
+  const LinearExpr &rhs() const { return Rhs; }
+
+  /// Strongest postcondition on the cube domain (exact over the rationals,
+  /// overapproximate over the integers -- sound for Hoare validity).
+  /// \p Scratch must be a variable id unused by \p Pre and by the statement;
+  /// it is used as the renamed pre-state copy of the assignment target.
+  Cube post(const Cube &Pre, VarId Scratch) const;
+
+  /// \returns true when the Hoare triple { Pre } this { Post } is valid.
+  bool hoareValid(const Cube &Pre, const Cube &Post, VarId Scratch) const;
+
+  /// \returns true if the statement reads or writes \p V.
+  bool mentions(VarId V) const;
+
+  /// \returns true if the statement writes \p V.
+  bool writes(VarId V) const {
+    return Kind != StmtKind::Assume && Target == V;
+  }
+
+  bool operator==(const Statement &O) const;
+  bool operator!=(const Statement &O) const { return !(*this == O); }
+
+  size_t hash() const;
+
+  /// Rendering such as "j := j + 1" or "assume(i - 1 >= 0)".
+  std::string str(const VarTable &Vars) const;
+
+private:
+  StmtKind Kind = StmtKind::Assume;
+  Cube Guard;                 // Assume
+  VarId Target = InvalidVar;  // Assign / Havoc
+  LinearExpr Rhs;             // Assign
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_PROGRAM_STATEMENT_H

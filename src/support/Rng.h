@@ -1,0 +1,58 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro-style splitmix64) so that benchmark
+/// corpora and property tests are reproducible across platforms, unlike
+/// std::mt19937 seeded from std::random_device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_SUPPORT_RNG_H
+#define TERMCHECK_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace termcheck {
+
+/// Deterministic 64-bit PRNG (splitmix64). Identical sequences for identical
+/// seeds on every platform.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniform value in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// \returns a uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// \returns true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_SUPPORT_RNG_H

@@ -1,0 +1,81 @@
+//===- support/Statistics.h - Named counters ------------------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight bag of named counters and accumulating timers. The analysis
+/// driver fills one of these per run; the benchmark harnesses aggregate them
+/// into the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_SUPPORT_STATISTICS_H
+#define TERMCHECK_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace termcheck {
+
+/// Ordered map of counter name to value; ordered so dumps are deterministic.
+class Statistics {
+public:
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void add(const std::string &Name, int64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Records \p Value into a max-tracking counter.
+  void recordMax(const std::string &Name, int64_t Value) {
+    int64_t &Slot = Counters[Name];
+    if (Value > Slot)
+      Slot = Value;
+  }
+
+  /// Adds \p Seconds to an accumulating timer counter.
+  void addTime(const std::string &Name, double Seconds) {
+    Times[Name] += Seconds;
+  }
+
+  /// \returns the value of counter \p Name, or zero when absent.
+  int64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// \returns the accumulated seconds of timer \p Name, or zero when absent.
+  double getTime(const std::string &Name) const {
+    auto It = Times.find(Name);
+    return It == Times.end() ? 0.0 : It->second;
+  }
+
+  /// Merges another statistics bag into this one (summing everything).
+  void merge(const Statistics &Other) {
+    for (const auto &[K, V] : Other.Counters)
+      Counters[K] += V;
+    for (const auto &[K, V] : Other.Times)
+      Times[K] += V;
+  }
+
+  /// Pretty-prints all counters, one per line.
+  void print(std::ostream &OS) const {
+    for (const auto &[K, V] : Counters)
+      OS << "  " << K << " = " << V << "\n";
+    for (const auto &[K, V] : Times)
+      OS << "  " << K << " = " << V << " s\n";
+  }
+
+  const std::map<std::string, int64_t> &counters() const { return Counters; }
+
+private:
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, double> Times;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_SUPPORT_STATISTICS_H

@@ -1,0 +1,76 @@
+//===- support/Timer.h - Stopwatches and deadlines ------------*- C++ -*-===//
+//
+// Part of the termcheck project: reproduction of "Advanced Automata-based
+// Algorithms for Program Termination Checking" (PLDI'18).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic stopwatch and deadline helpers used by the analysis driver and
+/// the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_SUPPORT_TIMER_H
+#define TERMCHECK_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace termcheck {
+
+/// A simple monotonic stopwatch. Starts running on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// \returns elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A wall-clock budget. A default-constructed deadline never expires.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// Creates a deadline \p Seconds from now. Non-positive budgets expire
+  /// immediately.
+  static Deadline after(double Seconds) {
+    Deadline D;
+    D.Limit = Seconds;
+    D.Armed = true;
+    return D;
+  }
+
+  /// \returns true once the budget is exhausted.
+  bool expired() const { return Armed && Watch.seconds() >= Limit; }
+
+  /// \returns remaining budget in seconds (infinity when unarmed).
+  double remaining() const {
+    if (!Armed)
+      return 1e300;
+    double R = Limit - Watch.seconds();
+    return R > 0 ? R : 0;
+  }
+
+private:
+  Timer Watch;
+  double Limit = 0;
+  bool Armed = false;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_SUPPORT_TIMER_H

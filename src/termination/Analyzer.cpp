@@ -1,0 +1,273 @@
+//===- termination/Analyzer.cpp - The termination analysis loop ----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/Analyzer.h"
+
+#include "automata/DbaComplement.h"
+#include "automata/Difference.h"
+#include "automata/FiniteTraceComplement.h"
+#include "automata/Ops.h"
+#include "automata/RankComplement.h"
+#include "automata/Simulation.h"
+
+#include <cassert>
+#include <algorithm>
+#include <memory>
+
+using namespace termcheck;
+
+const char *termcheck::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Terminating:
+    return "TERMINATING";
+  case Verdict::Unknown:
+    return "UNKNOWN";
+  case Verdict::NonterminatingCandidate:
+    return "NONTERMINATING-CANDIDATE";
+  case Verdict::Timeout:
+    return "TIMEOUT";
+  }
+  return "?";
+}
+
+Buchi termcheck::programToBuchi(const Program &P) {
+  Buchi A(P.numSymbols() == 0 ? 1 : P.numSymbols(), 1);
+  A.addStates(P.numLocations());
+  for (State S = 0; S < P.numLocations(); ++S)
+    A.setAccepting(S);
+  for (const Program::Edge &E : P.edges())
+    A.addTransition(E.From, E.Sym, E.To);
+  if (P.numLocations() > 0)
+    A.addInitial(P.entry());
+  return A;
+}
+
+/// \returns true when subtract() has an efficient complement for the
+/// module: finite-trace, deterministic, or semideterministic. Rank-based
+/// complementation of general BAs is deliberately not on this list -- its
+/// blowup is the very thing the multi-stage approach avoids -- so a module
+/// failing this test is replaced by a weaker complementable one.
+static bool cheaplyComplementable(const CertifiedModule &M) {
+  if (M.Kind == ModuleKind::FiniteTrace && M.UniversalState)
+    return true;
+  Buchi C = completeWithSink(M.A);
+  if (C.isDeterministic())
+    return true;
+  return classifySdba(C).IsSemideterministic;
+}
+
+CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
+                                                const LassoWord &W,
+                                                const LassoProof &Proof,
+                                                Statistics &Stats) {
+  ModuleBuilder Builder(P);
+  CertifiedModule M0 = Builder.buildLasso(L, Proof);
+  assert(acceptsLasso(M0.A, W) && "stage 0 must contain the lasso word");
+
+  if (!Opts.MultiStage) {
+    Stats.add("modules.nondeterministic");
+    return Builder.buildNondeterministic(M0);
+  }
+
+  for (Stage S : Opts.Sequence) {
+    switch (S) {
+    case Stage::Finite: {
+      if (Proof.Status != LassoStatus::StemInfeasible)
+        break;
+      CertifiedModule M = Builder.buildFiniteTrace(L, Proof);
+      if (acceptsLasso(M.A, W)) {
+        Stats.add("modules.finite");
+        return M;
+      }
+      break;
+    }
+    case Stage::Deterministic: {
+      CertifiedModule M = Builder.buildDeterministic(M0);
+      if (acceptsLasso(M.A, W)) {
+        Stats.add("modules.deterministic");
+        return M;
+      }
+      break;
+    }
+    case Stage::Semideterministic: {
+      // u v^omega = (u v_1..v_k)(rotate_k v)^omega: the same word admits
+      // |v| lasso alignments, and the subset construction is sensitive to
+      // where the accepting head falls relative to the rank-decreasing
+      // statement. Try rotations until one M_semi contains the word.
+      LassoProver Prover(P);
+      size_t MaxRot = std::min<size_t>(L.Loop.size(), 8);
+      for (size_t Rot = 0; Rot < MaxRot; ++Rot) {
+        Lasso LR = L;
+        if (Rot != 0) {
+          LR.Stem = L.Stem.empty() ? L.Loop : L.Stem;
+          LR.Stem.insert(LR.Stem.end(), L.Loop.begin(),
+                         L.Loop.begin() + Rot);
+          LR.Loop.assign(L.Loop.begin() + Rot, L.Loop.end());
+          LR.Loop.insert(LR.Loop.end(), L.Loop.begin(), L.Loop.begin() + Rot);
+        }
+        LassoProof PR = Rot == 0 ? Proof : Prover.prove(LR);
+        if (PR.Status == LassoStatus::Unknown)
+          continue;
+        CertifiedModule MR = Builder.buildLasso(LR, PR);
+        CertifiedModule M = Builder.buildSemideterministic(MR);
+        if (acceptsLasso(M.A, W)) {
+          Stats.add("modules.semideterministic");
+          if (Rot != 0)
+            Stats.add("modules.rotated");
+          return M;
+        }
+      }
+      break;
+    }
+    case Stage::Nondeterministic: {
+      CertifiedModule M = Builder.buildNondeterministic(M0);
+      if (acceptsLasso(M.A, W) && cheaplyComplementable(M)) {
+        Stats.add("modules.nondeterministic");
+        return M;
+      }
+      break;
+    }
+    }
+  }
+  // Every stage was skipped or rejected: fall back to the stem-saturated
+  // lasso module, which is semideterministic and contains the word by
+  // construction; if even that is not cheaply complementable (merged loop
+  // anomalies), use the bare lasso module.
+  CertifiedModule MSat = Builder.buildSaturatedLasso(M0);
+  if (acceptsLasso(MSat.A, W) && cheaplyComplementable(MSat)) {
+    Stats.add("modules.semideterministic");
+    return MSat;
+  }
+  Stats.add("modules.lasso");
+  return M0;
+}
+
+/// Subtracts exactly the sampled lasso word: the deterministic one-word
+/// automaton is trivially complementable, so this always makes progress
+/// even when a module's complement blows the budget.
+static Buchi subtractWordOnly(const Buchi &Remaining, const CertifiedModule &M,
+                              const DifferenceOptions &DiffOpts,
+                              Statistics &Stats) {
+  Stats.add("complement.word_fallback");
+  auto W = findAcceptingLasso(M.A);
+  assert(W && "module language cannot be empty here");
+  uint32_t Len = static_cast<uint32_t>(W->Stem.size() + W->Loop.size());
+  Buchi WordAut(M.A.numSymbols(), 1);
+  WordAut.addStates(Len);
+  for (State S = 0; S < Len; ++S)
+    WordAut.setAccepting(S);
+  WordAut.addInitial(0);
+  for (uint32_t I = 0; I < Len; ++I) {
+    Symbol Sym = I < W->Stem.size() ? W->Stem[I] : W->Loop[I - W->Stem.size()];
+    State Next = I + 1 < Len ? I + 1 : static_cast<State>(W->Stem.size());
+    WordAut.addTransition(I, Sym, Next);
+  }
+  Buchi CompleteWord = completeWithSink(WordAut);
+  DbaComplementOracle WordOracle(CompleteWord);
+  DifferenceOptions NoAbort = DiffOpts;
+  NoAbort.ShouldAbort = nullptr; // linear-size product; always finish
+  DifferenceResult R = difference(Remaining, WordOracle, NoAbort);
+  return std::move(R.D);
+}
+
+Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
+                                    const CertifiedModule &M,
+                                    Statistics &Stats) {
+  DifferenceOptions DiffOpts;
+  DiffOpts.UseSubsumption = Opts.UseSubsumption;
+  DiffOpts.ShouldAbort = BudgetHook;
+
+  std::unique_ptr<ComplementOracle> Oracle;
+  std::optional<Sdba> Prepared;
+  std::optional<Buchi> Completed;
+
+  if (M.Kind == ModuleKind::FiniteTrace && M.UniversalState) {
+    Stats.add("complement.finite");
+    Oracle = std::make_unique<FiniteTraceComplementOracle>(M.A,
+                                                           *M.UniversalState);
+  } else {
+    Completed = completeWithSink(M.A);
+    if (Completed->isDeterministic()) {
+      Stats.add("complement.dba");
+      Oracle = std::make_unique<DbaComplementOracle>(*Completed);
+    } else if ((Prepared = prepareSdba(*Completed))) {
+      Stats.add(Opts.Ncsb == NcsbVariant::Lazy ? "complement.ncsb_lazy"
+                                               : "complement.ncsb_original");
+      Oracle = std::make_unique<NcsbOracle>(*Prepared, Opts.Ncsb);
+    }
+  }
+
+  if (!Oracle)
+    return subtractWordOnly(Remaining, M, DiffOpts, Stats);
+
+  DifferenceResult R = difference(Remaining, *Oracle, DiffOpts);
+  if (R.Aborted) {
+    // Budget ran out mid-difference: degrade to word removal so the outer
+    // loop can notice the deadline and report TIMEOUT cleanly.
+    Stats.add("difference.aborted");
+    return subtractWordOnly(Remaining, M, DiffOpts, Stats);
+  }
+  Stats.add("difference.product_states",
+            static_cast<int64_t>(R.ProductStatesExplored));
+  Stats.add("difference.complement_states",
+            static_cast<int64_t>(R.ComplementStatesDiscovered));
+  return std::move(R.D);
+}
+
+AnalysisResult TerminationAnalyzer::run() {
+  Timer Watch;
+  Deadline Budget = Opts.TimeoutSeconds > 0
+                        ? Deadline::after(Opts.TimeoutSeconds)
+                        : Deadline();
+  BudgetHook = [&Budget]() { return Budget.expired(); };
+  AnalysisResult Result;
+
+  Buchi Remaining = programToBuchi(P);
+  LassoProver Prover(P);
+  uint64_t Iter = 0;
+  while (true) {
+    if (Budget.expired() ||
+        (Opts.MaxIterations != 0 && Iter >= Opts.MaxIterations)) {
+      Result.V = Verdict::Timeout;
+      break;
+    }
+    ++Iter;
+    Result.Stats.add("iterations");
+
+    std::optional<LassoWord> W = findAcceptingLasso(Remaining);
+    if (!W) {
+      Result.V = Verdict::Terminating;
+      break;
+    }
+    Lasso L{W->Stem, W->Loop};
+    LassoProof Proof = Prover.prove(L);
+    if (Proof.Status == LassoStatus::Unknown) {
+      Result.V = Proof.FixpointCandidate ? Verdict::NonterminatingCandidate
+                                         : Verdict::Unknown;
+      Result.Counterexample = *W;
+      break;
+    }
+
+    CertifiedModule M = generalize(L, *W, Proof, Result.Stats);
+    Remaining = subtract(Remaining, M, Result.Stats);
+    Remaining = dropFullConditions(Remaining);
+    if (Remaining.numConditions() > 48)
+      Remaining = degeneralize(Remaining);
+    if (Opts.ReduceRemaining &&
+        Remaining.numStates() <= Opts.ReduceStateCap) {
+      uint32_t Before = Remaining.numStates();
+      Remaining = quotientByDirectSimulation(Remaining);
+      Result.Stats.add("reduce.states_saved",
+                       static_cast<int64_t>(Before - Remaining.numStates()));
+    }
+    Result.Stats.recordMax("remaining.max_states",
+                           static_cast<int64_t>(Remaining.numStates()));
+    Result.Modules.push_back(std::move(M));
+  }
+
+  Result.Seconds = Watch.seconds();
+  return Result;
+}

@@ -1,0 +1,130 @@
+//===- termination/Analyzer.h - The termination analysis loop -*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level refinement loop of Figure 1: represent the program as an
+/// all-accepting Büchi automaton; repeatedly sample an ultimately periodic
+/// word from the remaining language, prove the lasso terminating,
+/// generalize it to a certified module through the configured stage
+/// sequence, and remove the module's language with the on-the-fly
+/// difference. Termination is proved when the remaining language empties.
+///
+/// All the knobs evaluated in Section 7 are here: single-stage vs
+/// multi-stage, the stage sequences (i)/(ii)/(iii), NCSB-Original vs
+/// NCSB-Lazy, and the subsumption antichain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_TERMINATION_ANALYZER_H
+#define TERMCHECK_TERMINATION_ANALYZER_H
+
+#include "automata/Ncsb.h"
+#include "automata/Scc.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include "termination/Generalize.h"
+
+namespace termcheck {
+
+/// One generalization attempt in the multi-stage sequence.
+enum class Stage : uint8_t {
+  Finite,            ///< M_fin (only applicable to infeasible stems)
+  Deterministic,     ///< M_det
+  Semideterministic, ///< M_semi
+  Nondeterministic,  ///< M_nondet
+};
+
+/// Analyzer configuration (the Section 7 evaluation axes).
+struct AnalyzerOptions {
+  /// Stage sequence tried in order after the implicit stage 0; the
+  /// paper's sequence (i) skips M_det, (ii) skips M_semi, (iii) tries all.
+  std::vector<Stage> Sequence = {Stage::Finite, Stage::Semideterministic,
+                                 Stage::Nondeterministic};
+  /// Single-stage mode: always generalize straight to M_nondet.
+  bool MultiStage = true;
+  /// Which NCSB variant complements semideterministic modules.
+  NcsbVariant Ncsb = NcsbVariant::Lazy;
+  /// Subsumption antichain in the difference construction (Section 6).
+  bool UseSubsumption = true;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double TimeoutSeconds = 0;
+  /// Refinement-iteration cap (0 = unlimited).
+  uint64_t MaxIterations = 0;
+  /// Quotient the remaining automaton by direct-simulation equivalence
+  /// after each difference (a language-preserving reduction; applied while
+  /// the automaton is below ReduceStateCap states).
+  bool ReduceRemaining = true;
+  uint32_t ReduceStateCap = 600;
+
+  /// The paper's stage sequences for the Section 7 ablation.
+  static std::vector<Stage> sequenceSkipDet() {
+    return {Stage::Finite, Stage::Semideterministic,
+            Stage::Nondeterministic};
+  }
+  static std::vector<Stage> sequenceSkipSemi() {
+    return {Stage::Finite, Stage::Deterministic, Stage::Nondeterministic};
+  }
+  static std::vector<Stage> sequenceAll() {
+    return {Stage::Finite, Stage::Deterministic, Stage::Semideterministic,
+            Stage::Nondeterministic};
+  }
+};
+
+/// Final verdict of one analysis run.
+enum class Verdict : uint8_t {
+  Terminating,       ///< every path is covered by a certified module
+  Unknown,           ///< a lasso could not be proved terminating
+  NonterminatingCandidate, ///< ... and its loop has a self-fixpoint
+  Timeout,           ///< budget exhausted
+};
+
+const char *verdictName(Verdict V);
+
+/// Result of one analysis run.
+struct AnalysisResult {
+  Verdict V = Verdict::Unknown;
+  /// The certified modules that jointly cover the program.
+  std::vector<CertifiedModule> Modules;
+  /// The unresolved counterexample (Unknown / NonterminatingCandidate).
+  std::optional<LassoWord> Counterexample;
+  /// Counters: modules per kind, iterations, product/complement sizes.
+  Statistics Stats;
+  double Seconds = 0;
+};
+
+/// Converts the CFG into the all-accepting program automaton A_P of
+/// Figure 2b (locations are states, statements are symbols).
+Buchi programToBuchi(const Program &P);
+
+/// The Figure 1 analysis loop.
+class TerminationAnalyzer {
+public:
+  TerminationAnalyzer(Program &P, AnalyzerOptions Opts = {})
+      : P(P), Opts(std::move(Opts)) {}
+
+  AnalysisResult run();
+
+private:
+  Program &P;
+  AnalyzerOptions Opts;
+  /// Polled inside the (otherwise uninterruptible) difference engine so a
+  /// single subtraction cannot overrun the wall-clock budget.
+  std::function<bool()> BudgetHook;
+
+  /// Tries the configured stages; \returns the first module containing the
+  /// lasso word (always succeeds: M_nondet is the final fallback when
+  /// configured, and M_uv itself contains the word).
+  CertifiedModule generalize(const Lasso &L, const LassoWord &W,
+                             const LassoProof &Proof, Statistics &Stats);
+
+  /// Subtracts the module language from \p Remaining.
+  Buchi subtract(const Buchi &Remaining, const CertifiedModule &M,
+                 Statistics &Stats);
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_TERMINATION_ANALYZER_H

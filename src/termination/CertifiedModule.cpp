@@ -1,0 +1,101 @@
+//===- termination/CertifiedModule.cpp - Certified modules ---------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/CertifiedModule.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+const char *termcheck::moduleKindName(ModuleKind K) {
+  switch (K) {
+  case ModuleKind::Lasso:
+    return "lasso";
+  case ModuleKind::FiniteTrace:
+    return "finite-trace";
+  case ModuleKind::Deterministic:
+    return "deterministic";
+  case ModuleKind::Semideterministic:
+    return "semideterministic";
+  case ModuleKind::Nondeterministic:
+    return "nondeterministic";
+  }
+  return "?";
+}
+
+Predicate termcheck::postPredicate(const Predicate &Pre, const Statement &S,
+                                   const Program &P) {
+  return Predicate(S.post(Pre.cube(), P.scratchVar()), Pre.oldrnkIsInf());
+}
+
+Predicate termcheck::postOldrnkAssign(const Predicate &Pre,
+                                      const LinearExpr &Rank,
+                                      const Program &P) {
+  VarId Old = P.oldrnkVar();
+  // Discard the pre-state value of oldrnk (either the INF conjunct or the
+  // finite constraints), then bind oldrnk to the current rank value. The
+  // INF-branch models of a flag-less predicate also satisfy the result
+  // because the update overwrites oldrnk anyway.
+  Cube Base =
+      Pre.oldrnkIsInf() ? Pre.restrictToInf(Old) : fm::eliminate(Pre.cube(), Old);
+  Base.add(Constraint::eq(LinearExpr::variable(Old), Rank));
+  return Predicate(std::move(Base), /*OldrnkIsInf=*/false);
+}
+
+bool termcheck::hoareValidPredicate(const Predicate &Pre, const Statement &S,
+                                    const Predicate &Post, const Program &P,
+                                    const LinearExpr *RankUpdate) {
+  Predicate Cur = Pre;
+  if (RankUpdate)
+    Cur = postOldrnkAssign(Cur, *RankUpdate, P);
+  return postPredicate(Cur, S, P).entails(Post, P.oldrnkVar());
+}
+
+std::string termcheck::validateModule(const CertifiedModule &M,
+                                      const Program &P) {
+  const Buchi &A = M.A;
+  if (M.Cert.size() != A.numStates())
+    return "certificate size does not match the automaton";
+  if (A.numConditions() != 1)
+    return "module automaton must be a plain BA";
+  VarId Old = P.oldrnkVar();
+
+  // Initial states: oldrnk = INF must entail the predicate (the module is
+  // entered with no previous rank, Definition 3.1 first bullet).
+  for (State Q : A.initials().elems()) {
+    if (!Predicate::oldrnkInfinity().entails(M.Cert[Q], Old))
+      return "initial state q" + std::to_string(Q) +
+             " not implied by oldrnk = INF";
+  }
+
+  // Accepting states: predicate entails f < oldrnk (or is unsatisfiable,
+  // which the entailment covers).
+  Cube RankLtOld;
+  RankLtOld.add(Constraint::lt(M.Rank, LinearExpr::variable(Old)));
+  Predicate Decrease(RankLtOld);
+  for (State Q = 0; Q < A.numStates(); ++Q) {
+    if (A.acceptMask(Q) == 0)
+      continue;
+    if (!M.Cert[Q].entails(Decrease, Old))
+      return "accepting state q" + std::to_string(Q) +
+             " does not entail f < oldrnk";
+  }
+
+  // Every edge is a valid Hoare triple; edges leaving accepting states
+  // insert the oldrnk := f update first.
+  for (State Q = 0; Q < A.numStates(); ++Q) {
+    bool Accepting = A.acceptMask(Q) != 0;
+    for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
+      const Statement &S = P.statement(Arc.Sym);
+      bool Ok = hoareValidPredicate(M.Cert[Q], S, M.Cert[Arc.To], P,
+                                    Accepting ? &M.Rank : nullptr);
+      if (!Ok)
+        return "invalid Hoare triple on q" + std::to_string(Q) + " --[" +
+               S.str(P.vars()) + "]--> q" + std::to_string(Arc.To);
+    }
+  }
+  return "";
+}

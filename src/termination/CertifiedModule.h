@@ -1,0 +1,88 @@
+//===- termination/CertifiedModule.h - Certified modules ------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Certified modules M = (A_M, f_M, I_M) (Definition 3.1): a BA over the
+/// program's statement alphabet, a ranking function, and a rank certificate
+/// mapping each state to a predicate over the program variables plus the
+/// auxiliary `oldrnk`. Every word of the module denotes a path whose
+/// executions strictly decrease f at each accepting-state visit -- i.e., a
+/// terminating (or infeasible) path.
+///
+/// validateModule re-checks Definition 3.1 independently of how a module
+/// was constructed; the test suite runs it on the output of every stage and
+/// the analyzer can run it as a self-check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_TERMINATION_CERTIFIEDMODULE_H
+#define TERMCHECK_TERMINATION_CERTIFIEDMODULE_H
+
+#include "automata/Buchi.h"
+#include "logic/Predicate.h"
+#include "program/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace termcheck {
+
+/// Which generalization stage produced a module (Section 3.1).
+enum class ModuleKind : uint8_t {
+  Lasso,             ///< stage 0: the initial certified lasso module
+  FiniteTrace,       ///< stage 1: infeasible-stem prefix module
+  Deterministic,     ///< stage 2: Definition 3.2 subset construction
+  Semideterministic, ///< stage 3: M_det plus delayed-acceptance branches
+  Nondeterministic,  ///< stage 4: all certificate-respecting transitions
+};
+
+/// Short display name of a module kind.
+const char *moduleKindName(ModuleKind K);
+
+/// A certified module (A_M, f_M, I_M).
+struct CertifiedModule {
+  /// The module BA over the full program alphabet (transitions only carry
+  /// the statements of u v^omega; the automaton is completed on demand by
+  /// the complementation step).
+  Buchi A;
+  /// Rank certificate: one predicate per state of A.
+  std::vector<Predicate> Cert;
+  /// The ranking function f over the program variables.
+  LinearExpr Rank;
+  ModuleKind Kind = ModuleKind::Lasso;
+  /// For finite-trace modules: the universal accepting state (carries
+  /// self-loops on every program symbol), needed by the O(1) complement.
+  std::optional<State> UniversalState;
+
+  CertifiedModule() : A(0, 1) {}
+  explicit CertifiedModule(Buchi Aut) : A(std::move(Aut)) {}
+};
+
+/// Strongest post of a certificate predicate through a program statement.
+/// Statements never touch oldrnk, so the INF flag is preserved.
+Predicate postPredicate(const Predicate &Pre, const Statement &S,
+                        const Program &P);
+
+/// Strongest post through the synthetic `oldrnk := f(v)` update used on
+/// edges leaving accepting states (Definition 3.1, last bullet).
+Predicate postOldrnkAssign(const Predicate &Pre, const LinearExpr &Rank,
+                           const Program &P);
+
+/// Hoare validity { Pre } [oldrnk := f;] S { Post } at the predicate level.
+bool hoareValidPredicate(const Predicate &Pre, const Statement &S,
+                         const Predicate &Post, const Program &P,
+                         const LinearExpr *RankUpdate = nullptr);
+
+/// Independent Definition 3.1 checker (generalized to several accepting
+/// states: each accepting state's predicate must entail f < oldrnk or be
+/// unsatisfiable; edges from accepting states get the oldrnk update).
+/// \returns empty string when valid, else a diagnostic.
+std::string validateModule(const CertifiedModule &M, const Program &P);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_TERMINATION_CERTIFIEDMODULE_H

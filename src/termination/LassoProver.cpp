@@ -1,0 +1,337 @@
+//===- termination/LassoProver.cpp - Lasso termination proofs ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/LassoProver.h"
+
+#include "logic/Simplex.h"
+
+#include <cassert>
+#include <numeric>
+#include <set>
+
+using namespace termcheck;
+
+VarId LassoProver::freshTemp() {
+  return P.vars().intern("$t" + std::to_string(TempCounter++));
+}
+
+std::vector<VarId>
+LassoProver::variablesOf(const std::vector<SymbolId> &Stmts) const {
+  std::set<VarId> Vars;
+  for (SymbolId Sym : Stmts) {
+    const Statement &S = P.statement(Sym);
+    switch (S.kind()) {
+    case StmtKind::Assume:
+      for (const Constraint &C : S.guard().atoms())
+        for (const LinearExpr::Term &T : C.expr().terms())
+          Vars.insert(T.Var);
+      break;
+    case StmtKind::Havoc:
+      Vars.insert(S.target());
+      break;
+    case StmtKind::Assign:
+      Vars.insert(S.target());
+      for (const LinearExpr::Term &T : S.rhs().terms())
+        Vars.insert(T.Var);
+      break;
+    }
+  }
+  return std::vector<VarId>(Vars.begin(), Vars.end());
+}
+
+std::vector<Cube> LassoProver::postChain(const Cube &Pre,
+                                         const std::vector<SymbolId> &Stmts) {
+  std::vector<Cube> Chain{Pre};
+  for (SymbolId Sym : Stmts)
+    Chain.push_back(P.statement(Sym).post(Chain.back(), P.scratchVar()));
+  return Chain;
+}
+
+Cube LassoProver::pathRelation(const std::vector<SymbolId> &Stmts,
+                               const std::vector<VarId> &Vars,
+                               const std::vector<VarId> &PrimedOf) {
+  assert(Vars.size() == PrimedOf.size() && "primed map size mismatch");
+  // Symbolic execution with explicit variable versions. CurVer maps each
+  // program variable to the temp holding its current value; unversioned
+  // variables stand for their own initial value.
+  std::unordered_map<VarId, VarId> CurVer;
+  auto Version = [&](VarId V) {
+    auto It = CurVer.find(V);
+    return It == CurVer.end() ? V : It->second;
+  };
+  auto Rename = [&](const LinearExpr &E) {
+    LinearExpr Out = LinearExpr::constant(E.constantTerm());
+    for (const LinearExpr::Term &T : E.terms())
+      Out = Out + LinearExpr::scaled(Version(T.Var), T.Coeff);
+    return Out;
+  };
+
+  Cube Rel;
+  std::vector<VarId> Temps;
+  for (SymbolId Sym : Stmts) {
+    const Statement &S = P.statement(Sym);
+    switch (S.kind()) {
+    case StmtKind::Assume:
+      for (const Constraint &C : S.guard().atoms())
+        Rel.add(Constraint::make(Rename(C.expr()), C.rel()));
+      break;
+    case StmtKind::Assign: {
+      LinearExpr Rhs = Rename(S.rhs());
+      VarId Fresh = freshTemp();
+      Temps.push_back(Fresh);
+      Rel.add(Constraint::eq(LinearExpr::variable(Fresh), Rhs));
+      CurVer[S.target()] = Fresh;
+      break;
+    }
+    case StmtKind::Havoc: {
+      VarId Fresh = freshTemp();
+      Temps.push_back(Fresh);
+      CurVer[S.target()] = Fresh;
+      break;
+    }
+    }
+  }
+  // Bind the primed variables to the final versions...
+  for (size_t I = 0; I < Vars.size(); ++I)
+    Rel.add(Constraint::eq(LinearExpr::variable(PrimedOf[I]),
+                           LinearExpr::variable(Version(Vars[I]))));
+  // ...and project the intermediate versions away.
+  return fm::eliminateAll(std::move(Rel), Temps);
+}
+
+Cube LassoProver::inductiveInvariant(const Cube &Candidate,
+                                     const std::vector<SymbolId> &Loop) {
+  // Greedy greatest fixpoint: repeatedly drop atoms not re-established by
+  // one loop iteration from the remaining conjunction.
+  Cube Inv = Candidate;
+  while (!Inv.isTrue() && !Inv.isContradictory()) {
+    Cube Post = postChain(Inv, Loop).back();
+    Cube Kept;
+    bool Dropped = false;
+    for (const Constraint &Atom : Inv.atoms()) {
+      if (fm::entails(Post, Atom))
+        Kept.add(Atom);
+      else
+        Dropped = true;
+    }
+    if (!Dropped)
+      break;
+    Inv = std::move(Kept);
+  }
+  return Inv;
+}
+
+std::optional<LinearExpr>
+LassoProver::synthesizeLinearRanking(const Cube &T,
+                                     const std::vector<VarId> &Vars,
+                                     const std::vector<VarId> &PrimedOf) {
+  // Bring T into row form A y <= b over y = (x, x') with column indices
+  // 0..n-1 for Vars and n..2n-1 for PrimedOf; equalities become two rows.
+  const size_t N = Vars.size();
+  auto ColumnOf = [&](VarId V) -> int {
+    for (size_t I = 0; I < N; ++I) {
+      if (Vars[I] == V)
+        return static_cast<int>(I);
+      if (PrimedOf[I] == V)
+        return static_cast<int>(N + I);
+    }
+    return -1;
+  };
+
+  struct RowT {
+    std::vector<Rational> A; // 2n columns
+    Rational B;
+  };
+  std::vector<RowT> Rows;
+  for (const Constraint &Atom : T.atoms()) {
+    RowT Row;
+    Row.A.assign(2 * N, Rational(0));
+    for (const LinearExpr::Term &Term : Atom.expr().terms()) {
+      int Col = ColumnOf(Term.Var);
+      if (Col < 0)
+        return std::nullopt; // stray variable: give up conservatively
+      Row.A[Col] += Rational(Term.Coeff);
+    }
+    Row.B = Rational(-Atom.expr().constantTerm());
+    Rows.push_back(Row);
+    if (Atom.rel() == RelKind::EQ) {
+      RowT Neg = Row;
+      for (Rational &C : Neg.A)
+        C = -C;
+      Neg.B = -Row.B;
+      Rows.push_back(Neg);
+    }
+  }
+  const size_t M = Rows.size();
+
+  // Unknowns: ranking coefficients a (free), constant b (free), and two
+  // nonnegative multiplier vectors lambda1 (boundedness), lambda2
+  // (decrease). Podelski-Rybalchenko via Farkas:
+  //   lambda1^T A = (-a | 0)   and  lambda1^T b <= b0        (f(x) >= 0)
+  //   lambda2^T A = (-a | a)   and  lambda2^T b <= -1        (decrease)
+  lp::Problem LP;
+  std::vector<int> AVar(N), L1(M), L2(M);
+  for (size_t I = 0; I < N; ++I)
+    AVar[I] = LP.addVar(/*NonNegative=*/false);
+  int B0 = LP.addVar(false);
+  for (size_t I = 0; I < M; ++I)
+    L1[I] = LP.addVar(true);
+  for (size_t I = 0; I < M; ++I)
+    L2[I] = LP.addVar(true);
+
+  for (size_t Col = 0; Col < 2 * N; ++Col) {
+    std::vector<std::pair<int, Rational>> Terms1, Terms2;
+    for (size_t I = 0; I < M; ++I) {
+      if (!Rows[I].A[Col].isZero()) {
+        Terms1.push_back({L1[I], Rows[I].A[Col]});
+        Terms2.push_back({L2[I], Rows[I].A[Col]});
+      }
+    }
+    // Target coefficients.
+    if (Col < N) {
+      Terms1.push_back({AVar[Col], Rational(1)}); // lambda1^T A + a = 0
+      Terms2.push_back({AVar[Col], Rational(1)});
+    } else {
+      Terms2.push_back({AVar[Col - N], Rational(-1)});
+    }
+    LP.addRow(Terms1, lp::Rel::EQ, Rational(0));
+    LP.addRow(Terms2, lp::Rel::EQ, Rational(0));
+  }
+  {
+    std::vector<std::pair<int, Rational>> Terms1, Terms2;
+    for (size_t I = 0; I < M; ++I) {
+      if (!Rows[I].B.isZero()) {
+        Terms1.push_back({L1[I], Rows[I].B});
+        Terms2.push_back({L2[I], Rows[I].B});
+      }
+    }
+    Terms1.push_back({B0, Rational(-1)});
+    LP.addRow(Terms1, lp::Rel::LE, Rational(0));  // lambda1^T b <= b0
+    LP.addRow(Terms2, lp::Rel::LE, Rational(-1)); // lambda2^T b <= -1
+  }
+
+  auto Sol = LP.solve();
+  if (!Sol)
+    return std::nullopt;
+
+  // Scale the rational coefficients to integers.
+  Rational::Int Lcm = 1;
+  auto LcmWith = [&](const Rational &R) {
+    // lcm(Lcm, den) computed exactly in 128 bits.
+    Rational::Int X = Lcm, Y = R.den();
+    while (Y != 0) {
+      Rational::Int T = X % Y;
+      X = Y;
+      Y = T;
+    }
+    Lcm = Lcm / X * R.den();
+  };
+  for (size_t I = 0; I < N; ++I)
+    LcmWith((*Sol)[AVar[I]]);
+  LcmWith((*Sol)[B0]);
+
+  LinearExpr F;
+  for (size_t I = 0; I < N; ++I) {
+    Rational C = (*Sol)[AVar[I]] * Rational(Lcm, 1);
+    assert(C.isInteger() && "lcm scaling failed");
+    F = F + LinearExpr::scaled(Vars[I], C.toInt64());
+  }
+  Rational C0 = (*Sol)[B0] * Rational(Lcm, 1);
+  assert(C0.isInteger() && "lcm scaling failed");
+  F = F + LinearExpr::constant(C0.toInt64());
+  return F;
+}
+
+bool LassoProver::hasSelfFixpoint(const Cube &T, const Cube &Inv,
+                                  const std::vector<VarId> &Vars,
+                                  const std::vector<VarId> &PrimedOf) {
+  // Substitute x' := x and check satisfiability together with Inv.
+  Cube Query = Inv;
+  for (const Constraint &Atom : T.atoms()) {
+    LinearExpr E = Atom.expr();
+    for (size_t I = 0; I < Vars.size(); ++I)
+      E = E.substitute(PrimedOf[I], LinearExpr::variable(Vars[I]));
+    Query.add(Constraint::make(std::move(E), Atom.rel()));
+  }
+  return fm::isSatisfiable(Query);
+}
+
+LassoProof LassoProver::prove(const Lasso &L) {
+  assert(!L.Loop.empty() && "lasso needs a loop");
+  LassoProof Proof;
+
+  // Footnote 1 of the paper: an empty stem is materialized as one copy of
+  // the loop (u v^omega = v v^omega). The module constructions apply the
+  // same normalization, so invariants and failure indices line up.
+  const std::vector<SymbolId> &Stem = L.Stem.empty() ? L.Loop : L.Stem;
+
+  // 1. Stem feasibility.
+  std::vector<Cube> StemChain = postChain(Cube(), Stem);
+  for (size_t I = 0; I < StemChain.size(); ++I) {
+    if (!fm::isSatisfiable(StemChain[I])) {
+      Proof.Status = LassoStatus::StemInfeasible;
+      Proof.StemFailIndex = I;
+      return Proof;
+    }
+  }
+
+  // 2. Loop relation over the variables the lasso touches.
+  std::vector<VarId> Vars = variablesOf(L.Loop);
+  {
+    // Variables only read by the loop but written by the stem also matter.
+    std::vector<VarId> StemVars = variablesOf(Stem);
+    std::set<VarId> All(Vars.begin(), Vars.end());
+    All.insert(StemVars.begin(), StemVars.end());
+    Vars.assign(All.begin(), All.end());
+  }
+  std::vector<VarId> PrimedOf;
+  for (VarId V : Vars)
+    PrimedOf.push_back(P.vars().intern("$p_" + P.vars().name(V)));
+  Cube T = pathRelation(L.Loop, Vars, PrimedOf);
+
+  // 3. Supporting invariant: the inductive part of the stem postcondition.
+  Cube Inv = inductiveInvariant(StemChain.back(), L.Loop);
+
+  // 4. Ranking synthesis, first without the invariant (smaller certificate,
+  //    matching the paper's example where I(q3) is just i - j < oldrnk,
+  //    and a more general module), then with it.
+  if (auto F = synthesizeLinearRanking(T, Vars, PrimedOf)) {
+    Proof.Status = LassoStatus::Terminating;
+    Proof.Rank = *F;
+    Proof.Invariant = Cube();
+    return Proof;
+  }
+  if (!Inv.isTrue()) {
+    Cube TInv = T;
+    TInv.conjoin(Inv);
+    if (auto F = synthesizeLinearRanking(TInv, Vars, PrimedOf)) {
+      Proof.Status = LassoStatus::Terminating;
+      Proof.Rank = *F;
+      Proof.Invariant = Inv;
+      return Proof;
+    }
+  }
+
+  // 5. Last resort: a loop that cannot execute even once under the
+  //    invariant (a spurious lasso of the CFG) terminates trivially with
+  //    the constant ranking function 0, certified because the
+  //    strongest-post chain through the loop bottoms out at false. This is
+  //    the weakest proof (the module covers fewer paths), so the ranking
+  //    attempts above come first.
+  {
+    std::vector<Cube> LoopChain = postChain(Inv, L.Loop);
+    if (!fm::isSatisfiable(LoopChain.back())) {
+      Proof.Status = LassoStatus::Terminating;
+      Proof.Rank = LinearExpr::constant(0);
+      Proof.Invariant = Inv;
+      return Proof;
+    }
+  }
+
+  Proof.Status = LassoStatus::Unknown;
+  Proof.FixpointCandidate = hasSelfFixpoint(T, Inv, Vars, PrimedOf);
+  return Proof;
+}

@@ -1,0 +1,121 @@
+//===- termination/LassoProver.h - Lasso termination proofs ---*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "off-the-shelf approach" box of Figure 1: proving termination of one
+/// lasso-shaped program u v^omega. The prover
+///
+///  1. detects stems that are infeasible (enabling the stage-1 finite-trace
+///     module),
+///  2. computes a supporting invariant at the loop head (the inductive
+///     subset of the stem's strongest postcondition),
+///  3. synthesizes a linear ranking function with the Podelski-Rybalchenko
+///     method [44]: the universally quantified decrease/boundedness
+///     conditions over the loop relation are turned into an existential
+///     system of Farkas multipliers and solved with the exact simplex.
+///
+/// A loop that is infeasible (one pass cannot execute) yields the constant
+/// ranking function 0; the rank certificate is then vacuously valid because
+/// the strongest-postcondition chain bottoms out at `false`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_TERMINATION_LASSOPROVER_H
+#define TERMCHECK_TERMINATION_LASSOPROVER_H
+
+#include "program/Program.h"
+
+#include <optional>
+#include <vector>
+
+namespace termcheck {
+
+/// How the lasso analysis ended.
+enum class LassoStatus : uint8_t {
+  /// The stem already cannot execute; StemFailIndex is the first position
+  /// whose postcondition is unsatisfiable.
+  StemInfeasible,
+  /// Termination proved: Rank decreases and is bounded on every iteration
+  /// executable under Invariant.
+  Terminating,
+  /// No linear ranking function exists (or synthesis failed); the lasso
+  /// may be a real nonterminating execution.
+  Unknown,
+};
+
+/// A termination proof (or failure report) for one lasso.
+struct LassoProof {
+  LassoStatus Status = LassoStatus::Unknown;
+  /// Ranking function over the program variables (valid when Terminating).
+  LinearExpr Rank;
+  /// Supporting invariant at the loop head: established by the stem and
+  /// inductive under the loop (valid when Terminating).
+  Cube Invariant;
+  /// First infeasible stem position (valid when StemInfeasible).
+  size_t StemFailIndex = 0;
+  /// Set when the loop relation has a trivial self-fixpoint, i.e. there is
+  /// a (rational) state that the loop maps to itself: a strong hint that
+  /// the lasso really does not terminate.
+  bool FixpointCandidate = false;
+};
+
+/// A lasso as sequences of program statements.
+struct Lasso {
+  std::vector<SymbolId> Stem;
+  std::vector<SymbolId> Loop; // nonempty
+};
+
+/// Termination prover for lasso programs.
+class LassoProver {
+public:
+  /// \p P supplies statement semantics and the variable table (which the
+  /// prover extends with versioned temporaries).
+  explicit LassoProver(Program &P) : P(P) {}
+
+  /// Analyzes Stem . Loop^omega.
+  LassoProof prove(const Lasso &L);
+
+  /// Strongest-postcondition cube chain along \p Stmts starting from
+  /// \p Pre; the chain has Stmts.size() + 1 entries (Pre first). Exposed
+  /// for the module constructions, which reuse it for certificates.
+  std::vector<Cube> postChain(const Cube &Pre,
+                              const std::vector<SymbolId> &Stmts);
+
+  /// The transition relation of the statement sequence as a cube over
+  /// current variables (unprimed) and \p PrimedOf-mapped next-state
+  /// variables. Variables not in \p Vars are treated as local.
+  Cube pathRelation(const std::vector<SymbolId> &Stmts,
+                    const std::vector<VarId> &Vars,
+                    const std::vector<VarId> &PrimedOf);
+
+  /// Collects the program variables read or written by the statements.
+  std::vector<VarId> variablesOf(const std::vector<SymbolId> &Stmts) const;
+
+private:
+  Program &P;
+  uint64_t TempCounter = 0;
+
+  VarId freshTemp();
+
+  /// The inductive subset of \p Candidate's atoms under the loop.
+  Cube inductiveInvariant(const Cube &Candidate,
+                          const std::vector<SymbolId> &Loop);
+
+  /// Podelski-Rybalchenko synthesis over relation \p T (vars as returned
+  /// by pathRelation). \returns the ranking function on success.
+  std::optional<LinearExpr>
+  synthesizeLinearRanking(const Cube &T, const std::vector<VarId> &Vars,
+                          const std::vector<VarId> &PrimedOf);
+
+  /// \returns true if exists x with Inv(x) and T(x, x).
+  bool hasSelfFixpoint(const Cube &T, const Cube &Inv,
+                       const std::vector<VarId> &Vars,
+                       const std::vector<VarId> &PrimedOf);
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_TERMINATION_LASSOPROVER_H

@@ -1,0 +1,338 @@
+//===- tests/analyzer_test.cpp - End-to-end analysis tests ----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/Analyzer.h"
+
+#include "benchgen/ProgramFamilies.h"
+#include "program/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+Program parse(const char *Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+AnalysisResult analyze(Program &P, AnalyzerOptions Opts = {}) {
+  if (Opts.TimeoutSeconds == 0)
+    Opts.TimeoutSeconds = 30;
+  TerminationAnalyzer A(P, Opts);
+  return A.run();
+}
+
+TEST(Analyzer, EmptyBodyTerminates) {
+  Program P = parse("program p(i) { i := 1; }");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+  EXPECT_TRUE(R.Modules.empty()) << "no infinite path to cover";
+}
+
+TEST(Analyzer, SimpleCountdownTerminates) {
+  Program P = parse("program p(i) { while (i > 0) { i := i - 1; } }");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+  EXPECT_GE(R.Modules.size(), 1u);
+}
+
+TEST(Analyzer, ModulesAreValidCertificates) {
+  Program P = parse("program p(i) { while (i > 0) { i := i - 1; } }");
+  AnalysisResult R = analyze(P);
+  ASSERT_EQ(R.V, Verdict::Terminating);
+  for (const CertifiedModule &M : R.Modules)
+    EXPECT_EQ(validateModule(M, P), "");
+}
+
+TEST(Analyzer, PsortTerminates) {
+  Program P = parse(R"(
+program sort(i) {
+  while (i > 0) {
+    j := 1;
+    while (j < i) { j := j + 1; }
+    i := i - 1;
+  }
+})");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+  EXPECT_GE(R.Modules.size(), 2u) << "inner and outer loop need modules";
+  for (const CertifiedModule &M : R.Modules)
+    EXPECT_EQ(validateModule(M, P), "");
+}
+
+TEST(Analyzer, WhileTrueIsNonterminatingCandidate) {
+  // The identity loop has a self-fixpoint, so the heuristic flags it.
+  Program P = parse("program p(i) { while (true) { skip; } }");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::NonterminatingCandidate);
+  ASSERT_TRUE(R.Counterexample.has_value());
+}
+
+TEST(Analyzer, DivergingIncrementIsUnknownOrCandidate) {
+  Program P = parse("program p(i) { while (true) { i := i + 1; } }");
+  AnalysisResult R = analyze(P);
+  EXPECT_TRUE(R.V == Verdict::Unknown ||
+              R.V == Verdict::NonterminatingCandidate);
+  ASSERT_TRUE(R.Counterexample.has_value());
+}
+
+TEST(Analyzer, CountUpForeverIsNotProvedTerminating) {
+  Program P = parse("program p(i) { while (i > 0) { i := i + 1; } }");
+  AnalysisResult R = analyze(P);
+  EXPECT_NE(R.V, Verdict::Terminating);
+}
+
+TEST(Analyzer, BranchingLoopBody) {
+  // Terminates: both branches decrease i.
+  Program P = parse(R"(
+program p(i) {
+  while (i > 0) {
+    if (*) { i := i - 1; } else { i := i - 2; }
+  }
+})");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+}
+
+TEST(Analyzer, PhaseSplitLoop) {
+  // Two phases with different ranking arguments.
+  Program P = parse(R"(
+program p(i, j) {
+  while (i > 0) { i := i - 1; }
+  while (j > 0) { j := j - 1; }
+})");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+}
+
+TEST(Analyzer, NestedLoopsWithReset) {
+  // The classic pattern needing two modules (inner resets each round).
+  Program P = parse(R"(
+program p(i, j) {
+  while (i > 0) {
+    j := i;
+    while (j > 0) { j := j - 1; }
+    i := i - 1;
+  }
+})");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+  for (const CertifiedModule &M : R.Modules)
+    EXPECT_EQ(validateModule(M, P), "");
+}
+
+TEST(Analyzer, GuardedInfiniteLoopUnreachable) {
+  // The loop cannot be entered: i == 0 at the head.
+  Program P = parse(R"(
+program p(i) {
+  i := 0;
+  while (i > 0) { i := i; }
+})");
+  AnalysisResult R = analyze(P);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+}
+
+TEST(Analyzer, SingleStageAlsoSolvesSimplePrograms) {
+  Program P = parse("program p(i) { while (i > 0) { i := i - 1; } }");
+  AnalyzerOptions Opts;
+  Opts.MultiStage = false;
+  AnalysisResult R = analyze(P, Opts);
+  EXPECT_EQ(R.V, Verdict::Terminating);
+  EXPECT_GE(R.Stats.get("modules.nondeterministic"), 1);
+}
+
+TEST(Analyzer, AllStageSequencesAgreeOnVerdicts) {
+  const char *Sources[] = {
+      "program a(i) { while (i > 0) { i := i - 1; } }",
+      "program b(i, j) { while (i > 0) { i := i - 1; j := j + 1; } }",
+      R"(program c(i, j) {
+           while (i > 0) {
+             j := i;
+             while (j > 0) { j := j - 1; }
+             i := i - 1;
+           }
+         })",
+  };
+  for (const char *Src : Sources) {
+    Verdict Got[3];
+    int K = 0;
+    for (auto Seq : {AnalyzerOptions::sequenceSkipDet(),
+                     AnalyzerOptions::sequenceSkipSemi(),
+                     AnalyzerOptions::sequenceAll()}) {
+      Program P = parse(Src);
+      AnalyzerOptions Opts;
+      Opts.Sequence = Seq;
+      Got[K++] = analyze(P, Opts).V;
+    }
+    EXPECT_EQ(Got[0], Got[1]);
+    EXPECT_EQ(Got[1], Got[2]);
+    EXPECT_EQ(Got[0], Verdict::Terminating);
+  }
+}
+
+TEST(Analyzer, NcsbVariantsAndSubsumptionAgree) {
+  const char *Src = R"(
+program sort(i) {
+  while (i > 0) {
+    j := 1;
+    while (j < i) { j := j + 1; }
+    i := i - 1;
+  }
+})";
+  for (NcsbVariant V : {NcsbVariant::Original, NcsbVariant::Lazy}) {
+    for (bool Sub : {false, true}) {
+      Program P = parse(Src);
+      AnalyzerOptions Opts;
+      Opts.Ncsb = V;
+      Opts.UseSubsumption = Sub;
+      AnalysisResult R = analyze(P, Opts);
+      EXPECT_EQ(R.V, Verdict::Terminating)
+          << "variant " << (V == NcsbVariant::Lazy ? "lazy" : "orig")
+          << " subsumption " << Sub;
+    }
+  }
+}
+
+TEST(Analyzer, ModulesJointlyCoverSampledProgramLassos) {
+  // Soundness-style property: after TERMINATING, every sampled ultimately
+  // periodic word of A_P is in some module's language.
+  Program P = parse(R"(
+program sort(i) {
+  while (i > 0) {
+    j := 1;
+    while (j < i) { j := j + 1; }
+    i := i - 1;
+  }
+})");
+  AnalysisResult R = analyze(P);
+  ASSERT_EQ(R.V, Verdict::Terminating);
+  Buchi AP = programToBuchi(P);
+  // Sample lassos of A_P by random walks that close a cycle.
+  Rng Walk(8);
+  int Checked = 0;
+  for (int Iter = 0; Iter < 200 && Checked < 40; ++Iter) {
+    std::vector<State> Path{AP.initials().elems()[0]};
+    std::vector<Symbol> Syms;
+    for (int Step = 0; Step < 12; ++Step) {
+      const auto &Arcs = AP.arcsFrom(Path.back());
+      if (Arcs.empty())
+        break;
+      const Buchi::Arc &Arc = Arcs[Walk.below(Arcs.size())];
+      Syms.push_back(Arc.Sym);
+      Path.push_back(Arc.To);
+      // Did we close a cycle?
+      for (size_t I = 0; I + 1 < Path.size(); ++I) {
+        if (Path[I] != Path.back())
+          continue;
+        LassoWord W;
+        W.Stem.assign(Syms.begin(), Syms.begin() + I);
+        W.Loop.assign(Syms.begin() + I, Syms.end());
+        ASSERT_TRUE(acceptsLasso(AP, W));
+        bool Covered = false;
+        for (const CertifiedModule &M : R.Modules)
+          Covered = Covered || acceptsLasso(M.A, W);
+        EXPECT_TRUE(Covered) << "uncovered program lasso " << W.str();
+        ++Checked;
+        Step = 1000;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(Checked, 10);
+}
+
+TEST(Analyzer, StatisticsAreRecorded) {
+  Program P = parse("program p(i) { while (i > 0) { i := i - 1; } }");
+  AnalysisResult R = analyze(P);
+  EXPECT_GE(R.Stats.get("iterations"), 1);
+  EXPECT_GT(R.Seconds, 0.0);
+}
+
+TEST(Analyzer, TimeoutReportsTimeout) {
+  // A hard program with an absurdly small budget.
+  Program P = parse(R"(
+program p(i, j, k) {
+  while (i > 0) {
+    j := i;
+    while (j > 0) { j := j - 1; k := k + 1; }
+    i := i - 1;
+  }
+})");
+  AnalyzerOptions Opts;
+  Opts.MaxIterations = 1; // forces the budget path deterministically
+  TerminationAnalyzer A(P, Opts);
+  AnalysisResult R = A.run();
+  EXPECT_EQ(R.V, Verdict::Timeout);
+}
+
+
+TEST(Analyzer, SmallSuiteMatchesExpectations) {
+  // End-to-end integration over the reduced benchmark suite: terminating
+  // programs get proved, nonterminating ones produce a counterexample.
+  for (const BenchProgram &B : smallBenchmarkSuite()) {
+    Program P = parse(B.Source.c_str());
+    AnalyzerOptions Opts;
+    Opts.TimeoutSeconds = 20;
+    TerminationAnalyzer A(P, Opts);
+    AnalysisResult R = A.run();
+    if (B.Expect == Expected::Terminating) {
+      EXPECT_EQ(R.V, Verdict::Terminating) << B.Name;
+      for (const CertifiedModule &M : R.Modules)
+        EXPECT_EQ(validateModule(M, P), "") << B.Name;
+    } else if (B.Expect == Expected::Nonterminating) {
+      EXPECT_NE(R.V, Verdict::Terminating) << B.Name;
+      EXPECT_TRUE(R.Counterexample.has_value()) << B.Name;
+    }
+  }
+}
+
+TEST(Analyzer, ReductionDoesNotChangeVerdicts) {
+  for (const char *Src :
+       {"program a(i) { while (i > 0) { i := i - 1; } }",
+        R"(program sort(i) {
+             while (i > 0) {
+               j := 1;
+               while (j < i) { j := j + 1; }
+               i := i - 1;
+             }
+           })"}) {
+    Verdict Got[2];
+    int K = 0;
+    for (bool Reduce : {false, true}) {
+      Program P = parse(Src);
+      AnalyzerOptions Opts;
+      Opts.ReduceRemaining = Reduce;
+      Got[K++] = analyze(P, Opts).V;
+    }
+    EXPECT_EQ(Got[0], Got[1]);
+    EXPECT_EQ(Got[0], Verdict::Terminating);
+  }
+}
+
+TEST(Analyzer, RestrictedAlphabetStillSolvesSimpleLoops) {
+  // The Section 3.1 literal alphabet rule is exercised through the module
+  // builder directly (the analyzer default is the full alphabet).
+  Program P = parse("program p(i) { while (i > 0) { i := i - 1; } }");
+  Buchi AP = programToBuchi(P);
+  auto W = findAcceptingLasso(AP);
+  ASSERT_TRUE(W.has_value());
+  LassoProver Prover(P);
+  Lasso L{W->Stem, W->Loop};
+  LassoProof Proof = Prover.prove(L);
+  ASSERT_EQ(Proof.Status, LassoStatus::Terminating);
+  ModuleBuilder B(P);
+  B.UseFullAlphabet = false;
+  CertifiedModule M0 = B.buildLasso(L, Proof);
+  CertifiedModule MSemi = B.buildSemideterministic(M0);
+  EXPECT_TRUE(acceptsLasso(MSemi.A, *W));
+  EXPECT_EQ(validateModule(MSemi, P), "");
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/benchgen_test.cpp - Benchmark generator tests ----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/ProgramFamilies.h"
+#include "benchgen/RandomAutomata.h"
+#include "benchgen/SdbaHarvest.h"
+
+#include "automata/Sdba.h"
+#include "program/Interpreter.h"
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace termcheck;
+
+namespace {
+
+TEST(ProgramFamilies, AllProgramsParse) {
+  for (const BenchProgram &B : benchmarkSuite()) {
+    ParseResult R = parseProgram(B.Source);
+    EXPECT_TRUE(R.ok()) << B.Name << ": " << R.Error << "\n" << B.Source;
+  }
+}
+
+TEST(ProgramFamilies, NamesAreUnique) {
+  std::set<std::string> Names;
+  for (const BenchProgram &B : benchmarkSuite())
+    EXPECT_TRUE(Names.insert(B.Name).second) << "duplicate " << B.Name;
+}
+
+TEST(ProgramFamilies, SmallSuiteIsASubsetShape) {
+  EXPECT_GE(benchmarkSuite().size(), 40u);
+  EXPECT_GE(smallBenchmarkSuite().size(), 10u);
+  EXPECT_LT(smallBenchmarkSuite().size(), benchmarkSuite().size());
+}
+
+TEST(ProgramFamilies, SuiteIsDeterministic) {
+  std::vector<BenchProgram> A = benchmarkSuite();
+  std::vector<BenchProgram> B = benchmarkSuite();
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Source, B[I].Source);
+  }
+}
+
+TEST(ProgramFamilies, TerminatingFamiliesTerminateConcretely) {
+  // Differential check: run each expected-terminating program on small
+  // inputs with generous fuel; none may exhaust it.
+  Rng Seeds(99);
+  for (const BenchProgram &B : benchmarkSuite()) {
+    if (B.Expect != Expected::Terminating)
+      continue;
+    ParseResult R = parseProgram(B.Source);
+    ASSERT_TRUE(R.ok()) << B.Name;
+    Program &P = *R.Prog;
+    for (int Run = 0; Run < 5; ++Run) {
+      Interpreter I(P, Seeds.next(), /*HavocLo=*/-8, /*HavocHi=*/8);
+      std::map<VarId, int64_t> Init;
+      for (VarId V : P.params())
+        Init[V] = Seeds.range(0, 12);
+      RunResult Res = I.run(Init, 100000);
+      EXPECT_EQ(Res.Status, RunStatus::Exited)
+          << B.Name << " exhausted fuel on a concrete run";
+    }
+  }
+}
+
+TEST(ProgramFamilies, NonterminatingFamiliesCanDiverge) {
+  // while_true and count_up run forever from suitable inputs.
+  for (const BenchProgram &B : benchmarkSuite()) {
+    if (B.Expect != Expected::Nonterminating || B.Name == "oscillator")
+      continue;
+    ParseResult R = parseProgram(B.Source);
+    ASSERT_TRUE(R.ok()) << B.Name;
+    Program &P = *R.Prog;
+    Interpreter I(P, 1);
+    std::map<VarId, int64_t> Init;
+    for (VarId V : P.params())
+      Init[V] = 5;
+    RunResult Res = I.run(Init, 5000);
+    EXPECT_EQ(Res.Status, RunStatus::OutOfFuel) << B.Name;
+  }
+}
+
+TEST(RandomAutomata, SdbaGeneratorYieldsSdbas) {
+  Rng R(7);
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    Buchi A = randomSdba(R, 1 + R.below(5), 1 + R.below(8),
+                         1 + static_cast<uint32_t>(R.below(3)));
+    EXPECT_TRUE(A.isComplete());
+    EXPECT_TRUE(classifySdba(A).IsSemideterministic);
+  }
+}
+
+TEST(RandomAutomata, DbaGeneratorYieldsCompleteDbas) {
+  Rng R(8);
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    Buchi A = randomDba(R, 1 + static_cast<uint32_t>(R.below(8)), 2);
+    EXPECT_TRUE(A.isComplete());
+    EXPECT_TRUE(A.isDeterministic());
+  }
+}
+
+TEST(RandomAutomata, GeneratorsAreSeedDeterministic) {
+  Rng R1(1234), R2(1234);
+  RandomAutomatonSpec Spec;
+  Buchi A = randomBa(R1, Spec);
+  Buchi B = randomBa(R2, Spec);
+  EXPECT_EQ(A.numStates(), B.numStates());
+  EXPECT_EQ(A.numTransitions(), B.numTransitions());
+}
+
+TEST(SdbaHarvest, HarvestProducesSdbas) {
+  std::vector<Buchi> Harvested = harvestSdbas(smallBenchmarkSuite(), 1.0);
+  EXPECT_GE(Harvested.size(), 3u)
+      << "the suite should produce several semideterministic modules";
+  for (const Buchi &A : Harvested) {
+    EXPECT_TRUE(A.isComplete());
+    EXPECT_TRUE(classifySdba(A).IsSemideterministic);
+  }
+}
+
+} // namespace

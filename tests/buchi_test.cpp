@@ -1,0 +1,195 @@
+//===- tests/buchi_test.cpp - GBA data type and basic ops ------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ops.h"
+#include "automata/Scc.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+/// The Psort control-flow automaton of Figure 2b over symbols:
+/// 0: i>0, 1: j:=1, 2: j<i, 3: j++, 4: j>=i, 5: i--
+Buchi psortBa() {
+  Buchi A(6, 1);
+  A.addStates(5);
+  for (State S = 0; S < 5; ++S)
+    A.setAccepting(S);
+  A.addInitial(0);
+  A.addTransition(0, 0, 1); // l1 --i>0--> l2
+  A.addTransition(1, 1, 2); // l2 --j:=1--> l3
+  A.addTransition(2, 2, 3); // l3 --j<i--> l4
+  A.addTransition(3, 3, 2); // l4 --j++--> l3
+  A.addTransition(2, 4, 4); // l3 --j>=i--> l5
+  A.addTransition(4, 5, 0); // l5 --i----> l1
+  return A;
+}
+
+TEST(Buchi, BasicConstruction) {
+  Buchi A = psortBa();
+  EXPECT_EQ(A.numStates(), 5u);
+  EXPECT_EQ(A.numSymbols(), 6u);
+  EXPECT_EQ(A.numTransitions(), 6u);
+  EXPECT_EQ(A.initials(), (StateSet{0}));
+  EXPECT_TRUE(A.isAcceptingAll(0));
+}
+
+TEST(Buchi, TransitionsDeduplicate) {
+  Buchi A(2, 1);
+  A.addStates(2);
+  A.addTransition(0, 0, 1);
+  A.addTransition(0, 0, 1);
+  EXPECT_EQ(A.numTransitions(), 1u);
+}
+
+TEST(Buchi, SuccessorsAndPost) {
+  Buchi A = psortBa();
+  EXPECT_EQ(A.successors(2, 2), (std::vector<State>{3}));
+  EXPECT_EQ(A.successors(2, 0), (std::vector<State>{}));
+  EXPECT_EQ(A.post(2), (StateSet{3, 4}));
+}
+
+TEST(Buchi, DeterminismAndCompleteness) {
+  Buchi A = psortBa();
+  EXPECT_TRUE(A.isDeterministic());
+  EXPECT_FALSE(A.isComplete()); // most symbols are missing per state
+  Buchi C = completeWithSink(A);
+  EXPECT_TRUE(C.isComplete());
+  EXPECT_EQ(C.numStates(), 6u); // one sink added
+  EXPECT_TRUE(C.isDeterministic());
+}
+
+TEST(Buchi, CompleteIsNoopWhenComplete) {
+  Buchi A(1, 1);
+  State S = A.addState();
+  A.addInitial(S);
+  A.addTransition(S, 0, S);
+  Buchi C = completeWithSink(A);
+  EXPECT_EQ(C.numStates(), 1u);
+}
+
+TEST(Buchi, ReachableStatesAndTrim) {
+  Buchi A = psortBa();
+  State Orphan = A.addState();
+  A.setAccepting(Orphan);
+  EXPECT_EQ(A.reachableStates().size(), 5u);
+  Buchi T = trim(A);
+  EXPECT_EQ(T.numStates(), 5u);
+  EXPECT_EQ(T.numTransitions(), 6u);
+}
+
+TEST(Buchi, FullMask) {
+  Buchi A(1, 3);
+  EXPECT_EQ(A.fullMask(), 0b111u);
+}
+
+TEST(Buchi, AcceptMaskPerCondition) {
+  Buchi A(1, 2);
+  State S = A.addState();
+  A.setAccepting(S, 1);
+  EXPECT_EQ(A.acceptMask(S), 0b10u);
+  EXPECT_FALSE(A.isAcceptingAll(S));
+  A.setAccepting(S, 0);
+  EXPECT_TRUE(A.isAcceptingAll(S));
+}
+
+TEST(Ops, IntersectStacksConditions) {
+  // A: (ab)^omega-ish loop; B: all words with infinitely many 'a'
+  // (1-state). Product language = L(A).
+  Buchi A(2, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(0);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 1, 0);
+
+  Buchi B(2, 1);
+  State S = B.addState();
+  B.addInitial(S);
+  B.setAccepting(S);
+  B.addTransition(S, 0, S);
+  B.addTransition(S, 1, S);
+
+  Buchi P = intersect(A, B);
+  EXPECT_EQ(P.numConditions(), 2u);
+  EXPECT_EQ(P.numStates(), 2u);
+  EXPECT_FALSE(isEmpty(P));
+  LassoWord W{{}, {0, 1}};
+  EXPECT_TRUE(acceptsLasso(P, W));
+}
+
+TEST(Ops, IntersectDisjointLanguagesIsEmpty) {
+  // A accepts only 0^omega, B accepts only 1^omega.
+  Buchi A(2, 1);
+  State SA = A.addState();
+  A.addInitial(SA);
+  A.setAccepting(SA);
+  A.addTransition(SA, 0, SA);
+
+  Buchi B(2, 1);
+  State SB = B.addState();
+  B.addInitial(SB);
+  B.setAccepting(SB);
+  B.addTransition(SB, 1, SB);
+
+  EXPECT_TRUE(isEmpty(intersect(A, B)));
+}
+
+TEST(Ops, DropFullConditions) {
+  Buchi A(1, 3);
+  A.addStates(2);
+  A.addInitial(0);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 0);
+  // Condition 1 is full; conditions 0 and 2 are partial.
+  A.setAccepting(0, 1);
+  A.setAccepting(1, 1);
+  A.setAccepting(0, 0);
+  A.setAccepting(1, 2);
+  Buchi D = dropFullConditions(A);
+  EXPECT_EQ(D.numConditions(), 2u);
+  EXPECT_EQ(D.acceptMask(0), 0b01u); // old condition 0
+  EXPECT_EQ(D.acceptMask(1), 0b10u); // old condition 2
+  EXPECT_EQ(isEmpty(A), isEmpty(D));
+}
+
+TEST(Ops, DropFullConditionsKeepsOne) {
+  Buchi A(1, 2);
+  State S = A.addState();
+  A.addInitial(S);
+  A.addTransition(S, 0, S);
+  A.setAccepting(S, 0);
+  A.setAccepting(S, 1);
+  Buchi D = dropFullConditions(A);
+  EXPECT_EQ(D.numConditions(), 1u);
+  EXPECT_FALSE(isEmpty(D));
+}
+
+TEST(Ops, DegeneralizePreservesLanguageOnSmallExample) {
+  // Two conditions: infinitely many 'a'-state visits AND 'b'-state visits.
+  Buchi A(2, 2);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(0, 0);
+  A.setAccepting(1, 1);
+  A.addTransition(0, 0, 0);
+  A.addTransition(0, 1, 1);
+  A.addTransition(1, 0, 0);
+  A.addTransition(1, 1, 1);
+  Buchi D = degeneralize(A);
+  EXPECT_EQ(D.numConditions(), 1u);
+  // (01)^omega alternates both states: in both languages.
+  EXPECT_TRUE(acceptsLasso(A, {{}, {0, 1}}));
+  EXPECT_TRUE(acceptsLasso(D, {{}, {0, 1}}));
+  // 0^omega starves condition 1.
+  EXPECT_FALSE(acceptsLasso(A, {{}, {0}}));
+  EXPECT_FALSE(acceptsLasso(D, {{}, {0}}));
+  EXPECT_EQ(isEmpty(A), isEmpty(D));
+}
+
+} // namespace

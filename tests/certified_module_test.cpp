@@ -1,0 +1,157 @@
+//===- tests/certified_module_test.cpp - Definition 3.1 checker tests -----===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/CertifiedModule.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+/// Hand-built version of the paper's M_uv module for Psort (Section 3.1.1):
+/// states q1 {oldrnk=INF}, q3 {i-j<oldrnk} (accepting), q4 {0<=i-j<=oldrnk},
+/// f(i,j) = i - j.
+class CertifiedModuleTest : public ::testing::Test {
+protected:
+  Program P{"sort"};
+  VarId I = P.vars().intern("i");
+  VarId J = P.vars().intern("j");
+  SymbolId IGt0, JAssign1, JLtI, JInc;
+
+  void SetUp() override {
+    auto i = LinearExpr::variable(I);
+    auto j = LinearExpr::variable(J);
+    Cube G1;
+    G1.add(Constraint::gt(i, LinearExpr::constant(0)));
+    IGt0 = P.internStatement(Statement::assume(G1));
+    JAssign1 = P.internStatement(Statement::assign(J, LinearExpr::constant(1)));
+    Cube G2;
+    G2.add(Constraint::lt(j, i));
+    JLtI = P.internStatement(Statement::assume(G2));
+    JInc = P.internStatement(Statement::assign(J, j + LinearExpr::constant(1)));
+  }
+
+  CertifiedModule paperModule() {
+    auto i = LinearExpr::variable(I);
+    auto j = LinearExpr::variable(J);
+    auto oldrnk = LinearExpr::variable(P.oldrnkVar());
+
+    CertifiedModule M(Buchi(P.numSymbols(), 1));
+    M.Rank = i - j;
+    State Q1 = M.A.addState();
+    State Q3 = M.A.addState();
+    State Q4 = M.A.addState();
+    M.A.addInitial(Q1);
+    M.A.setAccepting(Q3);
+    M.A.addTransition(Q1, IGt0, Q1);
+    M.A.addTransition(Q1, JAssign1, Q3);
+    M.A.addTransition(Q3, JLtI, Q4);
+    M.A.addTransition(Q4, JInc, Q3);
+
+    M.Cert.resize(3);
+    M.Cert[Q1] = Predicate::oldrnkInfinity();
+    Cube C3;
+    C3.add(Constraint::lt(i - j, oldrnk));
+    M.Cert[Q3] = Predicate(C3);
+    Cube C4;
+    C4.add(Constraint::ge(i - j, LinearExpr::constant(0)));
+    C4.add(Constraint::le(i - j, oldrnk));
+    M.Cert[Q4] = Predicate(C4);
+    return M;
+  }
+};
+
+TEST_F(CertifiedModuleTest, PaperModuleValidates) {
+  CertifiedModule M = paperModule();
+  EXPECT_EQ(validateModule(M, P), "");
+}
+
+TEST_F(CertifiedModuleTest, BrokenAcceptingPredicateRejected) {
+  CertifiedModule M = paperModule();
+  // Weaken q3 to true: it no longer entails f < oldrnk.
+  M.Cert[1] = Predicate(Cube());
+  std::string Err = validateModule(M, P);
+  EXPECT_NE(Err.find("f < oldrnk"), std::string::npos) << Err;
+}
+
+TEST_F(CertifiedModuleTest, BrokenHoareTripleRejected) {
+  CertifiedModule M = paperModule();
+  // Strengthen q4 to claim i - j < oldrnk - 5, which j++ cannot establish.
+  auto i = LinearExpr::variable(I);
+  auto j = LinearExpr::variable(J);
+  auto oldrnk = LinearExpr::variable(P.oldrnkVar());
+  Cube C4;
+  C4.add(Constraint::lt(i - j, oldrnk - LinearExpr::constant(5)));
+  M.Cert[2] = Predicate(C4);
+  std::string Err = validateModule(M, P);
+  EXPECT_NE(Err.find("Hoare"), std::string::npos) << Err;
+}
+
+TEST_F(CertifiedModuleTest, BadInitialPredicateRejected) {
+  CertifiedModule M = paperModule();
+  // An initial state must be implied by oldrnk = INF; a finite bound fails.
+  Cube C;
+  C.add(Constraint::le(LinearExpr::variable(P.oldrnkVar()),
+                       LinearExpr::constant(7)));
+  M.Cert[0] = Predicate(C);
+  std::string Err = validateModule(M, P);
+  EXPECT_NE(Err.find("initial"), std::string::npos) << Err;
+}
+
+TEST_F(CertifiedModuleTest, SizeMismatchRejected) {
+  CertifiedModule M = paperModule();
+  M.Cert.pop_back();
+  EXPECT_NE(validateModule(M, P), "");
+}
+
+TEST_F(CertifiedModuleTest, PostOldrnkAssignBindsRank) {
+  CertifiedModule M = paperModule();
+  Predicate Head = M.Cert[1]; // i - j < oldrnk
+  Predicate After = postOldrnkAssign(Head, M.Rank, P);
+  // After the update, oldrnk == i - j.
+  Cube Expect;
+  Expect.add(Constraint::eq(LinearExpr::variable(P.oldrnkVar()),
+                            LinearExpr::variable(I) - LinearExpr::variable(J)));
+  EXPECT_TRUE(After.entails(Predicate(Expect), P.oldrnkVar()));
+  EXPECT_FALSE(After.oldrnkIsInf());
+}
+
+TEST_F(CertifiedModuleTest, PostOldrnkAssignFromInfinity) {
+  Predicate After =
+      postOldrnkAssign(Predicate::oldrnkInfinity(), LinearExpr::variable(I), P);
+  Cube Expect;
+  Expect.add(Constraint::eq(LinearExpr::variable(P.oldrnkVar()),
+                            LinearExpr::variable(I)));
+  EXPECT_TRUE(After.entails(Predicate(Expect), P.oldrnkVar()));
+}
+
+TEST_F(CertifiedModuleTest, HoareValidPredicateWithUpdate) {
+  CertifiedModule M = paperModule();
+  // { i-j < oldrnk } oldrnk := i-j; assume(j<i) { 0 <= i-j <= oldrnk }.
+  EXPECT_TRUE(hoareValidPredicate(M.Cert[1], P.statement(JLtI), M.Cert[2], P,
+                                  &M.Rank));
+  // A post that pins oldrnk exactly (oldrnk == i-j) needs the update.
+  Cube Eq;
+  Eq.add(Constraint::eq(LinearExpr::variable(P.oldrnkVar()),
+                        LinearExpr::variable(I) - LinearExpr::variable(J)));
+  Predicate Pinned(Eq);
+  EXPECT_TRUE(
+      hoareValidPredicate(M.Cert[1], P.statement(JLtI), Pinned, P, &M.Rank));
+  EXPECT_FALSE(hoareValidPredicate(M.Cert[1], P.statement(JLtI), Pinned, P));
+}
+
+TEST_F(CertifiedModuleTest, ModuleKindNames) {
+  EXPECT_STREQ(moduleKindName(ModuleKind::Lasso), "lasso");
+  EXPECT_STREQ(moduleKindName(ModuleKind::FiniteTrace), "finite-trace");
+  EXPECT_STREQ(moduleKindName(ModuleKind::Deterministic), "deterministic");
+  EXPECT_STREQ(moduleKindName(ModuleKind::Semideterministic),
+               "semideterministic");
+  EXPECT_STREQ(moduleKindName(ModuleKind::Nondeterministic),
+               "nondeterministic");
+}
+
+} // namespace

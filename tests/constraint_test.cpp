@@ -1,0 +1,168 @@
+//===- tests/constraint_test.cpp - Constraint and cube tests --------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Cube.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+class ConstraintTest : public ::testing::Test {
+protected:
+  VarTable Vars;
+  VarId I = Vars.intern("i");
+  VarId J = Vars.intern("j");
+
+  LinearExpr i() { return LinearExpr::variable(I); }
+  LinearExpr j() { return LinearExpr::variable(J); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+};
+
+TEST_F(ConstraintTest, StrictInequalityIsTightened) {
+  // i > 0 becomes -i + 1 <= 0, i.e. i >= 1 over the integers.
+  Constraint C = Constraint::gt(i(), c(0));
+  EXPECT_EQ(C.rel(), RelKind::LE);
+  EXPECT_EQ(C.expr().coeff(I), -1);
+  EXPECT_EQ(C.expr().constantTerm(), 1);
+  EXPECT_TRUE(C.holds([](VarId) { return 1; }));
+  EXPECT_FALSE(C.holds([](VarId) { return 0; }));
+}
+
+TEST_F(ConstraintTest, TrivialConstants) {
+  EXPECT_TRUE(Constraint::le(c(0), c(5)).isTrivallyTrue());
+  EXPECT_TRUE(Constraint::le(c(5), c(0)).isTrivallyFalse());
+  EXPECT_TRUE(Constraint::eq(c(3), c(3)).isTrivallyTrue());
+  EXPECT_TRUE(Constraint::eq(c(3), c(4)).isTrivallyFalse());
+}
+
+TEST_F(ConstraintTest, GcdTighteningOnInequality) {
+  // 2i <= 1  becomes  i <= 0 over the integers.
+  Constraint C = Constraint::le(i().scaledBy(2), c(1));
+  EXPECT_EQ(C.expr().coeff(I), 1);
+  EXPECT_EQ(C.expr().constantTerm(), 0);
+}
+
+TEST_F(ConstraintTest, GcdOnEqualityDetectsNoIntegerSolution) {
+  // 2i == 1 has no integer solution.
+  Constraint C = Constraint::eq(i().scaledBy(2), c(1));
+  EXPECT_TRUE(C.isTrivallyFalse());
+}
+
+TEST_F(ConstraintTest, GcdOnEqualityReduces) {
+  // 2i == 4 becomes i == 2.
+  Constraint C = Constraint::eq(i().scaledBy(2), c(4));
+  EXPECT_EQ(C.rel(), RelKind::EQ);
+  EXPECT_EQ(C.expr().coeff(I), 1);
+  EXPECT_EQ(C.expr().constantTerm(), -2);
+}
+
+TEST_F(ConstraintTest, NegationOfInequality) {
+  Constraint C = Constraint::le(i(), c(0)); // i <= 0
+  auto Neg = C.negation();                  // i >= 1
+  ASSERT_EQ(Neg.size(), 1u);
+  EXPECT_TRUE(Neg[0].holds([](VarId) { return 1; }));
+  EXPECT_FALSE(Neg[0].holds([](VarId) { return 0; }));
+}
+
+TEST_F(ConstraintTest, NegationOfEqualityIsDisjunction) {
+  Constraint C = Constraint::eq(i(), c(0));
+  auto Neg = C.negation();
+  ASSERT_EQ(Neg.size(), 2u);
+  // i = 1 satisfies one disjunct, i = -1 the other, i = 0 neither.
+  auto SatCount = [&](int64_t V) {
+    int N = 0;
+    for (const Constraint &D : Neg)
+      if (D.holds([&](VarId) { return V; }))
+        ++N;
+    return N;
+  };
+  EXPECT_EQ(SatCount(1), 1);
+  EXPECT_EQ(SatCount(-1), 1);
+  EXPECT_EQ(SatCount(0), 0);
+}
+
+TEST_F(ConstraintTest, CubeDropsTrivialTrue) {
+  Cube C;
+  C.add(Constraint::le(c(0), c(1)));
+  EXPECT_TRUE(C.isTrue());
+}
+
+TEST_F(ConstraintTest, CubeCollapsesOnFalse) {
+  Cube C;
+  C.add(Constraint::le(i(), c(0)));
+  C.add(Constraint::le(c(1), c(0)));
+  EXPECT_TRUE(C.isContradictory());
+  EXPECT_EQ(C.size(), 0u);
+}
+
+TEST_F(ConstraintTest, CubeKeepsTightestSameTermsBound) {
+  Cube C;
+  C.add(Constraint::le(i(), c(10)));
+  C.add(Constraint::le(i(), c(3)));
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_FALSE(C.holds([](VarId) { return 4; }));
+  EXPECT_TRUE(C.holds([](VarId) { return 3; }));
+}
+
+TEST_F(ConstraintTest, CubeEqualityAbsorbsCompatibleBound) {
+  Cube C;
+  C.add(Constraint::eq(i(), c(5)));
+  C.add(Constraint::le(i(), c(7))); // implied
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_TRUE(C.holds([](VarId) { return 5; }));
+}
+
+TEST_F(ConstraintTest, CubeEqualityConflictingBoundContradicts) {
+  Cube C;
+  C.add(Constraint::eq(i(), c(5)));
+  C.add(Constraint::le(i(), c(3)));
+  EXPECT_TRUE(C.isContradictory());
+}
+
+TEST_F(ConstraintTest, CubeTwoDifferentEqualitiesContradict) {
+  Cube C;
+  C.add(Constraint::eq(i(), c(5)));
+  C.add(Constraint::eq(i(), c(6)));
+  EXPECT_TRUE(C.isContradictory());
+}
+
+TEST_F(ConstraintTest, CubeEqualityUpgradesExistingBound) {
+  Cube C;
+  C.add(Constraint::le(i(), c(7)));
+  C.add(Constraint::eq(i(), c(5)));
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_FALSE(C.holds([](VarId) { return 4; }));
+  EXPECT_TRUE(C.holds([](VarId) { return 5; }));
+}
+
+TEST_F(ConstraintTest, CubeEqualityIncompatibleBoundUpgrade) {
+  Cube C;
+  C.add(Constraint::le(i(), c(4)));
+  C.add(Constraint::eq(i(), c(5))); // i == 5 contradicts i <= 4
+  EXPECT_TRUE(C.isContradictory());
+}
+
+TEST_F(ConstraintTest, CubeEqualityIsOrderInsensitive) {
+  Cube A, B;
+  A.add(Constraint::le(i(), c(1)));
+  A.add(Constraint::ge(j(), c(2)));
+  B.add(Constraint::ge(j(), c(2)));
+  B.add(Constraint::le(i(), c(1)));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST_F(ConstraintTest, CubeRendering) {
+  Cube C;
+  EXPECT_EQ(C.str(Vars), "true");
+  C.add(Constraint::le(i(), c(0)));
+  EXPECT_EQ(C.str(Vars), "i <= 0");
+  EXPECT_EQ(Cube::contradiction().str(Vars), "false");
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+//===- tests/fourier_motzkin_test.cpp - FM engine tests -------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/FourierMotzkin.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+class FmTest : public ::testing::Test {
+protected:
+  VarTable Vars;
+  VarId I = Vars.intern("i");
+  VarId J = Vars.intern("j");
+  VarId K = Vars.intern("k");
+
+  LinearExpr i() { return LinearExpr::variable(I); }
+  LinearExpr j() { return LinearExpr::variable(J); }
+  LinearExpr k() { return LinearExpr::variable(K); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+};
+
+TEST_F(FmTest, EmptyCubeIsSat) { EXPECT_TRUE(fm::isSatisfiable(Cube())); }
+
+TEST_F(FmTest, ContradictionIsUnsat) {
+  EXPECT_FALSE(fm::isSatisfiable(Cube::contradiction()));
+}
+
+TEST_F(FmTest, SimpleBoundsSat) {
+  Cube C;
+  C.add(Constraint::ge(i(), c(0)));
+  C.add(Constraint::le(i(), c(10)));
+  EXPECT_TRUE(fm::isSatisfiable(C));
+}
+
+TEST_F(FmTest, ConflictingBoundsUnsat) {
+  Cube C;
+  C.add(Constraint::ge(i(), c(5)));
+  C.add(Constraint::le(i(), c(4)));
+  EXPECT_FALSE(fm::isSatisfiable(C));
+}
+
+TEST_F(FmTest, TransitiveConflictUnsat) {
+  // i <= j, j <= k, k <= i - 1 has no solution.
+  Cube C;
+  C.add(Constraint::le(i(), j()));
+  C.add(Constraint::le(j(), k()));
+  C.add(Constraint::le(k(), i() - c(1)));
+  EXPECT_FALSE(fm::isSatisfiable(C));
+}
+
+TEST_F(FmTest, TransitiveChainSat) {
+  Cube C;
+  C.add(Constraint::le(i(), j()));
+  C.add(Constraint::le(j(), k()));
+  C.add(Constraint::le(k(), i()));
+  EXPECT_TRUE(fm::isSatisfiable(C)); // i = j = k
+}
+
+TEST_F(FmTest, EqualitySubstitutionUnsat) {
+  // j == 1, j >= i, i >= 2 is unsatisfiable.
+  Cube C;
+  C.add(Constraint::eq(j(), c(1)));
+  C.add(Constraint::ge(j(), i()));
+  C.add(Constraint::ge(i(), c(2)));
+  EXPECT_FALSE(fm::isSatisfiable(C));
+}
+
+TEST_F(FmTest, IntegerTighteningDetectsParityConflict) {
+  // 2i == 2j + 1 has no integer solution.
+  Cube C;
+  C.add(Constraint::eq(i().scaledBy(2), j().scaledBy(2) + c(1)));
+  EXPECT_FALSE(fm::isSatisfiable(C));
+}
+
+TEST_F(FmTest, EliminateRemovesVariable) {
+  // exists j. (i <= j /\ j <= 5) gives i <= 5.
+  Cube C;
+  C.add(Constraint::le(i(), j()));
+  C.add(Constraint::le(j(), c(5)));
+  Cube E = fm::eliminate(C, J);
+  EXPECT_FALSE(E.mentions(J));
+  Cube Expect;
+  Expect.add(Constraint::le(i(), c(5)));
+  EXPECT_EQ(E, Expect);
+}
+
+TEST_F(FmTest, EliminateUnmentionedVariableIsNoop) {
+  Cube C;
+  C.add(Constraint::le(i(), c(5)));
+  EXPECT_EQ(fm::eliminate(C, J), C);
+}
+
+TEST_F(FmTest, EliminateViaEqualityIsExact) {
+  // exists j. (j == i + 1 /\ j <= 5) gives i <= 4.
+  Cube C;
+  C.add(Constraint::eq(j(), i() + c(1)));
+  C.add(Constraint::le(j(), c(5)));
+  Cube E = fm::eliminate(C, J);
+  EXPECT_FALSE(E.mentions(J));
+  Cube Expect;
+  Expect.add(Constraint::le(i(), c(4)));
+  EXPECT_EQ(E, Expect);
+}
+
+TEST_F(FmTest, EliminateAll) {
+  Cube C;
+  C.add(Constraint::le(i(), j()));
+  C.add(Constraint::le(j(), k()));
+  Cube E = fm::eliminateAll(C, {I, J, K});
+  EXPECT_TRUE(E.isTrue());
+}
+
+TEST_F(FmTest, EntailsBasicWeakening) {
+  Cube P;
+  P.add(Constraint::ge(i(), c(5)));
+  EXPECT_TRUE(fm::entails(P, Constraint::ge(i(), c(3))));
+  EXPECT_FALSE(fm::entails(P, Constraint::ge(i(), c(6))));
+}
+
+TEST_F(FmTest, EntailsCombinesAtoms) {
+  // i >= 1 /\ j >= i entails j >= 1.
+  Cube P;
+  P.add(Constraint::ge(i(), c(1)));
+  P.add(Constraint::ge(j(), i()));
+  EXPECT_TRUE(fm::entails(P, Constraint::ge(j(), c(1))));
+}
+
+TEST_F(FmTest, EntailsEqualityNeedsBothSides) {
+  Cube P;
+  P.add(Constraint::ge(i(), c(5)));
+  P.add(Constraint::le(i(), c(5)));
+  EXPECT_TRUE(fm::entails(P, Constraint::eq(i(), c(5))));
+  Cube Q;
+  Q.add(Constraint::ge(i(), c(5)));
+  EXPECT_FALSE(fm::entails(Q, Constraint::eq(i(), c(5))));
+}
+
+TEST_F(FmTest, ContradictionEntailsEverything) {
+  EXPECT_TRUE(fm::entails(Cube::contradiction(), Constraint::eq(i(), c(5))));
+}
+
+TEST_F(FmTest, EntailsCube) {
+  Cube P;
+  P.add(Constraint::eq(i(), c(2)));
+  Cube Q;
+  Q.add(Constraint::ge(i(), c(0)));
+  Q.add(Constraint::le(i(), c(3)));
+  EXPECT_TRUE(fm::entails(P, Q));
+  EXPECT_FALSE(fm::entails(Q, P));
+}
+
+TEST_F(FmTest, VariablesOf) {
+  Cube C;
+  C.add(Constraint::le(i(), k()));
+  std::vector<VarId> V = fm::variablesOf(C);
+  EXPECT_EQ(V, (std::vector<VarId>{I, K}));
+}
+
+TEST_F(FmTest, PaperExampleStemPostcondition) {
+  // After the Psort stem "i > 0; j := 1" the state satisfies i - j >= 0.
+  Cube C;
+  C.add(Constraint::gt(i(), c(0)));
+  C.add(Constraint::eq(j(), c(1)));
+  EXPECT_TRUE(fm::entails(C, Constraint::ge(i() - j(), c(0))));
+}
+
+// Property: on random cubes with a known integer witness, isSatisfiable
+// never answers UNSAT (soundness of the UNSAT direction).
+TEST_F(FmTest, PropertyNeverRefutesWitnessedCube) {
+  Rng R(1234);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    // Pick a random witness point.
+    int64_t Wi = R.range(-10, 10), Wj = R.range(-10, 10), Wk = R.range(-10, 10);
+    auto ValueOf = [&](VarId V) -> int64_t {
+      if (V == I)
+        return Wi;
+      if (V == J)
+        return Wj;
+      return Wk;
+    };
+    // Generate constraints satisfied by the witness.
+    Cube C;
+    for (int N = 0; N < 6; ++N) {
+      LinearExpr E = LinearExpr::scaled(I, R.range(-3, 3)) +
+                     LinearExpr::scaled(J, R.range(-3, 3)) +
+                     LinearExpr::scaled(K, R.range(-3, 3));
+      int64_t V = E.evaluate(ValueOf);
+      if (R.chance(1, 4))
+        C.add(Constraint::eq(E, LinearExpr::constant(V)));
+      else
+        C.add(Constraint::le(E, LinearExpr::constant(V + R.range(0, 5))));
+    }
+    EXPECT_TRUE(C.holds(ValueOf));
+    EXPECT_TRUE(fm::isSatisfiable(C)) << "refuted a satisfiable cube";
+  }
+}
+
+// Property: elimination preserves every integer solution (projection is an
+// overapproximation).
+TEST_F(FmTest, PropertyEliminationKeepsSolutions) {
+  Rng R(77);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    int64_t Wi = R.range(-5, 5), Wj = R.range(-5, 5);
+    auto ValueOf = [&](VarId V) -> int64_t { return V == I ? Wi : Wj; };
+    Cube C;
+    for (int N = 0; N < 5; ++N) {
+      LinearExpr E = LinearExpr::scaled(I, R.range(-2, 2)) +
+                     LinearExpr::scaled(J, R.range(-2, 2));
+      C.add(Constraint::le(E, LinearExpr::constant(E.evaluate(ValueOf))));
+    }
+    Cube E = fm::eliminate(C, J);
+    EXPECT_FALSE(E.mentions(J));
+    EXPECT_TRUE(E.holds(ValueOf)) << "projection lost a solution";
+  }
+}
+
+} // namespace

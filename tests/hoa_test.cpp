@@ -1,0 +1,161 @@
+//===- tests/hoa_test.cpp - HOA serialization tests ------------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Hoa.h"
+
+#include "automata/Scc.h"
+#include "benchgen/RandomAutomata.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+TEST(Hoa, WriterEmitsHeaderAndBody) {
+  Buchi A(2, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(1);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 1, 0);
+  std::string H = toHoa(A, "demo");
+  EXPECT_NE(H.find("HOA: v1"), std::string::npos);
+  EXPECT_NE(H.find("name: \"demo\""), std::string::npos);
+  EXPECT_NE(H.find("States: 2"), std::string::npos);
+  EXPECT_NE(H.find("Start: 0"), std::string::npos);
+  EXPECT_NE(H.find("Acceptance: 1 Inf(0)"), std::string::npos);
+  EXPECT_NE(H.find("State: 1 {0}"), std::string::npos);
+  EXPECT_NE(H.find("--END--"), std::string::npos);
+}
+
+TEST(Hoa, RoundTripPreservesLanguage) {
+  Rng R(111);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    RandomAutomatonSpec Spec;
+    Spec.NumStates = 2 + static_cast<uint32_t>(R.below(5));
+    Spec.NumSymbols = 1 + static_cast<uint32_t>(R.below(4));
+    Buchi A = randomBa(R, Spec);
+    HoaParseResult P = parseHoa(toHoa(A));
+    ASSERT_TRUE(P.ok()) << P.Error;
+    const Buchi &B = *P.A;
+    // The parsed alphabet is padded to the next power of two; the language
+    // over the original symbols must be identical.
+    EXPECT_GE(B.numSymbols(), A.numSymbols());
+    EXPECT_EQ(B.numStates(), A.numStates());
+    for (int W = 0; W < 25; ++W) {
+      LassoWord L = randomLasso(R, Spec.NumSymbols, 3, 3);
+      EXPECT_EQ(acceptsLasso(A, L), acceptsLasso(B, L))
+          << "round trip changed membership of " << L.str();
+    }
+  }
+}
+
+TEST(Hoa, RoundTripGeneralizedAcceptance) {
+  Buchi A(2, 2);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(0, 0);
+  A.setAccepting(1, 1);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 1, 0);
+  HoaParseResult P = parseHoa(toHoa(A));
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.A->numConditions(), 2u);
+  EXPECT_EQ(P.A->acceptMask(0), 0b01u);
+  EXPECT_EQ(P.A->acceptMask(1), 0b10u);
+  EXPECT_EQ(acceptsLasso(A, {{}, {0, 1}}), acceptsLasso(*P.A, {{}, {0, 1}}));
+  EXPECT_EQ(acceptsLasso(A, {{}, {0}}), acceptsLasso(*P.A, {{}, {0}}));
+}
+
+TEST(Hoa, ParsesTrueLabelAndPartialLabels) {
+  const char *Doc = R"(HOA: v1
+States: 1
+Start: 0
+AP: 2 "a" "b"
+Acceptance: 1 Inf(0)
+--BODY--
+State: 0 {0}
+  [t] 0
+--END--
+)";
+  HoaParseResult P = parseHoa(Doc);
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.A->numSymbols(), 4u);
+  // All four symbols self-loop.
+  EXPECT_EQ(P.A->arcsFrom(0).size(), 4u);
+  // Partial label: only AP0 fixed positive -> symbols 1 and 3.
+  const char *Doc2 = R"(HOA: v1
+States: 1
+Start: 0
+AP: 2 "a" "b"
+Acceptance: 1 Inf(0)
+--BODY--
+State: 0 {0}
+  [0] 0
+--END--
+)";
+  HoaParseResult P2 = parseHoa(Doc2);
+  ASSERT_TRUE(P2.ok()) << P2.Error;
+  EXPECT_EQ(P2.A->arcsFrom(0).size(), 2u);
+}
+
+TEST(Hoa, SkipsUnknownHeadersAndComments) {
+  const char *Doc = R"(HOA: v1
+tool: "somebody" "1.0"
+States: 1
+Start: 0
+AP: 1 "a"
+custom-header: whatever stuff 1 2 3
+Acceptance: 1 Inf(0)
+/* a block comment */
+--BODY--
+State: 0 {0}
+  [0] 0
+  [!0] 0
+--END--
+)";
+  HoaParseResult P = parseHoa(Doc);
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_TRUE(acceptsLasso(*P.A, {{}, {0}}));
+  EXPECT_TRUE(acceptsLasso(*P.A, {{}, {1}}));
+}
+
+TEST(Hoa, RejectsBadDocuments) {
+  EXPECT_FALSE(parseHoa("States: 1\n--BODY--\n--END--\n").ok());
+  EXPECT_FALSE(parseHoa("HOA: v2\nAP: 1 \"a\"\n--BODY--\n--END--\n").ok());
+  const char *OutOfRange = R"(HOA: v1
+States: 1
+Start: 5
+AP: 1 "a"
+Acceptance: 1 Inf(0)
+--BODY--
+--END--
+)";
+  EXPECT_FALSE(parseHoa(OutOfRange).ok());
+}
+
+TEST(Hoa, MultipleStartStates) {
+  const char *Doc = R"(HOA: v1
+States: 2
+Start: 0
+Start: 1
+AP: 1 "a"
+Acceptance: 1 Inf(0)
+--BODY--
+State: 0
+  [0] 0
+State: 1 {0}
+  [0] 1
+--END--
+)";
+  HoaParseResult P = parseHoa(Doc);
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.A->initials().size(), 2u);
+  EXPECT_FALSE(isEmpty(*P.A));
+}
+
+} // namespace

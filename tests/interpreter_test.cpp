@@ -1,0 +1,99 @@
+//===- tests/interpreter_test.cpp - Concrete execution tests --------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Interpreter.h"
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+Program parse(const char *Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+TEST(Interpreter, StraightLineComputes) {
+  Program P = parse("program p(x) { x := x + 1; x := 2 * x; }");
+  Interpreter I(P);
+  RunResult R = I.run({{P.vars().lookup("x"), 5}}, 100);
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(R.Steps, 2u);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("x")), 12);
+}
+
+TEST(Interpreter, CountdownLoopTerminates) {
+  Program P = parse("program p(i) { while (i > 0) { i := i - 1; } }");
+  Interpreter I(P);
+  RunResult R = I.run({{P.vars().lookup("i"), 10}}, 1000);
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("i")), 0);
+}
+
+TEST(Interpreter, InfiniteLoopExhaustsFuel) {
+  Program P = parse("program p(i) { while (true) { i := i + 1; } }");
+  Interpreter I(P);
+  RunResult R = I.run({}, 500);
+  EXPECT_EQ(R.Status, RunStatus::OutOfFuel);
+  EXPECT_EQ(R.Steps, 500u);
+}
+
+TEST(Interpreter, GuardsBlockDisabledEdges) {
+  Program P = parse(
+      "program p(i) { if (i > 0) { i := 100; } else { i := -100; } }");
+  Interpreter I(P);
+  RunResult Pos = I.run({{P.vars().lookup("i"), 3}}, 100);
+  EXPECT_EQ(Pos.Final.at(P.vars().lookup("i")), 100);
+  RunResult Neg = I.run({{P.vars().lookup("i"), -3}}, 100);
+  EXPECT_EQ(Neg.Final.at(P.vars().lookup("i")), -100);
+}
+
+TEST(Interpreter, PsortNestedLoops) {
+  Program P = parse(R"(
+program sort(i) {
+  while (i > 0) {
+    j := 1;
+    while (j < i) { j := j + 1; }
+    i := i - 1;
+  }
+})");
+  Interpreter I(P);
+  RunResult R = I.run({{P.vars().lookup("i"), 6}}, 10000);
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("i")), 0);
+}
+
+TEST(Interpreter, HavocIsBoundedAndSeeded) {
+  Program P = parse("program p(x) { havoc x; }");
+  Interpreter A(P, /*Seed=*/7, /*HavocLo=*/-4, /*HavocHi=*/4);
+  Interpreter B(P, /*Seed=*/7, /*HavocLo=*/-4, /*HavocHi=*/4);
+  RunResult Ra = A.run({}, 10);
+  RunResult Rb = B.run({}, 10);
+  int64_t X = Ra.Final.at(P.vars().lookup("x"));
+  EXPECT_GE(X, -4);
+  EXPECT_LE(X, 4);
+  EXPECT_EQ(X, Rb.Final.at(P.vars().lookup("x"))) << "same seed, same run";
+}
+
+TEST(Interpreter, NondeterministicChoiceEventuallyExits) {
+  // while (*) { i := i + 1; } exits as soon as the RNG picks the exit edge.
+  Program P = parse("program p(i) { while (*) { i := i + 1; } }");
+  Interpreter I(P, 3);
+  RunResult R = I.run({}, 100000);
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+}
+
+TEST(Interpreter, UnlistedVariablesStartAtZero) {
+  Program P = parse("program p(x) { y := x + 1; }");
+  Interpreter I(P);
+  RunResult R = I.run({}, 10);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("y")), 1);
+}
+
+} // namespace

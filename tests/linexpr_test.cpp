@@ -1,0 +1,117 @@
+//===- tests/linexpr_test.cpp - Linear expression tests -------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/LinearExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+class LinExprTest : public ::testing::Test {
+protected:
+  VarTable Vars;
+  VarId I = Vars.intern("i");
+  VarId J = Vars.intern("j");
+  VarId K = Vars.intern("k");
+};
+
+TEST_F(LinExprTest, ConstantExpr) {
+  LinearExpr E = LinearExpr::constant(5);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constantTerm(), 5);
+  EXPECT_EQ(E.coeff(I), 0);
+}
+
+TEST_F(LinExprTest, VariableExpr) {
+  LinearExpr E = LinearExpr::variable(I);
+  EXPECT_FALSE(E.isConstant());
+  EXPECT_EQ(E.coeff(I), 1);
+  EXPECT_TRUE(E.mentions(I));
+  EXPECT_FALSE(E.mentions(J));
+}
+
+TEST_F(LinExprTest, AdditionMergesTerms) {
+  LinearExpr E = LinearExpr::scaled(I, 2) + LinearExpr::scaled(I, 3) +
+                 LinearExpr::constant(1);
+  EXPECT_EQ(E.coeff(I), 5);
+  EXPECT_EQ(E.constantTerm(), 1);
+}
+
+TEST_F(LinExprTest, SubtractionCancelsToConstant) {
+  LinearExpr E = LinearExpr::variable(I) - LinearExpr::variable(I);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constantTerm(), 0);
+}
+
+TEST_F(LinExprTest, TermsAreSortedByVariable) {
+  LinearExpr E = LinearExpr::variable(K) + LinearExpr::variable(I);
+  ASSERT_EQ(E.terms().size(), 2u);
+  EXPECT_EQ(E.terms()[0].Var, I);
+  EXPECT_EQ(E.terms()[1].Var, K);
+}
+
+TEST_F(LinExprTest, ScaledBy) {
+  LinearExpr E = (LinearExpr::variable(I) + LinearExpr::constant(2)).scaledBy(-3);
+  EXPECT_EQ(E.coeff(I), -3);
+  EXPECT_EQ(E.constantTerm(), -6);
+  EXPECT_TRUE(E.scaledBy(0).isConstant());
+}
+
+TEST_F(LinExprTest, SubstituteVariable) {
+  // 2*i + j, with i := j + 1, becomes 3*j + 2.
+  LinearExpr E = LinearExpr::scaled(I, 2) + LinearExpr::variable(J);
+  LinearExpr Repl = LinearExpr::variable(J) + LinearExpr::constant(1);
+  LinearExpr S = E.substitute(I, Repl);
+  EXPECT_EQ(S.coeff(I), 0);
+  EXPECT_EQ(S.coeff(J), 3);
+  EXPECT_EQ(S.constantTerm(), 2);
+}
+
+TEST_F(LinExprTest, SubstituteAbsentVariableIsNoop) {
+  LinearExpr E = LinearExpr::variable(J);
+  EXPECT_EQ(E.substitute(I, LinearExpr::constant(99)), E);
+}
+
+TEST_F(LinExprTest, SelfReferentialSubstitution) {
+  // i, with i := i + 1, becomes i + 1 (increment semantics).
+  LinearExpr E = LinearExpr::variable(I);
+  LinearExpr S =
+      E.substitute(I, LinearExpr::variable(I) + LinearExpr::constant(1));
+  EXPECT_EQ(S.coeff(I), 1);
+  EXPECT_EQ(S.constantTerm(), 1);
+}
+
+TEST_F(LinExprTest, Evaluate) {
+  LinearExpr E = LinearExpr::scaled(I, 2) - LinearExpr::variable(J) +
+                 LinearExpr::constant(7);
+  auto ValueOf = [&](VarId V) -> int64_t { return V == I ? 10 : 4; };
+  EXPECT_EQ(E.evaluate(ValueOf), 2 * 10 - 4 + 7);
+}
+
+TEST_F(LinExprTest, CoefficientGcd) {
+  LinearExpr E = LinearExpr::scaled(I, 6) + LinearExpr::scaled(J, -9);
+  EXPECT_EQ(E.coefficientGcd(), 3);
+  EXPECT_EQ(LinearExpr::constant(4).coefficientGcd(), 0);
+}
+
+TEST_F(LinExprTest, EqualityIsStructural) {
+  LinearExpr A = LinearExpr::variable(I) + LinearExpr::variable(J);
+  LinearExpr B = LinearExpr::variable(J) + LinearExpr::variable(I);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST_F(LinExprTest, StringRendering) {
+  LinearExpr E = LinearExpr::scaled(I, 2) - LinearExpr::variable(J) +
+                 LinearExpr::constant(1);
+  EXPECT_EQ(E.str(Vars), "2*i - j + 1");
+  EXPECT_EQ(LinearExpr::constant(-4).str(Vars), "-4");
+  EXPECT_EQ((-LinearExpr::variable(I)).str(Vars), "-i");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/nested_dfs_test.cpp - CVWY nested-DFS tests ------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/NestedDfs.h"
+
+#include "automata/Ops.h"
+#include "benchgen/RandomAutomata.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+TEST(NestedDfs, EmptyAndTrivialCases) {
+  Buchi Empty(1, 1);
+  EXPECT_TRUE(isEmptyNestedDfs(Empty));
+
+  Buchi Loop(1, 1);
+  State S = Loop.addState();
+  Loop.addInitial(S);
+  Loop.setAccepting(S);
+  Loop.addTransition(S, 0, S);
+  EXPECT_FALSE(isEmptyNestedDfs(Loop));
+  auto W = findLassoNestedDfs(Loop);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(acceptsLasso(Loop, *W));
+}
+
+TEST(NestedDfs, NonAcceptingCycleIsEmpty) {
+  Buchi A(1, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 0);
+  EXPECT_TRUE(isEmptyNestedDfs(A));
+}
+
+TEST(NestedDfs, AcceptingStateOffCycle) {
+  // Accepting state reachable but not on any cycle.
+  Buchi A(1, 1);
+  A.addStates(3);
+  A.addInitial(0);
+  A.setAccepting(1);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 2);
+  A.addTransition(2, 0, 2);
+  EXPECT_TRUE(isEmptyNestedDfs(A));
+}
+
+TEST(NestedDfs, CycleClosesAboveTheSeed) {
+  // The red search must accept cycles closing into ancestors of the seed.
+  Buchi A(1, 1);
+  A.addStates(3);
+  A.addInitial(0);
+  A.setAccepting(2);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 2);
+  A.addTransition(2, 0, 0); // closes into the blue-stack root
+  EXPECT_FALSE(isEmptyNestedDfs(A));
+  auto W = findLassoNestedDfs(A);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(acceptsLasso(A, *W));
+}
+
+TEST(NestedDfs, PropertyAgreesWithGaiserSchwoon) {
+  Rng R(909);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    RandomAutomatonSpec Spec;
+    Spec.NumStates = 2 + static_cast<uint32_t>(R.below(10));
+    Spec.NumSymbols = 1 + static_cast<uint32_t>(R.below(3));
+    Spec.AcceptPercent = 20;
+    Buchi A = randomBa(R, Spec);
+    EXPECT_EQ(isEmptyNestedDfs(A), isEmpty(A))
+        << "nested DFS disagrees with the SCC-based check\n" << A.str();
+  }
+}
+
+TEST(NestedDfs, PropertyLassosAreAccepted) {
+  Rng R(910);
+  for (int Iter = 0; Iter < 150; ++Iter) {
+    RandomAutomatonSpec Spec;
+    Spec.NumStates = 2 + static_cast<uint32_t>(R.below(8));
+    Spec.NumSymbols = 2;
+    Spec.AcceptPercent = 25;
+    Buchi A = randomBa(R, Spec);
+    auto W = findLassoNestedDfs(A);
+    if (W) {
+      EXPECT_TRUE(acceptsLasso(A, *W))
+          << "nested DFS produced a rejected lasso " << W->str() << "\n"
+          << A.str();
+    }
+  }
+}
+
+TEST(NestedDfs, WorksOnDegeneralizedGbas) {
+  Rng R(911);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    // Random 2-condition GBA, degeneralized, then cross-checked.
+    Buchi G(2, 2);
+    uint32_t N = 3 + static_cast<uint32_t>(R.below(4));
+    G.addStates(N);
+    G.addInitial(0);
+    for (State S = 0; S < N; ++S) {
+      if (R.chance(1, 3))
+        G.setAccepting(S, 0);
+      if (R.chance(1, 3))
+        G.setAccepting(S, 1);
+      for (Symbol Sym = 0; Sym < 2; ++Sym)
+        G.addTransition(S, Sym, static_cast<State>(R.below(N)));
+    }
+    Buchi D = degeneralize(G);
+    EXPECT_EQ(isEmptyNestedDfs(D), isEmpty(G));
+  }
+}
+
+} // namespace

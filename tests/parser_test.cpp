@@ -1,0 +1,203 @@
+//===- tests/parser_test.cpp - WHILE-language parser tests ----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+const char *PsortSrc = R"(
+// The paper's running example (Figure 2a), branch-free body.
+program sort(i) {
+  while (i > 0) {
+    j := 1;
+    while (j < i) {
+      j := j + 1;
+    }
+    i := i - 1;
+  }
+}
+)";
+
+TEST(Parser, ParsesPsort) {
+  ParseResult R = parseProgram(PsortSrc);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Program &P = *R.Prog;
+  EXPECT_EQ(P.name(), "sort");
+  ASSERT_EQ(P.params().size(), 1u);
+  EXPECT_EQ(P.vars().name(P.params()[0]), "i");
+  EXPECT_GT(P.numLocations(), 3u);
+  EXPECT_GT(P.edges().size(), 5u);
+  EXPECT_NE(P.vars().lookup("j"), InvalidVar);
+}
+
+TEST(Parser, SimpleAssignmentChain) {
+  ParseResult R = parseProgram("program p(x) { x := x + 1; x := 2 * x; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->edges().size(), 2u);
+  EXPECT_EQ(R.Prog->numLocations(), 3u);
+}
+
+TEST(Parser, ConstantMultiplicationBothSides) {
+  ParseResult R = parseProgram("program p(x) { x := 3 * x - x * 2; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Statement &S = R.Prog->statement(R.Prog->edges()[0].Sym);
+  ASSERT_EQ(S.kind(), StmtKind::Assign);
+  EXPECT_EQ(S.rhs().coeff(R.Prog->vars().lookup("x")), 1);
+}
+
+TEST(Parser, NonlinearMultiplicationRejected) {
+  ParseResult R = parseProgram("program p(x, y) { x := x * y; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("nonlinear"), std::string::npos);
+}
+
+TEST(Parser, WhileGeneratesGuardAndNegation) {
+  ParseResult R = parseProgram("program p(i) { while (i > 0) { i := i - 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Program &P = *R.Prog;
+  // Entry has one edge into the body (i > 0) and one past it (i <= 0).
+  auto Out = P.outgoing(P.entry());
+  ASSERT_EQ(Out.size(), 2u);
+  int Guards = 0;
+  for (uint32_t E : Out) {
+    const Statement &S = P.statement(P.edges()[E].Sym);
+    EXPECT_EQ(S.kind(), StmtKind::Assume);
+    if (!S.guard().isTrue())
+      ++Guards;
+  }
+  EXPECT_EQ(Guards, 2);
+}
+
+TEST(Parser, NotEqualSplitsIntoTwoEdges) {
+  ParseResult R = parseProgram("program p(i) { while (i != 0) { i := i - 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Program &P = *R.Prog;
+  // i != 0 becomes two guard edges (i < 0 and i > 0); the negation is one.
+  EXPECT_EQ(P.outgoing(P.entry()).size(), 3u);
+}
+
+TEST(Parser, DisjunctionInCondition) {
+  ParseResult R = parseProgram(
+      "program p(i, j) { while (i > 0 || j > 0) { i := i - 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Program &P = *R.Prog;
+  // Two entry edges into the body; the negation i <= 0 && j <= 0 is one.
+  EXPECT_EQ(P.outgoing(P.entry()).size(), 3u);
+}
+
+TEST(Parser, ConjunctionNegationIsDisjunction) {
+  ParseResult R = parseProgram(
+      "program p(i, j) { while (i > 0 && j > 0) { i := i - 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // One edge into the body, two out (i <= 0 or j <= 0).
+  EXPECT_EQ(R.Prog->outgoing(R.Prog->entry()).size(), 3u);
+}
+
+TEST(Parser, StarConditionFiresBothWays) {
+  ParseResult R = parseProgram(
+      "program p(i) { while (*) { i := i + 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Program &P = *R.Prog;
+  auto Out = P.outgoing(P.entry());
+  ASSERT_EQ(Out.size(), 2u);
+  for (uint32_t E : Out)
+    EXPECT_TRUE(P.statement(P.edges()[E].Sym).guard().isTrue());
+}
+
+TEST(Parser, IfElse) {
+  ParseResult R = parseProgram(
+      "program p(i) { if (i > 0) { i := 1; } else { i := 2; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->outgoing(R.Prog->entry()).size(), 2u);
+}
+
+TEST(Parser, IfWithoutElse) {
+  ParseResult R = parseProgram("program p(i) { if (i > 0) { i := 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->outgoing(R.Prog->entry()).size(), 2u);
+}
+
+TEST(Parser, EitherOrBranches) {
+  ParseResult R = parseProgram(
+      "program p(i) { either { i := 1; } or { i := 2; } or { i := 3; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->outgoing(R.Prog->entry()).size(), 3u);
+}
+
+TEST(Parser, EitherRequiresOr) {
+  ParseResult R = parseProgram("program p(i) { either { i := 1; } }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Parser, AssumeHavocSkip) {
+  ParseResult R = parseProgram(
+      "program p(i) { assume(i >= 0); havoc i; skip; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->edges().size(), 2u);
+}
+
+TEST(Parser, ParenthesizedArithmeticInCondition) {
+  ParseResult R = parseProgram(
+      "program p(i, j) { while ((i + 1) < (2 * j)) { i := i + 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(Parser, ParenthesizedBooleanGrouping) {
+  ParseResult R = parseProgram(
+      "program p(i, j) { while ((i > 0 || j > 0) && i < 10) { i := i + 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(Parser, NegatedAtom) {
+  ParseResult R = parseProgram(
+      "program p(i) { while (!(i <= 0)) { i := i - 1; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->outgoing(R.Prog->entry()).size(), 2u);
+}
+
+TEST(Parser, TrueFalseConditions) {
+  ParseResult R = parseProgram("program p(i) { while (true) { skip; } }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // 'false' exit branch contributes no edge.
+  EXPECT_EQ(R.Prog->outgoing(R.Prog->entry()).size(), 1u);
+}
+
+TEST(Parser, CommentsAreSkipped) {
+  ParseResult R = parseProgram(
+      "// header\nprogram p(i) { // inline\n i := 0; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  ParseResult R = parseProgram("program p(i) {\n i := ;\n}");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, MissingSemicolonReported) {
+  ParseResult R = parseProgram("program p(i) { i := 1 }");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("';'"), std::string::npos);
+}
+
+TEST(Parser, RejectsTrailingInput) {
+  ParseResult R = parseProgram("program p(i) { i := 1; } garbage");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Parser, StatementsAreInterned) {
+  ParseResult R = parseProgram(
+      "program p(i) { i := i + 1; i := i + 1; i := i + 1; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->edges().size(), 3u);
+  EXPECT_EQ(R.Prog->numSymbols(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/predicate_test.cpp - oldrnk predicate tests ------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Predicate.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+class PredicateTest : public ::testing::Test {
+protected:
+  VarTable Vars;
+  VarId I = Vars.intern("i");
+  VarId J = Vars.intern("j");
+  VarId Old = Vars.intern("oldrnk");
+
+  LinearExpr i() { return LinearExpr::variable(I); }
+  LinearExpr j() { return LinearExpr::variable(J); }
+  LinearExpr oldrnk() { return LinearExpr::variable(Old); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+
+  /// i - j < oldrnk (the predicate of state q3 in the paper's Psort module).
+  Predicate q3() {
+    Cube C;
+    C.add(Constraint::lt(i() - j(), oldrnk()));
+    return Predicate(C);
+  }
+
+  /// 0 <= i - j <= oldrnk (state q4).
+  Predicate q4() {
+    Cube C;
+    C.add(Constraint::ge(i() - j(), c(0)));
+    C.add(Constraint::le(i() - j(), oldrnk()));
+    return Predicate(C);
+  }
+};
+
+TEST_F(PredicateTest, InfinityPredicateBasics) {
+  Predicate P = Predicate::oldrnkInfinity();
+  EXPECT_TRUE(P.oldrnkIsInf());
+  EXPECT_TRUE(P.mentionsOldrnk(Old));
+  EXPECT_FALSE(P.isUnsatisfiable(Old));
+}
+
+TEST_F(PredicateTest, ContradictionIsUnsat) {
+  EXPECT_TRUE(Predicate::contradiction().isUnsatisfiable(Old));
+}
+
+TEST_F(PredicateTest, MentionsOldrnkViaCube) {
+  EXPECT_TRUE(q3().mentionsOldrnk(Old));
+  Cube C;
+  C.add(Constraint::ge(i(), c(0)));
+  EXPECT_FALSE(Predicate(C).mentionsOldrnk(Old));
+}
+
+TEST_F(PredicateTest, RestrictToInfDropsLowerBoundsOnOldrnk) {
+  // i - j < oldrnk is trivially true at oldrnk = INF.
+  Cube R = q3().restrictToInf(Old);
+  EXPECT_TRUE(R.isTrue());
+}
+
+TEST_F(PredicateTest, RestrictToInfKillsUpperBoundsOnOldrnk) {
+  Cube C;
+  C.add(Constraint::le(oldrnk(), c(5)));
+  Predicate P(C, /*OldrnkIsInf=*/true);
+  EXPECT_TRUE(P.isUnsatisfiable(Old));
+}
+
+TEST_F(PredicateTest, RestrictToInfKillsEqualities) {
+  Cube C;
+  C.add(Constraint::eq(oldrnk(), i()));
+  Predicate P(C, /*OldrnkIsInf=*/true);
+  EXPECT_TRUE(P.isUnsatisfiable(Old));
+}
+
+TEST_F(PredicateTest, FinitePredicateWithInfModelsStaysSat) {
+  // "oldrnk <= 5" without the INF conjunct is satisfiable (finite models).
+  Cube C;
+  C.add(Constraint::le(oldrnk(), c(5)));
+  EXPECT_FALSE(Predicate(C).isUnsatisfiable(Old));
+}
+
+TEST_F(PredicateTest, InfinityEntailsLowerBoundedOldrnkAtoms) {
+  // oldrnk = INF entails i - j < oldrnk whenever INF-models agree, i.e.
+  // always, since the atom is true at INF.
+  EXPECT_TRUE(Predicate::oldrnkInfinity().entails(q3(), Old));
+}
+
+TEST_F(PredicateTest, InfinityDoesNotEntailUpperBounds) {
+  Cube C;
+  C.add(Constraint::le(oldrnk(), c(5)));
+  EXPECT_FALSE(Predicate::oldrnkInfinity().entails(Predicate(C), Old));
+}
+
+TEST_F(PredicateTest, FiniteDoesNotEntailInfinity) {
+  Cube C;
+  C.add(Constraint::ge(i(), c(0)));
+  EXPECT_FALSE(Predicate(C).entails(Predicate::oldrnkInfinity(), Old));
+}
+
+TEST_F(PredicateTest, ContradictionEntailsInfinity) {
+  EXPECT_TRUE(
+      Predicate::contradiction().entails(Predicate::oldrnkInfinity(), Old));
+}
+
+TEST_F(PredicateTest, FiniteEntailmentUsesFm) {
+  // q4 with i - j >= 0 entails i - j + 1 <= oldrnk + 1 style weakenings.
+  Cube Q;
+  Q.add(Constraint::le(i() - j(), oldrnk() + c(1)));
+  EXPECT_TRUE(q4().entails(Predicate(Q), Old));
+  // but not the strict version.
+  Cube R;
+  R.add(Constraint::lt(i() - j(), oldrnk()));
+  EXPECT_FALSE(q4().entails(Predicate(R), Old));
+}
+
+TEST_F(PredicateTest, EntailmentChecksBothBranches) {
+  // P = (i >= 1), no INF conjunct: has both finite and INF oldrnk models.
+  Cube PC;
+  PC.add(Constraint::ge(i(), c(1)));
+  Predicate P(PC);
+  // Q = (i >= 0) holds in both branches.
+  Cube QC;
+  QC.add(Constraint::ge(i(), c(0)));
+  EXPECT_TRUE(P.entails(Predicate(QC), Old));
+  // Q' = (oldrnk <= 100) fails in the INF branch.
+  Cube QC2;
+  QC2.add(Constraint::le(oldrnk(), c(100)));
+  EXPECT_FALSE(P.entails(Predicate(QC2), Old));
+}
+
+TEST_F(PredicateTest, ConjoinMergesCubesAndInfinity) {
+  Predicate A = Predicate::oldrnkInfinity();
+  Predicate B = q4();
+  Predicate AB = Predicate::conjoin(A, B);
+  EXPECT_TRUE(AB.oldrnkIsInf());
+  // The paper's {q1,q4} state: 0 <= i - j <= oldrnk = INF, satisfiable.
+  EXPECT_FALSE(AB.isUnsatisfiable(Old));
+  // And it entails 0 <= i - j.
+  Cube Q;
+  Q.add(Constraint::ge(i() - j(), c(0)));
+  EXPECT_TRUE(AB.entails(Predicate(Q), Old));
+}
+
+TEST_F(PredicateTest, StructuralEqualityAndHash) {
+  EXPECT_EQ(q3(), q3());
+  EXPECT_NE(q3(), q4());
+  EXPECT_EQ(q3().hash(), q3().hash());
+}
+
+TEST_F(PredicateTest, Rendering) {
+  EXPECT_EQ(Predicate::oldrnkInfinity().str(Vars), "oldrnk = INF");
+  Cube C;
+  C.add(Constraint::ge(i(), c(0)));
+  EXPECT_EQ(Predicate(C, true).str(Vars), "oldrnk = INF /\\ -i <= 0");
+}
+
+} // namespace

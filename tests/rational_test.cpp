@@ -1,0 +1,98 @@
+//===- tests/rational_test.cpp - Exact rational arithmetic tests ---------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Rational.h"
+
+#include <gtest/gtest.h>
+
+using termcheck::Rational;
+
+TEST(Rational, DefaultIsZero) {
+  Rational R;
+  EXPECT_TRUE(R.isZero());
+  EXPECT_FALSE(R.isNegative());
+  EXPECT_FALSE(R.isPositive());
+  EXPECT_TRUE(R.isInteger());
+}
+
+TEST(Rational, NormalizationReducesGcd) {
+  Rational R(6, 8);
+  EXPECT_EQ(R, Rational(3, 4));
+  EXPECT_EQ(R.num(), 3);
+  EXPECT_EQ(R.den(), 4);
+}
+
+TEST(Rational, NormalizationFixesDenominatorSign) {
+  Rational R(3, -6);
+  EXPECT_EQ(R, Rational(-1, 2));
+  EXPECT_TRUE(R.isNegative());
+}
+
+TEST(Rational, ZeroHasCanonicalForm) {
+  Rational R(0, -17);
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(R.den(), 1);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 3), Rational(1, 2));
+}
+
+TEST(Rational, Negation) {
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+  EXPECT_EQ(-Rational(0), Rational(0));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_GE(Rational(7), Rational(7));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational R(1, 2);
+  R += Rational(1, 2);
+  EXPECT_EQ(R, Rational(1));
+  R *= Rational(4);
+  EXPECT_EQ(R, Rational(4));
+  R -= Rational(1);
+  EXPECT_EQ(R, Rational(3));
+  R /= Rational(6);
+  EXPECT_EQ(R, Rational(1, 2));
+}
+
+TEST(Rational, ToInt64) {
+  EXPECT_EQ(Rational(42).toInt64(), 42);
+  EXPECT_EQ(Rational(-8, 2).toInt64(), -4);
+}
+
+TEST(Rational, StringRendering) {
+  EXPECT_EQ(Rational(7).str(), "7");
+  EXPECT_EQ(Rational(-3, 2).str(), "-3/2");
+  EXPECT_EQ(Rational(0).str(), "0");
+}
+
+TEST(Rational, LargeIntermediatesStayExact) {
+  // (10^12 / 3) * (3 / 10^12) == 1 without precision loss.
+  Rational A(1000000000000LL, 3);
+  Rational B(3, 1000000000000LL);
+  EXPECT_EQ(A * B, Rational(1));
+}

@@ -1,0 +1,139 @@
+//===- tests/robustness_test.cpp - Budget, blocking, algebra edge cases ---===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Difference.h"
+#include "automata/Ncsb.h"
+#include "automata/Ops.h"
+#include "benchgen/RandomAutomata.h"
+#include "logic/Predicate.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+TEST(DifferenceAbort, HookStopsTheConstruction) {
+  Rng R(13);
+  Buchi A = randomBa(R, {12, 2, 1.5, 30});
+  Buchi B = randomSdba(R, 3, 6, 2);
+  auto S = prepareSdba(B);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O(*S, NcsbVariant::Lazy);
+  DifferenceOptions Opts;
+  int Calls = 0;
+  Opts.ShouldAbort = [&Calls]() { return ++Calls > 1; };
+  DifferenceResult Res = difference(A, O, Opts);
+  EXPECT_TRUE(Res.Aborted);
+  EXPECT_EQ(Res.D.numStates(), 0u) << "aborted result must not be used";
+}
+
+TEST(DifferenceAbort, NeverFiringHookChangesNothing) {
+  Rng R(14);
+  Buchi A = randomBa(R, {5, 2, 1.3, 30});
+  Buchi B = randomSdba(R, 2, 3, 2);
+  auto S = prepareSdba(B);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O1(*S, NcsbVariant::Lazy);
+  NcsbOracle O2(*S, NcsbVariant::Lazy);
+  DifferenceOptions Plain;
+  DifferenceOptions Hooked;
+  Hooked.ShouldAbort = []() { return false; };
+  DifferenceResult R1 = difference(A, O1, Plain);
+  DifferenceResult R2 = difference(A, O2, Hooked);
+  EXPECT_FALSE(R2.Aborted);
+  EXPECT_EQ(R1.IsEmpty, R2.IsEmpty);
+  EXPECT_EQ(R1.D.numStates(), R2.D.numStates());
+}
+
+TEST(NcsbBlocking, SafeRunTouchingAcceptingStateBlocks) {
+  // S-runs must stay safe: a macro-state whose S component is forced into
+  // an accepting state has no successor on that symbol.
+  //
+  //   q0 (Q1) --a--> q1(acc) --a--> q2 --a--> q1 ...
+  Buchi A(1, 1);
+  A.addStates(3);
+  A.addInitial(0);
+  A.addTransition(0, 0, 0);
+  A.addTransition(0, 0, 1);
+  A.setAccepting(1);
+  A.addTransition(1, 0, 2);
+  A.addTransition(2, 0, 1);
+  auto S = prepareSdba(A);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O(*S, NcsbVariant::Lazy);
+  Buchi C = O.materialize();
+  // The language of A is "eventually the q1/q2 alternation", i.e. every
+  // word (there is only a^omega over a 1-letter alphabet) is accepted, so
+  // the complement must be empty.
+  EXPECT_TRUE(isEmpty(C));
+}
+
+TEST(NcsbBlocking, ComplementOfAllWordsOverTwoLetters) {
+  // A accepts everything via a nondeterministic guess; complement empty
+  // under both variants.
+  Rng R(15);
+  Buchi A(2, 1);
+  State Q = A.addState();
+  A.addInitial(Q);
+  A.setAccepting(Q);
+  A.addTransition(Q, 0, Q);
+  A.addTransition(Q, 1, Q);
+  auto S = prepareSdba(A);
+  ASSERT_TRUE(S.has_value());
+  for (NcsbVariant V : {NcsbVariant::Original, NcsbVariant::Lazy}) {
+    NcsbOracle O(*S, V);
+    EXPECT_TRUE(isEmpty(O.materialize()));
+  }
+}
+
+TEST(PredicateAlgebra, ConjoinIsSoundBothWays) {
+  // conjoin(A, B) entails A and entails B; and anything entailing both
+  // entails the conjunction.
+  VarTable Vars;
+  VarId I = Vars.intern("i");
+  VarId Old = Vars.intern("oldrnk");
+  Cube CA, CB;
+  CA.add(Constraint::ge(LinearExpr::variable(I), LinearExpr::constant(1)));
+  CB.add(Constraint::le(LinearExpr::variable(I), LinearExpr::constant(9)));
+  Predicate A(CA), B(CB);
+  Predicate AB = Predicate::conjoin(A, B);
+  EXPECT_TRUE(AB.entails(A, Old));
+  EXPECT_TRUE(AB.entails(B, Old));
+  Cube CC;
+  CC.add(Constraint::eq(LinearExpr::variable(I), LinearExpr::constant(5)));
+  Predicate C(CC);
+  EXPECT_TRUE(C.entails(A, Old));
+  EXPECT_TRUE(C.entails(B, Old));
+  EXPECT_TRUE(C.entails(AB, Old));
+}
+
+TEST(PredicateAlgebra, ConjoinWithContradictionIsContradiction) {
+  VarTable Vars;
+  VarId Old = Vars.intern("oldrnk");
+  Predicate AB =
+      Predicate::conjoin(Predicate::oldrnkInfinity(), Predicate::contradiction());
+  EXPECT_TRUE(AB.isUnsatisfiable(Old));
+}
+
+TEST(PredicateAlgebra, InfinityConjoinedWithUpperBoundIsUnsat) {
+  // The paper's stem/loop separation argument: oldrnk = INF cannot be
+  // combined with a finite oldrnk equality.
+  VarTable Vars;
+  VarId I = Vars.intern("i");
+  VarId Old = Vars.intern("oldrnk");
+  Cube C;
+  C.add(Constraint::eq(LinearExpr::variable(Old), LinearExpr::variable(I)));
+  Predicate AB = Predicate::conjoin(Predicate::oldrnkInfinity(), Predicate(C));
+  EXPECT_TRUE(AB.isUnsatisfiable(Old));
+}
+
+TEST(LassoWordStr, RendersStemAndLoop) {
+  LassoWord W{{1, 2}, {3}};
+  EXPECT_EQ(W.str(), "u=[1 2] v=[3]");
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- tests/sdba_test.cpp - SDBA classification and normalization --------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Sdba.h"
+
+#include "automata/Scc.h"
+#include "benchgen/RandomAutomata.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+TEST(SdbaClassify, DeterministicIsSemideterministic) {
+  Rng R(1);
+  Buchi A = randomDba(R, 6, 2);
+  SdbaSplit S = classifySdba(A);
+  EXPECT_TRUE(S.IsSemideterministic);
+}
+
+TEST(SdbaClassify, Q2IsReachableFromAccepting) {
+  // 0 -> 1(acc) -> 2 -> 2; 0 nondeterministic.
+  Buchi A(1, 1);
+  A.addStates(3);
+  A.addInitial(0);
+  A.setAccepting(1);
+  A.addTransition(0, 0, 0);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 2);
+  A.addTransition(2, 0, 2);
+  SdbaSplit S = classifySdba(A);
+  ASSERT_TRUE(S.IsSemideterministic);
+  EXPECT_FALSE(S.InQ2[0]);
+  EXPECT_TRUE(S.InQ2[1]);
+  EXPECT_TRUE(S.InQ2[2]);
+}
+
+TEST(SdbaClassify, NondeterminismInQ2Rejected) {
+  Buchi A(1, 1);
+  A.addStates(3);
+  A.addInitial(0);
+  A.setAccepting(0);
+  A.addTransition(0, 0, 1);
+  A.addTransition(0, 0, 2); // accepting state is nondeterministic
+  A.addTransition(1, 0, 1);
+  A.addTransition(2, 0, 2);
+  EXPECT_FALSE(classifySdba(A).IsSemideterministic);
+}
+
+TEST(SdbaPrepare, RejectsNonSemideterministic) {
+  Buchi A(1, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(0);
+  A.addTransition(0, 0, 0);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 0);
+  EXPECT_FALSE(prepareSdba(A).has_value());
+}
+
+TEST(SdbaPrepare, ResultIsCompleteNormalizedAndSemideterministic) {
+  Rng R(7);
+  Buchi A = randomSdba(R, 3, 4, 2);
+  auto S = prepareSdba(A);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_TRUE(S->A.isComplete());
+  EXPECT_TRUE(classifySdba(S->A).IsSemideterministic);
+  // Section 2 requirements: every Q1 -> Q2 edge enters an accepting state;
+  // every initial Q2 state is accepting.
+  for (State Q = 0; Q < S->A.numStates(); ++Q) {
+    if (S->inQ2(Q))
+      continue;
+    for (const Buchi::Arc &Arc : S->A.arcsFrom(Q)) {
+      if (S->inQ2(Arc.To)) {
+        EXPECT_TRUE(S->isAccepting(Arc.To))
+            << "non-accepting Q2 entry " << Arc.To;
+      }
+    }
+  }
+  for (State Q : S->A.initials().elems()) {
+    if (S->inQ2(Q)) {
+      EXPECT_TRUE(S->isAccepting(Q));
+    }
+  }
+}
+
+TEST(SdbaPrepare, NormalizationPreservesLanguage) {
+  Rng R(13);
+  for (int Iter = 0; Iter < 80; ++Iter) {
+    uint32_t Q1 = 1 + static_cast<uint32_t>(R.below(3));
+    uint32_t Q2 = 1 + static_cast<uint32_t>(R.below(4));
+    uint32_t Symbols = 1 + static_cast<uint32_t>(R.below(2));
+    Buchi A = randomSdba(R, Q1, Q2, Symbols);
+    auto S = prepareSdba(A);
+    ASSERT_TRUE(S.has_value());
+    for (int W = 0; W < 25; ++W) {
+      LassoWord L = randomLasso(R, Symbols, 3, 3);
+      EXPECT_EQ(acceptsLasso(A, L), acceptsLasso(S->A, L))
+          << "normalization changed the language";
+    }
+  }
+}
+
+TEST(SdbaPrepare, SinksDoNotAcceptAnything) {
+  // An automaton missing transitions everywhere.
+  Buchi A(2, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(1);
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 1);
+  auto S = prepareSdba(A);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_TRUE(S->A.isComplete());
+  EXPECT_TRUE(acceptsLasso(S->A, {{}, {0}}));   // 000... accepted
+  EXPECT_FALSE(acceptsLasso(S->A, {{0}, {1}})); // 0111... falls into a sink
+}
+
+TEST(SdbaPrepare, PaperStyleModuleShape) {
+  // Shape of M_semi in Section 3.1.4: nondeterministic stem part, two
+  // deterministic accepting loops.
+  Buchi A(3, 1);
+  A.addStates(4);
+  A.addInitial(0);
+  A.addTransition(0, 0, 0);
+  A.addTransition(0, 0, 1); // guess: enter the accepting component
+  A.setAccepting(1);
+  A.addTransition(1, 1, 2);
+  A.addTransition(2, 1, 1);
+  A.setAccepting(3); // unreachable accepting state
+  auto S = prepareSdba(A);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_FALSE(S->inQ2(0));
+  EXPECT_TRUE(S->inQ2(1));
+  EXPECT_TRUE(S->inQ2(2));
+}
+
+} // namespace

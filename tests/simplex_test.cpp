@@ -1,0 +1,182 @@
+//===- tests/simplex_test.cpp - Exact LP feasibility tests ----------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Simplex.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+using namespace termcheck::lp;
+
+namespace {
+
+TEST(Simplex, EmptyProblemIsFeasible) {
+  Problem P;
+  EXPECT_TRUE(P.solve().has_value());
+}
+
+TEST(Simplex, SingleBoundedVar) {
+  Problem P;
+  int X = P.addVar(/*NonNegative=*/true);
+  P.addRow({{X, Rational(1)}}, Rel::LE, Rational(5));
+  auto Sol = P.solve();
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_LE((*Sol)[X], Rational(5));
+  EXPECT_GE((*Sol)[X], Rational(0));
+}
+
+TEST(Simplex, InfeasibleBounds) {
+  Problem P;
+  int X = P.addVar(true);
+  P.addRow({{X, Rational(1)}}, Rel::GE, Rational(5));
+  P.addRow({{X, Rational(1)}}, Rel::LE, Rational(4));
+  EXPECT_FALSE(P.solve().has_value());
+}
+
+TEST(Simplex, EqualityRow) {
+  Problem P;
+  int X = P.addVar(true);
+  int Y = P.addVar(true);
+  P.addRow({{X, Rational(1)}, {Y, Rational(1)}}, Rel::EQ, Rational(10));
+  P.addRow({{X, Rational(1)}, {Y, Rational(-1)}}, Rel::EQ, Rational(4));
+  auto Sol = P.solve();
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_EQ((*Sol)[X], Rational(7));
+  EXPECT_EQ((*Sol)[Y], Rational(3));
+}
+
+TEST(Simplex, FreeVariableCanGoNegative) {
+  Problem P;
+  int X = P.addVar(/*NonNegative=*/false);
+  P.addRow({{X, Rational(1)}}, Rel::LE, Rational(-3));
+  auto Sol = P.solve();
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_LE((*Sol)[X], Rational(-3));
+}
+
+TEST(Simplex, NonNegativeVariableCannotGoNegative) {
+  Problem P;
+  int X = P.addVar(true);
+  P.addRow({{X, Rational(1)}}, Rel::LE, Rational(-3));
+  EXPECT_FALSE(P.solve().has_value());
+}
+
+TEST(Simplex, NegativeRhsFlipHandled) {
+  Problem P;
+  int X = P.addVar(false);
+  P.addRow({{X, Rational(1)}}, Rel::GE, Rational(-10));
+  P.addRow({{X, Rational(1)}}, Rel::LE, Rational(-5));
+  auto Sol = P.solve();
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_GE((*Sol)[X], Rational(-10));
+  EXPECT_LE((*Sol)[X], Rational(-5));
+}
+
+TEST(Simplex, RationalSolutionsAreExact) {
+  // 3x == 1 forces x == 1/3.
+  Problem P;
+  int X = P.addVar(true);
+  P.addRow({{X, Rational(3)}}, Rel::EQ, Rational(1));
+  auto Sol = P.solve();
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_EQ((*Sol)[X], Rational(1, 3));
+}
+
+TEST(Simplex, FarkasShapedSystem) {
+  // Typical Podelski-Rybalchenko shape: find lambda >= 0 with
+  // lambda^T A = c and lambda^T b <= d. Here a tiny instance:
+  //   l1 + 2 l2 == 1, l1 - l2 == 0, l1 + l2 <= 1.
+  Problem P;
+  int L1 = P.addVar(true);
+  int L2 = P.addVar(true);
+  P.addRow({{L1, Rational(1)}, {L2, Rational(2)}}, Rel::EQ, Rational(1));
+  P.addRow({{L1, Rational(1)}, {L2, Rational(-1)}}, Rel::EQ, Rational(0));
+  P.addRow({{L1, Rational(1)}, {L2, Rational(1)}}, Rel::LE, Rational(1));
+  auto Sol = P.solve();
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_EQ((*Sol)[L1], Rational(1, 3));
+  EXPECT_EQ((*Sol)[L2], Rational(1, 3));
+}
+
+TEST(Simplex, RedundantRowsDoNotConfuse) {
+  Problem P;
+  int X = P.addVar(true);
+  for (int K = 0; K < 10; ++K)
+    P.addRow({{X, Rational(1)}}, Rel::LE, Rational(100 + K));
+  P.addRow({{X, Rational(1)}}, Rel::GE, Rational(50));
+  auto Sol = P.solve();
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_GE((*Sol)[X], Rational(50));
+}
+
+// Property: systems generated around a known witness are always reported
+// feasible, and the returned assignment satisfies every row.
+TEST(Simplex, PropertyWitnessedSystemsFeasible) {
+  Rng R(42);
+  for (int Iter = 0; Iter < 100; ++Iter) {
+    Problem P;
+    const int N = 4;
+    std::vector<int> Vars;
+    std::vector<Rational> Witness;
+    for (int V = 0; V < N; ++V) {
+      bool NonNeg = R.chance(1, 2);
+      Vars.push_back(P.addVar(NonNeg));
+      Witness.push_back(Rational(NonNeg ? R.range(0, 8) : R.range(-8, 8)));
+    }
+    struct RowSpec {
+      std::vector<std::pair<int, Rational>> Terms;
+      Rel R;
+      Rational Rhs;
+    };
+    std::vector<RowSpec> Specs;
+    for (int RowI = 0; RowI < 6; ++RowI) {
+      RowSpec S;
+      Rational Lhs(0);
+      for (int V = 0; V < N; ++V) {
+        Rational C(R.range(-3, 3));
+        if (C.isZero())
+          continue;
+        S.Terms.push_back({Vars[V], C});
+        Lhs += C * Witness[V];
+      }
+      int Kind = static_cast<int>(R.below(3));
+      if (Kind == 0) {
+        S.R = Rel::EQ;
+        S.Rhs = Lhs;
+      } else if (Kind == 1) {
+        S.R = Rel::LE;
+        S.Rhs = Lhs + Rational(R.range(0, 4));
+      } else {
+        S.R = Rel::GE;
+        S.Rhs = Lhs - Rational(R.range(0, 4));
+      }
+      Specs.push_back(S);
+      P.addRow(S.Terms, S.R, S.Rhs);
+    }
+    auto Sol = P.solve();
+    ASSERT_TRUE(Sol.has_value()) << "refuted a witnessed system";
+    for (const RowSpec &S : Specs) {
+      Rational Lhs(0);
+      for (const auto &[V, C] : S.Terms)
+        Lhs += C * (*Sol)[V];
+      switch (S.R) {
+      case Rel::EQ:
+        EXPECT_EQ(Lhs, S.Rhs);
+        break;
+      case Rel::LE:
+        EXPECT_LE(Lhs, S.Rhs);
+        break;
+      case Rel::GE:
+        EXPECT_GE(Lhs, S.Rhs);
+        break;
+      }
+    }
+  }
+}
+
+} // namespace

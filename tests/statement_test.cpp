@@ -1,0 +1,133 @@
+//===- tests/statement_test.cpp - Statement semantics tests ---------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Statement.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+namespace {
+
+class StatementTest : public ::testing::Test {
+protected:
+  VarTable Vars;
+  VarId I = Vars.intern("i");
+  VarId J = Vars.intern("j");
+  VarId Scratch = Vars.intern("$scratch");
+
+  LinearExpr i() { return LinearExpr::variable(I); }
+  LinearExpr j() { return LinearExpr::variable(J); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+
+  Cube cube(std::initializer_list<Constraint> Cs) {
+    Cube Out;
+    for (const Constraint &C : Cs)
+      Out.add(C);
+    return Out;
+  }
+};
+
+TEST_F(StatementTest, AssumeConjoinsGuard) {
+  Statement S = Statement::assume(cube({Constraint::gt(i(), c(0))}));
+  Cube Post = S.post(Cube(), Scratch);
+  EXPECT_TRUE(fm::entails(Post, Constraint::ge(i(), c(1))));
+}
+
+TEST_F(StatementTest, AssumeOnContradictionStaysContradictory) {
+  Statement S = Statement::assume(cube({Constraint::gt(i(), c(0))}));
+  Cube Post = S.post(Cube::contradiction(), Scratch);
+  EXPECT_FALSE(fm::isSatisfiable(Post));
+}
+
+TEST_F(StatementTest, AssignConstant) {
+  Statement S = Statement::assign(J, c(1));
+  Cube Post = S.post(cube({Constraint::ge(i(), c(5))}), Scratch);
+  EXPECT_TRUE(fm::entails(Post, Constraint::eq(j(), c(1))));
+  EXPECT_TRUE(fm::entails(Post, Constraint::ge(i(), c(5))));
+}
+
+TEST_F(StatementTest, AssignOverwritesOldFacts) {
+  // { j == 7 } j := 1 { j == 1 }, and the old fact must be gone.
+  Statement S = Statement::assign(J, c(1));
+  Cube Post = S.post(cube({Constraint::eq(j(), c(7))}), Scratch);
+  EXPECT_TRUE(fm::entails(Post, Constraint::eq(j(), c(1))));
+  EXPECT_FALSE(fm::entails(Post, Constraint::eq(j(), c(7))));
+}
+
+TEST_F(StatementTest, SelfReferentialIncrement) {
+  // { i == 3 } i := i + 1 { i == 4 }.
+  Statement S = Statement::assign(I, i() + c(1));
+  Cube Post = S.post(cube({Constraint::eq(i(), c(3))}), Scratch);
+  EXPECT_TRUE(fm::entails(Post, Constraint::eq(i(), c(4))));
+}
+
+TEST_F(StatementTest, IncrementPreservesRelations) {
+  // { j < i } j := j + 1 { j <= i }.
+  Statement S = Statement::assign(J, j() + c(1));
+  Cube Post = S.post(cube({Constraint::lt(j(), i())}), Scratch);
+  EXPECT_TRUE(fm::entails(Post, Constraint::le(j(), i())));
+}
+
+TEST_F(StatementTest, HavocDropsFacts) {
+  Statement S = Statement::havoc(I);
+  Cube Post = S.post(cube({Constraint::eq(i(), c(3)),
+                           Constraint::ge(j(), c(1))}), Scratch);
+  EXPECT_FALSE(fm::entails(Post, Constraint::eq(i(), c(3))));
+  EXPECT_TRUE(fm::entails(Post, Constraint::ge(j(), c(1))));
+}
+
+TEST_F(StatementTest, HoareValidity) {
+  Statement Inc = Statement::assign(J, j() + c(1));
+  EXPECT_TRUE(Inc.hoareValid(cube({Constraint::lt(j(), i())}),
+                             cube({Constraint::le(j(), i())}), Scratch));
+  EXPECT_FALSE(Inc.hoareValid(cube({Constraint::lt(j(), i())}),
+                              cube({Constraint::lt(j(), i())}), Scratch));
+}
+
+TEST_F(StatementTest, PaperRunningExampleTriples) {
+  // The Psort certificate edges (Section 3.1.1) with f(i,j) = i - j,
+  // expressed over a plain variable standing in for oldrnk.
+  VarId Old = Vars.intern("old");
+  LinearExpr OldE = LinearExpr::variable(Old);
+  // { i - j < old /\ j < i } j := j + 1 { 0 <= i - j <= old } requires the
+  // oldrnk update first; here we check the purely arithmetic fragment:
+  // { old == i - j /\ j < i } j := j + 1 { 0 <= i - j /\ i - j < old }.
+  Statement Inc = Statement::assign(J, j() + c(1));
+  Cube Pre = cube({Constraint::eq(OldE, i() - j()), Constraint::lt(j(), i())});
+  Cube Post = cube({Constraint::ge(i() - j(), c(0)),
+                    Constraint::lt(i() - j(), OldE)});
+  EXPECT_TRUE(Inc.hoareValid(Pre, Post, Scratch));
+}
+
+TEST_F(StatementTest, MentionsAndWrites) {
+  Statement A = Statement::assign(I, j() + c(1));
+  EXPECT_TRUE(A.mentions(I));
+  EXPECT_TRUE(A.mentions(J));
+  EXPECT_TRUE(A.writes(I));
+  EXPECT_FALSE(A.writes(J));
+  Statement G = Statement::assume(cube({Constraint::gt(i(), c(0))}));
+  EXPECT_TRUE(G.mentions(I));
+  EXPECT_FALSE(G.writes(I));
+}
+
+TEST_F(StatementTest, EqualityAndHashing) {
+  Statement A = Statement::assign(I, i() + c(1));
+  Statement B = Statement::assign(I, i() + c(1));
+  Statement C = Statement::assign(I, i() + c(2));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, Statement::havoc(I));
+}
+
+TEST_F(StatementTest, Rendering) {
+  EXPECT_EQ(Statement::assign(J, j() + c(1)).str(Vars), "j := j + 1");
+  EXPECT_EQ(Statement::havoc(I).str(Vars), "havoc i");
+  EXPECT_EQ(Statement::assume(Cube()).str(Vars), "assume(true)");
+}
+
+} // namespace

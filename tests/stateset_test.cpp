@@ -1,0 +1,72 @@
+//===- tests/stateset_test.cpp - StateSet tests ---------------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/StateSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+TEST(StateSet, EmptyBasics) {
+  StateSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_FALSE(S.contains(0));
+}
+
+TEST(StateSet, InitializerListNormalizes) {
+  StateSet S{3, 1, 3, 2};
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_EQ(S.elems(), (std::vector<State>{1, 2, 3}));
+}
+
+TEST(StateSet, InsertKeepsSortedAndUnique) {
+  StateSet S;
+  S.insert(5);
+  S.insert(1);
+  S.insert(5);
+  S.insert(3);
+  EXPECT_EQ(S.elems(), (std::vector<State>{1, 3, 5}));
+}
+
+TEST(StateSet, Erase) {
+  StateSet S{1, 2, 3};
+  S.erase(2);
+  EXPECT_EQ(S.elems(), (std::vector<State>{1, 3}));
+  S.erase(9); // absent: no-op
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(StateSet, SetAlgebra) {
+  StateSet A{1, 2, 3}, B{3, 4};
+  EXPECT_EQ(A.unionWith(B), (StateSet{1, 2, 3, 4}));
+  EXPECT_EQ(A.intersectWith(B), (StateSet{3}));
+  EXPECT_EQ(A.minus(B), (StateSet{1, 2}));
+  EXPECT_EQ(B.minus(A), (StateSet{4}));
+}
+
+TEST(StateSet, IntersectsAndSubset) {
+  StateSet A{1, 2}, B{2, 3}, C{4};
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(A.intersects(C));
+  EXPECT_TRUE((StateSet{1}).subsetOf(A));
+  EXPECT_TRUE(A.subsetOf(A));
+  EXPECT_FALSE(A.subsetOf(B));
+  EXPECT_TRUE(A.supersetOf(StateSet{2}));
+  EXPECT_TRUE(StateSet().subsetOf(C));
+}
+
+TEST(StateSet, HashAgreesWithEquality) {
+  StateSet A{7, 9}, B{9, 7};
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A, (StateSet{7}));
+}
+
+TEST(StateSet, Rendering) {
+  EXPECT_EQ(StateSet().str(), "{}");
+  EXPECT_EQ((StateSet{2, 1}).str(), "{1,2}");
+}

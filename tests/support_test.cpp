@@ -1,0 +1,125 @@
+//===- tests/support_test.cpp - Support utilities tests -------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+#include <set>
+#include <sstream>
+#include <thread>
+
+using namespace termcheck;
+
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool Differs = false;
+  Rng A2(42);
+  for (int I = 0; I < 100; ++I)
+    Differs = Differs || (A2.next() != C.next());
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u) << "all five values should appear";
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(1);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(R.chance(10, 10));
+    EXPECT_FALSE(R.chance(0, 10));
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer T;
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  EXPECT_GE(T.millis(), 10.0);
+  T.reset();
+  EXPECT_LT(T.millis(), 10.0);
+}
+
+TEST(Deadline, UnarmedNeverExpires) {
+  Deadline D;
+  EXPECT_FALSE(D.expired());
+  EXPECT_GT(D.remaining(), 1e100);
+}
+
+TEST(Deadline, ArmedExpires) {
+  Deadline D = Deadline::after(0.005);
+  EXPECT_FALSE(D.expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(D.expired());
+  EXPECT_EQ(D.remaining(), 0.0);
+}
+
+TEST(Statistics, CountersAccumulate) {
+  Statistics S;
+  EXPECT_EQ(S.get("x"), 0);
+  S.add("x");
+  S.add("x", 4);
+  EXPECT_EQ(S.get("x"), 5);
+}
+
+TEST(Statistics, RecordMaxKeepsMaximum) {
+  Statistics S;
+  S.recordMax("m", 3);
+  S.recordMax("m", 1);
+  S.recordMax("m", 7);
+  EXPECT_EQ(S.get("m"), 7);
+}
+
+TEST(Statistics, TimersAccumulate) {
+  Statistics S;
+  S.addTime("t", 0.5);
+  S.addTime("t", 0.25);
+  EXPECT_DOUBLE_EQ(S.getTime("t"), 0.75);
+  EXPECT_DOUBLE_EQ(S.getTime("missing"), 0.0);
+}
+
+TEST(Statistics, MergeSums) {
+  Statistics A, B;
+  A.add("x", 2);
+  B.add("x", 3);
+  B.add("y", 1);
+  B.addTime("t", 1.5);
+  A.merge(B);
+  EXPECT_EQ(A.get("x"), 5);
+  EXPECT_EQ(A.get("y"), 1);
+  EXPECT_DOUBLE_EQ(A.getTime("t"), 1.5);
+}
+
+TEST(Statistics, PrintIsDeterministicallyOrdered) {
+  Statistics S;
+  S.add("zeta", 1);
+  S.add("alpha", 2);
+  std::ostringstream OS;
+  S.print(OS);
+  std::string Out = OS.str();
+  EXPECT_LT(Out.find("alpha"), Out.find("zeta"));
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tools/termcheck_cli.cpp - Command-line termination checker ---------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The `termcheck` command-line front end: analyze one WHILE-language file
+/// and print the verdict, the certified modules, and statistics.
+///
+///   termcheck [options] file.while
+///     --timeout <s>       wall-clock budget (default 60)
+///     --single-stage      generalize every lasso straight to M_nondet
+///     --sequence <i|ii|iii>  stage sequence of Section 7 (default i)
+///     --ncsb <lazy|original> SDBA complementation variant (default lazy)
+///     --no-subsumption    disable the Section 6 antichain
+///     --dot-cfg           print the CFG in Graphviz format and exit
+///     --dot-modules       also print each certified module as Graphviz
+///     --quiet             verdict only
+///
+/// Exit code: 0 terminating, 1 possibly nonterminating / unknown,
+/// 2 timeout, 3 usage or parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Dot.h"
+#include "program/Parser.h"
+#include "termination/Analyzer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace termcheck;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] file.while\n"
+      "  --timeout <s>           wall-clock budget in seconds (default 60)\n"
+      "  --single-stage          generalize straight to M_nondet\n"
+      "  --sequence <i|ii|iii>   multi-stage sequence (default i)\n"
+      "  --ncsb <lazy|original>  SDBA complementation variant\n"
+      "  --no-subsumption        disable the antichain optimization\n"
+      "  --dot-cfg               print the CFG as Graphviz and exit\n"
+      "  --dot-modules           print each module as Graphviz\n"
+      "  --quiet                 print the verdict only\n",
+      Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  AnalyzerOptions Opts;
+  Opts.TimeoutSeconds = 60;
+  bool DotCfg = false, DotModules = false, Quiet = false;
+  const char *Path = nullptr;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NeedsValue = [&](const char *Name) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Name);
+        std::exit(3);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--timeout") == 0) {
+      Opts.TimeoutSeconds = std::atof(NeedsValue("--timeout"));
+    } else if (std::strcmp(Arg, "--single-stage") == 0) {
+      Opts.MultiStage = false;
+    } else if (std::strcmp(Arg, "--sequence") == 0) {
+      const char *V = NeedsValue("--sequence");
+      if (std::strcmp(V, "i") == 0)
+        Opts.Sequence = AnalyzerOptions::sequenceSkipDet();
+      else if (std::strcmp(V, "ii") == 0)
+        Opts.Sequence = AnalyzerOptions::sequenceSkipSemi();
+      else if (std::strcmp(V, "iii") == 0)
+        Opts.Sequence = AnalyzerOptions::sequenceAll();
+      else {
+        std::fprintf(stderr, "error: unknown sequence '%s'\n", V);
+        return 3;
+      }
+    } else if (std::strcmp(Arg, "--ncsb") == 0) {
+      const char *V = NeedsValue("--ncsb");
+      if (std::strcmp(V, "lazy") == 0)
+        Opts.Ncsb = NcsbVariant::Lazy;
+      else if (std::strcmp(V, "original") == 0)
+        Opts.Ncsb = NcsbVariant::Original;
+      else {
+        std::fprintf(stderr, "error: unknown NCSB variant '%s'\n", V);
+        return 3;
+      }
+    } else if (std::strcmp(Arg, "--no-subsumption") == 0) {
+      Opts.UseSubsumption = false;
+    } else if (std::strcmp(Arg, "--dot-cfg") == 0) {
+      DotCfg = true;
+    } else if (std::strcmp(Arg, "--dot-modules") == 0) {
+      DotModules = true;
+    } else if (std::strcmp(Arg, "--quiet") == 0) {
+      Quiet = true;
+    } else if (std::strcmp(Arg, "--help") == 0 ||
+               std::strcmp(Arg, "-h") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      usage(Argv[0]);
+      return 3;
+    } else if (Path) {
+      std::fprintf(stderr, "error: more than one input file\n");
+      return 3;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Path) {
+    usage(Argv[0]);
+    return 3;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    return 3;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  ParseResult Parsed = parseProgram(Buf.str());
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path, Parsed.Error.c_str());
+    return 3;
+  }
+  Program &P = *Parsed.Prog;
+
+  auto SymName = [&P](Symbol S) { return P.statement(S).str(P.vars()); };
+  if (DotCfg) {
+    std::printf("%s", toDot(programToBuchi(P), SymName, "cfg").c_str());
+    return 0;
+  }
+
+  TerminationAnalyzer Analyzer(P, Opts);
+  AnalysisResult Result = Analyzer.run();
+
+  std::printf("%s: %s\n", P.name().c_str(), verdictName(Result.V));
+  if (!Quiet) {
+    std::printf("time: %.3f s, modules: %zu\n", Result.Seconds,
+                Result.Modules.size());
+    for (size_t I = 0; I < Result.Modules.size(); ++I) {
+      const CertifiedModule &M = Result.Modules[I];
+      std::printf("  M%zu: %s, %u states, f = %s\n", I + 1,
+                  moduleKindName(M.Kind), M.A.numStates(),
+                  M.Rank.str(P.vars()).c_str());
+      if (DotModules)
+        std::printf("%s", toDot(M.A, SymName,
+                                "module" + std::to_string(I + 1))
+                              .c_str());
+    }
+    if (Result.Counterexample) {
+      std::printf("counterexample lasso:\n  stem:");
+      for (Symbol S : Result.Counterexample->Stem)
+        std::printf(" [%s]", SymName(S).c_str());
+      std::printf("\n  loop:");
+      for (Symbol S : Result.Counterexample->Loop)
+        std::printf(" [%s]", SymName(S).c_str());
+      std::printf("\n");
+    }
+    Result.Stats.print(std::cout);
+  }
+  switch (Result.V) {
+  case Verdict::Terminating:
+    return 0;
+  case Verdict::Unknown:
+  case Verdict::NonterminatingCandidate:
+    return 1;
+  case Verdict::Timeout:
+    return 2;
+  }
+  return 1;
+}
