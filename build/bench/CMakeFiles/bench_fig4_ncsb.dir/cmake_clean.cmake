@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ncsb.dir/bench_fig4_ncsb.cpp.o"
+  "CMakeFiles/bench_fig4_ncsb.dir/bench_fig4_ncsb.cpp.o.d"
+  "bench_fig4_ncsb"
+  "bench_fig4_ncsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ncsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

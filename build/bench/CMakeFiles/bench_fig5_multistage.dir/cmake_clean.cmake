@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_multistage.dir/bench_fig5_multistage.cpp.o"
+  "CMakeFiles/bench_fig5_multistage.dir/bench_fig5_multistage.cpp.o.d"
+  "bench_fig5_multistage"
+  "bench_fig5_multistage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_multistage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_opt.dir/bench_fig5_opt.cpp.o"
+  "CMakeFiles/bench_fig5_opt.dir/bench_fig5_opt.cpp.o.d"
+  "bench_fig5_opt"
+  "bench_fig5_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ncsb.dir/bench_micro_ncsb.cpp.o"
+  "CMakeFiles/bench_micro_ncsb.dir/bench_micro_ncsb.cpp.o.d"
+  "bench_micro_ncsb"
+  "bench_micro_ncsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ncsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_timeouts.dir/bench_table_timeouts.cpp.o"
+  "CMakeFiles/bench_table_timeouts.dir/bench_table_timeouts.cpp.o.d"
+  "bench_table_timeouts"
+  "bench_table_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_tour.dir/benchmark_tour.cpp.o"
+  "CMakeFiles/benchmark_tour.dir/benchmark_tour.cpp.o.d"
+  "benchmark_tour"
+  "benchmark_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsb_complement.dir/ncsb_complement.cpp.o"
+  "CMakeFiles/ncsb_complement.dir/ncsb_complement.cpp.o.d"
+  "ncsb_complement"
+  "ncsb_complement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsb_complement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ncsb_complement.
+# This may be replaced when dependencies are built.

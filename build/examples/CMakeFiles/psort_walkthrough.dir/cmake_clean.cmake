@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psort_walkthrough.dir/psort_walkthrough.cpp.o"
+  "CMakeFiles/psort_walkthrough.dir/psort_walkthrough.cpp.o.d"
+  "psort_walkthrough"
+  "psort_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psort_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

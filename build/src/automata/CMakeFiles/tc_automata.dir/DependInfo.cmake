@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/Buchi.cpp" "src/automata/CMakeFiles/tc_automata.dir/Buchi.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Buchi.cpp.o.d"
+  "/root/repo/src/automata/ComplementOracle.cpp" "src/automata/CMakeFiles/tc_automata.dir/ComplementOracle.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/ComplementOracle.cpp.o.d"
+  "/root/repo/src/automata/DbaComplement.cpp" "src/automata/CMakeFiles/tc_automata.dir/DbaComplement.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/DbaComplement.cpp.o.d"
+  "/root/repo/src/automata/Difference.cpp" "src/automata/CMakeFiles/tc_automata.dir/Difference.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Difference.cpp.o.d"
+  "/root/repo/src/automata/Dot.cpp" "src/automata/CMakeFiles/tc_automata.dir/Dot.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Dot.cpp.o.d"
+  "/root/repo/src/automata/FiniteTraceComplement.cpp" "src/automata/CMakeFiles/tc_automata.dir/FiniteTraceComplement.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/FiniteTraceComplement.cpp.o.d"
+  "/root/repo/src/automata/Hoa.cpp" "src/automata/CMakeFiles/tc_automata.dir/Hoa.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Hoa.cpp.o.d"
+  "/root/repo/src/automata/Ncsb.cpp" "src/automata/CMakeFiles/tc_automata.dir/Ncsb.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Ncsb.cpp.o.d"
+  "/root/repo/src/automata/NestedDfs.cpp" "src/automata/CMakeFiles/tc_automata.dir/NestedDfs.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/NestedDfs.cpp.o.d"
+  "/root/repo/src/automata/Ops.cpp" "src/automata/CMakeFiles/tc_automata.dir/Ops.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Ops.cpp.o.d"
+  "/root/repo/src/automata/RankComplement.cpp" "src/automata/CMakeFiles/tc_automata.dir/RankComplement.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/RankComplement.cpp.o.d"
+  "/root/repo/src/automata/Scc.cpp" "src/automata/CMakeFiles/tc_automata.dir/Scc.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Scc.cpp.o.d"
+  "/root/repo/src/automata/Sdba.cpp" "src/automata/CMakeFiles/tc_automata.dir/Sdba.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Sdba.cpp.o.d"
+  "/root/repo/src/automata/Simulation.cpp" "src/automata/CMakeFiles/tc_automata.dir/Simulation.cpp.o" "gcc" "src/automata/CMakeFiles/tc_automata.dir/Simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

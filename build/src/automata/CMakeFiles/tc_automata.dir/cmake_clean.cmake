@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_automata.dir/Buchi.cpp.o"
+  "CMakeFiles/tc_automata.dir/Buchi.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/ComplementOracle.cpp.o"
+  "CMakeFiles/tc_automata.dir/ComplementOracle.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/DbaComplement.cpp.o"
+  "CMakeFiles/tc_automata.dir/DbaComplement.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Difference.cpp.o"
+  "CMakeFiles/tc_automata.dir/Difference.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Dot.cpp.o"
+  "CMakeFiles/tc_automata.dir/Dot.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/FiniteTraceComplement.cpp.o"
+  "CMakeFiles/tc_automata.dir/FiniteTraceComplement.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Hoa.cpp.o"
+  "CMakeFiles/tc_automata.dir/Hoa.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Ncsb.cpp.o"
+  "CMakeFiles/tc_automata.dir/Ncsb.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/NestedDfs.cpp.o"
+  "CMakeFiles/tc_automata.dir/NestedDfs.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Ops.cpp.o"
+  "CMakeFiles/tc_automata.dir/Ops.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/RankComplement.cpp.o"
+  "CMakeFiles/tc_automata.dir/RankComplement.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Scc.cpp.o"
+  "CMakeFiles/tc_automata.dir/Scc.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Sdba.cpp.o"
+  "CMakeFiles/tc_automata.dir/Sdba.cpp.o.d"
+  "CMakeFiles/tc_automata.dir/Simulation.cpp.o"
+  "CMakeFiles/tc_automata.dir/Simulation.cpp.o.d"
+  "libtc_automata.a"
+  "libtc_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/ProgramFamilies.cpp" "src/benchgen/CMakeFiles/tc_benchgen.dir/ProgramFamilies.cpp.o" "gcc" "src/benchgen/CMakeFiles/tc_benchgen.dir/ProgramFamilies.cpp.o.d"
+  "/root/repo/src/benchgen/RandomAutomata.cpp" "src/benchgen/CMakeFiles/tc_benchgen.dir/RandomAutomata.cpp.o" "gcc" "src/benchgen/CMakeFiles/tc_benchgen.dir/RandomAutomata.cpp.o.d"
+  "/root/repo/src/benchgen/SdbaHarvest.cpp" "src/benchgen/CMakeFiles/tc_benchgen.dir/SdbaHarvest.cpp.o" "gcc" "src/benchgen/CMakeFiles/tc_benchgen.dir/SdbaHarvest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/tc_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/tc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/termination/CMakeFiles/tc_termination.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/tc_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_benchgen.dir/ProgramFamilies.cpp.o"
+  "CMakeFiles/tc_benchgen.dir/ProgramFamilies.cpp.o.d"
+  "CMakeFiles/tc_benchgen.dir/RandomAutomata.cpp.o"
+  "CMakeFiles/tc_benchgen.dir/RandomAutomata.cpp.o.d"
+  "CMakeFiles/tc_benchgen.dir/SdbaHarvest.cpp.o"
+  "CMakeFiles/tc_benchgen.dir/SdbaHarvest.cpp.o.d"
+  "libtc_benchgen.a"
+  "libtc_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

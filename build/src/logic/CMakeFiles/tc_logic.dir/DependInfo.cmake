@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/Constraint.cpp" "src/logic/CMakeFiles/tc_logic.dir/Constraint.cpp.o" "gcc" "src/logic/CMakeFiles/tc_logic.dir/Constraint.cpp.o.d"
+  "/root/repo/src/logic/Cube.cpp" "src/logic/CMakeFiles/tc_logic.dir/Cube.cpp.o" "gcc" "src/logic/CMakeFiles/tc_logic.dir/Cube.cpp.o.d"
+  "/root/repo/src/logic/FourierMotzkin.cpp" "src/logic/CMakeFiles/tc_logic.dir/FourierMotzkin.cpp.o" "gcc" "src/logic/CMakeFiles/tc_logic.dir/FourierMotzkin.cpp.o.d"
+  "/root/repo/src/logic/LinearExpr.cpp" "src/logic/CMakeFiles/tc_logic.dir/LinearExpr.cpp.o" "gcc" "src/logic/CMakeFiles/tc_logic.dir/LinearExpr.cpp.o.d"
+  "/root/repo/src/logic/Predicate.cpp" "src/logic/CMakeFiles/tc_logic.dir/Predicate.cpp.o" "gcc" "src/logic/CMakeFiles/tc_logic.dir/Predicate.cpp.o.d"
+  "/root/repo/src/logic/Rational.cpp" "src/logic/CMakeFiles/tc_logic.dir/Rational.cpp.o" "gcc" "src/logic/CMakeFiles/tc_logic.dir/Rational.cpp.o.d"
+  "/root/repo/src/logic/Simplex.cpp" "src/logic/CMakeFiles/tc_logic.dir/Simplex.cpp.o" "gcc" "src/logic/CMakeFiles/tc_logic.dir/Simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

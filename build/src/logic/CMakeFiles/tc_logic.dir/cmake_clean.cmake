@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_logic.dir/Constraint.cpp.o"
+  "CMakeFiles/tc_logic.dir/Constraint.cpp.o.d"
+  "CMakeFiles/tc_logic.dir/Cube.cpp.o"
+  "CMakeFiles/tc_logic.dir/Cube.cpp.o.d"
+  "CMakeFiles/tc_logic.dir/FourierMotzkin.cpp.o"
+  "CMakeFiles/tc_logic.dir/FourierMotzkin.cpp.o.d"
+  "CMakeFiles/tc_logic.dir/LinearExpr.cpp.o"
+  "CMakeFiles/tc_logic.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/tc_logic.dir/Predicate.cpp.o"
+  "CMakeFiles/tc_logic.dir/Predicate.cpp.o.d"
+  "CMakeFiles/tc_logic.dir/Rational.cpp.o"
+  "CMakeFiles/tc_logic.dir/Rational.cpp.o.d"
+  "CMakeFiles/tc_logic.dir/Simplex.cpp.o"
+  "CMakeFiles/tc_logic.dir/Simplex.cpp.o.d"
+  "libtc_logic.a"
+  "libtc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

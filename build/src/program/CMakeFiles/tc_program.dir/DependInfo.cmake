@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/Interpreter.cpp" "src/program/CMakeFiles/tc_program.dir/Interpreter.cpp.o" "gcc" "src/program/CMakeFiles/tc_program.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/program/Parser.cpp" "src/program/CMakeFiles/tc_program.dir/Parser.cpp.o" "gcc" "src/program/CMakeFiles/tc_program.dir/Parser.cpp.o.d"
+  "/root/repo/src/program/Program.cpp" "src/program/CMakeFiles/tc_program.dir/Program.cpp.o" "gcc" "src/program/CMakeFiles/tc_program.dir/Program.cpp.o.d"
+  "/root/repo/src/program/Statement.cpp" "src/program/CMakeFiles/tc_program.dir/Statement.cpp.o" "gcc" "src/program/CMakeFiles/tc_program.dir/Statement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/tc_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_program.dir/Interpreter.cpp.o"
+  "CMakeFiles/tc_program.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/tc_program.dir/Parser.cpp.o"
+  "CMakeFiles/tc_program.dir/Parser.cpp.o.d"
+  "CMakeFiles/tc_program.dir/Program.cpp.o"
+  "CMakeFiles/tc_program.dir/Program.cpp.o.d"
+  "CMakeFiles/tc_program.dir/Statement.cpp.o"
+  "CMakeFiles/tc_program.dir/Statement.cpp.o.d"
+  "libtc_program.a"
+  "libtc_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_termination.dir/Analyzer.cpp.o"
+  "CMakeFiles/tc_termination.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/tc_termination.dir/CertifiedModule.cpp.o"
+  "CMakeFiles/tc_termination.dir/CertifiedModule.cpp.o.d"
+  "CMakeFiles/tc_termination.dir/Generalize.cpp.o"
+  "CMakeFiles/tc_termination.dir/Generalize.cpp.o.d"
+  "CMakeFiles/tc_termination.dir/LassoProver.cpp.o"
+  "CMakeFiles/tc_termination.dir/LassoProver.cpp.o.d"
+  "libtc_termination.a"
+  "libtc_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchgen_test.dir/benchgen_test.cpp.o"
+  "CMakeFiles/benchgen_test.dir/benchgen_test.cpp.o.d"
+  "benchgen_test"
+  "benchgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

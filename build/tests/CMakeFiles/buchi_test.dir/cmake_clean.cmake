@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buchi_test.dir/buchi_test.cpp.o"
+  "CMakeFiles/buchi_test.dir/buchi_test.cpp.o.d"
+  "buchi_test"
+  "buchi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buchi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

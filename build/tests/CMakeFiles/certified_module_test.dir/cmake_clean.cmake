@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certified_module_test.dir/certified_module_test.cpp.o"
+  "CMakeFiles/certified_module_test.dir/certified_module_test.cpp.o.d"
+  "certified_module_test"
+  "certified_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certified_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

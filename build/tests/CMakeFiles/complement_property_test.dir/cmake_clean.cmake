@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complement_property_test.dir/complement_property_test.cpp.o"
+  "CMakeFiles/complement_property_test.dir/complement_property_test.cpp.o.d"
+  "complement_property_test"
+  "complement_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complement_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

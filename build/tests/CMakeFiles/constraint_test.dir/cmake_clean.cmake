@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_test.dir/constraint_test.cpp.o"
+  "CMakeFiles/constraint_test.dir/constraint_test.cpp.o.d"
+  "constraint_test"
+  "constraint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difference_test.dir/difference_test.cpp.o"
+  "CMakeFiles/difference_test.dir/difference_test.cpp.o.d"
+  "difference_test"
+  "difference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

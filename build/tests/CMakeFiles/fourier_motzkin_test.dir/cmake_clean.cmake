@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourier_motzkin_test.dir/fourier_motzkin_test.cpp.o"
+  "CMakeFiles/fourier_motzkin_test.dir/fourier_motzkin_test.cpp.o.d"
+  "fourier_motzkin_test"
+  "fourier_motzkin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourier_motzkin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalize_test.dir/generalize_test.cpp.o"
+  "CMakeFiles/generalize_test.dir/generalize_test.cpp.o.d"
+  "generalize_test"
+  "generalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoa_test.dir/hoa_test.cpp.o"
+  "CMakeFiles/hoa_test.dir/hoa_test.cpp.o.d"
+  "hoa_test"
+  "hoa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_test.dir/interpreter_test.cpp.o"
+  "CMakeFiles/interpreter_test.dir/interpreter_test.cpp.o.d"
+  "interpreter_test"
+  "interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

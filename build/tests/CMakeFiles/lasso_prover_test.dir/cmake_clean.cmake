@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasso_prover_test.dir/lasso_prover_test.cpp.o"
+  "CMakeFiles/lasso_prover_test.dir/lasso_prover_test.cpp.o.d"
+  "lasso_prover_test"
+  "lasso_prover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasso_prover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lasso_prover_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linexpr_test.dir/linexpr_test.cpp.o"
+  "CMakeFiles/linexpr_test.dir/linexpr_test.cpp.o.d"
+  "linexpr_test"
+  "linexpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsb_test.dir/ncsb_test.cpp.o"
+  "CMakeFiles/ncsb_test.dir/ncsb_test.cpp.o.d"
+  "ncsb_test"
+  "ncsb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_dfs_test.dir/nested_dfs_test.cpp.o"
+  "CMakeFiles/nested_dfs_test.dir/nested_dfs_test.cpp.o.d"
+  "nested_dfs_test"
+  "nested_dfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_dfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

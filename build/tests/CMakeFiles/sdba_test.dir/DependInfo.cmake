@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sdba_test.cpp" "tests/CMakeFiles/sdba_test.dir/sdba_test.cpp.o" "gcc" "tests/CMakeFiles/sdba_test.dir/sdba_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/tc_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/tc_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/termination/CMakeFiles/tc_termination.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/tc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/tc_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

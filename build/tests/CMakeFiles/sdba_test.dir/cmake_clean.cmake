@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdba_test.dir/sdba_test.cpp.o"
+  "CMakeFiles/sdba_test.dir/sdba_test.cpp.o.d"
+  "sdba_test"
+  "sdba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statement_test.dir/statement_test.cpp.o"
+  "CMakeFiles/statement_test.dir/statement_test.cpp.o.d"
+  "statement_test"
+  "statement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

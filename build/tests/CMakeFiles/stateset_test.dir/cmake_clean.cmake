@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateset_test.dir/stateset_test.cpp.o"
+  "CMakeFiles/stateset_test.dir/stateset_test.cpp.o.d"
+  "stateset_test"
+  "stateset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

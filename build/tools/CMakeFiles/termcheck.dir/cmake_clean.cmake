@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termcheck.dir/termcheck_cli.cpp.o"
+  "CMakeFiles/termcheck.dir/termcheck_cli.cpp.o.d"
+  "termcheck"
+  "termcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for termcheck.
+# This may be replaced when dependencies are built.
