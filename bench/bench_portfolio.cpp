@@ -1,0 +1,163 @@
+//===- bench/bench_portfolio.cpp - Portfolio vs sequential walls ----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Races the parallel portfolio against every sequential configuration it
+/// contains, over the on-disk `benchmarks/` corpus. For each program the
+/// table reports the portfolio wall-clock next to the fastest, default
+/// (roster entry 0), and slowest sequential configuration, plus the
+/// speedup over the default. The portfolio's promise is the two
+/// inequalities the summary checks:
+///
+///   wall(portfolio) <= wall(slowest sequential) on every program
+///     (cancellation works: losers cannot drag the race out), and
+///   wall(portfolio) ~ wall(best sequential) + epsilon
+///     (racing costs little over an oracle that picks the winner upfront).
+///
+/// The comparison tolerates a fixed scheduling epsilon: racing spawns
+/// worker threads, and on sub-millisecond programs thread startup alone
+/// exceeds the fastest sequential wall, which is noise, not a cancellation
+/// failure.
+///
+/// Usage: bench_portfolio [corpus-dir] [timeout-seconds] [configs] [jobs]
+///   corpus-dir       directory of .while files   (default: benchmarks)
+///   timeout-seconds  per-configuration budget    (default: 10)
+///   configs          portfolio size K, 1..12     (default: 6)
+///   jobs             worker threads, 0 = one per config (default: 0)
+///
+/// Jobs defaults to one thread per configuration rather than the core
+/// count: a portfolio is a race, and racing through the OS scheduler works
+/// (and pays off) even when configurations outnumber cores, because the
+/// first conclusive finisher cancels the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/Timer.h"
+#include "termination/Portfolio.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace termcheck;
+using namespace termcheck::bench;
+
+namespace {
+
+struct CorpusProgram {
+  std::string Name;
+  std::string Source;
+};
+
+std::vector<CorpusProgram> loadCorpus(const std::string &Dir) {
+  std::vector<CorpusProgram> Out;
+  std::error_code EC;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC)) {
+    if (Entry.path().extension() != ".while")
+      continue;
+    std::ifstream In(Entry.path());
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Out.push_back({Entry.path().stem().string(), Buf.str()});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusProgram &A, const CorpusProgram &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+double runSequential(const Program &P, const PortfolioConfig &C,
+                     double Timeout) {
+  Program Local = P;
+  AnalyzerOptions O = C.Opts;
+  O.TimeoutSeconds = Timeout;
+  Timer T;
+  TerminationAnalyzer A(Local, O);
+  (void)A.run();
+  return T.seconds();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Dir = Argc > 1 ? Argv[1] : "benchmarks";
+  double Timeout = Argc > 2 ? std::atof(Argv[2]) : 10.0;
+  size_t K = Argc > 3 ? static_cast<size_t>(std::atol(Argv[3])) : 6;
+  size_t Jobs = Argc > 4 ? static_cast<size_t>(std::atol(Argv[4])) : 0;
+
+  std::vector<CorpusProgram> Corpus = loadCorpus(Dir);
+  if (Corpus.empty()) {
+    std::fprintf(stderr, "bench_portfolio: no .while files under %s\n",
+                 Dir.c_str());
+    return 1;
+  }
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(K);
+  if (Jobs == 0)
+    Jobs = Configs.size();
+
+  std::printf("portfolio: %zu configs, %zu jobs, %.1f s budget, corpus %s "
+              "(%zu programs)\n",
+              Configs.size(), Jobs, Timeout, Dir.c_str(), Corpus.size());
+  hr();
+  std::printf("%-18s %9s %9s %9s %9s  %8s %s\n", "program", "portfolio",
+              "best-seq", "default", "worst-seq", "vs-def", "flags");
+  hr();
+
+  bool SlowerThanWorst = false;
+  double BestSpeedup = 0;
+  double TotalPortfolio = 0, TotalBest = 0, TotalDefault = 0;
+  for (const CorpusProgram &CP : Corpus) {
+    ParseResult PR = parseProgram(CP.Source);
+    if (!PR.ok()) {
+      std::fprintf(stderr, "  %s: parse error: %s\n", CP.Name.c_str(),
+                   PR.Error.c_str());
+      continue;
+    }
+    Program &P = *PR.Prog;
+
+    double Best = 1e300, Worst = 0, Default = 0;
+    for (size_t I = 0; I < Configs.size(); ++I) {
+      double S = runSequential(P, Configs[I], Timeout);
+      if (I == 0)
+        Default = S;
+      Best = std::min(Best, S);
+      Worst = std::max(Worst, S);
+    }
+
+    PortfolioOptions PO;
+    PO.Jobs = Jobs;
+    PO.TimeoutSeconds = Timeout;
+    Timer T;
+    PortfolioRunResult R = runPortfolio(P, Configs, PO);
+    double Wall = T.seconds();
+
+    double Speedup = Wall > 0 ? Default / Wall : 0;
+    BestSpeedup = std::max(BestSpeedup, Speedup);
+    // Thread startup and timeslicing overhead; see the header comment.
+    constexpr double SchedulingEps = 0.010;
+    bool Slower = Wall > Worst + SchedulingEps;
+    SlowerThanWorst |= Slower;
+    TotalPortfolio += Wall;
+    TotalBest += Best;
+    TotalDefault += Default;
+
+    std::printf("%-18s %8.3fs %8.3fs %8.3fs %8.3fs  %7.2fx %s%s%s\n",
+                CP.Name.c_str(), Wall, Best, Default, Worst, Speedup,
+                verdictName(R.Result.V),
+                R.WinnerIndex < Configs.size() ? " won-by " : "",
+                R.WinnerName.c_str());
+  }
+  hr();
+  std::printf("totals: portfolio %.3fs, best-seq %.3fs, default-seq %.3fs\n",
+              TotalPortfolio, TotalBest, TotalDefault);
+  std::printf(
+      "portfolio <= worst sequential (+10ms sched eps) on every program: %s\n",
+      SlowerThanWorst ? "NO" : "yes");
+  std::printf("max speedup over default configuration: %.2fx\n", BestSpeedup);
+  return SlowerThanWorst ? 2 : 0;
+}

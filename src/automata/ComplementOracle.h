@@ -20,6 +20,8 @@
 
 #include "automata/Buchi.h"
 
+#include <functional>
+
 namespace termcheck {
 
 /// A lazily constructed complement BA. Implementations intern their
@@ -27,6 +29,18 @@ namespace termcheck {
 class ComplementOracle {
 public:
   virtual ~ComplementOracle() = default;
+
+  /// Optional cooperative-cancellation hook. Oracles whose successor
+  /// enumeration can be super-linear (the NCSB 2^|Free| split loops) poll
+  /// it between emissions; when it returns true they stop enumerating,
+  /// set \ref aborted, and return a truncated (unsound) successor list.
+  /// The difference engine checks aborted() after its search and discards
+  /// the whole construction, so truncation never leaks into a result.
+  std::function<bool()> ShouldAbort;
+
+  /// \returns true once a successor enumeration was cut short by
+  /// ShouldAbort; every result derived from this oracle is then invalid.
+  bool aborted() const { return Aborted; }
 
   /// The alphabet size (matches the complemented automaton).
   virtual uint32_t numSymbols() const = 0;
@@ -52,6 +66,26 @@ public:
   /// (acceptance condition 0 = oracle acceptance). Used by the Figure 4
   /// benchmarks, where complement sizes themselves are the measurement.
   Buchi materialize();
+
+protected:
+  /// Polls ShouldAbort every few hundred calls (cheap enough for inner
+  /// loops); latches \ref Aborted on the first positive answer.
+  bool pollAbort() {
+    if (Aborted)
+      return true;
+    if (!ShouldAbort)
+      return false;
+    if (--AbortPollCountdown != 0)
+      return false;
+    AbortPollCountdown = 256;
+    if (ShouldAbort())
+      Aborted = true;
+    return Aborted;
+  }
+
+private:
+  bool Aborted = false;
+  uint32_t AbortPollCountdown = 256;
 };
 
 } // namespace termcheck

@@ -91,6 +91,10 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   ProductSource Src(A, BC);
   UselessStateRemover Remover;
   Remover.ShouldAbort = Opts.ShouldAbort;
+  // Thread the budget into the oracle too: one product expansion can hide
+  // an exponential NCSB split enumeration, and the remover only polls
+  // between expansions.
+  BC.ShouldAbort = Opts.ShouldAbort;
 
   // emp as a per-A-state antichain of complement macro-states, compared
   // with the oracle's subsumption relation (Section 6, Eq. 10). Without
@@ -132,8 +136,11 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   Out.IsEmpty = R.LanguageEmpty;
   Out.ProductStatesExplored = R.StatesExplored;
   Out.ComplementStatesDiscovered = BC.numStatesDiscovered();
-  Out.Aborted = R.Aborted;
-  if (R.Aborted)
+  // An oracle-side abort truncated some successor list, so the search saw
+  // an under-approximated product; the classification is as invalid as a
+  // remover-side abort.
+  Out.Aborted = R.Aborted || BC.aborted();
+  if (Out.Aborted)
     return Out;
 
   // Materialize the useful part. Product condition bit 0 is the
@@ -145,7 +152,15 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
     Map.emplace(S, Fresh);
   }
   std::vector<Buchi::Arc> Buf;
+  uint32_t PollCountdown = 256;
   for (State S : R.Useful) {
+    if (Opts.ShouldAbort && --PollCountdown == 0) {
+      PollCountdown = 256;
+      if (Opts.ShouldAbort()) {
+        Out.Aborted = true;
+        return Out;
+      }
+    }
     Buf.clear();
     Src.arcs(S, Buf);
     for (const Buchi::Arc &Arc : Buf) {

@@ -81,6 +81,12 @@ void NcsbOracle::enumerateSplits(const StateSet &Free, Fn Emit) {
   assert(Elems.size() <= 24 && "free-set explosion; automaton too wide");
   uint32_t Count = 1u << Elems.size();
   for (uint32_t Bits = 0; Bits < Count; ++Bits) {
+    // 2^|Free| emissions happen between two polls of the difference
+    // engine's own budget hook, so a losing portfolio configuration could
+    // otherwise sit here long after the race is decided. A truncated
+    // enumeration is unsound; aborted() tells the caller to discard it.
+    if (pollAbort())
+      return;
     StateSet ToFirst, ToSecond;
     for (size_t I = 0; I < Elems.size(); ++I) {
       if (Bits & (1u << I))

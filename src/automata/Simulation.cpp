@@ -109,7 +109,9 @@ SimulationRelation termcheck::computeEarlySimulation(const Buchi &A,
   return Out;
 }
 
-SimulationRelation termcheck::computeDirectSimulation(const Buchi &A) {
+SimulationRelation
+termcheck::computeDirectSimulation(const Buchi &A,
+                                   const std::function<bool()> &ShouldAbort) {
   const size_t N = A.numStates();
   SimulationRelation Out;
   Out.N = N;
@@ -124,6 +126,12 @@ SimulationRelation termcheck::computeDirectSimulation(const Buchi &A) {
   while (Changed) {
     Changed = false;
     for (State P = 0; P < N; ++P) {
+      // One poll per spoiler row keeps the overhead negligible while
+      // bounding uninterrupted work to O(N * arcs^2).
+      if (ShouldAbort && ShouldAbort()) {
+        Out.Aborted = true;
+        return Out;
+      }
       for (State R = 0; R < N; ++R) {
         size_t Idx = static_cast<size_t>(P) * N + R;
         if (!Out.Rel[Idx])
@@ -153,8 +161,13 @@ SimulationRelation termcheck::computeDirectSimulation(const Buchi &A) {
   return Out;
 }
 
-Buchi termcheck::quotientByDirectSimulation(const Buchi &A) {
-  SimulationRelation Sim = computeDirectSimulation(A);
+Buchi termcheck::quotientByDirectSimulation(
+    const Buchi &A, const std::function<bool()> &ShouldAbort) {
+  if (ShouldAbort && ShouldAbort())
+    return A;
+  SimulationRelation Sim = computeDirectSimulation(A, ShouldAbort);
+  if (Sim.Aborted)
+    return A;
   const uint32_t N = A.numStates();
   // Class representative: the smallest mutually-similar state.
   std::vector<State> ClassOf(N);

@@ -29,6 +29,8 @@
 
 #include "automata/Buchi.h"
 
+#include <functional>
+
 namespace termcheck {
 
 /// Which simulation of Section 6.1 to compute.
@@ -48,10 +50,16 @@ public:
   /// Number of related pairs (diagonal included).
   size_t pairCount() const;
 
+  /// True when the computation was cut short by a budget hook; the
+  /// relation is then a partial over-approximation and must not be used.
+  bool Aborted = false;
+
 private:
   friend SimulationRelation computeEarlySimulation(const Buchi &A,
                                                    SimulationKind Kind);
-  friend SimulationRelation computeDirectSimulation(const Buchi &A);
+  friend SimulationRelation
+  computeDirectSimulation(const Buchi &A,
+                          const std::function<bool()> &ShouldAbort);
   size_t N = 0;
   std::vector<bool> Rel; // row-major [p][r]
 };
@@ -64,12 +72,23 @@ SimulationRelation computeEarlySimulation(const Buchi &A, SimulationKind Kind);
 /// Computes the classical direct (strong) simulation preorder: p is
 /// simulated by r when r covers p's acceptance marks and can match every
 /// move forever. Works for generalized acceptance (mask containment).
-SimulationRelation computeDirectSimulation(const Buchi &A);
+/// \p ShouldAbort is polled once per refinement row; on abort the result
+/// has Aborted set and must be discarded.
+SimulationRelation
+computeDirectSimulation(const Buchi &A,
+                        const std::function<bool()> &ShouldAbort = {});
 
 /// Quotients \p A by direct-simulation equivalence (mutual simulation), a
 /// language-preserving reduction usable as preprocessing before
 /// complementation. \returns the reduced automaton.
-Buchi quotientByDirectSimulation(const Buchi &A);
+///
+/// The fixpoint refinement is the one phase of the analysis loop whose
+/// cost is quadratic in the remaining automaton, so it honors the same
+/// budget hook as the difference engine: when \p ShouldAbort fires
+/// mid-refinement the quotient is skipped and \p A is returned unchanged
+/// (the reduction is only an optimization, so this is always sound).
+Buchi quotientByDirectSimulation(const Buchi &A,
+                                 const std::function<bool()> &ShouldAbort = {});
 
 } // namespace termcheck
 

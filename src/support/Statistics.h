@@ -5,9 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A lightweight bag of named counters and accumulating timers. The analysis
-/// driver fills one of these per run; the benchmark harnesses aggregate them
-/// into the paper's tables.
+/// A lightweight bag of named counters. The analysis driver fills one of
+/// these per run; the benchmark harnesses and the portfolio runner
+/// aggregate them across runs.
+///
+/// Counters come in three kinds with distinct merge semantics:
+///
+///  * additive counters (add/get)        -- merge by summing,
+///  * high-water marks (recordMax/getMax) -- merge by taking the maximum,
+///  * accumulating timers (addTime/getTime) -- merge by summing seconds.
+///
+/// The kinds live in separate maps, so a merge of two runs is well-defined
+/// per kind (a high-water mark is never accidentally summed). A Statistics
+/// instance is a plain value type with no internal synchronization: each
+/// analysis run owns its own bag, and concurrent aggregation (the parallel
+/// portfolio) merges finished bags under the aggregator's own lock after
+/// the producing thread has been joined or has published its result.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,34 +30,42 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 namespace termcheck {
 
-/// Ordered map of counter name to value; ordered so dumps are deterministic.
+/// Ordered maps of counter name to value; ordered so dumps are
+/// deterministic.
 class Statistics {
 public:
-  /// Adds \p Delta to counter \p Name (creating it at zero).
+  /// Adds \p Delta to additive counter \p Name (creating it at zero).
   void add(const std::string &Name, int64_t Delta = 1) {
     Counters[Name] += Delta;
   }
 
-  /// Records \p Value into a max-tracking counter.
+  /// Records \p Value into the high-water mark \p Name.
   void recordMax(const std::string &Name, int64_t Value) {
-    int64_t &Slot = Counters[Name];
+    int64_t &Slot = Maxima[Name];
     if (Value > Slot)
       Slot = Value;
   }
 
-  /// Adds \p Seconds to an accumulating timer counter.
+  /// Adds \p Seconds to accumulating timer \p Name.
   void addTime(const std::string &Name, double Seconds) {
     Times[Name] += Seconds;
   }
 
-  /// \returns the value of counter \p Name, or zero when absent.
+  /// \returns the value of additive counter \p Name, or zero when absent.
   int64_t get(const std::string &Name) const {
     auto It = Counters.find(Name);
     return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// \returns the high-water mark \p Name, or zero when absent.
+  int64_t getMax(const std::string &Name) const {
+    auto It = Maxima.find(Name);
+    return It == Maxima.end() ? 0 : It->second;
   }
 
   /// \returns the accumulated seconds of timer \p Name, or zero when absent.
@@ -53,26 +74,60 @@ public:
     return It == Times.end() ? 0.0 : It->second;
   }
 
-  /// Merges another statistics bag into this one (summing everything).
+  /// Merges another bag into this one, kind by kind: additive counters and
+  /// timers are summed, high-water marks take the maximum.
   void merge(const Statistics &Other) {
     for (const auto &[K, V] : Other.Counters)
       Counters[K] += V;
+    for (const auto &[K, V] : Other.Maxima)
+      recordMax(K, V);
     for (const auto &[K, V] : Other.Times)
       Times[K] += V;
   }
 
-  /// Pretty-prints all counters, one per line.
+  /// Merges \p Other with every counter name prefixed by \p Prefix (the
+  /// portfolio uses this to namespace per-configuration statistics inside
+  /// one combined dump).
+  void mergePrefixed(const Statistics &Other, const std::string &Prefix) {
+    for (const auto &[K, V] : Other.Counters)
+      Counters[Prefix + K] += V;
+    for (const auto &[K, V] : Other.Maxima)
+      recordMax(Prefix + K, V);
+    for (const auto &[K, V] : Other.Times)
+      Times[Prefix + K] += V;
+  }
+
+  /// \returns true when no counter of any kind has been touched.
+  bool empty() const {
+    return Counters.empty() && Maxima.empty() && Times.empty();
+  }
+
+  /// Pretty-prints all counters, one per line, in deterministic order:
+  /// additive counters, then high-water marks, then timers.
   void print(std::ostream &OS) const {
     for (const auto &[K, V] : Counters)
       OS << "  " << K << " = " << V << "\n";
+    for (const auto &[K, V] : Maxima)
+      OS << "  " << K << " = " << V << " (max)\n";
     for (const auto &[K, V] : Times)
       OS << "  " << K << " = " << V << " s\n";
   }
 
+  /// \returns the print() output as a string (determinism guards in tests
+  /// compare these byte for byte).
+  std::string str() const {
+    std::ostringstream OS;
+    print(OS);
+    return OS.str();
+  }
+
   const std::map<std::string, int64_t> &counters() const { return Counters; }
+  const std::map<std::string, int64_t> &maxima() const { return Maxima; }
+  const std::map<std::string, double> &times() const { return Times; }
 
 private:
   std::map<std::string, int64_t> Counters;
+  std::map<std::string, int64_t> Maxima;
   std::map<std::string, double> Times;
 };
 

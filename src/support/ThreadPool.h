@@ -1,0 +1,115 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ----------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool for the portfolio runner: submit
+/// fire-and-forget jobs, wait for all of them to drain. Jobs are expected
+/// to be cancellation-aware (see CancellationToken) -- the pool never
+/// interrupts a running job, it only stops handing out queued ones after
+/// shutdown begins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_SUPPORT_THREADPOOL_H
+#define TERMCHECK_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace termcheck {
+
+/// Fixed-size pool of worker threads draining a FIFO job queue.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (at least one).
+  explicit ThreadPool(size_t NumThreads) {
+    if (NumThreads == 0)
+      NumThreads = 1;
+    Workers.reserve(NumThreads);
+    for (size_t I = 0; I < NumThreads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Joins all workers; queued-but-unstarted jobs are discarded.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ShuttingDown = true;
+      Queue.clear();
+    }
+    WorkAvailable.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  /// \returns a sensible worker count for this machine (>= 1).
+  static size_t defaultConcurrency() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+  size_t numThreads() const { return Workers.size(); }
+
+  /// Enqueues \p Job. Jobs run in FIFO order as workers free up.
+  void submit(std::function<void()> Job) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (ShuttingDown)
+        return;
+      Queue.push_back(std::move(Job));
+      ++Outstanding;
+    }
+    WorkAvailable.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished running.
+  void waitIdle() {
+    std::unique_lock<std::mutex> Lock(M);
+    Idle.wait(Lock, [this] { return Outstanding == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Job;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WorkAvailable.wait(Lock,
+                           [this] { return ShuttingDown || !Queue.empty(); });
+        if (ShuttingDown && Queue.empty())
+          return;
+        Job = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Job();
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        if (--Outstanding == 0)
+          Idle.notify_all();
+      }
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable WorkAvailable;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  size_t Outstanding = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_SUPPORT_THREADPOOL_H

@@ -29,6 +29,8 @@ const char *termcheck::verdictName(Verdict V) {
     return "NONTERMINATING-CANDIDATE";
   case Verdict::Timeout:
     return "TIMEOUT";
+  case Verdict::Cancelled:
+    return "CANCELLED";
   }
   return "?";
 }
@@ -167,9 +169,14 @@ static Buchi subtractWordOnly(const Buchi &Remaining, const CertifiedModule &M,
   }
   Buchi CompleteWord = completeWithSink(WordAut);
   DbaComplementOracle WordOracle(CompleteWord);
-  DifferenceOptions NoAbort = DiffOpts;
-  NoAbort.ShouldAbort = nullptr; // linear-size product; always finish
-  DifferenceResult R = difference(Remaining, WordOracle, NoAbort);
+  DifferenceResult R = difference(Remaining, WordOracle, DiffOpts);
+  if (R.Aborted) {
+    // Progress only matters if the refinement loop keeps going, and an
+    // abort means it will not: the budget hook is sticky, so the loop
+    // head is about to report TIMEOUT or CANCELLED.
+    Stats.add("difference.aborted");
+    return Remaining;
+  }
   return std::move(R.D);
 }
 
@@ -205,10 +212,13 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
 
   DifferenceResult R = difference(Remaining, *Oracle, DiffOpts);
   if (R.Aborted) {
-    // Budget ran out mid-difference: degrade to word removal so the outer
-    // loop can notice the deadline and report TIMEOUT cleanly.
+    // The hook only fires on a tripped deadline or an external
+    // cancellation, and both are sticky, so the outer loop is about to
+    // stop: hand Remaining back unchanged instead of burning seconds on a
+    // word-removal nobody will look at (that fallback stays reserved for
+    // modules we cannot complement cheaply).
     Stats.add("difference.aborted");
-    return subtractWordOnly(Remaining, M, DiffOpts, Stats);
+    return Remaining;
   }
   Stats.add("difference.product_states",
             static_cast<int64_t>(R.ProductStatesExplored));
@@ -222,13 +232,24 @@ AnalysisResult TerminationAnalyzer::run() {
   Deadline Budget = Opts.TimeoutSeconds > 0
                         ? Deadline::after(Opts.TimeoutSeconds)
                         : Deadline();
-  BudgetHook = [&Budget]() { return Budget.expired(); };
+  // One hook serves every polling point (refinement loop, difference DFS,
+  // NCSB split enumeration): deadline OR external cancellation. The two
+  // are folded into a single callable so the inner engines stay agnostic
+  // of why they are being stopped.
+  const CancellationToken *Cancel = Opts.Cancel;
+  BudgetHook = [&Budget, Cancel]() {
+    return Budget.expired() || (Cancel && Cancel->cancelled());
+  };
   AnalysisResult Result;
 
   Buchi Remaining = programToBuchi(P);
   LassoProver Prover(P);
   uint64_t Iter = 0;
   while (true) {
+    if (Cancel && Cancel->cancelled()) {
+      Result.V = Verdict::Cancelled;
+      break;
+    }
     if (Budget.expired() ||
         (Opts.MaxIterations != 0 && Iter >= Opts.MaxIterations)) {
       Result.V = Verdict::Timeout;
@@ -259,7 +280,7 @@ AnalysisResult TerminationAnalyzer::run() {
     if (Opts.ReduceRemaining &&
         Remaining.numStates() <= Opts.ReduceStateCap) {
       uint32_t Before = Remaining.numStates();
-      Remaining = quotientByDirectSimulation(Remaining);
+      Remaining = quotientByDirectSimulation(Remaining, BudgetHook);
       Result.Stats.add("reduce.states_saved",
                        static_cast<int64_t>(Before - Remaining.numStates()));
     }

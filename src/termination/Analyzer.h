@@ -23,6 +23,7 @@
 
 #include "automata/Ncsb.h"
 #include "automata/Scc.h"
+#include "support/CancellationToken.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "termination/Generalize.h"
@@ -53,6 +54,11 @@ struct AnalyzerOptions {
   double TimeoutSeconds = 0;
   /// Refinement-iteration cap (0 = unlimited).
   uint64_t MaxIterations = 0;
+  /// Optional external cancellation (non-owning; must outlive the run).
+  /// The portfolio runner installs one shared token into every racing
+  /// configuration and cancels it when a winner emerges; the analyzer
+  /// polls it wherever it polls the wall-clock budget.
+  const CancellationToken *Cancel = nullptr;
   /// Quotient the remaining automaton by direct-simulation equivalence
   /// after each difference (a language-preserving reduction; applied while
   /// the automaton is below ReduceStateCap states).
@@ -79,7 +85,15 @@ enum class Verdict : uint8_t {
   Unknown,           ///< a lasso could not be proved terminating
   NonterminatingCandidate, ///< ... and its loop has a self-fixpoint
   Timeout,           ///< budget exhausted
+  Cancelled,         ///< externally cancelled (lost the portfolio race)
 };
+
+/// \returns true when the verdict settles the query (the run neither timed
+/// out nor was cancelled). A portfolio race is decided by the first
+/// conclusive verdict.
+inline bool isConclusive(Verdict V) {
+  return V != Verdict::Timeout && V != Verdict::Cancelled;
+}
 
 const char *verdictName(Verdict V);
 

@@ -1,0 +1,194 @@
+//===- termination/Portfolio.cpp - Parallel configuration races ----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "termination/Portfolio.h"
+
+#include "support/CancellationToken.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <mutex>
+#include <optional>
+
+using namespace termcheck;
+
+std::vector<PortfolioConfig> termcheck::defaultPortfolio(size_t K) {
+  struct Entry {
+    const char *Name;
+    std::vector<Stage> (*Seq)();
+    NcsbVariant V;
+    bool Sub;
+  };
+  // Diversity-first order: entry 0 is the library default; every short
+  // prefix already spans all three axes, so --portfolio 4 races genuinely
+  // different strategies rather than four near-clones.
+  static const Entry Roster[] = {
+      {"seq_i-lazy-sub", AnalyzerOptions::sequenceSkipDet,
+       NcsbVariant::Lazy, true},
+      {"seq_ii-orig-sub", AnalyzerOptions::sequenceSkipSemi,
+       NcsbVariant::Original, true},
+      {"seq_iii-lazy-sub", AnalyzerOptions::sequenceAll, NcsbVariant::Lazy,
+       true},
+      {"seq_i-orig-nosub", AnalyzerOptions::sequenceSkipDet,
+       NcsbVariant::Original, false},
+      {"seq_ii-lazy-nosub", AnalyzerOptions::sequenceSkipSemi,
+       NcsbVariant::Lazy, false},
+      {"seq_iii-orig-sub", AnalyzerOptions::sequenceAll,
+       NcsbVariant::Original, true},
+      {"seq_i-orig-sub", AnalyzerOptions::sequenceSkipDet,
+       NcsbVariant::Original, true},
+      {"seq_ii-lazy-sub", AnalyzerOptions::sequenceSkipSemi,
+       NcsbVariant::Lazy, true},
+      {"seq_iii-lazy-nosub", AnalyzerOptions::sequenceAll, NcsbVariant::Lazy,
+       false},
+      {"seq_i-lazy-nosub", AnalyzerOptions::sequenceSkipDet,
+       NcsbVariant::Lazy, false},
+      {"seq_ii-orig-nosub", AnalyzerOptions::sequenceSkipSemi,
+       NcsbVariant::Original, false},
+      {"seq_iii-orig-nosub", AnalyzerOptions::sequenceAll,
+       NcsbVariant::Original, false},
+  };
+  constexpr size_t RosterSize = sizeof(Roster) / sizeof(Roster[0]);
+  if (K == 0)
+    K = 1;
+  if (K > RosterSize)
+    K = RosterSize;
+
+  std::vector<PortfolioConfig> Out;
+  Out.reserve(K);
+  for (size_t I = 0; I < K; ++I) {
+    PortfolioConfig C;
+    C.Name = Roster[I].Name;
+    C.Opts.Sequence = Roster[I].Seq();
+    C.Opts.Ncsb = Roster[I].V;
+    C.Opts.UseSubsumption = Roster[I].Sub;
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+namespace {
+
+AnalyzerOptions effectiveOptions(const PortfolioConfig &C,
+                                 const PortfolioOptions &PO,
+                                 const CancellationToken *Token) {
+  AnalyzerOptions O = C.Opts;
+  if (PO.TimeoutSeconds > 0)
+    O.TimeoutSeconds = PO.TimeoutSeconds;
+  if (PO.MaxIterations != 0)
+    O.MaxIterations = PO.MaxIterations;
+  O.Cancel = Token;
+  return O;
+}
+
+/// Folds one finished run into the merged dump. Only deterministic
+/// counters are recorded -- no wall-clock times -- so the Jobs == 1 dump
+/// is byte-for-byte reproducible.
+void recordRun(Statistics &Merged, const PortfolioConfig &C,
+               const AnalysisResult &R) {
+  const std::string Prefix = "cfg." + C.Name + ".";
+  Merged.mergePrefixed(R.Stats, Prefix);
+  Merged.add(Prefix + "verdict." + verdictName(R.V));
+  Merged.add("portfolio.started");
+  if (isConclusive(R.V))
+    Merged.add("portfolio.conclusive");
+  else if (R.V == Verdict::Cancelled)
+    Merged.add("portfolio.cancelled");
+  else
+    Merged.add("portfolio.timeout");
+}
+
+} // namespace
+
+PortfolioRunResult
+termcheck::runPortfolio(const Program &P,
+                        const std::vector<PortfolioConfig> &Configs,
+                        const PortfolioOptions &Opts) {
+  Timer Watch;
+  PortfolioRunResult Out;
+  if (Configs.empty()) {
+    Out.Result.V = Verdict::Unknown;
+    Out.WinnerName = "<empty portfolio>";
+    return Out;
+  }
+
+  const size_t None = Configs.size();
+  size_t Jobs = Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
+  Out.Merged.add("portfolio.configs", static_cast<int64_t>(Configs.size()));
+
+  if (Jobs == 1) {
+    // Deterministic fallback: no threads, roster order, stop at the first
+    // conclusive verdict. Identical inputs yield identical dumps.
+    Out.WinnerIndex = None;
+    for (size_t I = 0; I < Configs.size(); ++I) {
+      Program Local = P;
+      TerminationAnalyzer A(Local, effectiveOptions(Configs[I], Opts, nullptr));
+      AnalysisResult R = A.run();
+      recordRun(Out.Merged, Configs[I], R);
+      bool Won = isConclusive(R.V);
+      if (Won || I == 0) {
+        Out.Result = std::move(R);
+        Out.WinnerIndex = Won ? I : None;
+        Out.WinnerName = Won ? Configs[I].Name : "";
+      }
+      if (Won)
+        break;
+    }
+    if (Out.WinnerIndex != None)
+      Out.Merged.add("portfolio.winner_index",
+                     static_cast<int64_t>(Out.WinnerIndex));
+    Out.Seconds = Watch.seconds();
+    return Out;
+  }
+
+  // The race. One shared token tears down the losers; each worker owns a
+  // private Program copy (the lasso prover interns fresh variables, so a
+  // shared instance would be a data race) and a private Statistics bag.
+  // All cross-thread state below is only touched under M; results are
+  // merged after waitIdle(), when every worker is quiescent.
+  CancellationToken Token;
+  std::mutex M;
+  std::vector<std::optional<AnalysisResult>> Slots(Configs.size());
+  size_t Winner = None;
+
+  {
+    ThreadPool Pool(std::min(Jobs, Configs.size()));
+    for (size_t I = 0; I < Configs.size(); ++I) {
+      Pool.submit([&, I] {
+        // A queued entrant whose race is already decided never starts.
+        if (Token.cancelled())
+          return;
+        Program Local = P;
+        TerminationAnalyzer A(Local,
+                              effectiveOptions(Configs[I], Opts, &Token));
+        AnalysisResult R = A.run();
+        std::lock_guard<std::mutex> Lock(M);
+        if (isConclusive(R.V) && Winner == None) {
+          Winner = I;
+          Token.cancel();
+        }
+        Slots[I] = std::move(R);
+      });
+    }
+    Pool.waitIdle();
+  }
+
+  for (size_t I = 0; I < Configs.size(); ++I)
+    if (Slots[I])
+      recordRun(Out.Merged, Configs[I], *Slots[I]);
+
+  Out.WinnerIndex = Winner;
+  if (Winner != None) {
+    Out.Result = std::move(*Slots[Winner]);
+    Out.WinnerName = Configs[Winner].Name;
+    Out.Merged.add("portfolio.winner_index", static_cast<int64_t>(Winner));
+  } else {
+    // Nobody was conclusive; report the roster-first result (a timeout).
+    Out.Result = std::move(*Slots[0]);
+  }
+  Out.Seconds = Watch.seconds();
+  return Out;
+}

@@ -1,0 +1,87 @@
+//===- termination/Portfolio.h - Parallel configuration races -*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 7 of the paper shows that no single analyzer configuration
+/// dominates: the stage sequences (i)/(ii)/(iii) and the NCSB variants each
+/// win on different programs. The portfolio runner exploits exactly that:
+/// it races K configurations over the same program on a thread pool, the
+/// first conclusive verdict (anything but TIMEOUT/CANCELLED) wins, and the
+/// losers are torn down through a shared CancellationToken polled at every
+/// budget-hook site (refinement loop, difference DFS, NCSB splits), so a
+/// runaway subtraction in a losing configuration cannot delay the winner.
+///
+/// Every worker analyzes its own copy of the program (the lasso prover
+/// interns auxiliary variables into the program's VarTable, so sharing one
+/// instance would race); the winner's result is therefore bit-identical to
+/// what a plain sequential run of the winning configuration produces.
+///
+/// With Jobs == 1 the runner degrades to a fully deterministic fallback:
+/// configurations run to completion one by one, in roster order, stopping
+/// at the first conclusive verdict. Statistics dumps of two such runs are
+/// byte-identical (the determinism guard in tests/portfolio_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_TERMINATION_PORTFOLIO_H
+#define TERMCHECK_TERMINATION_PORTFOLIO_H
+
+#include "termination/Analyzer.h"
+
+namespace termcheck {
+
+/// One named entrant of a portfolio race.
+struct PortfolioConfig {
+  std::string Name;
+  AnalyzerOptions Opts;
+};
+
+/// The deterministic default roster: the Section 7 evaluation axes (stage
+/// sequence i/ii/iii x NCSB lazy/original x subsumption on/off), ordered
+/// so small prefixes are diverse -- entry 0 is the library default
+/// configuration, and each following entry flips at least one axis of an
+/// earlier one. \p K is clamped to [1, 12].
+std::vector<PortfolioConfig> defaultPortfolio(size_t K);
+
+/// Portfolio-level knobs (per-configuration knobs live in the roster).
+struct PortfolioOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = the deterministic
+  /// sequential fallback (no threads are spawned at all).
+  size_t Jobs = 0;
+  /// When nonzero, overrides every configuration's wall-clock budget.
+  double TimeoutSeconds = 0;
+  /// When nonzero, overrides every configuration's iteration cap.
+  uint64_t MaxIterations = 0;
+};
+
+/// Outcome of a portfolio race.
+struct PortfolioRunResult {
+  /// The winning run, exactly as the winning configuration's sequential
+  /// analyzer produced it. When no configuration is conclusive this holds
+  /// the roster-first result (a TIMEOUT).
+  AnalysisResult Result;
+  /// Roster index and name of the winner (index == Configs.size() means
+  /// nobody was conclusive).
+  size_t WinnerIndex = 0;
+  std::string WinnerName;
+  /// Merged statistics: portfolio-level counters plus every started
+  /// configuration's counters namespaced as `cfg.<name>.<counter>`. Only
+  /// deterministic counters are merged (no wall-clock), so with Jobs == 1
+  /// the dump is reproducible byte for byte.
+  Statistics Merged;
+  /// Wall-clock seconds of the whole race.
+  double Seconds = 0;
+};
+
+/// Races \p Configs over \p P. \p P itself is only read (each worker
+/// copies it), so the caller's program is untouched.
+PortfolioRunResult runPortfolio(const Program &P,
+                                const std::vector<PortfolioConfig> &Configs,
+                                const PortfolioOptions &Opts = {});
+
+} // namespace termcheck
+
+#endif // TERMCHECK_TERMINATION_PORTFOLIO_H

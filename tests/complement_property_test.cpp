@@ -187,6 +187,89 @@ TEST(ComplementProperty, FiniteTraceRandomizedXor) {
   }
 }
 
+// Differential layer: the two NCSB variants and the rank-based procedure
+// implement the same mathematical object, so on any input SDBA their
+// outputs must be language-equal. The corpus stays tiny (rank-based
+// complementation is doubly exponential; 5 completed states is already its
+// practical ceiling here). Per instance the test checks:
+//
+//  1. Disjointness, exhaustively: each complement's product with the
+//     original automaton is empty.
+//  2. Mutual differences, exhaustively where decidable: X \ Y is empty via
+//     the in-repo inclusion check whenever Y's trimmed materialization is
+//     semideterministic (NCSB outputs usually are; rank outputs are not,
+//     so the two directions into C_rank fall to check 3).
+//  3. Totality, sampled: every random lasso word lands in exactly one of
+//     the original and each complement, which catches a word any engine
+//     wrongly drops -- including words a too-small C_rank would miss.
+//
+// A counter guards against check 2 silently skipping everything.
+TEST(ComplementProperty, DifferentialAcrossEngines) {
+  Rng R(4242);
+  int Instances = 0, MutualDiffsDecided = 0;
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    // Shapes stay under four completed states: the rank complement of a
+    // (2,2) SDBA already materializes tens of thousands of states, and the
+    // sampled checks against it dominate the whole suite's runtime.
+    const std::pair<uint32_t, uint32_t> Shapes[] = {{1, 1}, {1, 2}, {2, 1}};
+    auto [Q1, Q2] = Shapes[R.below(3)];
+    Buchi A = randomSdba(R, Q1, Q2, 2);
+    auto S = prepareSdba(A);
+    ASSERT_TRUE(S.has_value()) << "randomSdba must produce an SDBA";
+    ++Instances;
+    Buchi Lazy = trim(NcsbOracle(*S, NcsbVariant::Lazy).materialize());
+    Buchi Orig = trim(NcsbOracle(*S, NcsbVariant::Original).materialize());
+    Buchi Rank =
+        trim(RankComplementOracle(completeWithSink(A)).materialize());
+
+    const struct {
+      const char *Name;
+      const Buchi *C;
+    } Engines[] = {{"NCSB-Lazy", &Lazy},
+                   {"NCSB-Original", &Orig},
+                   {"Rank-based", &Rank}};
+
+    // 1. No complement intersects the original language.
+    for (const auto &E : Engines)
+      EXPECT_TRUE(isEmpty(intersect(*E.C, A)))
+          << E.Name << " complement intersects the input\n"
+          << A.str();
+
+    // 2. Pairwise mutual differences, where the right side is NCSB-able.
+    bool AllDecided = true;
+    for (const auto &X : Engines) {
+      for (const auto &Y : Engines) {
+        if (X.C == Y.C || Y.C == &Rank)
+          continue; // the directions into C_rank fall to check 3
+        std::optional<bool> Included = isIncludedIn(*X.C, *Y.C);
+        if (!Included) {
+          AllDecided = false;
+          continue;
+        }
+        EXPECT_TRUE(*Included)
+            << X.Name << " \\ " << Y.Name << " is nonempty\n"
+            << A.str();
+      }
+    }
+    MutualDiffsDecided += AllDecided ? 1 : 0;
+
+    // 3. Sampled totality: w in A xor w in C, for every engine.
+    for (int W = 0; W < 12; ++W) {
+      LassoWord L = randomLasso(R, 2, 3, 3);
+      bool InA = acceptsLasso(A, L);
+      for (const auto &E : Engines)
+        EXPECT_NE(InA, acceptsLasso(*E.C, L))
+            << E.Name << ": word " << L.str()
+            << (InA ? " accepted by both" : " accepted by neither") << "\n"
+            << A.str();
+    }
+  }
+  EXPECT_EQ(Instances, 200);
+  // Roughly 3/4 of NCSB materializations are semideterministic; if this
+  // collapses, the mutual-difference leg stopped testing anything.
+  EXPECT_GE(MutualDiffsDecided, Instances / 2);
+}
+
 TEST(ComplementProperty, MaterializedComplementsAreBas) {
   Rng R(1007);
   Buchi A = randomSdba(R, 2, 3, 2);

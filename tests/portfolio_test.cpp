@@ -1,0 +1,144 @@
+//===- tests/portfolio_test.cpp - Portfolio runner correctness ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The portfolio's contract against the plain sequential analyzer, over
+/// the on-disk benchmark corpus:
+///
+///  * the racing portfolio reaches the same verdict as a sequential run
+///    of the default configuration,
+///  * the winner's certified modules pass the independent Definition 3.1
+///    checker (cancellation must never leak a truncated module), and
+///  * with Jobs == 1 the runner is a deterministic sequential fallback:
+///    two runs produce byte-identical statistics dumps.
+///
+/// This test is also the designated TSan workload: with Jobs > 1 it
+/// exercises the thread pool, the shared cancellation token, and the
+/// post-race statistics merge on every corpus program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "termination/Portfolio.h"
+
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace termcheck;
+
+namespace {
+
+#ifndef TERMCHECK_CORPUS_DIR
+#error "build must define TERMCHECK_CORPUS_DIR"
+#endif
+
+struct CorpusEntry {
+  std::string Name;
+  Program Prog;
+};
+
+std::vector<CorpusEntry> loadCorpus() {
+  std::vector<CorpusEntry> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(TERMCHECK_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".while")
+      continue;
+    std::ifstream In(Entry.path());
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    ParseResult R = parseProgram(Buf.str());
+    if (!R.ok())
+      ADD_FAILURE() << Entry.path() << ": " << R.Error;
+    else
+      Out.push_back({Entry.path().stem().string(), std::move(*R.Prog)});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusEntry &A, const CorpusEntry &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+} // namespace
+
+TEST(Portfolio, MatchesSequentialVerdictOnCorpus) {
+  std::vector<CorpusEntry> Corpus = loadCorpus();
+  ASSERT_GE(Corpus.size(), 10u);
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(6);
+  for (const CorpusEntry &E : Corpus) {
+    AnalyzerOptions Sequential;
+    Sequential.TimeoutSeconds = 30;
+    Program Copy = E.Prog;
+    AnalysisResult Ref = TerminationAnalyzer(Copy, Sequential).run();
+
+    PortfolioOptions PO;
+    PO.Jobs = 4; // force the threaded path even on small machines
+    PO.TimeoutSeconds = 30;
+    PortfolioRunResult R = runPortfolio(E.Prog, Configs, PO);
+
+    EXPECT_EQ(R.Result.V, Ref.V) << E.Name << ": portfolio verdict "
+                                 << verdictName(R.Result.V)
+                                 << " != sequential "
+                                 << verdictName(Ref.V);
+    ASSERT_LT(R.WinnerIndex, Configs.size()) << E.Name;
+    EXPECT_EQ(R.WinnerName, Configs[R.WinnerIndex].Name);
+    // The winner's modules are a real termination certificate; a cancelled
+    // loser must never contribute a truncated one.
+    for (const CertifiedModule &M : R.Result.Modules)
+      EXPECT_EQ(validateModule(M, E.Prog), "") << E.Name;
+  }
+}
+
+TEST(Portfolio, SequentialFallbackIsDeterministic) {
+  std::vector<CorpusEntry> Corpus = loadCorpus();
+  ASSERT_FALSE(Corpus.empty());
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(6);
+  for (const CorpusEntry &E : Corpus) {
+    PortfolioOptions PO;
+    PO.Jobs = 1;
+    PO.TimeoutSeconds = 30;
+    PortfolioRunResult First = runPortfolio(E.Prog, Configs, PO);
+    PortfolioRunResult Second = runPortfolio(E.Prog, Configs, PO);
+    EXPECT_EQ(First.Result.V, Second.Result.V) << E.Name;
+    EXPECT_EQ(First.WinnerIndex, Second.WinnerIndex) << E.Name;
+    EXPECT_EQ(First.Merged.str(), Second.Merged.str())
+        << E.Name << ": statistics dump must be byte-identical";
+  }
+}
+
+TEST(Portfolio, RosterIsDiverseAndClamped) {
+  EXPECT_EQ(defaultPortfolio(0).size(), 1u);
+  EXPECT_EQ(defaultPortfolio(100).size(), 12u);
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(12);
+  for (size_t I = 0; I < Configs.size(); ++I)
+    for (size_t J = I + 1; J < Configs.size(); ++J)
+      EXPECT_NE(Configs[I].Name, Configs[J].Name);
+  // Entry 0 is the library default configuration.
+  AnalyzerOptions Default;
+  EXPECT_EQ(Configs[0].Opts.Sequence, Default.Sequence);
+  EXPECT_EQ(Configs[0].Opts.Ncsb, Default.Ncsb);
+  EXPECT_EQ(Configs[0].Opts.UseSubsumption, Default.UseSubsumption);
+}
+
+TEST(Portfolio, CancellationPreemptsARunningAnalysis) {
+  // A program every configuration times out on within the budget window
+  // would be flaky; instead cancel before the race starts and check the
+  // token short-circuits every entrant.
+  ParseResult R = parseProgram(
+      "program p(i) { while (i > 0) { i := i - 1; } }\n");
+  ASSERT_TRUE(R.ok());
+  CancellationToken Token;
+  Token.cancel();
+  AnalyzerOptions O;
+  O.Cancel = &Token;
+  Program Copy = *R.Prog;
+  AnalysisResult Res = TerminationAnalyzer(Copy, O).run();
+  EXPECT_EQ(Res.V, Verdict::Cancelled);
+  EXPECT_FALSE(isConclusive(Res.V));
+}

@@ -1,0 +1,132 @@
+//===- tests/statistics_test.cpp - Statistics merge semantics -------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The three counter kinds and their merge semantics: additive counters
+/// sum, high-water marks take the maximum, timers sum seconds. The kinds
+/// live in separate maps, so the portfolio's cross-run aggregation can
+/// never sum a maximum or max a sum -- which is what makes merging
+/// statistics from racing configurations well-defined.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace termcheck;
+
+TEST(Statistics, AdditiveCountersSum) {
+  Statistics S;
+  EXPECT_EQ(S.get("n"), 0);
+  S.add("n");
+  S.add("n", 4);
+  EXPECT_EQ(S.get("n"), 5);
+  S.add("n", -2);
+  EXPECT_EQ(S.get("n"), 3);
+}
+
+TEST(Statistics, HighWaterMarksKeepTheMaximum) {
+  Statistics S;
+  S.recordMax("m", 7);
+  S.recordMax("m", 3);
+  EXPECT_EQ(S.getMax("m"), 7);
+  S.recordMax("m", 11);
+  EXPECT_EQ(S.getMax("m"), 11);
+}
+
+TEST(Statistics, TimersAccumulateSeconds) {
+  Statistics S;
+  S.addTime("t", 0.25);
+  S.addTime("t", 0.5);
+  EXPECT_DOUBLE_EQ(S.getTime("t"), 0.75);
+}
+
+TEST(Statistics, KindsAreSeparateNamespaces) {
+  // The same name can exist in all three maps without collision; this is
+  // what makes merge() well-defined per kind.
+  Statistics S;
+  S.add("x", 2);
+  S.recordMax("x", 9);
+  S.addTime("x", 1.5);
+  EXPECT_EQ(S.get("x"), 2);
+  EXPECT_EQ(S.getMax("x"), 9);
+  EXPECT_DOUBLE_EQ(S.getTime("x"), 1.5);
+}
+
+TEST(Statistics, MergeRespectsKindSemantics) {
+  Statistics A, B;
+  A.add("iters", 10);
+  B.add("iters", 3);
+  A.recordMax("peak", 5);
+  B.recordMax("peak", 8);
+  A.addTime("wall", 1.0);
+  B.addTime("wall", 0.5);
+  A.merge(B);
+  EXPECT_EQ(A.get("iters"), 13);           // sums
+  EXPECT_EQ(A.getMax("peak"), 8);          // max wins
+  EXPECT_DOUBLE_EQ(A.getTime("wall"), 1.5); // sums
+  // B is untouched.
+  EXPECT_EQ(B.get("iters"), 3);
+  EXPECT_EQ(B.getMax("peak"), 8);
+}
+
+TEST(Statistics, MergeIsCommutativeOnDisjointAndOverlappingKeys) {
+  Statistics A, B, AB, BA;
+  A.add("only_a", 1);
+  A.add("shared", 2);
+  A.recordMax("m", 4);
+  B.add("only_b", 7);
+  B.add("shared", 5);
+  B.recordMax("m", 3);
+  AB.merge(A);
+  AB.merge(B);
+  BA.merge(B);
+  BA.merge(A);
+  EXPECT_EQ(AB.str(), BA.str());
+  EXPECT_EQ(AB.get("shared"), 7);
+  EXPECT_EQ(AB.getMax("m"), 4);
+}
+
+TEST(Statistics, MergePrefixedNamespacesEveryKind) {
+  Statistics Run, Total;
+  Run.add("iterations", 6);
+  Run.recordMax("remaining.max_states", 40);
+  Run.addTime("solve", 0.25);
+  Total.mergePrefixed(Run, "cfg.seq_i.");
+  EXPECT_EQ(Total.get("cfg.seq_i.iterations"), 6);
+  EXPECT_EQ(Total.getMax("cfg.seq_i.remaining.max_states"), 40);
+  EXPECT_DOUBLE_EQ(Total.getTime("cfg.seq_i.solve"), 0.25);
+  EXPECT_EQ(Total.get("iterations"), 0);
+  // Prefixed merges from two runs still follow kind semantics.
+  Statistics Run2;
+  Run2.add("iterations", 4);
+  Run2.recordMax("remaining.max_states", 25);
+  Total.mergePrefixed(Run2, "cfg.seq_i.");
+  EXPECT_EQ(Total.get("cfg.seq_i.iterations"), 10);
+  EXPECT_EQ(Total.getMax("cfg.seq_i.remaining.max_states"), 40);
+}
+
+TEST(Statistics, EmptyAndDumpAreDeterministic) {
+  Statistics S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.str(), "");
+  S.add("b", 1);
+  S.add("a", 2);
+  S.recordMax("z", 3);
+  S.addTime("t", 2.0);
+  EXPECT_FALSE(S.empty());
+  // std::map ordering: additive counters alphabetically, then maxima
+  // (tagged), then timers (tagged).
+  EXPECT_EQ(S.str(), "  a = 2\n  b = 1\n  z = 3 (max)\n  t = 2 s\n");
+  // Two identically-filled bags dump identically regardless of insertion
+  // order (the portfolio determinism guard relies on this).
+  Statistics T;
+  T.addTime("t", 2.0);
+  T.recordMax("z", 3);
+  T.add("a", 2);
+  T.add("b", 1);
+  EXPECT_EQ(S.str(), T.str());
+}

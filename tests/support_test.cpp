@@ -89,7 +89,7 @@ TEST(Statistics, RecordMaxKeepsMaximum) {
   S.recordMax("m", 3);
   S.recordMax("m", 1);
   S.recordMax("m", 7);
-  EXPECT_EQ(S.get("m"), 7);
+  EXPECT_EQ(S.getMax("m"), 7);
 }
 
 TEST(Statistics, TimersAccumulate) {

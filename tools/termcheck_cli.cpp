@@ -13,6 +13,9 @@
 ///     --sequence <i|ii|iii>  stage sequence of Section 7 (default i)
 ///     --ncsb <lazy|original> SDBA complementation variant (default lazy)
 ///     --no-subsumption    disable the Section 6 antichain
+///     --portfolio <K>     race the first K default configurations (1..12)
+///     --jobs <N>          portfolio worker threads (default: all cores;
+///                         1 = deterministic sequential fallback)
 ///     --dot-cfg           print the CFG in Graphviz format and exit
 ///     --dot-modules       also print each certified module as Graphviz
 ///     --quiet             verdict only
@@ -24,7 +27,7 @@
 
 #include "automata/Dot.h"
 #include "program/Parser.h"
-#include "termination/Analyzer.h"
+#include "termination/Portfolio.h"
 
 #include <cstdio>
 #include <cstring>
@@ -45,6 +48,11 @@ void usage(const char *Prog) {
       "  --sequence <i|ii|iii>   multi-stage sequence (default i)\n"
       "  --ncsb <lazy|original>  SDBA complementation variant\n"
       "  --no-subsumption        disable the antichain optimization\n"
+      "  --portfolio <K>         race the first K default configurations\n"
+      "                          (1..12) and report the first conclusive\n"
+      "                          verdict; per-config statistics are merged\n"
+      "  --jobs <N>              portfolio worker threads (default: all\n"
+      "                          cores; 1 = deterministic sequential mode)\n"
       "  --dot-cfg               print the CFG as Graphviz and exit\n"
       "  --dot-modules           print each module as Graphviz\n"
       "  --quiet                 print the verdict only\n",
@@ -57,6 +65,7 @@ int main(int Argc, char **Argv) {
   AnalyzerOptions Opts;
   Opts.TimeoutSeconds = 60;
   bool DotCfg = false, DotModules = false, Quiet = false;
+  long PortfolioK = 0, JobsN = 0;
   const char *Path = nullptr;
 
   for (int I = 1; I < Argc; ++I) {
@@ -96,6 +105,18 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strcmp(Arg, "--no-subsumption") == 0) {
       Opts.UseSubsumption = false;
+    } else if (std::strcmp(Arg, "--portfolio") == 0) {
+      PortfolioK = std::atol(NeedsValue("--portfolio"));
+      if (PortfolioK < 1) {
+        std::fprintf(stderr, "error: --portfolio needs a positive count\n");
+        return 3;
+      }
+    } else if (std::strcmp(Arg, "--jobs") == 0) {
+      JobsN = std::atol(NeedsValue("--jobs"));
+      if (JobsN < 1) {
+        std::fprintf(stderr, "error: --jobs needs a positive count\n");
+        return 3;
+      }
     } else if (std::strcmp(Arg, "--dot-cfg") == 0) {
       DotCfg = true;
     } else if (std::strcmp(Arg, "--dot-modules") == 0) {
@@ -143,11 +164,31 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  TerminationAnalyzer Analyzer(P, Opts);
-  AnalysisResult Result = Analyzer.run();
+  AnalysisResult Result;
+  Statistics PortfolioStats;
+  std::string WinnerNote;
+  if (PortfolioK > 0) {
+    PortfolioOptions PO;
+    PO.Jobs = static_cast<size_t>(JobsN);
+    PO.TimeoutSeconds = Opts.TimeoutSeconds;
+    std::vector<PortfolioConfig> Configs =
+        defaultPortfolio(static_cast<size_t>(PortfolioK));
+    PortfolioRunResult PR = runPortfolio(P, Configs, PO);
+    Result = std::move(PR.Result);
+    PortfolioStats = std::move(PR.Merged);
+    WinnerNote = PR.WinnerIndex < Configs.size()
+                     ? "winner: " + PR.WinnerName
+                     : "winner: none (no conclusive configuration)";
+    Result.Seconds = PR.Seconds;
+  } else {
+    TerminationAnalyzer Analyzer(P, Opts);
+    Result = Analyzer.run();
+  }
 
   std::printf("%s: %s\n", P.name().c_str(), verdictName(Result.V));
   if (!Quiet) {
+    if (!WinnerNote.empty())
+      std::printf("%s\n", WinnerNote.c_str());
     std::printf("time: %.3f s, modules: %zu\n", Result.Seconds,
                 Result.Modules.size());
     for (size_t I = 0; I < Result.Modules.size(); ++I) {
@@ -169,7 +210,10 @@ int main(int Argc, char **Argv) {
         std::printf(" [%s]", SymName(S).c_str());
       std::printf("\n");
     }
-    Result.Stats.print(std::cout);
+    if (PortfolioK > 0)
+      PortfolioStats.print(std::cout);
+    else
+      Result.Stats.print(std::cout);
   }
   switch (Result.V) {
   case Verdict::Terminating:
@@ -178,6 +222,7 @@ int main(int Argc, char **Argv) {
   case Verdict::NonterminatingCandidate:
     return 1;
   case Verdict::Timeout:
+  case Verdict::Cancelled:
     return 2;
   }
   return 1;
