@@ -71,15 +71,14 @@ inline AnalysisResult runTask(const BenchProgram &B, AnalyzerOptions Opts,
   return A.run();
 }
 
-/// "Solved" in the paper's sense: a definite verdict within budget.
+/// "Solved" in the paper's sense: a conclusive verdict within budget. A
+/// nonterminating program counts only when the recurrence prover delivered
+/// a validated certificate -- an Unknown counterexample is not a proof.
 inline bool solved(const AnalysisResult &R, Expected E) {
-  if (R.V == Verdict::Timeout)
-    return false;
   if (E == Expected::Terminating)
     return R.V == Verdict::Terminating;
   if (E == Expected::Nonterminating)
-    return R.V == Verdict::NonterminatingCandidate ||
-           R.V == Verdict::Unknown; // counterexample reported
+    return R.V == Verdict::Nonterminating;
   return false; // Hard: nobody solves it
 }
 

@@ -21,11 +21,15 @@
 /// exceeds the fastest sequential wall, which is noise, not a cancellation
 /// failure.
 ///
-/// Usage: bench_portfolio [corpus-dir] [timeout-seconds] [configs] [jobs]
+/// Usage: bench_portfolio [--json <path|->] [corpus-dir] [timeout-seconds]
+///                        [configs] [jobs]
 ///   corpus-dir       directory of .while files   (default: benchmarks)
 ///   timeout-seconds  per-configuration budget    (default: 10)
-///   configs          portfolio size K, 1..12     (default: 6)
+///   configs          portfolio size K, 1..14     (default: 6)
 ///   jobs             worker threads, 0 = one per config (default: 0)
+///   --json <path>    additionally emit a machine-readable report (per
+///                    program: verdict, winner, wall clocks; plus totals)
+///                    to the file, or to stdout when the path is `-`
 ///
 /// Jobs defaults to one thread per configuration rather than the core
 /// count: a portfolio is a race, and racing through the OS scheduler works
@@ -39,6 +43,7 @@
 #include "termination/Portfolio.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -85,10 +90,23 @@ double runSequential(const Program &P, const PortfolioConfig &C,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Dir = Argc > 1 ? Argv[1] : "benchmarks";
-  double Timeout = Argc > 2 ? std::atof(Argv[2]) : 10.0;
-  size_t K = Argc > 3 ? static_cast<size_t>(std::atol(Argv[3])) : 6;
-  size_t Jobs = Argc > 4 ? static_cast<size_t>(std::atol(Argv[4])) : 0;
+  std::string JsonPath;
+  std::vector<const char *> Pos;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "bench_portfolio: --json needs a path\n");
+        return 1;
+      }
+      JsonPath = Argv[++I];
+    } else {
+      Pos.push_back(Argv[I]);
+    }
+  }
+  std::string Dir = Pos.size() > 0 ? Pos[0] : "benchmarks";
+  double Timeout = Pos.size() > 1 ? std::atof(Pos[1]) : 10.0;
+  size_t K = Pos.size() > 2 ? static_cast<size_t>(std::atol(Pos[2])) : 6;
+  size_t Jobs = Pos.size() > 3 ? static_cast<size_t>(std::atol(Pos[3])) : 0;
 
   std::vector<CorpusProgram> Corpus = loadCorpus(Dir);
   if (Corpus.empty()) {
@@ -111,6 +129,11 @@ int main(int Argc, char **Argv) {
   bool SlowerThanWorst = false;
   double BestSpeedup = 0;
   double TotalPortfolio = 0, TotalBest = 0, TotalDefault = 0;
+  std::ostringstream Json;
+  Json << "{\n  \"corpus\": \"" << Dir << "\",\n  \"timeout_s\": " << Timeout
+       << ",\n  \"configs\": " << Configs.size() << ",\n  \"jobs\": " << Jobs
+       << ",\n  \"programs\": [\n";
+  bool FirstJson = true;
   for (const CorpusProgram &CP : Corpus) {
     ParseResult PR = parseProgram(CP.Source);
     if (!PR.ok()) {
@@ -151,6 +174,15 @@ int main(int Argc, char **Argv) {
                 verdictName(R.Result.V),
                 R.WinnerIndex < Configs.size() ? " won-by " : "",
                 R.WinnerName.c_str());
+    if (!FirstJson)
+      Json << ",\n";
+    FirstJson = false;
+    Json << "    {\"name\": \"" << CP.Name << "\", \"verdict\": \""
+         << verdictName(R.Result.V) << "\", \"winner\": \""
+         << (R.WinnerIndex < Configs.size() ? R.WinnerName : "") << "\", "
+         << "\"portfolio_s\": " << Wall << ", \"best_seq_s\": " << Best
+         << ", \"default_seq_s\": " << Default << ", \"worst_seq_s\": "
+         << Worst << ", \"speedup_vs_default\": " << Speedup << "}";
   }
   hr();
   std::printf("totals: portfolio %.3fs, best-seq %.3fs, default-seq %.3fs\n",
@@ -159,5 +191,23 @@ int main(int Argc, char **Argv) {
       "portfolio <= worst sequential (+10ms sched eps) on every program: %s\n",
       SlowerThanWorst ? "NO" : "yes");
   std::printf("max speedup over default configuration: %.2fx\n", BestSpeedup);
+  Json << "\n  ],\n  \"totals\": {\"portfolio_s\": " << TotalPortfolio
+       << ", \"best_seq_s\": " << TotalBest << ", \"default_seq_s\": "
+       << TotalDefault << "},\n  \"never_slower_than_worst\": "
+       << (SlowerThanWorst ? "false" : "true")
+       << ",\n  \"max_speedup_vs_default\": " << BestSpeedup << "\n}\n";
+  if (!JsonPath.empty()) {
+    if (JsonPath == "-") {
+      std::fputs(Json.str().c_str(), stdout);
+    } else {
+      std::ofstream Out(JsonPath);
+      if (!Out) {
+        std::fprintf(stderr, "bench_portfolio: cannot write %s\n",
+                     JsonPath.c_str());
+        return 1;
+      }
+      Out << Json.str();
+    }
+  }
   return SlowerThanWorst ? 2 : 0;
 }

@@ -171,6 +171,17 @@ BenchProgram oscillator() {
           Expected::Nonterminating};
 }
 
+/// Nonterminating, and the recurrent set needs a stem fact (j >= 0) on top
+/// of the loop guard to close under the update.
+BenchProgram counterDrift() {
+  return {"counter_drift",
+          "program drift(i, j) {\n"
+          "  assume(j >= 0);\n"
+          "  while (i > 0) { i := i + j; }\n"
+          "}\n",
+          Expected::Nonterminating};
+}
+
 /// Terminating, but beyond a single linear ranking function.
 BenchProgram lexicographicHard() {
   return {"lexicographic_hard",
@@ -239,6 +250,7 @@ std::vector<BenchProgram> termcheck::smallBenchmarkSuite() {
       countdown(1, 0), countdown(2, 1), psort(0),        nested(2),
       branching(2),    phases(2),       invariantNeeded(2), havocNoise(),
       unreachableLoop(), modedLoop(),   whileTrue(),     countUp(),
+      counterDrift(),
   };
 }
 
@@ -265,6 +277,7 @@ std::vector<BenchProgram> termcheck::benchmarkSuite() {
   Out.push_back(whileTrue());
   Out.push_back(countUp());
   Out.push_back(oscillator());
+  Out.push_back(counterDrift());
   Out.push_back(triangular());
   Out.push_back(conditionalStep());
   Out.push_back(upDownBudget());

@@ -137,6 +137,104 @@ bool fm::isSatisfiable(const Cube &C) {
   }
 }
 
+namespace {
+
+/// floor(A / B) for B != 0 (C++ division truncates toward zero).
+__int128 floorDiv(__int128 A, __int128 B) {
+  __int128 Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// ceil(A / B) for B != 0.
+__int128 ceilDiv(__int128 A, __int128 B) {
+  __int128 Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+} // namespace
+
+std::optional<std::map<VarId, int64_t>>
+fm::sampleIntegerPoint(const Cube &C) {
+  if (C.isContradictory())
+    return std::nullopt;
+  std::vector<VarId> Vars = variablesOf(C);
+
+  // Forward elimination, keeping every intermediate cube: Cubes[i] mentions
+  // only Vars[i..].
+  std::vector<Cube> Cubes;
+  Cubes.reserve(Vars.size() + 1);
+  Cubes.push_back(C);
+  for (VarId V : Vars) {
+    Cubes.push_back(eliminate(Cubes.back(), V));
+    if (Cubes.back().isContradictory())
+      return std::nullopt;
+  }
+
+  // Reverse back-substitution: pick Vars[i] from its interval in Cubes[i]
+  // under the values already chosen for Vars[i+1..].
+  constexpr __int128 Unbounded = static_cast<__int128>(1) << 100;
+  std::map<VarId, int64_t> Model;
+  for (size_t I = Vars.size(); I-- > 0;) {
+    VarId V = Vars[I];
+    __int128 Lo = -Unbounded, Hi = Unbounded;
+    for (const Constraint &Atom : Cubes[I].atoms()) {
+      __int128 A = Atom.expr().coeff(V);
+      // The atom under the partial model, with V itself left symbolic:
+      // A*V + Rest (REL) 0.
+      __int128 Rest = Atom.expr().constantTerm();
+      for (const LinearExpr::Term &T : Atom.expr().terms()) {
+        if (T.Var == V)
+          continue;
+        auto It = Model.find(T.Var);
+        if (It == Model.end())
+          return std::nullopt; // unexpected free variable
+        Rest += static_cast<__int128>(T.Coeff) * It->second;
+      }
+      if (A == 0) {
+        bool Ok = Atom.rel() == RelKind::LE ? Rest <= 0 : Rest == 0;
+        if (!Ok)
+          return std::nullopt;
+        continue;
+      }
+      if (Atom.rel() == RelKind::EQ) {
+        if ((-Rest) % A != 0)
+          return std::nullopt; // no integer solution on this branch
+        __int128 Val = (-Rest) / A;
+        Lo = std::max(Lo, Val);
+        Hi = std::min(Hi, Val);
+      } else if (A > 0) {
+        Hi = std::min(Hi, floorDiv(-Rest, A));
+      } else {
+        Lo = std::max(Lo, ceilDiv(-Rest, A));
+      }
+    }
+    if (Lo > Hi)
+      return std::nullopt; // integer gap of the rational relaxation
+    __int128 Val = 0;
+    if (Val < Lo)
+      Val = Lo;
+    if (Val > Hi)
+      Val = Hi;
+    if (Val < INT64_MIN || Val > INT64_MAX)
+      return std::nullopt;
+    Model[V] = static_cast<int64_t>(Val);
+  }
+
+  // The back-substitution is exact only modulo the elimination's integer
+  // overapproximation; verify before handing the model out.
+  auto ValueOf = [&Model](VarId V) -> int64_t {
+    auto It = Model.find(V);
+    return It == Model.end() ? 0 : It->second;
+  };
+  if (!C.holds(ValueOf))
+    return std::nullopt;
+  return Model;
+}
+
 bool fm::entails(const Cube &P, const Constraint &C) {
   if (P.isContradictory() || C.isTrivallyTrue())
     return true;

@@ -23,6 +23,9 @@
 
 #include "logic/Cube.h"
 
+#include <map>
+#include <optional>
+
 namespace termcheck {
 
 /// Fourier-Motzkin based decision procedures for cubes.
@@ -49,6 +52,17 @@ bool entails(const Cube &P, const Cube &Q);
 
 /// \returns the set of variables occurring in \p C, ascending.
 std::vector<VarId> variablesOf(const Cube &C);
+
+/// Attempts to construct a concrete integer model of \p C: eliminate the
+/// variables one by one, then back-substitute in reverse, picking for each
+/// variable an integer from its residual interval (0 when unconstrained,
+/// the nearest bound otherwise). The returned assignment is verified
+/// against \p C before being handed out, so a model is always genuine;
+/// nullopt means no model was found (the cube may be integer-unsat, or the
+/// chosen elimination order may have landed in an integer gap of the
+/// rational relaxation). Used by the nontermination prover to extract
+/// loop fixpoints and recurrent-set seed points.
+std::optional<std::map<VarId, int64_t>> sampleIntegerPoint(const Cube &C);
 
 } // namespace fm
 } // namespace termcheck

@@ -1,0 +1,154 @@
+//===- nontermination/NontermCertificate.cpp - Nonterm witnesses ---------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nontermination/NontermCertificate.h"
+
+#include "logic/FourierMotzkin.h"
+#include "nontermination/PathSummary.h"
+#include "program/Interpreter.h"
+
+#include <sstream>
+
+using namespace termcheck;
+
+namespace {
+
+/// Valuations are sparse (absent means zero); strip explicit zeros so two
+/// valuations are equal iff they denote the same state.
+std::map<VarId, int64_t> normalized(const std::map<VarId, int64_t> &Vals) {
+  std::map<VarId, int64_t> Out;
+  for (const auto &[V, X] : Vals)
+    if (X != 0)
+      Out.emplace(V, X);
+  return Out;
+}
+
+std::string renderValuation(const std::map<VarId, int64_t> &Vals,
+                            const VarTable &Vars) {
+  std::map<VarId, int64_t> N = normalized(Vals);
+  if (N.empty())
+    return "(all zero)";
+  std::ostringstream Os;
+  bool First = true;
+  for (const auto &[V, X] : N) {
+    if (!First)
+      Os << ", ";
+    First = false;
+    Os << Vars.name(V) << " = " << X;
+  }
+  return Os.str();
+}
+
+} // namespace
+
+std::string NontermCertificate::validate(const Program &P) const {
+  if (Loop.empty())
+    return "certificate has an empty loop";
+  for (SymbolId S : Stem)
+    if (S >= P.numSymbols())
+      return "stem mentions an unknown statement symbol";
+  for (SymbolId S : Loop)
+    if (S >= P.numSymbols())
+      return "loop mentions an unknown statement symbol";
+
+  // Reachability: the recorded entry valuation must drive the stem to its
+  // end with the recorded havoc values (every assume guard holding).
+  Interpreter Interp(P, /*Seed=*/1);
+  PathRunResult StemRun = Interp.runPath(Stem, Entry, &StemHavocs);
+  if (!StemRun.Completed)
+    return "stem replay blocked at statement index " +
+           std::to_string(StemRun.BlockedAt);
+  auto AtLoopHead = [&StemRun](VarId V) -> int64_t {
+    auto It = StemRun.Final.find(V);
+    return It == StemRun.Final.end() ? 0 : It->second;
+  };
+
+  switch (Kind) {
+  case NontermKind::RecurrentSet: {
+    if (Recur.isContradictory())
+      return "recurrent set is contradictory";
+    if (!Recur.holds(AtLoopHead))
+      return "stem does not reach the recurrent set";
+    for (const auto &[V, X] : Seed)
+      if (AtLoopHead(V) != X)
+        return "recorded seed point differs from the stem replay";
+
+    // Closure, re-derived from the program text: under the havoc strategy
+    // the loop is a deterministic affine map, so R is recurrent iff R
+    // entails the loop guards and its own image atom by atom. Both checks
+    // ride on the sound UNSAT direction of Fourier-Motzkin only.
+    PathSummary Pass = summarizePath(P, Loop, &LoopHavocs, nullptr);
+    if (Pass.HavocCount != LoopHavocs.size())
+      return "havoc strategy arity does not match the loop";
+    if (Pass.Guards.isContradictory())
+      return "loop guards are contradictory under the strategy";
+    if (!fm::entails(Recur, Pass.Guards))
+      return "recurrent set does not entail the loop guards";
+    for (const Constraint &Atom : Recur.atoms())
+      if (!fm::entails(Recur, applyUpdate(Atom, Pass.Update)))
+        return "recurrent set is not closed under the loop: " +
+               Atom.str(P.vars());
+    return "";
+  }
+  case NontermKind::ExecutionCycle: {
+    if (CycleLen == 0)
+      return "certificate has an empty cycle";
+    if (IterHavocs.size() < CycleStart + CycleLen)
+      return "iteration havocs do not cover the cycle";
+    std::map<VarId, int64_t> Cur = StemRun.Final;
+    std::map<VarId, int64_t> AtCycleStart;
+    for (size_t K = 0; K < CycleStart + CycleLen; ++K) {
+      if (K == CycleStart)
+        AtCycleStart = normalized(Cur);
+      PathRunResult It = Interp.runPath(Loop, Cur, &IterHavocs[K]);
+      if (!It.Completed)
+        return "loop replay blocked in iteration " + std::to_string(K) +
+               " at statement index " + std::to_string(It.BlockedAt);
+      Cur = std::move(It.Final);
+    }
+    if (normalized(Cur) != AtCycleStart)
+      return "cycle does not revisit the loop-head state";
+    return "";
+  }
+  }
+  return "unknown certificate kind";
+}
+
+std::string NontermCertificate::str(const Program &P) const {
+  std::ostringstream Os;
+  Os << "nontermination witness (stem " << Stem.size() << " stmts, loop "
+     << Loop.size() << " stmts)\n";
+  Os << "  entry: " << renderValuation(Entry, P.vars()) << "\n";
+  if (!StemHavocs.empty()) {
+    Os << "  stem havocs:";
+    for (int64_t V : StemHavocs)
+      Os << " " << V;
+    Os << "\n";
+  }
+  switch (Kind) {
+  case NontermKind::RecurrentSet:
+    Os << "  kind: closed recurrent set\n";
+    Os << "  recurrent set: " << Recur.str(P.vars()) << "\n";
+    Os << "  loop-head seed: " << renderValuation(Seed, P.vars()) << "\n";
+    if (!LoopHavocs.empty()) {
+      Os << "  loop havoc strategy:";
+      for (int64_t V : LoopHavocs)
+        Os << " " << V;
+      Os << "\n";
+    }
+    Os << "  every state of the set re-enters it after one loop pass\n";
+    break;
+  case NontermKind::ExecutionCycle:
+    Os << "  kind: concrete execution cycle\n";
+    Os << "  state revisited after iterations " << CycleStart << " .. "
+       << (CycleStart + CycleLen) << " (period " << CycleLen << ")\n";
+    break;
+  }
+  for (size_t I = 0; I < Loop.size(); ++I)
+    Os << "  loop[" << I << "]: " << P.statement(Loop[I]).str(P.vars())
+       << "\n";
+  return Os.str();
+}

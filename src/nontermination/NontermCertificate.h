@@ -1,0 +1,90 @@
+//===- nontermination/NontermCertificate.h - Nonterm witnesses -*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A machine-checkable nontermination proof for one lasso u v^omega, in one
+/// of two shapes:
+///
+///  * RecurrentSet -- a cube R over the loop-head state together with a
+///    per-occurrence havoc constant strategy such that (1) a concrete entry
+///    valuation drives the stem into R, and (2) R is *closed* under one
+///    loop pass: R entails the loop's guards and, for every atom a of R,
+///    the stepped atom a[x := U(x)] where U is the loop's affine update
+///    under the strategy. By induction every state of R launches an
+///    infinite execution.
+///
+///  * ExecutionCycle -- a fully concrete lasso execution: an entry
+///    valuation, the havoc value drawn at every step, and a loop-head state
+///    revisited exactly after CycleLen iterations. Replaying the recorded
+///    havoc values of the cycle from the revisited state reproduces it
+///    forever (integer states, deterministic semantics given the havocs).
+///
+/// validate() re-checks reachability by concrete replay through
+/// program/Interpreter and closure from a freshly derived path summary --
+/// never from synthesis bookkeeping -- mirroring the Definition 3.1
+/// discipline of CertifiedModule / validateModule().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_NONTERMINATION_NONTERMCERTIFICATE_H
+#define TERMCHECK_NONTERMINATION_NONTERMCERTIFICATE_H
+
+#include "program/Program.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace termcheck {
+
+/// The two witness shapes produced by the recurrence prover.
+enum class NontermKind : uint8_t {
+  RecurrentSet,   ///< closed recurrent set plus a reachable seed point
+  ExecutionCycle, ///< concrete lasso execution revisiting a state
+};
+
+/// A self-contained nontermination certificate (see file comment).
+struct NontermCertificate {
+  NontermKind Kind = NontermKind::RecurrentSet;
+
+  /// The certified lasso as statement-symbol sequences of the program.
+  std::vector<SymbolId> Stem;
+  std::vector<SymbolId> Loop;
+
+  /// Entry valuation (unlisted variables are zero) and the havoc values
+  /// consumed while executing the stem, in order. Shared by both shapes.
+  std::map<VarId, int64_t> Entry;
+  std::vector<int64_t> StemHavocs;
+
+  // --- RecurrentSet ---
+  /// The closed recurrent set over loop-head states.
+  Cube Recur;
+  /// The loop-head state the stem reaches (must lie in Recur).
+  std::map<VarId, int64_t> Seed;
+  /// The havoc strategy: the i-th havoc of every loop pass draws
+  /// LoopHavocs[i].
+  std::vector<int64_t> LoopHavocs;
+
+  // --- ExecutionCycle ---
+  /// Havoc values of each executed loop iteration, in order.
+  std::vector<std::vector<int64_t>> IterHavocs;
+  /// The loop-head state after CycleStart iterations equals the state
+  /// after CycleStart + CycleLen iterations.
+  size_t CycleStart = 0;
+  size_t CycleLen = 0;
+
+  /// Independently re-checks the proof against \p P (replay through the
+  /// interpreter, closure from a fresh path summary). \returns "" when the
+  /// certificate is valid, otherwise a diagnostic.
+  std::string validate(const Program &P) const;
+
+  /// Human-readable witness rendering (the CLI's --witness output).
+  std::string str(const Program &P) const;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_NONTERMINATION_NONTERMCERTIFICATE_H

@@ -1,0 +1,100 @@
+//===- nontermination/PathSummary.cpp - Affine path summaries ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nontermination/PathSummary.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+namespace {
+
+/// Rewrites \p E over the entry state through the current version map.
+LinearExpr renameThrough(const LinearExpr &E,
+                         const std::map<VarId, LinearExpr> &Cur) {
+  LinearExpr Out = LinearExpr::constant(E.constantTerm());
+  for (const LinearExpr::Term &T : E.terms()) {
+    auto It = Cur.find(T.Var);
+    if (It == Cur.end())
+      Out = Out + LinearExpr::scaled(T.Var, T.Coeff);
+    else
+      Out = Out + It->second.scaledBy(T.Coeff);
+  }
+  return Out;
+}
+
+} // namespace
+
+PathSummary termcheck::summarizePath(const Program &P,
+                                     const std::vector<SymbolId> &Stmts,
+                                     const std::vector<int64_t> *Consts,
+                                     const std::vector<VarId> *HavocSyms) {
+  assert((Consts != nullptr) != (HavocSyms != nullptr) &&
+         "exactly one havoc resolution must be chosen");
+  PathSummary Out;
+  std::map<VarId, LinearExpr> Cur;
+  for (SymbolId Sym : Stmts) {
+    const Statement &S = P.statement(Sym);
+    switch (S.kind()) {
+    case StmtKind::Assume:
+      if (S.guard().isContradictory()) {
+        Out.Guards = Cube::contradiction();
+        break;
+      }
+      for (const Constraint &Atom : S.guard().atoms())
+        Out.Guards.add(
+            Constraint::make(renameThrough(Atom.expr(), Cur), Atom.rel()));
+      break;
+    case StmtKind::Assign:
+      Cur[S.target()] = renameThrough(S.rhs(), Cur);
+      break;
+    case StmtKind::Havoc: {
+      if (Consts) {
+        int64_t V =
+            Out.HavocCount < Consts->size() ? (*Consts)[Out.HavocCount] : 0;
+        Cur[S.target()] = LinearExpr::constant(V);
+      } else {
+        assert(Out.HavocCount < HavocSyms->size() &&
+               "havoc symbol list too short");
+        Cur[S.target()] = LinearExpr::variable((*HavocSyms)[Out.HavocCount]);
+      }
+      ++Out.HavocCount;
+      break;
+    }
+    }
+  }
+  Out.Update = std::move(Cur);
+  return Out;
+}
+
+LinearExpr termcheck::applyUpdate(const LinearExpr &E,
+                                  const std::map<VarId, LinearExpr> &U) {
+  return renameThrough(E, U);
+}
+
+Constraint termcheck::applyUpdate(const Constraint &C,
+                                  const std::map<VarId, LinearExpr> &U) {
+  return Constraint::make(renameThrough(C.expr(), U), C.rel());
+}
+
+Cube termcheck::applyUpdate(const Cube &Q,
+                            const std::map<VarId, LinearExpr> &U) {
+  if (Q.isContradictory())
+    return Cube::contradiction();
+  Cube Out;
+  for (const Constraint &Atom : Q.atoms())
+    Out.add(applyUpdate(Atom, U));
+  return Out;
+}
+
+size_t termcheck::countHavocs(const Program &P,
+                              const std::vector<SymbolId> &Stmts) {
+  size_t N = 0;
+  for (SymbolId Sym : Stmts)
+    if (P.statement(Sym).kind() == StmtKind::Havoc)
+      ++N;
+  return N;
+}

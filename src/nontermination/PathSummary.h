@@ -1,0 +1,67 @@
+//===- nontermination/PathSummary.h - Affine path summaries ---*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lasso's stem and loop are *fixed* statement sequences, so symbolic
+/// execution collapses each of them into an affine summary: a guard cube
+/// over the entry-state variables plus, for every written variable, its
+/// exit value as a linear expression over the entry state. Havoc statements
+/// are resolved either to fresh symbolic inputs (for fixpoint probes and
+/// seed-point sampling, where the havoc choice is an existential) or to
+/// per-occurrence constants (a memoryless havoc *strategy*, which makes the
+/// recurrent-set closure condition purely universal and hence decidable by
+/// the sound UNSAT direction of Fourier-Motzkin).
+///
+/// Both the RecurrenceProver and NontermCertificate::validate() build
+/// summaries from the program text, so validation never trusts synthesis
+/// bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_NONTERMINATION_PATHSUMMARY_H
+#define TERMCHECK_NONTERMINATION_PATHSUMMARY_H
+
+#include "program/Program.h"
+
+#include <map>
+
+namespace termcheck {
+
+/// Affine summary of one fixed statement path.
+struct PathSummary {
+  /// Conjunction of every assume guard along the path, rewritten over the
+  /// path's entry-state variables (plus havoc symbols when symbolic).
+  Cube Guards;
+  /// Exit value of each written variable over the entry state; variables
+  /// absent from the map pass through unchanged.
+  std::map<VarId, LinearExpr> Update;
+  /// Number of havoc statements on the path.
+  size_t HavocCount = 0;
+};
+
+/// Summarizes \p Stmts of \p P. The i-th havoc occurrence becomes the
+/// constant `(*Consts)[i]` when \p Consts is given (missing entries default
+/// to zero), otherwise the symbolic variable `(*HavocSyms)[i]` (which must
+/// then cover every occurrence). Exactly one of the two must be non-null.
+PathSummary summarizePath(const Program &P,
+                          const std::vector<SymbolId> &Stmts,
+                          const std::vector<int64_t> *Consts,
+                          const std::vector<VarId> *HavocSyms);
+
+/// Simultaneous substitution of the update map into an expression: every
+/// variable with an entry in \p U is replaced by its update expression.
+LinearExpr applyUpdate(const LinearExpr &E,
+                       const std::map<VarId, LinearExpr> &U);
+Constraint applyUpdate(const Constraint &C,
+                       const std::map<VarId, LinearExpr> &U);
+Cube applyUpdate(const Cube &Q, const std::map<VarId, LinearExpr> &U);
+
+/// \returns the number of havoc statements in \p Stmts.
+size_t countHavocs(const Program &P, const std::vector<SymbolId> &Stmts);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_NONTERMINATION_PATHSUMMARY_H

@@ -1,0 +1,302 @@
+//===- nontermination/RecurrenceProver.cpp - Nontermination proofs -------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nontermination/RecurrenceProver.h"
+
+#include "logic/FourierMotzkin.h"
+#include "program/Interpreter.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace termcheck;
+
+namespace {
+
+/// The program variables read or written by the statements (no temps).
+std::vector<VarId> stateVariablesOf(const Program &P,
+                                    const std::vector<SymbolId> &Stmts) {
+  std::set<VarId> Vars;
+  for (SymbolId Sym : Stmts) {
+    const Statement &S = P.statement(Sym);
+    switch (S.kind()) {
+    case StmtKind::Assume:
+      for (const Constraint &Atom : S.guard().atoms())
+        for (const LinearExpr::Term &T : Atom.expr().terms())
+          Vars.insert(T.Var);
+      break;
+    case StmtKind::Assign:
+      Vars.insert(S.target());
+      for (const LinearExpr::Term &T : S.rhs().terms())
+        Vars.insert(T.Var);
+      break;
+    case StmtKind::Havoc:
+      Vars.insert(S.target());
+      break;
+    }
+  }
+  return std::vector<VarId>(Vars.begin(), Vars.end());
+}
+
+std::map<VarId, int64_t> normalized(const std::map<VarId, int64_t> &Vals) {
+  std::map<VarId, int64_t> Out;
+  for (const auto &[V, X] : Vals)
+    if (X != 0)
+      Out.emplace(V, X);
+  return Out;
+}
+
+} // namespace
+
+std::vector<VarId> RecurrenceProver::freshHavocSyms(size_t N) {
+  std::vector<VarId> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(
+        P.vars().intern("$nh" + std::to_string(TempCounter++)));
+  return Out;
+}
+
+std::optional<Cube> RecurrenceProver::closeUnderLoop(Cube R,
+                                                     const PathSummary &Pass,
+                                                     Statistics &Stats) {
+  // R starts as a superset of the loop guards, and only ever grows, so
+  // "R entails the guards" holds throughout; the refinement only has to
+  // chase closure of R's own atoms under the affine update.
+  for (uint32_t Round = 0; Round <= Opts.MaxCegisRounds; ++Round) {
+    Stats.add("nonterm.cegis_rounds");
+    if (R.isContradictory() || !fm::isSatisfiable(R))
+      return std::nullopt;
+    std::vector<Constraint> Violated;
+    for (const Constraint &Atom : R.atoms()) {
+      Constraint Stepped = applyUpdate(Atom, Pass.Update);
+      if (!fm::entails(R, Stepped))
+        Violated.push_back(std::move(Stepped));
+    }
+    if (Violated.empty())
+      return R; // closed
+    // Conjoin every violated direction and try again: for loops whose
+    // escape is transient (a stem-established atom that the update erodes)
+    // the stepped atoms converge in a handful of rounds.
+    for (const Constraint &C : Violated)
+      R.add(C);
+  }
+  return std::nullopt; // round budget exhausted
+}
+
+std::optional<NontermCertificate> RecurrenceProver::groundRecurrentSet(
+    const std::vector<SymbolId> &Stem, const std::vector<SymbolId> &Loop,
+    const Cube &R, const std::vector<int64_t> &LoopHavocs) {
+  NontermCertificate Cert;
+  Cert.Kind = NontermKind::RecurrentSet;
+  Cert.Stem = Stem;
+  Cert.Loop = Loop;
+  Cert.Recur = R;
+  Cert.LoopHavocs = LoopHavocs;
+
+  if (Stem.empty()) {
+    // The loop head is the entry location: any point of R is reachable by
+    // starting there.
+    auto Pt = fm::sampleIntegerPoint(R);
+    if (!Pt)
+      return std::nullopt;
+    Cert.Entry = std::move(*Pt);
+  } else {
+    // Pull R back through the stem's affine summary (havocs symbolic, so
+    // the sample also chooses the stem's havoc values) and sample an entry
+    // point of guards /\ R[stem].
+    std::vector<VarId> Syms = freshHavocSyms(countHavocs(P, Stem));
+    PathSummary StemSum = summarizePath(P, Stem, nullptr, &Syms);
+    Cube Q = StemSum.Guards;
+    Q.conjoin(applyUpdate(R, StemSum.Update));
+    if (Q.isContradictory())
+      return std::nullopt;
+    auto Pt = fm::sampleIntegerPoint(Q);
+    if (!Pt)
+      return std::nullopt;
+    for (VarId H : Syms) {
+      auto It = Pt->find(H);
+      Cert.StemHavocs.push_back(It == Pt->end() ? 0 : It->second);
+      if (It != Pt->end())
+        Pt->erase(It);
+    }
+    Cert.Entry = std::move(*Pt);
+  }
+
+  // Concrete replay pins down the seed point (and protects against any
+  // slack in the sampler: the certificate must stand on exact integers).
+  Interpreter Interp(P, Opts.Seed);
+  PathRunResult StemRun = Interp.runPath(Stem, Cert.Entry, &Cert.StemHavocs);
+  if (!StemRun.Completed)
+    return std::nullopt;
+  auto AtLoopHead = [&StemRun](VarId V) -> int64_t {
+    auto It = StemRun.Final.find(V);
+    return It == StemRun.Final.end() ? 0 : It->second;
+  };
+  if (!Cert.Recur.holds(AtLoopHead))
+    return std::nullopt;
+  Cert.Seed = normalized(StemRun.Final);
+  return Cert;
+}
+
+std::optional<NontermCertificate> RecurrenceProver::searchExecutionCycle(
+    const std::vector<SymbolId> &Stem, const std::vector<SymbolId> &Loop,
+    const std::map<VarId, int64_t> &FixpointHint, Statistics &Stats) {
+  std::vector<SymbolId> All = Stem;
+  All.insert(All.end(), Loop.begin(), Loop.end());
+  std::vector<VarId> Vars = stateVariablesOf(P, All);
+
+  // Deterministic trial schedule: all-zeros, the fixpoint hint, then
+  // seeded random valuations in a small box.
+  std::vector<std::map<VarId, int64_t>> Trials;
+  Trials.emplace_back();
+  if (!FixpointHint.empty())
+    Trials.push_back(FixpointHint);
+  Rng TrialRng(Opts.Seed ^ 0x9e3779b97f4a7c15ULL);
+  while (Trials.size() < Opts.MaxWitnessTrials) {
+    std::map<VarId, int64_t> T;
+    for (VarId V : Vars)
+      T[V] = TrialRng.range(-Opts.TrialValueRange, Opts.TrialValueRange);
+    Trials.push_back(std::move(T));
+  }
+
+  Interpreter Interp(P, Opts.Seed);
+  for (const std::map<VarId, int64_t> &Entry : Trials) {
+    Stats.add("nonterm.witness_trials");
+    PathRunResult StemRun = Interp.runPath(Stem, Entry, nullptr);
+    if (!StemRun.Completed)
+      continue;
+    std::vector<std::map<VarId, int64_t>> Seen;
+    Seen.push_back(normalized(StemRun.Final));
+    std::vector<std::vector<int64_t>> IterHavocs;
+    std::map<VarId, int64_t> Cur = StemRun.Final;
+    for (uint32_t K = 0; K < Opts.MaxUnroll; ++K) {
+      PathRunResult It = Interp.runPath(Loop, Cur, nullptr);
+      if (!It.Completed)
+        break; // the loop exited concretely; next trial
+      IterHavocs.push_back(It.Havocs);
+      Cur = std::move(It.Final);
+      std::map<VarId, int64_t> State = normalized(Cur);
+      auto Hit = std::find(Seen.begin(), Seen.end(), State);
+      if (Hit != Seen.end()) {
+        NontermCertificate Cert;
+        Cert.Kind = NontermKind::ExecutionCycle;
+        Cert.Stem = Stem;
+        Cert.Loop = Loop;
+        Cert.Entry = Entry;
+        Cert.StemHavocs = StemRun.Havocs;
+        Cert.IterHavocs = std::move(IterHavocs);
+        Cert.CycleStart = static_cast<size_t>(Hit - Seen.begin());
+        Cert.CycleLen = (K + 1) - Cert.CycleStart;
+        return Cert;
+      }
+      Seen.push_back(std::move(State));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NontermCertificate>
+RecurrenceProver::prove(const std::vector<SymbolId> &Stem,
+                        const std::vector<SymbolId> &Loop,
+                        Statistics &Stats) {
+  if (Loop.empty())
+    return std::nullopt;
+  Stats.add("nonterm.attempts");
+
+  // 1. Stem feasibility gate via the strongest-postcondition chain. The
+  // final cube doubles as the seed-atom pool for the recurrent set.
+  Cube StemPost;
+  for (SymbolId Sym : Stem) {
+    StemPost = P.statement(Sym).post(StemPost, P.scratchVar());
+    if (StemPost.isContradictory())
+      break;
+  }
+  if (StemPost.isContradictory() || !fm::isSatisfiable(StemPost)) {
+    Stats.add("nonterm.stem_infeasible");
+    return std::nullopt;
+  }
+
+  // 2. Fixpoint probe: one symbolic loop pass (havocs as fresh inputs);
+  // an integer point of guards /\ (update == identity) yields a concrete
+  // self-mapped state *and* the havoc values realizing it -- the natural
+  // havoc strategy and seed hint for the recurrent set.
+  std::vector<VarId> LoopSyms = freshHavocSyms(countHavocs(P, Loop));
+  PathSummary Symbolic = summarizePath(P, Loop, nullptr, &LoopSyms);
+  Cube FixCube = Symbolic.Guards;
+  for (const auto &[V, E] : Symbolic.Update)
+    FixCube.add(Constraint::eq(E, LinearExpr::variable(V)));
+  std::map<VarId, int64_t> FixpointHint;
+  std::vector<int64_t> StrategyFromFixpoint(LoopSyms.size(), 0);
+  if (auto Fix = fm::sampleIntegerPoint(FixCube)) {
+    Stats.add("nonterm.fixpoints");
+    for (size_t I = 0; I < LoopSyms.size(); ++I) {
+      auto It = Fix->find(LoopSyms[I]);
+      if (It != Fix->end()) {
+        StrategyFromFixpoint[I] = It->second;
+        Fix->erase(It);
+      }
+    }
+    FixpointHint = normalized(*Fix);
+  }
+
+  // 3. Recurrent-set synthesis under each candidate havoc strategy.
+  std::vector<std::vector<int64_t>> Strategies = {StrategyFromFixpoint};
+  std::vector<int64_t> Zeros(LoopSyms.size(), 0);
+  if (!LoopSyms.empty() && StrategyFromFixpoint != Zeros)
+    Strategies.push_back(Zeros);
+  for (const std::vector<int64_t> &Strategy : Strategies) {
+    PathSummary Pass = summarizePath(P, Loop, &Strategy, nullptr);
+    if (Pass.Guards.isContradictory())
+      continue;
+
+    // Candidate seed cubes: the loop guards strengthened by the stem
+    // postcondition's self-preserved atoms (facts like `j >= 0` that the
+    // update cannot erode), then the bare guards in case a stem atom
+    // poisoned the refinement.
+    Cube Seeded = Pass.Guards;
+    for (const Constraint &Atom : StemPost.atoms()) {
+      Cube Ctx = Pass.Guards;
+      Ctx.add(Atom);
+      if (fm::entails(Ctx, applyUpdate(Atom, Pass.Update)))
+        Seeded.add(Atom);
+    }
+    std::vector<Cube> SeedCubes = {Seeded};
+    if (!(Seeded == Pass.Guards))
+      SeedCubes.push_back(Pass.Guards);
+
+    for (const Cube &Seed : SeedCubes) {
+      std::optional<Cube> Closed = closeUnderLoop(Seed, Pass, Stats);
+      if (!Closed)
+        continue;
+      std::optional<NontermCertificate> Cert =
+          groundRecurrentSet(Stem, Loop, *Closed, Strategy);
+      if (!Cert)
+        continue;
+      if (!Cert->validate(P).empty()) {
+        Stats.add("nonterm.validate_failures");
+        continue;
+      }
+      Stats.add("nonterm.recurrent_sets");
+      return Cert;
+    }
+  }
+
+  // 4. Concrete executable-witness fallback.
+  std::optional<NontermCertificate> Cert =
+      searchExecutionCycle(Stem, Loop, FixpointHint, Stats);
+  if (Cert) {
+    if (!Cert->validate(P).empty()) {
+      Stats.add("nonterm.validate_failures");
+      return std::nullopt;
+    }
+    Stats.add("nonterm.witness_cycles");
+    return Cert;
+  }
+  Stats.add("nonterm.failures");
+  return std::nullopt;
+}

@@ -1,0 +1,109 @@
+//===- nontermination/RecurrenceProver.h - Nontermination proofs -*-C++-*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nontermination side of the analysis: given a counterexample lasso
+/// u v^omega that resisted every termination stage, try to prove it is a
+/// real nonterminating execution.
+///
+///  1. Stem feasibility gate -- the strongest-postcondition chain along u
+///     must stay satisfiable (an infeasible stem means the lasso is
+///     spurious and the finite-trace module should have caught it).
+///
+///  2. Closed recurrent set -- summarize one loop pass into an affine map
+///     (PathSummary); probe the loop's self-fixpoint cube for an integer
+///     point, which simultaneously yields a havoc strategy and a seed
+///     hint; then run a bounded CEGIS-style refinement: start from the
+///     guard cube (plus the stem postcondition's self-preserved atoms),
+///     check closure atom by atom via Fourier-Motzkin entailment, and
+///     conjoin every violated stepped atom until the cube closes or the
+///     round budget is exhausted. A closed cube is grounded by sampling an
+///     integer entry point whose stem run lands inside it.
+///
+///  3. Executable witness fallback -- drive the stem and up to MaxUnroll
+///     loop iterations concretely through program/Interpreter from a small
+///     set of seeded trial valuations, recording every havoc draw; an
+///     exactly revisited loop-head state closes a replayable cycle.
+///
+/// Every successful proof is packaged as a NontermCertificate and
+/// self-validated before being returned, so callers only ever see
+/// certificates whose independent validate() passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_NONTERMINATION_RECURRENCEPROVER_H
+#define TERMCHECK_NONTERMINATION_RECURRENCEPROVER_H
+
+#include "nontermination/NontermCertificate.h"
+#include "nontermination/PathSummary.h"
+#include "support/Statistics.h"
+
+#include <optional>
+
+namespace termcheck {
+
+/// Budgets of the recurrence prover. All search is seeded and bounded, so
+/// runs are deterministic and cheap enough to attempt on every unproven
+/// lasso.
+struct RecurrenceOptions {
+  /// Closure-refinement rounds per candidate cube before giving up.
+  uint32_t MaxCegisRounds = 8;
+  /// Concrete executions tried by the witness fallback.
+  uint32_t MaxWitnessTrials = 12;
+  /// Loop iterations per witness trial.
+  uint32_t MaxUnroll = 48;
+  /// Trial entry values are drawn from [-TrialValueRange, TrialValueRange].
+  int64_t TrialValueRange = 4;
+  /// RNG seed of the witness search (fixed => deterministic runs).
+  uint64_t Seed = 1;
+};
+
+/// Nontermination prover for lasso words (see file comment).
+class RecurrenceProver {
+public:
+  /// \p P supplies statement semantics and the variable table, which the
+  /// prover extends with `$nh<i>` havoc-input temporaries (same discipline
+  /// as LassoProver's versioned variables).
+  explicit RecurrenceProver(Program &P, RecurrenceOptions Opts = {})
+      : P(P), Opts(Opts) {}
+
+  /// Attempts a nontermination proof of Stem . Loop^omega. Counters are
+  /// recorded under "nonterm." in \p Stats. A returned certificate has
+  /// already passed its own validate().
+  std::optional<NontermCertificate>
+  prove(const std::vector<SymbolId> &Stem, const std::vector<SymbolId> &Loop,
+        Statistics &Stats);
+
+private:
+  Program &P;
+  RecurrenceOptions Opts;
+  uint64_t TempCounter = 0;
+
+  /// Interns \p N fresh havoc-input variables.
+  std::vector<VarId> freshHavocSyms(size_t N);
+
+  /// The bounded closure refinement; \returns the closed cube or nullopt.
+  std::optional<Cube> closeUnderLoop(Cube R, const PathSummary &Pass,
+                                     Statistics &Stats);
+
+  /// Grounds a closed recurrent set: finds an entry valuation whose stem
+  /// run lands in \p R, and packages the certificate.
+  std::optional<NontermCertificate>
+  groundRecurrentSet(const std::vector<SymbolId> &Stem,
+                     const std::vector<SymbolId> &Loop, const Cube &R,
+                     const std::vector<int64_t> &LoopHavocs);
+
+  /// The concrete-execution fallback.
+  std::optional<NontermCertificate>
+  searchExecutionCycle(const std::vector<SymbolId> &Stem,
+                       const std::vector<SymbolId> &Loop,
+                       const std::map<VarId, int64_t> &FixpointHint,
+                       Statistics &Stats);
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_NONTERMINATION_RECURRENCEPROVER_H

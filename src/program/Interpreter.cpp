@@ -54,3 +54,46 @@ RunResult Interpreter::run(const std::map<VarId, int64_t> &Initial,
   }
   return {RunStatus::OutOfFuel, Steps, Vals};
 }
+
+PathRunResult Interpreter::runPath(const std::vector<SymbolId> &Path,
+                                   const std::map<VarId, int64_t> &Initial,
+                                   const std::vector<int64_t> *Script) {
+  PathRunResult Out;
+  Out.Final = Initial;
+  auto ValueOf = [&](VarId V) -> int64_t {
+    auto It = Out.Final.find(V);
+    return It == Out.Final.end() ? 0 : It->second;
+  };
+
+  for (size_t I = 0; I < Path.size(); ++I) {
+    const Statement &S = P.statement(Path[I]);
+    switch (S.kind()) {
+    case StmtKind::Assume:
+      if (!S.guard().holds(ValueOf)) {
+        Out.BlockedAt = I;
+        return Out;
+      }
+      break;
+    case StmtKind::Assign:
+      Out.Final[S.target()] = S.rhs().evaluate(ValueOf);
+      break;
+    case StmtKind::Havoc: {
+      int64_t V;
+      if (Script) {
+        if (Out.Havocs.size() >= Script->size()) {
+          Out.BlockedAt = I; // script ran dry
+          return Out;
+        }
+        V = (*Script)[Out.Havocs.size()];
+      } else {
+        V = R.range(HavocLo, HavocHi);
+      }
+      Out.Havocs.push_back(V);
+      Out.Final[S.target()] = V;
+      break;
+    }
+    }
+  }
+  Out.Completed = true;
+  return Out;
+}

@@ -37,6 +37,19 @@ struct RunResult {
   std::map<VarId, int64_t> Final; ///< final valuation
 };
 
+/// Result of driving one fixed statement path (Interpreter::runPath).
+struct PathRunResult {
+  /// True when every statement of the path executed: all assume guards
+  /// held and the havoc script (when given) covered every havoc.
+  bool Completed = false;
+  /// Index of the first statement that could not execute (when !Completed).
+  size_t BlockedAt = 0;
+  /// Valuation after the last executed statement.
+  std::map<VarId, int64_t> Final;
+  /// The value drawn for each havoc, in execution order.
+  std::vector<int64_t> Havocs;
+};
+
 /// Executes programs concretely with bounded fuel.
 class Interpreter {
 public:
@@ -48,6 +61,16 @@ public:
   /// Runs from the entry location with the given initial valuation
   /// (unlisted variables start at zero) for at most \p Fuel statements.
   RunResult run(const std::map<VarId, int64_t> &Initial, uint64_t Fuel);
+
+  /// Executes the exact statement sequence \p Path from \p Initial,
+  /// ignoring the CFG structure. This is the replay primitive of the
+  /// nontermination machinery: drive a sampled lasso's stem and loop
+  /// concretely and look for a revisited state. Havoc values come from
+  /// \p Script when provided (execution blocks when the script runs dry,
+  /// making replays exact), otherwise from the interpreter's RNG.
+  PathRunResult runPath(const std::vector<SymbolId> &Path,
+                        const std::map<VarId, int64_t> &Initial,
+                        const std::vector<int64_t> *Script = nullptr);
 
 private:
   const Program &P;

@@ -23,10 +23,10 @@ const char *termcheck::verdictName(Verdict V) {
   switch (V) {
   case Verdict::Terminating:
     return "TERMINATING";
+  case Verdict::Nonterminating:
+    return "NONTERMINATING";
   case Verdict::Unknown:
     return "UNKNOWN";
-  case Verdict::NonterminatingCandidate:
-    return "NONTERMINATING-CANDIDATE";
   case Verdict::Timeout:
     return "TIMEOUT";
   case Verdict::Cancelled:
@@ -147,24 +147,23 @@ CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
   return M0;
 }
 
-/// Subtracts exactly the sampled lasso word: the deterministic one-word
-/// automaton is trivially complementable, so this always makes progress
-/// even when a module's complement blows the budget.
-static Buchi subtractWordOnly(const Buchi &Remaining, const CertifiedModule &M,
+/// Subtracts exactly one ultimately periodic word: the deterministic
+/// one-word automaton is trivially complementable, so this always makes
+/// progress. Used both when a module's complement blows the budget and
+/// when a lasso is unproven in either direction (the unknown-skip hunt).
+static Buchi subtractWordOnly(const Buchi &Remaining, const LassoWord &W,
                               const DifferenceOptions &DiffOpts,
                               Statistics &Stats) {
   Stats.add("complement.word_fallback");
-  auto W = findAcceptingLasso(M.A);
-  assert(W && "module language cannot be empty here");
-  uint32_t Len = static_cast<uint32_t>(W->Stem.size() + W->Loop.size());
-  Buchi WordAut(M.A.numSymbols(), 1);
+  uint32_t Len = static_cast<uint32_t>(W.Stem.size() + W.Loop.size());
+  Buchi WordAut(Remaining.numSymbols(), 1);
   WordAut.addStates(Len);
   for (State S = 0; S < Len; ++S)
     WordAut.setAccepting(S);
   WordAut.addInitial(0);
   for (uint32_t I = 0; I < Len; ++I) {
-    Symbol Sym = I < W->Stem.size() ? W->Stem[I] : W->Loop[I - W->Stem.size()];
-    State Next = I + 1 < Len ? I + 1 : static_cast<State>(W->Stem.size());
+    Symbol Sym = I < W.Stem.size() ? W.Stem[I] : W.Loop[I - W.Stem.size()];
+    State Next = I + 1 < Len ? I + 1 : static_cast<State>(W.Stem.size());
     WordAut.addTransition(I, Sym, Next);
   }
   Buchi CompleteWord = completeWithSink(WordAut);
@@ -207,8 +206,11 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
     }
   }
 
-  if (!Oracle)
-    return subtractWordOnly(Remaining, M, DiffOpts, Stats);
+  if (!Oracle) {
+    auto W = findAcceptingLasso(M.A);
+    assert(W && "module language cannot be empty here");
+    return subtractWordOnly(Remaining, *W, DiffOpts, Stats);
+  }
 
   DifferenceResult R = difference(Remaining, *Oracle, DiffOpts);
   if (R.Aborted) {
@@ -244,7 +246,14 @@ AnalysisResult TerminationAnalyzer::run() {
 
   Buchi Remaining = programToBuchi(P);
   LassoProver Prover(P);
+  RecurrenceProver NontermProver(P, Opts.Nonterm);
   uint64_t Iter = 0;
+  // The unknown-skip hunt: lassos unproven in both directions are
+  // subtracted word-by-word so a later lasso can still yield a
+  // nontermination proof; the first such word is kept as the Unknown
+  // counterexample, and Terminating becomes unreachable.
+  uint32_t SkippedUnknown = 0;
+  std::optional<LassoWord> FirstUnknown;
   while (true) {
     if (Cancel && Cancel->cancelled()) {
       Result.V = Verdict::Cancelled;
@@ -260,14 +269,43 @@ AnalysisResult TerminationAnalyzer::run() {
 
     std::optional<LassoWord> W = findAcceptingLasso(Remaining);
     if (!W) {
-      Result.V = Verdict::Terminating;
+      if (FirstUnknown) {
+        // Every remaining word was covered, but skipped executions are
+        // unaccounted for: the termination conclusion is forfeit.
+        Result.V = Verdict::Unknown;
+        Result.Counterexample = FirstUnknown;
+      } else {
+        Result.V = Verdict::Terminating;
+      }
       break;
     }
     Lasso L{W->Stem, W->Loop};
     LassoProof Proof = Prover.prove(L);
     if (Proof.Status == LassoStatus::Unknown) {
-      Result.V = Proof.FixpointCandidate ? Verdict::NonterminatingCandidate
-                                         : Verdict::Unknown;
+      if (Proof.FixpointCandidate)
+        Result.Stats.add("nonterm.fixpoint_hints");
+      if (Opts.ProveNontermination) {
+        if (std::optional<NontermCertificate> Cert =
+                NontermProver.prove(L.Stem, L.Loop, Result.Stats)) {
+          Proof.Status = LassoStatus::Nonterminating;
+          Result.V = Verdict::Nonterminating;
+          Result.Nonterm = std::move(*Cert);
+          Result.Counterexample = *W;
+          break;
+        }
+      }
+      if (!FirstUnknown)
+        FirstUnknown = *W;
+      if (SkippedUnknown < Opts.UnknownLassoBudget) {
+        ++SkippedUnknown;
+        Result.Stats.add("unknown_lassos_skipped");
+        DifferenceOptions DiffOpts;
+        DiffOpts.UseSubsumption = Opts.UseSubsumption;
+        DiffOpts.ShouldAbort = BudgetHook;
+        Remaining = subtractWordOnly(Remaining, *W, DiffOpts, Result.Stats);
+        continue;
+      }
+      Result.V = Verdict::Unknown;
       Result.Counterexample = *W;
       break;
     }

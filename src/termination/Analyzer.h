@@ -12,6 +12,10 @@
 /// sequence, and remove the module's language with the on-the-fly
 /// difference. Termination is proved when the remaining language empties.
 ///
+/// The loop is two-sided: a lasso that resists every termination stage is
+/// handed to the recurrence prover (src/nontermination), and a validated
+/// recurrent set or executable cycle ends the run with NONTERMINATING.
+///
 /// All the knobs evaluated in Section 7 are here: single-stage vs
 /// multi-stage, the stage sequences (i)/(ii)/(iii), NCSB-Original vs
 /// NCSB-Lazy, and the subsumption antichain.
@@ -23,6 +27,7 @@
 
 #include "automata/Ncsb.h"
 #include "automata/Scc.h"
+#include "nontermination/RecurrenceProver.h"
 #include "support/CancellationToken.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
@@ -64,6 +69,19 @@ struct AnalyzerOptions {
   /// the automaton is below ReduceStateCap states).
   bool ReduceRemaining = true;
   uint32_t ReduceStateCap = 600;
+  /// Attempt a nontermination proof (closed recurrent set or executable
+  /// witness; src/nontermination) whenever a sampled lasso resists every
+  /// termination stage, instead of giving up with Unknown immediately.
+  bool ProveNontermination = true;
+  /// Budgets of the recurrence prover.
+  RecurrenceOptions Nonterm;
+  /// When a lasso is unproven in *both* directions, subtract just that
+  /// word and keep sampling -- a different lasso of the same program may
+  /// still admit a nontermination proof. At most this many words are
+  /// skipped; once any word was skipped the run can no longer conclude
+  /// Terminating (the skipped execution is unaccounted for), so the hunt
+  /// ends in Nonterminating or Unknown.
+  uint32_t UnknownLassoBudget = 8;
 
   /// The paper's stage sequences for the Section 7 ablation.
   static std::vector<Stage> sequenceSkipDet() {
@@ -81,18 +99,20 @@ struct AnalyzerOptions {
 
 /// Final verdict of one analysis run.
 enum class Verdict : uint8_t {
-  Terminating,       ///< every path is covered by a certified module
-  Unknown,           ///< a lasso could not be proved terminating
-  NonterminatingCandidate, ///< ... and its loop has a self-fixpoint
-  Timeout,           ///< budget exhausted
-  Cancelled,         ///< externally cancelled (lost the portfolio race)
+  Terminating,    ///< every path is covered by a certified module
+  Nonterminating, ///< a lasso carries a validated NontermCertificate
+  Unknown,        ///< some lasso could be proved in neither direction
+  Timeout,        ///< budget exhausted
+  Cancelled,      ///< externally cancelled (lost the portfolio race)
 };
 
-/// \returns true when the verdict settles the query (the run neither timed
-/// out nor was cancelled). A portfolio race is decided by the first
-/// conclusive verdict.
+/// \returns true when the verdict settles the query: the program was
+/// proved terminating or nonterminating. Unknown is NOT conclusive -- it
+/// carries a counterexample but no proof -- so a portfolio race is decided
+/// by the first Terminating/Nonterminating verdict and an Unknown entrant
+/// can never outrace one.
 inline bool isConclusive(Verdict V) {
-  return V != Verdict::Timeout && V != Verdict::Cancelled;
+  return V == Verdict::Terminating || V == Verdict::Nonterminating;
 }
 
 const char *verdictName(Verdict V);
@@ -102,7 +122,10 @@ struct AnalysisResult {
   Verdict V = Verdict::Unknown;
   /// The certified modules that jointly cover the program.
   std::vector<CertifiedModule> Modules;
-  /// The unresolved counterexample (Unknown / NonterminatingCandidate).
+  /// The nontermination proof (present exactly when V == Nonterminating;
+  /// its validate() has already passed).
+  std::optional<NontermCertificate> Nonterm;
+  /// The offending lasso word (Nonterminating / Unknown).
   std::optional<LassoWord> Counterexample;
   /// Counters: modules per kind, iterations, product/complement sizes.
   Statistics Stats;

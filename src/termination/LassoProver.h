@@ -44,6 +44,10 @@ enum class LassoStatus : uint8_t {
   /// No linear ranking function exists (or synthesis failed); the lasso
   /// may be a real nonterminating execution.
   Unknown,
+  /// Nontermination proved. Never produced by LassoProver::prove itself:
+  /// the analyzer upgrades an Unknown proof to this status after the
+  /// recurrence prover (src/nontermination) validates a certificate.
+  Nonterminating,
 };
 
 /// A termination proof (or failure report) for one lasso.
@@ -58,7 +62,9 @@ struct LassoProof {
   size_t StemFailIndex = 0;
   /// Set when the loop relation has a trivial self-fixpoint, i.e. there is
   /// a (rational) state that the loop maps to itself: a strong hint that
-  /// the lasso really does not terminate.
+  /// the lasso really does not terminate. The recurrence prover
+  /// (src/nontermination) turns this hint into a proper proof by
+  /// extracting an integer fixpoint as the recurrent-set seed.
   bool FixpointCandidate = false;
 };
 

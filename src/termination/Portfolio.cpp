@@ -21,35 +21,44 @@ std::vector<PortfolioConfig> termcheck::defaultPortfolio(size_t K) {
     std::vector<Stage> (*Seq)();
     NcsbVariant V;
     bool Sub;
+    bool NontermBiased;
   };
   // Diversity-first order: entry 0 is the library default; every short
   // prefix already spans all three axes, so --portfolio 4 races genuinely
-  // different strategies rather than four near-clones.
+  // different strategies rather than four near-clones. Every entrant runs
+  // the recurrence prover; the two nonterm-biased ones race with larger
+  // CEGIS/witness budgets and a longer unknown-skip hunt, so on
+  // nonterminating programs whose easy lassos the default budgets miss,
+  // they reach NONTERMINATING while the others are still refining.
   static const Entry Roster[] = {
       {"seq_i-lazy-sub", AnalyzerOptions::sequenceSkipDet,
-       NcsbVariant::Lazy, true},
+       NcsbVariant::Lazy, true, false},
       {"seq_ii-orig-sub", AnalyzerOptions::sequenceSkipSemi,
-       NcsbVariant::Original, true},
+       NcsbVariant::Original, true, false},
       {"seq_iii-lazy-sub", AnalyzerOptions::sequenceAll, NcsbVariant::Lazy,
-       true},
+       true, false},
+      {"nonterm-deep", AnalyzerOptions::sequenceSkipDet, NcsbVariant::Lazy,
+       true, true},
       {"seq_i-orig-nosub", AnalyzerOptions::sequenceSkipDet,
-       NcsbVariant::Original, false},
+       NcsbVariant::Original, false, false},
       {"seq_ii-lazy-nosub", AnalyzerOptions::sequenceSkipSemi,
-       NcsbVariant::Lazy, false},
+       NcsbVariant::Lazy, false, false},
       {"seq_iii-orig-sub", AnalyzerOptions::sequenceAll,
-       NcsbVariant::Original, true},
+       NcsbVariant::Original, true, false},
       {"seq_i-orig-sub", AnalyzerOptions::sequenceSkipDet,
-       NcsbVariant::Original, true},
+       NcsbVariant::Original, true, false},
       {"seq_ii-lazy-sub", AnalyzerOptions::sequenceSkipSemi,
-       NcsbVariant::Lazy, true},
+       NcsbVariant::Lazy, true, false},
       {"seq_iii-lazy-nosub", AnalyzerOptions::sequenceAll, NcsbVariant::Lazy,
-       false},
+       false, false},
       {"seq_i-lazy-nosub", AnalyzerOptions::sequenceSkipDet,
-       NcsbVariant::Lazy, false},
+       NcsbVariant::Lazy, false, false},
       {"seq_ii-orig-nosub", AnalyzerOptions::sequenceSkipSemi,
-       NcsbVariant::Original, false},
+       NcsbVariant::Original, false, false},
       {"seq_iii-orig-nosub", AnalyzerOptions::sequenceAll,
-       NcsbVariant::Original, false},
+       NcsbVariant::Original, false, false},
+      {"nonterm-deep-orig", AnalyzerOptions::sequenceAll,
+       NcsbVariant::Original, true, true},
   };
   constexpr size_t RosterSize = sizeof(Roster) / sizeof(Roster[0]);
   if (K == 0)
@@ -65,6 +74,13 @@ std::vector<PortfolioConfig> termcheck::defaultPortfolio(size_t K) {
     C.Opts.Sequence = Roster[I].Seq();
     C.Opts.Ncsb = Roster[I].V;
     C.Opts.UseSubsumption = Roster[I].Sub;
+    if (Roster[I].NontermBiased) {
+      C.Opts.Nonterm.MaxCegisRounds = 16;
+      C.Opts.Nonterm.MaxWitnessTrials = 32;
+      C.Opts.Nonterm.MaxUnroll = 128;
+      C.Opts.Nonterm.TrialValueRange = 16;
+      C.Opts.UnknownLassoBudget = 32;
+    }
     Out.push_back(std::move(C));
   }
   return Out;
@@ -80,6 +96,8 @@ AnalyzerOptions effectiveOptions(const PortfolioConfig &C,
     O.TimeoutSeconds = PO.TimeoutSeconds;
   if (PO.MaxIterations != 0)
     O.MaxIterations = PO.MaxIterations;
+  if (PO.DisableNonterm)
+    O.ProveNontermination = false;
   O.Cancel = Token;
   return O;
 }
@@ -95,6 +113,8 @@ void recordRun(Statistics &Merged, const PortfolioConfig &C,
   Merged.add("portfolio.started");
   if (isConclusive(R.V))
     Merged.add("portfolio.conclusive");
+  else if (R.V == Verdict::Unknown)
+    Merged.add("portfolio.unknown");
   else if (R.V == Verdict::Cancelled)
     Merged.add("portfolio.cancelled");
   else
@@ -121,15 +141,20 @@ termcheck::runPortfolio(const Program &P,
 
   if (Jobs == 1) {
     // Deterministic fallback: no threads, roster order, stop at the first
-    // conclusive verdict. Identical inputs yield identical dumps.
+    // conclusive verdict. Identical inputs yield identical dumps. When
+    // nobody concludes, the reported result is the first Unknown (it
+    // carries a counterexample lasso) and only then the roster-first one.
     Out.WinnerIndex = None;
+    bool FallbackIsUnknown = false;
     for (size_t I = 0; I < Configs.size(); ++I) {
       Program Local = P;
       TerminationAnalyzer A(Local, effectiveOptions(Configs[I], Opts, nullptr));
       AnalysisResult R = A.run();
       recordRun(Out.Merged, Configs[I], R);
       bool Won = isConclusive(R.V);
-      if (Won || I == 0) {
+      if (Won || I == 0 ||
+          (!FallbackIsUnknown && R.V == Verdict::Unknown)) {
+        FallbackIsUnknown = R.V == Verdict::Unknown;
         Out.Result = std::move(R);
         Out.WinnerIndex = Won ? I : None;
         Out.WinnerName = Won ? Configs[I].Name : "";
@@ -186,8 +211,15 @@ termcheck::runPortfolio(const Program &P,
     Out.WinnerName = Configs[Winner].Name;
     Out.Merged.add("portfolio.winner_index", static_cast<int64_t>(Winner));
   } else {
-    // Nobody was conclusive; report the roster-first result (a timeout).
-    Out.Result = std::move(*Slots[0]);
+    // Nobody was conclusive; prefer the first Unknown result (it carries
+    // a counterexample lasso), then the roster-first one (a timeout).
+    size_t Pick = 0;
+    for (size_t I = 0; I < Slots.size(); ++I)
+      if (Slots[I] && Slots[I]->V == Verdict::Unknown) {
+        Pick = I;
+        break;
+      }
+    Out.Result = std::move(*Slots[Pick]);
   }
   Out.Seconds = Watch.seconds();
   return Out;

@@ -9,7 +9,8 @@
 /// dominates: the stage sequences (i)/(ii)/(iii) and the NCSB variants each
 /// win on different programs. The portfolio runner exploits exactly that:
 /// it races K configurations over the same program on a thread pool, the
-/// first conclusive verdict (anything but TIMEOUT/CANCELLED) wins, and the
+/// first conclusive verdict (TERMINATING or NONTERMINATING -- an Unknown
+/// entrant never decides the race) wins, and the
 /// losers are torn down through a shared CancellationToken polled at every
 /// budget-hook site (refinement loop, difference DFS, NCSB splits), so a
 /// runaway subtraction in a losing configuration cannot delay the winner.
@@ -40,10 +41,11 @@ struct PortfolioConfig {
 };
 
 /// The deterministic default roster: the Section 7 evaluation axes (stage
-/// sequence i/ii/iii x NCSB lazy/original x subsumption on/off), ordered
-/// so small prefixes are diverse -- entry 0 is the library default
+/// sequence i/ii/iii x NCSB lazy/original x subsumption on/off) plus two
+/// nonterm-biased entrants with enlarged recurrence-prover budgets,
+/// ordered so small prefixes are diverse -- entry 0 is the library default
 /// configuration, and each following entry flips at least one axis of an
-/// earlier one. \p K is clamped to [1, 12].
+/// earlier one. \p K is clamped to [1, 14].
 std::vector<PortfolioConfig> defaultPortfolio(size_t K);
 
 /// Portfolio-level knobs (per-configuration knobs live in the roster).
@@ -55,12 +57,16 @@ struct PortfolioOptions {
   double TimeoutSeconds = 0;
   /// When nonzero, overrides every configuration's iteration cap.
   uint64_t MaxIterations = 0;
+  /// Disables the recurrence prover in every entrant (the CLI's
+  /// --no-nonterm): verdicts degrade to the pre-nontermination lattice.
+  bool DisableNonterm = false;
 };
 
 /// Outcome of a portfolio race.
 struct PortfolioRunResult {
   /// The winning run, exactly as the winning configuration's sequential
   /// analyzer produced it. When no configuration is conclusive this holds
+  /// the first Unknown result (counterexample included), or failing that
   /// the roster-first result (a TIMEOUT).
   AnalysisResult Result;
   /// Roster index and name of the winner (index == Configs.size() means

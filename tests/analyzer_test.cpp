@@ -67,19 +67,32 @@ program sort(i) {
     EXPECT_EQ(validateModule(M, P), "");
 }
 
-TEST(Analyzer, WhileTrueIsNonterminatingCandidate) {
-  // The identity loop has a self-fixpoint, so the heuristic flags it.
+TEST(Analyzer, WhileTrueIsNonterminating) {
+  // The identity loop is recurrent everywhere; the prover must certify it.
   Program P = parse("program p(i) { while (true) { skip; } }");
   AnalysisResult R = analyze(P);
-  EXPECT_EQ(R.V, Verdict::NonterminatingCandidate);
+  ASSERT_EQ(R.V, Verdict::Nonterminating);
   ASSERT_TRUE(R.Counterexample.has_value());
+  ASSERT_TRUE(R.Nonterm.has_value());
+  EXPECT_EQ(R.Nonterm->validate(P), "");
 }
 
-TEST(Analyzer, DivergingIncrementIsUnknownOrCandidate) {
+TEST(Analyzer, DivergingIncrementIsNonterminating) {
   Program P = parse("program p(i) { while (true) { i := i + 1; } }");
   AnalysisResult R = analyze(P);
-  EXPECT_TRUE(R.V == Verdict::Unknown ||
-              R.V == Verdict::NonterminatingCandidate);
+  ASSERT_EQ(R.V, Verdict::Nonterminating);
+  ASSERT_TRUE(R.Counterexample.has_value());
+  ASSERT_TRUE(R.Nonterm.has_value());
+  EXPECT_EQ(R.Nonterm->validate(P), "");
+}
+
+TEST(Analyzer, NontermDisabledDegradesToUnknown) {
+  Program P = parse("program p(i) { while (true) { i := i + 1; } }");
+  AnalyzerOptions Opts;
+  Opts.ProveNontermination = false;
+  AnalysisResult R = analyze(P, Opts);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_FALSE(R.Nonterm.has_value());
   ASSERT_TRUE(R.Counterexample.has_value());
 }
 
@@ -287,8 +300,31 @@ TEST(Analyzer, SmallSuiteMatchesExpectations) {
       for (const CertifiedModule &M : R.Modules)
         EXPECT_EQ(validateModule(M, P), "") << B.Name;
     } else if (B.Expect == Expected::Nonterminating) {
-      EXPECT_NE(R.V, Verdict::Terminating) << B.Name;
+      EXPECT_EQ(R.V, Verdict::Nonterminating) << B.Name;
       EXPECT_TRUE(R.Counterexample.has_value()) << B.Name;
+      ASSERT_TRUE(R.Nonterm.has_value()) << B.Name;
+      EXPECT_EQ(R.Nonterm->validate(P), "") << B.Name;
+    }
+  }
+}
+
+TEST(Analyzer, RandomProgramSoundnessSmoke) {
+  // 100 seeded random terminating programs under the nonterm-enabled
+  // default options: the recurrence prover must never "prove" any of them
+  // nonterminating, and every Nonterminating verdict anywhere must carry a
+  // certificate that revalidates.
+  Rng Seed(0x5EED);
+  for (const BenchProgram &B : randomPrograms(Seed, 100)) {
+    Program P = parse(B.Source.c_str());
+    AnalyzerOptions Opts;
+    Opts.TimeoutSeconds = 10;
+    Opts.MaxIterations = 40;
+    TerminationAnalyzer A(P, Opts);
+    AnalysisResult R = A.run();
+    EXPECT_NE(R.V, Verdict::Nonterminating) << B.Name << "\n" << B.Source;
+    if (R.V == Verdict::Nonterminating) {
+      ASSERT_TRUE(R.Nonterm.has_value()) << B.Name;
+      EXPECT_EQ(R.Nonterm->validate(P), "") << B.Name;
     }
   }
 }

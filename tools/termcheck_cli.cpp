@@ -13,15 +13,17 @@
 ///     --sequence <i|ii|iii>  stage sequence of Section 7 (default i)
 ///     --ncsb <lazy|original> SDBA complementation variant (default lazy)
 ///     --no-subsumption    disable the Section 6 antichain
-///     --portfolio <K>     race the first K default configurations (1..12)
+///     --portfolio <K>     race the first K default configurations (1..14)
 ///     --jobs <N>          portfolio worker threads (default: all cores;
 ///                         1 = deterministic sequential fallback)
+///     --no-nonterm        disable the nontermination prover
+///     --witness           print the full nontermination witness
 ///     --dot-cfg           print the CFG in Graphviz format and exit
 ///     --dot-modules       also print each certified module as Graphviz
 ///     --quiet             verdict only
 ///
-/// Exit code: 0 terminating, 1 possibly nonterminating / unknown,
-/// 2 timeout, 3 usage or parse error.
+/// Exit code: 0 terminating, 1 nonterminating (validated certificate),
+/// 2 unknown, 3 timeout or cancelled, 4 usage or parse error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,10 +51,13 @@ void usage(const char *Prog) {
       "  --ncsb <lazy|original>  SDBA complementation variant\n"
       "  --no-subsumption        disable the antichain optimization\n"
       "  --portfolio <K>         race the first K default configurations\n"
-      "                          (1..12) and report the first conclusive\n"
+      "                          (1..14) and report the first conclusive\n"
       "                          verdict; per-config statistics are merged\n"
       "  --jobs <N>              portfolio worker threads (default: all\n"
       "                          cores; 1 = deterministic sequential mode)\n"
+      "  --no-nonterm            disable the nontermination prover (a lasso\n"
+      "                          unproven terminating reports UNKNOWN)\n"
+      "  --witness               print the full nontermination witness\n"
       "  --dot-cfg               print the CFG as Graphviz and exit\n"
       "  --dot-modules           print each module as Graphviz\n"
       "  --quiet                 print the verdict only\n",
@@ -64,7 +69,7 @@ void usage(const char *Prog) {
 int main(int Argc, char **Argv) {
   AnalyzerOptions Opts;
   Opts.TimeoutSeconds = 60;
-  bool DotCfg = false, DotModules = false, Quiet = false;
+  bool DotCfg = false, DotModules = false, Quiet = false, Witness = false;
   long PortfolioK = 0, JobsN = 0;
   const char *Path = nullptr;
 
@@ -73,7 +78,7 @@ int main(int Argc, char **Argv) {
     auto NeedsValue = [&](const char *Name) -> const char * {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s needs a value\n", Name);
-        std::exit(3);
+        std::exit(4);
       }
       return Argv[++I];
     };
@@ -91,7 +96,7 @@ int main(int Argc, char **Argv) {
         Opts.Sequence = AnalyzerOptions::sequenceAll();
       else {
         std::fprintf(stderr, "error: unknown sequence '%s'\n", V);
-        return 3;
+        return 4;
       }
     } else if (std::strcmp(Arg, "--ncsb") == 0) {
       const char *V = NeedsValue("--ncsb");
@@ -101,21 +106,25 @@ int main(int Argc, char **Argv) {
         Opts.Ncsb = NcsbVariant::Original;
       else {
         std::fprintf(stderr, "error: unknown NCSB variant '%s'\n", V);
-        return 3;
+        return 4;
       }
     } else if (std::strcmp(Arg, "--no-subsumption") == 0) {
       Opts.UseSubsumption = false;
+    } else if (std::strcmp(Arg, "--no-nonterm") == 0) {
+      Opts.ProveNontermination = false;
+    } else if (std::strcmp(Arg, "--witness") == 0) {
+      Witness = true;
     } else if (std::strcmp(Arg, "--portfolio") == 0) {
       PortfolioK = std::atol(NeedsValue("--portfolio"));
       if (PortfolioK < 1) {
         std::fprintf(stderr, "error: --portfolio needs a positive count\n");
-        return 3;
+        return 4;
       }
     } else if (std::strcmp(Arg, "--jobs") == 0) {
       JobsN = std::atol(NeedsValue("--jobs"));
       if (JobsN < 1) {
         std::fprintf(stderr, "error: --jobs needs a positive count\n");
-        return 3;
+        return 4;
       }
     } else if (std::strcmp(Arg, "--dot-cfg") == 0) {
       DotCfg = true;
@@ -130,23 +139,23 @@ int main(int Argc, char **Argv) {
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
       usage(Argv[0]);
-      return 3;
+      return 4;
     } else if (Path) {
       std::fprintf(stderr, "error: more than one input file\n");
-      return 3;
+      return 4;
     } else {
       Path = Arg;
     }
   }
   if (!Path) {
     usage(Argv[0]);
-    return 3;
+    return 4;
   }
 
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "error: cannot open %s\n", Path);
-    return 3;
+    return 4;
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
@@ -154,7 +163,7 @@ int main(int Argc, char **Argv) {
   ParseResult Parsed = parseProgram(Buf.str());
   if (!Parsed.ok()) {
     std::fprintf(stderr, "%s: %s\n", Path, Parsed.Error.c_str());
-    return 3;
+    return 4;
   }
   Program &P = *Parsed.Prog;
 
@@ -171,6 +180,7 @@ int main(int Argc, char **Argv) {
     PortfolioOptions PO;
     PO.Jobs = static_cast<size_t>(JobsN);
     PO.TimeoutSeconds = Opts.TimeoutSeconds;
+    PO.DisableNonterm = !Opts.ProveNontermination;
     std::vector<PortfolioConfig> Configs =
         defaultPortfolio(static_cast<size_t>(PortfolioK));
     PortfolioRunResult PR = runPortfolio(P, Configs, PO);
@@ -210,20 +220,28 @@ int main(int Argc, char **Argv) {
         std::printf(" [%s]", SymName(S).c_str());
       std::printf("\n");
     }
+    if (Result.Nonterm && !Witness)
+      std::printf("nontermination certificate: %s (use --witness to print)\n",
+                  Result.Nonterm->Kind == NontermKind::RecurrentSet
+                      ? "closed recurrent set"
+                      : "executable cycle");
     if (PortfolioK > 0)
       PortfolioStats.print(std::cout);
     else
       Result.Stats.print(std::cout);
   }
+  if (Witness && Result.Nonterm)
+    std::printf("%s", Result.Nonterm->str(P).c_str());
   switch (Result.V) {
   case Verdict::Terminating:
     return 0;
-  case Verdict::Unknown:
-  case Verdict::NonterminatingCandidate:
+  case Verdict::Nonterminating:
     return 1;
+  case Verdict::Unknown:
+    return 2;
   case Verdict::Timeout:
   case Verdict::Cancelled:
-    return 2;
+    return 3;
   }
-  return 1;
+  return 2;
 }
