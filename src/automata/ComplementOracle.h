@@ -38,6 +38,16 @@ public:
   /// the whole construction, so truncation never leaks into a result.
   std::function<bool()> ShouldAbort;
 
+  /// Sets how many pollAbort() calls pass between two real evaluations of
+  /// ShouldAbort. The default stride (256) is right for pure wall-clock /
+  /// cancellation hooks; budget enforcement (state caps, resource guards)
+  /// installs a small stride so small constructions cannot finish -- or
+  /// overshoot the budget -- entirely between polls.
+  void setPollStride(uint32_t Stride) {
+    PollStride = Stride == 0 ? 1 : Stride;
+    AbortPollCountdown = PollStride;
+  }
+
   /// \returns true once a successor enumeration was cut short by
   /// ShouldAbort; every result derived from this oracle is then invalid.
   bool aborted() const { return Aborted; }
@@ -77,7 +87,7 @@ protected:
       return false;
     if (--AbortPollCountdown != 0)
       return false;
-    AbortPollCountdown = 256;
+    AbortPollCountdown = PollStride;
     if (ShouldAbort())
       Aborted = true;
     return Aborted;
@@ -85,6 +95,7 @@ protected:
 
 private:
   bool Aborted = false;
+  uint32_t PollStride = 256;
   uint32_t AbortPollCountdown = 256;
 };
 

@@ -6,6 +6,8 @@
 
 #include "automata/Difference.h"
 
+#include "support/FaultInjector.h"
+
 #include <cassert>
 #include <unordered_map>
 
@@ -44,6 +46,7 @@ public:
       Out.insert(Out.end(), It->second.begin(), It->second.end());
       return;
     }
+    FaultInjector::hit(FaultSite::DifferenceExpand);
     std::vector<Buchi::Arc> Arcs;
     auto [P, Q] = Info[S];
     std::vector<State> Buf;
@@ -90,11 +93,47 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
 
   ProductSource Src(A, BC);
   UselessStateRemover Remover;
-  Remover.ShouldAbort = Opts.ShouldAbort;
+  // Fold every budget into one hook: the caller's sticky deadline /
+  // cancellation, the per-construction state cap, and the shared resource
+  // guard. Cap trips are remembered separately so the caller can tell
+  // "this construction was too big" (degradable) from "the whole run is
+  // over" (sticky).
+  bool CapHit = false;
+  std::function<bool()> Hook;
+  if (Opts.ShouldAbort || Opts.MaxProductStates != 0 || Opts.Guard) {
+    size_t Cap = Opts.MaxProductStates;
+    ResourceGuard *Guard = Opts.Guard;
+    Hook = [&Src, &BC, &CapHit, Cap, Guard,
+            Outer = Opts.ShouldAbort]() -> bool {
+      size_t Live = Src.numProductStates() + BC.numStatesDiscovered();
+      if (Cap != 0 && Live > Cap) {
+        CapHit = true;
+        return true;
+      }
+      if (Guard) {
+        if (Guard->exhausted())
+          return true;
+        if (Guard->wouldExceed(Live)) {
+          CapHit = true;
+          return true;
+        }
+      }
+      return Outer && Outer();
+    };
+  }
+  Remover.ShouldAbort = Hook;
   // Thread the budget into the oracle too: one product expansion can hide
   // an exponential NCSB split enumeration, and the remover only polls
   // between expansions.
-  BC.ShouldAbort = Opts.ShouldAbort;
+  BC.ShouldAbort = Hook;
+  // State budgets need prompt polls: with the default 256-call stride a
+  // small construction finishes (or overshoots the cap by hundreds of
+  // states) before the first evaluation. Pure wall-clock/cancellation
+  // hooks keep the cheap sparse stride.
+  if (Opts.MaxProductStates != 0 || Opts.Guard) {
+    Remover.PollStride = 8;
+    BC.setPollStride(8);
+  }
 
   // emp as a per-A-state antichain of complement macro-states, compared
   // with the oracle's subsumption relation (Section 6, Eq. 10). Without
@@ -129,10 +168,17 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
     };
   }
 
-  RemoveUselessResult R = Remover.run(Src);
+  DifferenceResult Out{Buchi(A.numSymbols(), A.numConditions() + 1),
+                       true, 0, 0, false, false};
+  // A guard that is already exhausted (earlier subtraction, another
+  // portfolio entrant) stops the construction before any work: the sticky
+  // trip is run-level, not a per-construction cap.
+  if (Opts.Guard && Opts.Guard->exhausted()) {
+    Out.Aborted = true;
+    return Out;
+  }
 
-  DifferenceResult Out{Buchi(A.numSymbols(), A.numConditions() + 1), true, 0,
-                       0, false};
+  RemoveUselessResult R = Remover.run(Src);
   Out.IsEmpty = R.LanguageEmpty;
   Out.ProductStatesExplored = R.StatesExplored;
   Out.ComplementStatesDiscovered = BC.numStatesDiscovered();
@@ -140,6 +186,7 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   // an under-approximated product; the classification is as invalid as a
   // remover-side abort.
   Out.Aborted = R.Aborted || BC.aborted();
+  Out.HitStateCap = CapHit;
   if (Out.Aborted)
     return Out;
 
@@ -154,10 +201,11 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   std::vector<Buchi::Arc> Buf;
   uint32_t PollCountdown = 256;
   for (State S : R.Useful) {
-    if (Opts.ShouldAbort && --PollCountdown == 0) {
+    if (Hook && --PollCountdown == 0) {
       PollCountdown = 256;
-      if (Opts.ShouldAbort()) {
+      if (Hook()) {
         Out.Aborted = true;
+        Out.HitStateCap = CapHit;
         return Out;
       }
     }
@@ -174,5 +222,10 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
     if (It != Map.end())
       Out.D.addInitial(It->second);
   }
+  // Only completed constructions are charged: an aborted one frees its
+  // states on return, and charging it would double-bill retries.
+  if (Opts.Guard)
+    Opts.Guard->chargeStates(Out.ProductStatesExplored +
+                             Out.ComplementStatesDiscovered);
   return Out;
 }

@@ -25,6 +25,7 @@
 
 #include "automata/ComplementOracle.h"
 #include "automata/Scc.h"
+#include "support/ResourceGuard.h"
 
 namespace termcheck {
 
@@ -36,6 +37,17 @@ struct DifferenceOptions {
   /// Optional budget hook; when it returns true the construction aborts
   /// and the result carries Aborted = true.
   std::function<bool()> ShouldAbort;
+  /// Hard cap on live states (product states plus complement macro-states)
+  /// of one construction, mirroring RankComplementOracle::MaxInputStates'
+  /// role for the rank complement; 0 = unlimited. Crossing it aborts the
+  /// construction with Aborted and HitStateCap both set, so the caller can
+  /// degrade (word-only subtraction) instead of stopping the whole run.
+  size_t MaxProductStates = 0;
+  /// Optional shared resource budget (non-owning). The construction aborts
+  /// when the guard is exhausted or its remaining headroom cannot hold the
+  /// live states, and charges the guard for everything it materialized
+  /// when it completes.
+  ResourceGuard *Guard = nullptr;
 };
 
 /// Result of a difference construction.
@@ -49,8 +61,13 @@ struct DifferenceResult {
   size_t ProductStatesExplored = 0;
   /// Macro-states the complement oracle materialized on the way.
   size_t ComplementStatesDiscovered = 0;
-  /// True when the run hit the ShouldAbort budget; D is then meaningless.
+  /// True when the run hit any budget (ShouldAbort, MaxProductStates, or
+  /// the ResourceGuard); D is then meaningless.
   bool Aborted = false;
+  /// True when the abort was a state-count cap (MaxProductStates or the
+  /// guard's headroom), as opposed to the sticky deadline/cancellation
+  /// hook: the caller may retry with a cheaper construction.
+  bool HitStateCap = false;
 };
 
 /// Computes the useful part of L(A) \ L(B-bar-source). \p A provides k

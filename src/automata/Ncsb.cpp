@@ -6,6 +6,9 @@
 
 #include "automata/Ncsb.h"
 
+#include "support/Error.h"
+#include "support/FaultInjector.h"
+
 #include <cassert>
 
 using namespace termcheck;
@@ -78,7 +81,14 @@ StateSet NcsbOracle::acceptingOf(const StateSet &X) const {
 template <typename Fn>
 void NcsbOracle::enumerateSplits(const StateSet &Free, Fn Emit) {
   const auto &Elems = Free.elems();
-  assert(Elems.size() <= 24 && "free-set explosion; automaton too wide");
+  // A free set this wide means 2^|Free| successor macro-states: not a bug
+  // but an input the construction cannot afford. Raising ResourceExhausted
+  // (instead of the old assert, which vanished under NDEBUG and left a
+  // multi-hour loop) lets the analyzer retire this subtraction and degrade.
+  if (Elems.size() > 24)
+    throw EngineError(ErrorKind::ResourceExhausted,
+                      "NCSB free-set explosion (" +
+                          std::to_string(Elems.size()) + " states)");
   uint32_t Count = 1u << Elems.size();
   for (uint32_t Bits = 0; Bits < Count; ++Bits) {
     // 2^|Free| emissions happen between two polls of the difference
@@ -99,6 +109,7 @@ void NcsbOracle::enumerateSplits(const StateSet &Free, Fn Emit) {
 }
 
 void NcsbOracle::successors(State S, Symbol Sym, std::vector<State> &Out) {
+  FaultInjector::hit(FaultSite::NcsbSuccessor);
   // Copy: intern() may grow Macro and invalidate references.
   NcsbMacroState M = Macro[S];
   if (Variant == NcsbVariant::Original)

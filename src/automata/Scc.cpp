@@ -72,13 +72,14 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
   };
 
   bool FoundAccepting = false;
-  uint32_t AbortPollCountdown = 256;
+  const uint32_t Stride = PollStride == 0 ? 1 : PollStride;
+  uint32_t AbortPollCountdown = Stride;
   auto PollAbort = [&]() {
     if (!ShouldAbort)
       return false;
     if (--AbortPollCountdown != 0)
       return false;
-    AbortPollCountdown = 256;
+    AbortPollCountdown = Stride;
     return ShouldAbort();
   };
 

@@ -101,9 +101,14 @@ public:
   /// then partial).
   bool StopAtFirstAccepting = false;
 
-  /// Optional budget hook, polled every few hundred expansions; returning
+  /// Optional budget hook, polled every PollStride expansions; returning
   /// true aborts the run (Result.Aborted is set).
   std::function<bool()> ShouldAbort;
+
+  /// Expansions between two ShouldAbort evaluations. The default suits
+  /// wall-clock hooks; budget enforcement (state caps, resource guards)
+  /// lowers it so small constructions cannot dodge the cap between polls.
+  uint32_t PollStride = 256;
 
   RemoveUselessResult run(GbaSource &Src);
 };

@@ -7,16 +7,24 @@
 /// \file
 /// Exact rationals over 128-bit integers, used by the simplex LP solver that
 /// backs Farkas-based ranking-function synthesis. Values stay tiny in
-/// practice (lasso relations have single-digit coefficients); the 128-bit
-/// headroom plus gcd normalization after every operation keeps the
-/// representation canonical, and overflow is trapped by assertions.
+/// practice (lasso relations have single-digit coefficients) and gcd
+/// normalization after every operation keeps the representation canonical,
+/// but adversarial inputs can push intermediate products past 128 bits.
+/// Every multiply/add/subtract is therefore overflow-checked with the
+/// compiler builtins and raises EngineError(ArithmeticOverflow) instead of
+/// wrapping -- in every build mode, including Release with NDEBUG, where the
+/// previous assert-based trapping silently vanished. Callers (simplex,
+/// ranking synthesis) treat the throw as "this stage failed", never as a
+/// wrong value.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TERMCHECK_LOGIC_RATIONAL_H
 #define TERMCHECK_LOGIC_RATIONAL_H
 
-#include <cassert>
+#include "support/Error.h"
+#include "support/FaultInjector.h"
+
 #include <cstdint>
 #include <string>
 
@@ -41,21 +49,25 @@ public:
   bool isInteger() const { return Den == 1; }
 
   Rational operator+(const Rational &O) const {
-    return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+    return Rational(checkedAdd(checkedMul(Num, O.Den), checkedMul(O.Num, Den)),
+                    checkedMul(Den, O.Den));
   }
   Rational operator-(const Rational &O) const {
-    return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+    return Rational(checkedSub(checkedMul(Num, O.Den), checkedMul(O.Num, Den)),
+                    checkedMul(Den, O.Den));
   }
   Rational operator*(const Rational &O) const {
-    return Rational(Num * O.Num, Den * O.Den);
+    return Rational(checkedMul(Num, O.Num), checkedMul(Den, O.Den));
   }
   Rational operator/(const Rational &O) const {
-    assert(!O.isZero() && "division by zero");
-    return Rational(Num * O.Den, Den * O.Num);
+    if (O.isZero())
+      throw EngineError(ErrorKind::InternalInvariant,
+                        "rational division by zero");
+    return Rational(checkedMul(Num, O.Den), checkedMul(Den, O.Num));
   }
   Rational operator-() const {
     Rational R;
-    R.Num = -Num;
+    R.Num = checkedNeg(Num);
     R.Den = Den;
     return R;
   }
@@ -70,18 +82,23 @@ public:
   }
   bool operator!=(const Rational &O) const { return !(*this == O); }
   bool operator<(const Rational &O) const {
-    return Num * O.Den < O.Num * Den;
+    return checkedMul(Num, O.Den) < checkedMul(O.Num, Den);
   }
   bool operator<=(const Rational &O) const {
-    return Num * O.Den <= O.Num * Den;
+    return checkedMul(Num, O.Den) <= checkedMul(O.Num, Den);
   }
   bool operator>(const Rational &O) const { return O < *this; }
   bool operator>=(const Rational &O) const { return O <= *this; }
 
-  /// \returns the value as int64, asserting it is an integral value in range.
+  /// \returns the value as int64. Raises InternalInvariant when the value
+  /// is not integral and ArithmeticOverflow when it does not fit.
   int64_t toInt64() const {
-    assert(Den == 1 && "not an integer");
-    assert(Num <= INT64_MAX && Num >= INT64_MIN && "int64 overflow");
+    if (Den != 1)
+      throw EngineError(ErrorKind::InternalInvariant,
+                        "rational is not an integer");
+    if (Num > INT64_MAX || Num < INT64_MIN)
+      throw EngineError(ErrorKind::ArithmeticOverflow,
+                        "rational exceeds int64 range");
     return static_cast<int64_t>(Num);
   }
 
@@ -89,11 +106,48 @@ public:
   std::string str() const;
 
 private:
+  [[noreturn]] static void overflow() {
+    throw EngineError(ErrorKind::ArithmeticOverflow,
+                      "rational arithmetic exceeds 128 bits");
+  }
+
+  static Int checkedAdd(Int A, Int B) {
+    FaultInjector::hit(FaultSite::RationalOp);
+    Int R;
+    if (__builtin_add_overflow(A, B, &R))
+      overflow();
+    return R;
+  }
+
+  static Int checkedSub(Int A, Int B) {
+    FaultInjector::hit(FaultSite::RationalOp);
+    Int R;
+    if (__builtin_sub_overflow(A, B, &R))
+      overflow();
+    return R;
+  }
+
+  static Int checkedMul(Int A, Int B) {
+    FaultInjector::hit(FaultSite::RationalOp);
+    Int R;
+    if (__builtin_mul_overflow(A, B, &R))
+      overflow();
+    return R;
+  }
+
+  static Int checkedNeg(Int A) {
+    Int R;
+    if (__builtin_sub_overflow(static_cast<Int>(0), A, &R))
+      overflow();
+    return R;
+  }
+
   static Int gcd(Int A, Int B) {
+    // INT128_MIN has no positive counterpart; its |.| overflows.
     if (A < 0)
-      A = -A;
+      A = checkedNeg(A);
     if (B < 0)
-      B = -B;
+      B = checkedNeg(B);
     while (B != 0) {
       Int T = A % B;
       A = B;
@@ -103,10 +157,12 @@ private:
   }
 
   void normalize() {
-    assert(Den != 0 && "zero denominator");
+    if (Den == 0)
+      throw EngineError(ErrorKind::InternalInvariant,
+                        "rational with zero denominator");
     if (Den < 0) {
-      Num = -Num;
-      Den = -Den;
+      Num = checkedNeg(Num);
+      Den = checkedNeg(Den);
     }
     Int G = gcd(Num, Den);
     if (G > 1) {

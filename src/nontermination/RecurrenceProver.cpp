@@ -8,6 +8,7 @@
 
 #include "logic/FourierMotzkin.h"
 #include "program/Interpreter.h"
+#include "support/FaultInjector.h"
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -206,6 +207,7 @@ RecurrenceProver::prove(const std::vector<SymbolId> &Stem,
                         Statistics &Stats) {
   if (Loop.empty())
     return std::nullopt;
+  FaultInjector::hit(FaultSite::ProverEntry);
   Stats.add("nonterm.attempts");
 
   // 1. Stem feasibility gate via the strongest-postcondition chain. The

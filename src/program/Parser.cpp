@@ -60,6 +60,7 @@ struct Token {
   std::string Text;
   int64_t IntVal = 0;
   int Line = 1;
+  int Col = 1;
 };
 
 class Lexer {
@@ -70,6 +71,7 @@ public:
     skipTrivia();
     Token T;
     T.Line = Line;
+    T.Col = col();
     if (Pos >= Src.size()) {
       T.Kind = TokKind::Eof;
       return T;
@@ -136,11 +138,13 @@ public:
   struct State {
     size_t Pos;
     int Line;
+    size_t LineStart;
   };
-  State save() const { return {Pos, Line}; }
+  State save() const { return {Pos, Line, LineStart}; }
   void restore(State S) {
     Pos = S.Pos;
     Line = S.Line;
+    LineStart = S.LineStart;
   }
 
 private:
@@ -158,6 +162,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
       } else if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
@@ -172,6 +177,7 @@ private:
   Token lexWord() {
     Token T;
     T.Line = Line;
+    T.Col = col();
     size_t Begin = Pos;
     while (Pos < Src.size() && (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
                                 Src[Pos] == '_'))
@@ -207,6 +213,7 @@ private:
   Token lexNumber() {
     Token T;
     T.Line = Line;
+    T.Col = col();
     T.Kind = TokKind::Int;
     int64_t V = 0;
     while (Pos < Src.size() && std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
@@ -217,9 +224,14 @@ private:
     return T;
   }
 
+  /// 1-based column of the current position (columns count bytes; tabs
+  /// are one column, which is what most editors' goto-position expects).
+  int col() const { return static_cast<int>(Pos - LineStart) + 1; }
+
   const std::string &Src;
   size_t Pos = 0;
   int Line = 1;
+  size_t LineStart = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -370,6 +382,8 @@ public:
     Program P = parseProgram();
     if (!Err.empty()) {
       R.Error = Err;
+      R.Line = ErrLine;
+      R.Col = ErrCol;
       return R;
     }
     R.Prog = std::move(P);
@@ -380,6 +394,8 @@ private:
   Lexer Lex;
   Token Tok;
   std::string Err;
+  int ErrLine = 0;
+  int ErrCol = 0;
 
   void advance() { Tok = Lex.next(); }
 
@@ -388,14 +404,18 @@ private:
     Lexer::State LexState;
     Token Tok;
     std::string Err;
+    int ErrLine;
+    int ErrCol;
   };
 
-  Snapshot snapshot() const { return {Lex.save(), Tok, Err}; }
+  Snapshot snapshot() const { return {Lex.save(), Tok, Err, ErrLine, ErrCol}; }
 
   void rollback(const Snapshot &S) {
     Lex.restore(S.LexState);
     Tok = S.Tok;
     Err = S.Err;
+    ErrLine = S.ErrLine;
+    ErrCol = S.ErrCol;
   }
 
   static bool isComparison(TokKind K) {
@@ -406,8 +426,12 @@ private:
   bool failed() const { return !Err.empty(); }
 
   void error(const std::string &Msg) {
-    if (Err.empty())
-      Err = "line " + std::to_string(Tok.Line) + ": " + Msg;
+    if (Err.empty()) {
+      Err = "line " + std::to_string(Tok.Line) + ", col " +
+            std::to_string(Tok.Col) + ": " + Msg;
+      ErrLine = Tok.Line;
+      ErrCol = Tok.Col;
+    }
   }
 
   bool expect(TokKind K, const char *What) {

@@ -43,7 +43,12 @@ namespace termcheck {
 /// Outcome of parsing: a program, or a diagnostic.
 struct ParseResult {
   std::optional<Program> Prog;
-  std::string Error; // empty on success; "line N: message" otherwise
+  std::string Error; // empty on success; "line N, col M: message" otherwise
+  /// Structured source position of the diagnostic (1-based; 0 when the
+  /// error has no position). Lets front ends render `path:line:col:`
+  /// without re-parsing the message.
+  int Line = 0;
+  int Col = 0;
 
   bool ok() const { return Prog.has_value(); }
 };

@@ -1,0 +1,139 @@
+//===- support/Error.h - Structured engine errors -------------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's structured error taxonomy. Every recoverable failure inside
+/// the analysis pipeline -- an overflowing exact-arithmetic operation, an
+/// exploding complement, a malformed input -- is reported as an EngineError
+/// carrying one of four kinds, instead of an assert that vanishes under
+/// NDEBUG or a bare std::runtime_error nobody can dispatch on.
+///
+/// The containment contract (DESIGN.md section 10): a thrown EngineError may
+/// only ever *weaken* the analysis outcome. A stage that faults is skipped
+/// in favor of the next stage; a subtraction that faults falls back to
+/// word-only removal; an analyzer run that cannot contain a fault reports
+/// UNKNOWN; a portfolio entrant whose worker faults is quarantined and the
+/// race continues. No fault path may flip TERMINATING to NONTERMINATING or
+/// vice versa, and none may escape to std::terminate.
+///
+/// ErrorOr<T> is the non-throwing half of the bridge: boundary code (the
+/// portfolio's result slots, callers that must not unwind) captures a
+/// throwing computation into a value-or-error without losing the taxonomy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_SUPPORT_ERROR_H
+#define TERMCHECK_SUPPORT_ERROR_H
+
+#include <exception>
+#include <new>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace termcheck {
+
+/// What failed. Kept deliberately small: callers dispatch on the kind (for
+/// statistics and exit codes), the message is for humans.
+enum class ErrorKind : uint8_t {
+  /// Exact arithmetic left its representable range (Rational 128-bit
+  /// numerator/denominator, lcm scaling, int64 narrowing).
+  ArithmeticOverflow,
+  /// A construction outgrew its state/memory/width budget (NCSB free-set
+  /// explosion, product state cap, ResourceGuard trip).
+  ResourceExhausted,
+  /// Input could not be parsed into a program.
+  ParseFailure,
+  /// An internal invariant failed on a recoverable path (the non-recoverable
+  /// ones stay asserts: they indicate bugs, not inputs).
+  InternalInvariant,
+};
+
+/// \returns a stable lowercase name for the kind ("arithmetic_overflow",
+/// ...), used as a statistics-counter suffix and in diagnostics.
+inline const char *errorKindName(ErrorKind K) {
+  switch (K) {
+  case ErrorKind::ArithmeticOverflow:
+    return "arithmetic_overflow";
+  case ErrorKind::ResourceExhausted:
+    return "resource_exhausted";
+  case ErrorKind::ParseFailure:
+    return "parse_failure";
+  case ErrorKind::InternalInvariant:
+    return "internal_invariant";
+  }
+  return "unknown";
+}
+
+/// A structured, recoverable engine failure.
+class EngineError : public std::exception {
+public:
+  EngineError(ErrorKind K, std::string Message)
+      : K(K), Message(std::move(Message)) {
+    Rendered = std::string(errorKindName(K)) + ": " + this->Message;
+  }
+
+  ErrorKind kind() const noexcept { return K; }
+  const std::string &message() const noexcept { return Message; }
+  const char *what() const noexcept override { return Rendered.c_str(); }
+
+private:
+  ErrorKind K;
+  std::string Message;
+  std::string Rendered;
+};
+
+/// A value of type \p T or the EngineError that prevented computing it.
+/// Lightweight by design: no monadic combinators, just the bridge between
+/// the throwing core and boundaries that must not unwind.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+  ErrorOr(EngineError E) : Err(std::move(E)) {}
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() { return *Value; }
+  const T &value() const { return *Value; }
+  T &operator*() { return *Value; }
+
+  const EngineError &error() const { return *Err; }
+
+  /// The value, or \p Fallback when this holds an error.
+  T valueOr(T Fallback) const {
+    return ok() ? *Value : std::move(Fallback);
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<EngineError> Err;
+};
+
+/// Runs \p Fn, capturing its result -- or any exception it throws -- into an
+/// ErrorOr. Non-EngineError exceptions are folded into the taxonomy:
+/// std::bad_alloc becomes ResourceExhausted, anything else an
+/// InternalInvariant carrying what(). This is the standard way to call the
+/// throwing core from code that must keep running (portfolio workers, the
+/// chaos harness).
+template <typename Fn>
+auto errorOrOf(Fn &&F) -> ErrorOr<decltype(F())> {
+  try {
+    return ErrorOr<decltype(F())>(F());
+  } catch (const EngineError &E) {
+    return ErrorOr<decltype(F())>(E);
+  } catch (const std::bad_alloc &) {
+    return ErrorOr<decltype(F())>(
+        EngineError(ErrorKind::ResourceExhausted, "allocation failed"));
+  } catch (const std::exception &E) {
+    return ErrorOr<decltype(F())>(
+        EngineError(ErrorKind::InternalInvariant, E.what()));
+  }
+}
+
+} // namespace termcheck
+
+#endif // TERMCHECK_SUPPORT_ERROR_H

@@ -1,0 +1,105 @@
+//===- support/ResourceGuard.h - Global analysis budgets ------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared, thread-safe resource budget for one analysis (or one portfolio
+/// race): a global cap on automaton states materialized across all
+/// subtractions and complements, an approximate memory cap derived from it,
+/// and a per-stage soft deadline for the generalization stages.
+///
+/// The guard is advisory and cooperative, like the CancellationToken: the
+/// difference engine and the NCSB oracles poll it through the existing
+/// ShouldAbort budget hooks, so one exploding subtraction degrades the run
+/// (abort -> word-only fallback or TIMEOUT verdict) instead of OOMing the
+/// process. Charges are monotone and the trip is sticky: once a budget is
+/// exceeded every subsequent poll reports exhaustion, which keeps abort
+/// semantics consistent with the deadline/cancellation hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_SUPPORT_RESOURCEGUARD_H
+#define TERMCHECK_SUPPORT_RESOURCEGUARD_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace termcheck {
+
+/// Shared budget meter. One instance per analysis run or portfolio race;
+/// all members are safe to call concurrently.
+class ResourceGuard {
+public:
+  /// Budget limits; 0 disables the respective cap.
+  struct Limits {
+    /// Total states (product + complement macro-states) across the run.
+    uint64_t MaxStates = 0;
+    /// Approximate heap bytes attributed to charged states.
+    uint64_t MaxApproxBytes = 0;
+    /// Soft wall-clock budget for one generalization stage, in seconds
+    /// (polled between stages, never preempting one).
+    double StageSoftDeadlineSeconds = 0;
+  };
+
+  /// Average cost of one materialized macro-state (transitions, sets,
+  /// interning slots). Deliberately rough: the guard bounds order of
+  /// magnitude, not bytes.
+  static constexpr uint64_t ApproxBytesPerState = 96;
+
+  ResourceGuard() = default;
+  explicit ResourceGuard(Limits L) : L(L) {}
+
+  ResourceGuard(const ResourceGuard &) = delete;
+  ResourceGuard &operator=(const ResourceGuard &) = delete;
+
+  const Limits &limits() const { return L; }
+
+  /// Records \p N freshly materialized states.
+  void chargeStates(uint64_t N) noexcept {
+    uint64_t Total = States.fetch_add(N, std::memory_order_relaxed) + N;
+    if ((L.MaxStates != 0 && Total > L.MaxStates) ||
+        (L.MaxApproxBytes != 0 &&
+         Total * ApproxBytesPerState > L.MaxApproxBytes))
+      Tripped.store(true, std::memory_order_relaxed);
+  }
+
+  /// \returns true when charging \p Extra more states would cross a cap
+  /// (without charging them). Used by in-flight constructions to abort
+  /// before the damage is done.
+  bool wouldExceed(uint64_t Extra) const noexcept {
+    uint64_t Total = States.load(std::memory_order_relaxed) + Extra;
+    if (L.MaxStates != 0 && Total > L.MaxStates)
+      return true;
+    if (L.MaxApproxBytes != 0 &&
+        Total * ApproxBytesPerState > L.MaxApproxBytes)
+      return true;
+    return false;
+  }
+
+  /// Sticky: true once any cap was crossed (or trip() was called).
+  bool exhausted() const noexcept {
+    return Tripped.load(std::memory_order_relaxed);
+  }
+
+  /// Trips the guard manually (a contained bad_alloc, an external monitor).
+  void trip() noexcept { Tripped.store(true, std::memory_order_relaxed); }
+
+  uint64_t statesCharged() const noexcept {
+    return States.load(std::memory_order_relaxed);
+  }
+
+  uint64_t approxBytesCharged() const noexcept {
+    return statesCharged() * ApproxBytesPerState;
+  }
+
+private:
+  Limits L;
+  std::atomic<uint64_t> States{0};
+  std::atomic<bool> Tripped{false};
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_SUPPORT_RESOURCEGUARD_H

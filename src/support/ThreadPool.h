@@ -11,6 +11,14 @@
 /// interrupts a running job, it only stops handing out queued ones after
 /// shutdown begins.
 ///
+/// The pool is exception-safe: a throwing job can neither terminate the
+/// process (the worker loop used to let the exception escape into
+/// std::thread, i.e. std::terminate) nor deadlock waitIdle (the Outstanding
+/// decrement is RAII, so it happens on every exit path). Escaped exceptions
+/// are funneled into a failure channel the owner drains with takeErrors()
+/// after waitIdle() -- jobs that manage their own failures (the portfolio
+/// quarantine) simply never throw into the pool.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TERMCHECK_SUPPORT_THREADPOOL_H
@@ -19,6 +27,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -46,7 +55,12 @@ public:
     {
       std::lock_guard<std::mutex> Lock(M);
       ShuttingDown = true;
+      // Discarded jobs still count down Outstanding, or a concurrent
+      // waitIdle would never wake.
+      Outstanding -= Queue.size();
       Queue.clear();
+      if (Outstanding == 0)
+        Idle.notify_all();
     }
     WorkAvailable.notify_all();
     for (std::thread &W : Workers)
@@ -73,13 +87,39 @@ public:
     WorkAvailable.notify_one();
   }
 
-  /// Blocks until every submitted job has finished running.
+  /// Blocks until every submitted job has finished running (normally or by
+  /// throwing -- a faulted job still counts as finished).
   void waitIdle() {
     std::unique_lock<std::mutex> Lock(M);
     Idle.wait(Lock, [this] { return Outstanding == 0; });
   }
 
+  /// Drains the failure channel: every exception a job let escape since the
+  /// last call, in completion order. Call after waitIdle() for a quiescent
+  /// snapshot.
+  std::vector<std::exception_ptr> takeErrors() {
+    std::lock_guard<std::mutex> Lock(M);
+    std::vector<std::exception_ptr> Out;
+    Out.swap(Errors);
+    return Out;
+  }
+
 private:
+  /// RAII completion mark: decrements Outstanding and wakes waitIdle on
+  /// every exit path of a job, including a throw.
+  class JobScope {
+  public:
+    explicit JobScope(ThreadPool &P) : P(P) {}
+    ~JobScope() {
+      std::lock_guard<std::mutex> Lock(P.M);
+      if (--P.Outstanding == 0)
+        P.Idle.notify_all();
+    }
+
+  private:
+    ThreadPool &P;
+  };
+
   void workerLoop() {
     for (;;) {
       std::function<void()> Job;
@@ -92,11 +132,12 @@ private:
         Job = std::move(Queue.front());
         Queue.pop_front();
       }
-      Job();
-      {
+      JobScope Scope(*this);
+      try {
+        Job();
+      } catch (...) {
         std::lock_guard<std::mutex> Lock(M);
-        if (--Outstanding == 0)
-          Idle.notify_all();
+        Errors.push_back(std::current_exception());
       }
     }
   }
@@ -106,6 +147,7 @@ private:
   std::condition_variable Idle;
   std::deque<std::function<void()>> Queue;
   std::vector<std::thread> Workers;
+  std::vector<std::exception_ptr> Errors;
   size_t Outstanding = 0;
   bool ShuttingDown = false;
 };

@@ -74,86 +74,121 @@ CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
     return Builder.buildNondeterministic(M0);
   }
 
+  // Per-lasso soft deadline across the stage sequence: checked between
+  // stage attempts and rotations (a running stage is never preempted), so
+  // a pathological sequence degrades to the cheap fallback module instead
+  // of eating the whole wall-clock budget on one lasso.
+  double Soft = Opts.StageSoftDeadlineSeconds;
+  if (Soft <= 0 && Opts.Guard)
+    Soft = Opts.Guard->limits().StageSoftDeadlineSeconds;
+  Deadline StageBudget = Soft > 0 ? Deadline::after(Soft) : Deadline();
+
   for (Stage S : Opts.Sequence) {
-    switch (S) {
-    case Stage::Finite: {
-      if (Proof.Status != LassoStatus::StemInfeasible)
-        break;
-      CertifiedModule M = Builder.buildFiniteTrace(L, Proof);
-      if (acceptsLasso(M.A, W)) {
-        Stats.add("modules.finite");
-        return M;
-      }
+    if (StageBudget.expired()) {
+      Stats.add("stages.soft_deadline");
       break;
     }
-    case Stage::Deterministic: {
-      CertifiedModule M = Builder.buildDeterministic(M0);
-      if (acceptsLasso(M.A, W)) {
-        Stats.add("modules.deterministic");
-        return M;
-      }
-      break;
-    }
-    case Stage::Semideterministic: {
-      // u v^omega = (u v_1..v_k)(rotate_k v)^omega: the same word admits
-      // |v| lasso alignments, and the subset construction is sensitive to
-      // where the accepting head falls relative to the rank-decreasing
-      // statement. Try rotations until one M_semi contains the word.
-      LassoProver Prover(P);
-      size_t MaxRot = std::min<size_t>(L.Loop.size(), 8);
-      for (size_t Rot = 0; Rot < MaxRot; ++Rot) {
-        Lasso LR = L;
-        if (Rot != 0) {
-          LR.Stem = L.Stem.empty() ? L.Loop : L.Stem;
-          LR.Stem.insert(LR.Stem.end(), L.Loop.begin(),
-                         L.Loop.begin() + Rot);
-          LR.Loop.assign(L.Loop.begin() + Rot, L.Loop.end());
-          LR.Loop.insert(LR.Loop.end(), L.Loop.begin(), L.Loop.begin() + Rot);
-        }
-        LassoProof PR = Rot == 0 ? Proof : Prover.prove(LR);
-        if (PR.Status == LassoStatus::Unknown)
-          continue;
-        CertifiedModule MR = Builder.buildLasso(LR, PR);
-        CertifiedModule M = Builder.buildSemideterministic(MR);
+    // A faulting stage is a failed generalization attempt, not a failed
+    // run: record it and let the next (weaker) stage try. The returned
+    // module is always one whose construction completed, so containment
+    // never weakens a certificate -- only the choice of module.
+    try {
+      switch (S) {
+      case Stage::Finite: {
+        if (Proof.Status != LassoStatus::StemInfeasible)
+          break;
+        CertifiedModule M = Builder.buildFiniteTrace(L, Proof);
         if (acceptsLasso(M.A, W)) {
-          Stats.add("modules.semideterministic");
-          if (Rot != 0)
-            Stats.add("modules.rotated");
+          Stats.add("modules.finite");
           return M;
         }
+        break;
       }
-      break;
-    }
-    case Stage::Nondeterministic: {
-      CertifiedModule M = Builder.buildNondeterministic(M0);
-      if (acceptsLasso(M.A, W) && cheaplyComplementable(M)) {
-        Stats.add("modules.nondeterministic");
-        return M;
+      case Stage::Deterministic: {
+        CertifiedModule M = Builder.buildDeterministic(M0);
+        if (acceptsLasso(M.A, W)) {
+          Stats.add("modules.deterministic");
+          return M;
+        }
+        break;
       }
-      break;
-    }
+      case Stage::Semideterministic: {
+        // u v^omega = (u v_1..v_k)(rotate_k v)^omega: the same word admits
+        // |v| lasso alignments, and the subset construction is sensitive to
+        // where the accepting head falls relative to the rank-decreasing
+        // statement. Try rotations until one M_semi contains the word.
+        LassoProver Prover(P);
+        size_t MaxRot = std::min<size_t>(L.Loop.size(), 8);
+        for (size_t Rot = 0; Rot < MaxRot; ++Rot) {
+          if (Rot != 0 && StageBudget.expired()) {
+            Stats.add("stages.soft_deadline");
+            break;
+          }
+          Lasso LR = L;
+          if (Rot != 0) {
+            LR.Stem = L.Stem.empty() ? L.Loop : L.Stem;
+            LR.Stem.insert(LR.Stem.end(), L.Loop.begin(),
+                           L.Loop.begin() + Rot);
+            LR.Loop.assign(L.Loop.begin() + Rot, L.Loop.end());
+            LR.Loop.insert(LR.Loop.end(), L.Loop.begin(),
+                           L.Loop.begin() + Rot);
+          }
+          LassoProof PR = Rot == 0 ? Proof : Prover.prove(LR);
+          if (PR.Status == LassoStatus::Unknown)
+            continue;
+          CertifiedModule MR = Builder.buildLasso(LR, PR);
+          CertifiedModule M = Builder.buildSemideterministic(MR);
+          if (acceptsLasso(M.A, W)) {
+            Stats.add("modules.semideterministic");
+            if (Rot != 0)
+              Stats.add("modules.rotated");
+            return M;
+          }
+        }
+        break;
+      }
+      case Stage::Nondeterministic: {
+        CertifiedModule M = Builder.buildNondeterministic(M0);
+        if (acceptsLasso(M.A, W) && cheaplyComplementable(M)) {
+          Stats.add("modules.nondeterministic");
+          return M;
+        }
+        break;
+      }
+      }
+    } catch (const EngineError &E) {
+      Stats.add("fault.stage_skipped");
+      Stats.add(std::string("fault.stage.") + errorKindName(E.kind()));
     }
   }
   // Every stage was skipped or rejected: fall back to the stem-saturated
   // lasso module, which is semideterministic and contains the word by
   // construction; if even that is not cheaply complementable (merged loop
   // anomalies), use the bare lasso module.
-  CertifiedModule MSat = Builder.buildSaturatedLasso(M0);
-  if (acceptsLasso(MSat.A, W) && cheaplyComplementable(MSat)) {
-    Stats.add("modules.semideterministic");
-    return MSat;
+  try {
+    CertifiedModule MSat = Builder.buildSaturatedLasso(M0);
+    if (acceptsLasso(MSat.A, W) && cheaplyComplementable(MSat)) {
+      Stats.add("modules.semideterministic");
+      return MSat;
+    }
+  } catch (const EngineError &E) {
+    Stats.add("fault.stage_skipped");
+    Stats.add(std::string("fault.stage.") + errorKindName(E.kind()));
   }
   Stats.add("modules.lasso");
   return M0;
 }
 
 /// Subtracts exactly one ultimately periodic word: the deterministic
-/// one-word automaton is trivially complementable, so this always makes
-/// progress. Used both when a module's complement blows the budget and
+/// one-word automaton is trivially complementable, so this normally always
+/// makes progress. Used when a module's complement blows the budget and
 /// when a lasso is unproven in either direction (the unknown-skip hunt).
-static Buchi subtractWordOnly(const Buchi &Remaining, const LassoWord &W,
-                              const DifferenceOptions &DiffOpts,
-                              Statistics &Stats) {
+/// \returns std::nullopt when even this construction was aborted (sticky
+/// budget, injected fault pressure, or a guard at its limit).
+static std::optional<Buchi> subtractWordOnly(const Buchi &Remaining,
+                                             const LassoWord &W,
+                                             const DifferenceOptions &DiffOpts,
+                                             Statistics &Stats) {
   Stats.add("complement.word_fallback");
   uint32_t Len = static_cast<uint32_t>(W.Stem.size() + W.Loop.size());
   Buchi WordAut(Remaining.numSymbols(), 1);
@@ -170,13 +205,23 @@ static Buchi subtractWordOnly(const Buchi &Remaining, const LassoWord &W,
   DbaComplementOracle WordOracle(CompleteWord);
   DifferenceResult R = difference(Remaining, WordOracle, DiffOpts);
   if (R.Aborted) {
-    // Progress only matters if the refinement loop keeps going, and an
-    // abort means it will not: the budget hook is sticky, so the loop
-    // head is about to report TIMEOUT or CANCELLED.
     Stats.add("difference.aborted");
-    return Remaining;
+    return std::nullopt;
   }
   return std::move(R.D);
+}
+
+/// subtractWordOnly, escalated: when even the one-word removal cannot
+/// complete, the caller has no way to make progress on this lasso, which
+/// is exactly a ResourceExhausted engine fault (contained by run()).
+static Buchi requireWordOnly(const Buchi &Remaining, const LassoWord &W,
+                             const DifferenceOptions &DiffOpts,
+                             Statistics &Stats) {
+  std::optional<Buchi> B = subtractWordOnly(Remaining, W, DiffOpts, Stats);
+  if (!B)
+    throw EngineError(ErrorKind::ResourceExhausted,
+                      "word-only subtraction aborted");
+  return std::move(*B);
 }
 
 Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
@@ -185,6 +230,8 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
   DifferenceOptions DiffOpts;
   DiffOpts.UseSubsumption = Opts.UseSubsumption;
   DiffOpts.ShouldAbort = BudgetHook;
+  DiffOpts.MaxProductStates = Opts.MaxProductStates;
+  DiffOpts.Guard = Opts.Guard;
 
   std::unique_ptr<ComplementOracle> Oracle;
   std::optional<Sdba> Prepared;
@@ -209,17 +256,25 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
   if (!Oracle) {
     auto W = findAcceptingLasso(M.A);
     assert(W && "module language cannot be empty here");
-    return subtractWordOnly(Remaining, *W, DiffOpts, Stats);
+    return requireWordOnly(Remaining, *W, DiffOpts, Stats);
   }
 
   DifferenceResult R = difference(Remaining, *Oracle, DiffOpts);
   if (R.Aborted) {
-    // The hook only fires on a tripped deadline or an external
-    // cancellation, and both are sticky, so the outer loop is about to
-    // stop: hand Remaining back unchanged instead of burning seconds on a
-    // word-removal nobody will look at (that fallback stays reserved for
-    // modules we cannot complement cheaply).
     Stats.add("difference.aborted");
+    if (R.HitStateCap) {
+      // The construction was too big (MaxProductStates or guard headroom),
+      // not out of time: degrade to removing just the certified witness
+      // word, which keeps the refinement loop progressing.
+      Stats.add("difference.state_capped");
+      auto W = findAcceptingLasso(M.A);
+      assert(W && "module language cannot be empty here");
+      return requireWordOnly(Remaining, *W, DiffOpts, Stats);
+    }
+    // The hook only fires on a tripped deadline, external cancellation, or
+    // an exhausted guard, and all are sticky, so the outer loop is about
+    // to stop: hand Remaining back unchanged instead of burning seconds on
+    // a word-removal nobody will look at.
     return Remaining;
   }
   Stats.add("difference.product_states",
@@ -235,12 +290,14 @@ AnalysisResult TerminationAnalyzer::run() {
                         ? Deadline::after(Opts.TimeoutSeconds)
                         : Deadline();
   // One hook serves every polling point (refinement loop, difference DFS,
-  // NCSB split enumeration): deadline OR external cancellation. The two
-  // are folded into a single callable so the inner engines stay agnostic
-  // of why they are being stopped.
+  // NCSB split enumeration): deadline OR external cancellation OR an
+  // exhausted resource guard. All are folded into a single callable so the
+  // inner engines stay agnostic of why they are being stopped.
   const CancellationToken *Cancel = Opts.Cancel;
-  BudgetHook = [&Budget, Cancel]() {
-    return Budget.expired() || (Cancel && Cancel->cancelled());
+  ResourceGuard *Guard = Opts.Guard;
+  BudgetHook = [&Budget, Cancel, Guard]() {
+    return Budget.expired() || (Cancel && Cancel->cancelled()) ||
+           (Guard && Guard->exhausted());
   };
   AnalysisResult Result;
 
@@ -254,9 +311,35 @@ AnalysisResult TerminationAnalyzer::run() {
   // counterexample, and Terminating becomes unreachable.
   uint32_t SkippedUnknown = 0;
   std::optional<LassoWord> FirstUnknown;
+  // Fault containment: each recoverable EngineError weakens exactly one
+  // decision (a lasso treated as unproven, a subtraction degraded to the
+  // word-only form) and is counted; past MaxContainedFaults the run stops
+  // pretending and reports UNKNOWN. The counter is what bounds livelock
+  // when the same fault re-fires every iteration.
+  uint32_t ContainedFaults = 0;
+  auto Contain = [&](const EngineError &E) {
+    Result.Stats.add(std::string("fault.contained.") +
+                     errorKindName(E.kind()));
+    return ++ContainedFaults > Opts.MaxContainedFaults;
+  };
+  auto WordDiffOpts = [&]() {
+    DifferenceOptions DiffOpts;
+    DiffOpts.UseSubsumption = Opts.UseSubsumption;
+    DiffOpts.ShouldAbort = BudgetHook;
+    DiffOpts.MaxProductStates = Opts.MaxProductStates;
+    DiffOpts.Guard = Opts.Guard;
+    return DiffOpts;
+  };
   while (true) {
     if (Cancel && Cancel->cancelled()) {
       Result.V = Verdict::Cancelled;
+      break;
+    }
+    if (Guard && Guard->exhausted()) {
+      // Resource budgets degrade like wall-clock budgets: the run ends
+      // inconclusively instead of the process OOMing.
+      Result.Stats.add("resource.exhausted");
+      Result.V = Verdict::Timeout;
       break;
     }
     if (Budget.expired() ||
@@ -280,13 +363,39 @@ AnalysisResult TerminationAnalyzer::run() {
       break;
     }
     Lasso L{W->Stem, W->Loop};
-    LassoProof Proof = Prover.prove(L);
+    LassoProof Proof;
+    try {
+      Proof = Prover.prove(L);
+    } catch (const EngineError &E) {
+      // Synthesis faulted (overflowing Farkas system, injected fault):
+      // the lasso is treated as unproven, which can only push the verdict
+      // toward Unknown -- never flip it.
+      if (Contain(E)) {
+        Result.V = Verdict::Unknown;
+        Result.Counterexample = *W;
+        break;
+      }
+      Proof = LassoProof();
+      Proof.Status = LassoStatus::Unknown;
+    }
     if (Proof.Status == LassoStatus::Unknown) {
       if (Proof.FixpointCandidate)
         Result.Stats.add("nonterm.fixpoint_hints");
       if (Opts.ProveNontermination) {
-        if (std::optional<NontermCertificate> Cert =
-                NontermProver.prove(L.Stem, L.Loop, Result.Stats)) {
+        std::optional<NontermCertificate> Cert;
+        try {
+          Cert = NontermProver.prove(L.Stem, L.Loop, Result.Stats);
+        } catch (const EngineError &E) {
+          // A faulted nontermination attempt yields no certificate; a
+          // NONTERMINATING verdict still requires a validated one.
+          if (Contain(E)) {
+            Result.V = Verdict::Unknown;
+            Result.Counterexample = *W;
+            break;
+          }
+          Cert = std::nullopt;
+        }
+        if (Cert) {
           Proof.Status = LassoStatus::Nonterminating;
           Result.V = Verdict::Nonterminating;
           Result.Nonterm = std::move(*Cert);
@@ -299,10 +408,18 @@ AnalysisResult TerminationAnalyzer::run() {
       if (SkippedUnknown < Opts.UnknownLassoBudget) {
         ++SkippedUnknown;
         Result.Stats.add("unknown_lassos_skipped");
-        DifferenceOptions DiffOpts;
-        DiffOpts.UseSubsumption = Opts.UseSubsumption;
-        DiffOpts.ShouldAbort = BudgetHook;
-        Remaining = subtractWordOnly(Remaining, *W, DiffOpts, Result.Stats);
+        try {
+          Remaining = requireWordOnly(Remaining, *W, WordDiffOpts(),
+                                      Result.Stats);
+        } catch (const EngineError &E) {
+          if (Contain(E)) {
+            Result.V = Verdict::Unknown;
+            Result.Counterexample = *W;
+            break;
+          }
+          // No progress on this word; the loop head re-checks the sticky
+          // budgets, and the fault counter bounds repeated failures.
+        }
         continue;
       }
       Result.V = Verdict::Unknown;
@@ -310,8 +427,31 @@ AnalysisResult TerminationAnalyzer::run() {
       break;
     }
 
-    CertifiedModule M = generalize(L, *W, Proof, Result.Stats);
-    Remaining = subtract(Remaining, M, Result.Stats);
+    try {
+      CertifiedModule M = generalize(L, *W, Proof, Result.Stats);
+      Remaining = subtract(Remaining, M, Result.Stats);
+      Result.Modules.push_back(std::move(M));
+    } catch (const EngineError &E) {
+      if (Contain(E)) {
+        Result.V = Verdict::Unknown;
+        Result.Counterexample = FirstUnknown ? FirstUnknown : W;
+        break;
+      }
+      // The lasso itself is proven terminating, so removing exactly its
+      // word is sound and keeps TERMINATING reachable; only convergence
+      // speed is lost.
+      try {
+        Remaining = requireWordOnly(Remaining, *W, WordDiffOpts(),
+                                    Result.Stats);
+      } catch (const EngineError &E2) {
+        if (Contain(E2)) {
+          Result.V = Verdict::Unknown;
+          Result.Counterexample = FirstUnknown ? FirstUnknown : W;
+          break;
+        }
+        continue; // no progress; sticky budgets or the counter end the run
+      }
+    }
     Remaining = dropFullConditions(Remaining);
     if (Remaining.numConditions() > 48)
       Remaining = degeneralize(Remaining);
@@ -324,7 +464,6 @@ AnalysisResult TerminationAnalyzer::run() {
     }
     Result.Stats.recordMax("remaining.max_states",
                            static_cast<int64_t>(Remaining.numStates()));
-    Result.Modules.push_back(std::move(M));
   }
 
   Result.Seconds = Watch.seconds();

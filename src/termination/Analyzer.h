@@ -29,6 +29,8 @@
 #include "automata/Scc.h"
 #include "nontermination/RecurrenceProver.h"
 #include "support/CancellationToken.h"
+#include "support/Error.h"
+#include "support/ResourceGuard.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "termination/Generalize.h"
@@ -82,6 +84,25 @@ struct AnalyzerOptions {
   /// Terminating (the skipped execution is unaccounted for), so the hunt
   /// ends in Nonterminating or Unknown.
   uint32_t UnknownLassoBudget = 8;
+  /// Hard cap on live states of one subtraction (product states plus
+  /// complement macro-states); 0 = unlimited. A capped subtraction falls
+  /// back to word-only removal, mirroring RankComplementOracle's input cap
+  /// for the rank construction. The CLI exposes this as --max-states.
+  uint64_t MaxProductStates = 0;
+  /// Optional shared resource budget (non-owning; must outlive the run).
+  /// Polled wherever the wall-clock budget is polled; exhaustion ends the
+  /// run with TIMEOUT instead of letting a subtraction OOM the process.
+  ResourceGuard *Guard = nullptr;
+  /// Soft wall-clock budget for the generalization stages of one lasso, in
+  /// seconds (0 = unlimited; falls back to Guard's limit when unset).
+  /// Checked between stage attempts -- a stage is never preempted -- so an
+  /// expensive stage sequence degrades to the cheap fallback module.
+  double StageSoftDeadlineSeconds = 0;
+  /// How many recoverable engine faults (ArithmeticOverflow,
+  /// ResourceExhausted, InternalInvariant) one run absorbs before giving
+  /// up with UNKNOWN. Each contained fault only ever weakens the verdict;
+  /// the cap bounds livelock when faults repeat on every iteration.
+  uint32_t MaxContainedFaults = 8;
 
   /// The paper's stage sequences for the Section 7 ablation.
   static std::vector<Stage> sequenceSkipDet() {

@@ -7,6 +7,8 @@
 #include "termination/LassoProver.h"
 
 #include "logic/Simplex.h"
+#include "support/Error.h"
+#include "support/FaultInjector.h"
 
 #include <cassert>
 #include <numeric>
@@ -236,11 +238,13 @@ LassoProver::synthesizeLinearRanking(const Cube &T,
   LinearExpr F;
   for (size_t I = 0; I < N; ++I) {
     Rational C = (*Sol)[AVar[I]] * Rational(Lcm, 1);
-    assert(C.isInteger() && "lcm scaling failed");
+    if (!C.isInteger())
+      throw EngineError(ErrorKind::InternalInvariant, "lcm scaling failed");
     F = F + LinearExpr::scaled(Vars[I], C.toInt64());
   }
   Rational C0 = (*Sol)[B0] * Rational(Lcm, 1);
-  assert(C0.isInteger() && "lcm scaling failed");
+  if (!C0.isInteger())
+    throw EngineError(ErrorKind::InternalInvariant, "lcm scaling failed");
   F = F + LinearExpr::constant(C0.toInt64());
   return F;
 }
@@ -261,6 +265,7 @@ bool LassoProver::hasSelfFixpoint(const Cube &T, const Cube &Inv,
 
 LassoProof LassoProver::prove(const Lasso &L) {
   assert(!L.Loop.empty() && "lasso needs a loop");
+  FaultInjector::hit(FaultSite::ProverEntry);
   LassoProof Proof;
 
   // Footnote 1 of the paper: an empty stem is materialized as one copy of

@@ -7,6 +7,8 @@
 #include "termination/Portfolio.h"
 
 #include "support/CancellationToken.h"
+#include "support/Error.h"
+#include "support/ResourceGuard.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -90,7 +92,8 @@ namespace {
 
 AnalyzerOptions effectiveOptions(const PortfolioConfig &C,
                                  const PortfolioOptions &PO,
-                                 const CancellationToken *Token) {
+                                 const CancellationToken *Token,
+                                 ResourceGuard *Guard) {
   AnalyzerOptions O = C.Opts;
   if (PO.TimeoutSeconds > 0)
     O.TimeoutSeconds = PO.TimeoutSeconds;
@@ -98,7 +101,10 @@ AnalyzerOptions effectiveOptions(const PortfolioConfig &C,
     O.MaxIterations = PO.MaxIterations;
   if (PO.DisableNonterm)
     O.ProveNontermination = false;
+  if (PO.MaxProductStates != 0)
+    O.MaxProductStates = PO.MaxProductStates;
   O.Cancel = Token;
+  O.Guard = Guard;
   return O;
 }
 
@@ -121,6 +127,16 @@ void recordRun(Statistics &Merged, const PortfolioConfig &C,
     Merged.add("portfolio.timeout");
 }
 
+/// Folds one quarantined entrant into the merged dump. The entrant is
+/// retired from the race -- it produced no result slot -- but its failure
+/// kind stays visible for diagnosis.
+void recordFault(Statistics &Merged, const PortfolioConfig &C,
+                 const EngineError &E) {
+  Merged.add("portfolio.started");
+  Merged.add("portfolio.faulted");
+  Merged.add("cfg." + C.Name + ".fault." + errorKindName(E.kind()));
+}
+
 } // namespace
 
 PortfolioRunResult
@@ -139,28 +155,52 @@ termcheck::runPortfolio(const Program &P,
   size_t Jobs = Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
   Out.Merged.add("portfolio.configs", static_cast<int64_t>(Configs.size()));
 
+  // One guard meters the whole race: entrants draw from a shared budget,
+  // so K configurations cannot multiply the memory footprint by K.
+  std::optional<ResourceGuard> GuardStorage;
+  ResourceGuard *Guard = nullptr;
+  if (Opts.GuardLimits.MaxStates != 0 || Opts.GuardLimits.MaxApproxBytes != 0 ||
+      Opts.GuardLimits.StageSoftDeadlineSeconds > 0) {
+    GuardStorage.emplace(Opts.GuardLimits);
+    Guard = &*GuardStorage;
+  }
+
   if (Jobs == 1) {
     // Deterministic fallback: no threads, roster order, stop at the first
     // conclusive verdict. Identical inputs yield identical dumps. When
     // nobody concludes, the reported result is the first Unknown (it
-    // carries a counterexample lasso) and only then the roster-first one.
+    // carries a counterexample lasso) and only then the first finished one.
+    // A faulted entrant is quarantined and the roster moves on; if every
+    // entrant faults the race still returns, with an Unknown verdict.
     Out.WinnerIndex = None;
+    bool HaveFallback = false;
     bool FallbackIsUnknown = false;
     for (size_t I = 0; I < Configs.size(); ++I) {
       Program Local = P;
-      TerminationAnalyzer A(Local, effectiveOptions(Configs[I], Opts, nullptr));
-      AnalysisResult R = A.run();
-      recordRun(Out.Merged, Configs[I], R);
-      bool Won = isConclusive(R.V);
-      if (Won || I == 0 ||
-          (!FallbackIsUnknown && R.V == Verdict::Unknown)) {
-        FallbackIsUnknown = R.V == Verdict::Unknown;
-        Out.Result = std::move(R);
+      TerminationAnalyzer A(
+          Local, effectiveOptions(Configs[I], Opts, nullptr, Guard));
+      ErrorOr<AnalysisResult> R = errorOrOf([&A] { return A.run(); });
+      if (!R.ok()) {
+        ++Out.FaultedEntrants;
+        recordFault(Out.Merged, Configs[I], R.error());
+        continue;
+      }
+      recordRun(Out.Merged, Configs[I], R.value());
+      bool Won = isConclusive(R.value().V);
+      if (Won || !HaveFallback ||
+          (!FallbackIsUnknown && R.value().V == Verdict::Unknown)) {
+        HaveFallback = true;
+        FallbackIsUnknown = R.value().V == Verdict::Unknown;
+        Out.Result = std::move(R.value());
         Out.WinnerIndex = Won ? I : None;
         Out.WinnerName = Won ? Configs[I].Name : "";
       }
       if (Won)
         break;
+    }
+    if (!HaveFallback) {
+      Out.Result.V = Verdict::Unknown;
+      Out.WinnerName = "<all entrants faulted>";
     }
     if (Out.WinnerIndex != None)
       Out.Merged.add("portfolio.winner_index",
@@ -177,7 +217,9 @@ termcheck::runPortfolio(const Program &P,
   CancellationToken Token;
   std::mutex M;
   std::vector<std::optional<AnalysisResult>> Slots(Configs.size());
+  std::vector<std::optional<EngineError>> Faults(Configs.size());
   size_t Winner = None;
+  size_t WorkerEscapes = 0;
 
   {
     ThreadPool Pool(std::min(Jobs, Configs.size()));
@@ -187,23 +229,41 @@ termcheck::runPortfolio(const Program &P,
         if (Token.cancelled())
           return;
         Program Local = P;
-        TerminationAnalyzer A(Local,
-                              effectiveOptions(Configs[I], Opts, &Token));
-        AnalysisResult R = A.run();
+        TerminationAnalyzer A(
+            Local, effectiveOptions(Configs[I], Opts, &Token, Guard));
+        // Quarantine boundary: a worker that throws retires its entrant
+        // but must not take the race (or the pool thread) down with it.
+        ErrorOr<AnalysisResult> R = errorOrOf([&A] { return A.run(); });
         std::lock_guard<std::mutex> Lock(M);
-        if (isConclusive(R.V) && Winner == None) {
+        if (!R.ok()) {
+          Faults[I] = R.error();
+          return;
+        }
+        if (isConclusive(R.value().V) && Winner == None) {
           Winner = I;
           Token.cancel();
         }
-        Slots[I] = std::move(R);
+        Slots[I] = std::move(R.value());
       });
     }
     Pool.waitIdle();
+    // errorOrOf folds everything derived from std::exception; only truly
+    // foreign throws (throw 42;) land in the pool's failure channel. Keep
+    // the count visible -- an escape here is a bug worth noticing.
+    WorkerEscapes = Pool.takeErrors().size();
   }
 
-  for (size_t I = 0; I < Configs.size(); ++I)
+  for (size_t I = 0; I < Configs.size(); ++I) {
     if (Slots[I])
       recordRun(Out.Merged, Configs[I], *Slots[I]);
+    if (Faults[I]) {
+      ++Out.FaultedEntrants;
+      recordFault(Out.Merged, Configs[I], *Faults[I]);
+    }
+  }
+  if (WorkerEscapes != 0)
+    Out.Merged.add("portfolio.worker_escapes",
+                   static_cast<int64_t>(WorkerEscapes));
 
   Out.WinnerIndex = Winner;
   if (Winner != None) {
@@ -212,14 +272,26 @@ termcheck::runPortfolio(const Program &P,
     Out.Merged.add("portfolio.winner_index", static_cast<int64_t>(Winner));
   } else {
     // Nobody was conclusive; prefer the first Unknown result (it carries
-    // a counterexample lasso), then the roster-first one (a timeout).
-    size_t Pick = 0;
+    // a counterexample lasso), then the first finished one, and only when
+    // every entrant faulted or was cancelled unstarted, a bare Unknown.
+    size_t Pick = None;
     for (size_t I = 0; I < Slots.size(); ++I)
       if (Slots[I] && Slots[I]->V == Verdict::Unknown) {
         Pick = I;
         break;
       }
-    Out.Result = std::move(*Slots[Pick]);
+    if (Pick == None)
+      for (size_t I = 0; I < Slots.size(); ++I)
+        if (Slots[I]) {
+          Pick = I;
+          break;
+        }
+    if (Pick != None) {
+      Out.Result = std::move(*Slots[Pick]);
+    } else {
+      Out.Result.V = Verdict::Unknown;
+      Out.WinnerName = "<all entrants faulted>";
+    }
   }
   Out.Seconds = Watch.seconds();
   return Out;

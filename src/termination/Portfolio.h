@@ -60,6 +60,13 @@ struct PortfolioOptions {
   /// Disables the recurrence prover in every entrant (the CLI's
   /// --no-nonterm): verdicts degrade to the pre-nontermination lattice.
   bool DisableNonterm = false;
+  /// Per-subtraction live-state cap applied to every entrant (the CLI's
+  /// --max-states); 0 = unlimited.
+  uint64_t MaxProductStates = 0;
+  /// Resource budgets shared by ALL entrants of the race: one guard meters
+  /// the race globally, so the combined portfolio (not each entrant
+  /// separately) stays under the state/memory budget. All-zero = no guard.
+  ResourceGuard::Limits GuardLimits;
 };
 
 /// Outcome of a portfolio race.
@@ -73,6 +80,11 @@ struct PortfolioRunResult {
   /// nobody was conclusive).
   size_t WinnerIndex = 0;
   std::string WinnerName;
+  /// Entrants quarantined because their worker threw (EngineError or a
+  /// foreign exception). A faulted entrant never decides the race; its
+  /// failure is recorded under `cfg.<name>.fault.<kind>` in Merged. When
+  /// EVERY entrant faults the race reports Unknown, never a crash.
+  size_t FaultedEntrants = 0;
   /// Merged statistics: portfolio-level counters plus every started
   /// configuration's counters namespaced as `cfg.<name>.<counter>`. Only
   /// deterministic counters are merged (no wall-clock), so with Jobs == 1

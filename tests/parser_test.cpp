@@ -181,6 +181,37 @@ TEST(Parser, ErrorsCarryLineNumbers) {
   EXPECT_NE(R.Error.find("line 2"), std::string::npos);
 }
 
+TEST(Parser, ErrorsCarryStructuredPosition) {
+  //            col: 123456
+  ParseResult R = parseProgram("program p(i) {\n i := ;\n}");
+  ASSERT_FALSE(R.ok());
+  // The offending token is the ';' at line 2, column 7 (1-based).
+  EXPECT_EQ(R.Line, 2);
+  EXPECT_EQ(R.Col, 7);
+  EXPECT_NE(R.Error.find("col 7"), std::string::npos);
+}
+
+TEST(Parser, ColumnsRestartPerLine) {
+  ParseResult R = parseProgram("program p(i)\n{\n  i := 1;\n  ?\n}");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Line, 4);
+  EXPECT_EQ(R.Col, 3) << R.Error;
+}
+
+TEST(Parser, ErrorAtLineStartIsColumnOne) {
+  ParseResult R = parseProgram("program p(i) { i := 1; }\ngarbage");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Line, 2);
+  EXPECT_EQ(R.Col, 1);
+}
+
+TEST(Parser, SuccessHasNoPosition) {
+  ParseResult R = parseProgram("program p(i) { i := 1; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Line, 0);
+  EXPECT_EQ(R.Col, 0);
+}
+
 TEST(Parser, MissingSemicolonReported) {
   ParseResult R = parseProgram("program p(i) { i := 1 }");
   ASSERT_FALSE(R.ok());

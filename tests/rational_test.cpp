@@ -8,7 +8,31 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
+using termcheck::EngineError;
+using termcheck::ErrorKind;
 using termcheck::Rational;
+
+namespace {
+
+/// Largest / smallest __int128 values, spelled without relying on any
+/// INT128 limit macro.
+constexpr __int128 I128Max =
+    static_cast<__int128>((~static_cast<unsigned __int128>(0)) >> 1);
+constexpr __int128 I128Min = -I128Max - 1;
+
+ErrorKind kindOf(const std::function<void()> &F) {
+  try {
+    F();
+  } catch (const EngineError &E) {
+    return E.kind();
+  }
+  ADD_FAILURE() << "expected an EngineError";
+  return ErrorKind::InternalInvariant;
+}
+
+} // namespace
 
 TEST(Rational, DefaultIsZero) {
   Rational R;
@@ -95,4 +119,87 @@ TEST(Rational, LargeIntermediatesStayExact) {
   Rational A(1000000000000LL, 3);
   Rational B(3, 1000000000000LL);
   EXPECT_EQ(A * B, Rational(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Overflow edges: every operation near the 128-bit boundary either returns
+// the exact value or raises EngineError(ArithmeticOverflow) -- in EVERY
+// build mode (the Release CI job compiles these under NDEBUG).
+//===----------------------------------------------------------------------===//
+
+TEST(RationalOverflow, AdditionAtTheEdge) {
+  Rational Max(I128Max, 1);
+  // Max + 0 and Max - 0 are exact; Max + 1 overflows.
+  EXPECT_EQ(Max + Rational(0), Max);
+  EXPECT_THROW(Max + Rational(1), EngineError);
+  EXPECT_EQ(kindOf([&] { (void)(Max + Max); }),
+            ErrorKind::ArithmeticOverflow);
+  // One below the edge still works.
+  Rational AlmostMax(I128Max - 1, 1);
+  EXPECT_EQ(AlmostMax + Rational(1), Max);
+}
+
+TEST(RationalOverflow, SubtractionAtTheEdge) {
+  // The representable minimum is I128Min + 1: canonicalization takes
+  // |num|, and |I128Min| itself does not exist in 128 bits.
+  Rational Min(I128Min + 1, 1);
+  EXPECT_THROW(Min - Rational(1), EngineError);
+  EXPECT_EQ(Min - Rational(0), Min);
+  Rational AlmostMin(I128Min + 2, 1);
+  EXPECT_EQ(AlmostMin - Rational(1), Min);
+}
+
+TEST(RationalOverflow, MultiplicationAtTheEdge) {
+  // 2^63 * 2^63 = 2^126 fits; doubling twice more crosses 2^127.
+  Rational P63(static_cast<__int128>(1) << 63, 1);
+  Rational P126 = P63 * P63;
+  EXPECT_EQ(P126.num(), static_cast<__int128>(1) << 126);
+  EXPECT_EQ(kindOf([&] { (void)(P126 * Rational(4)); }),
+            ErrorKind::ArithmeticOverflow);
+  EXPECT_NO_THROW((void)(P126 - Rational(1)));
+}
+
+TEST(RationalOverflow, TheUnrepresentableMinimumIsRejected) {
+  // |INT128_MIN| is not representable, so even constructing the value
+  // fails in canonicalization rather than producing a negative gcd.
+  EXPECT_EQ(kindOf([] { Rational R(I128Min, 1); }),
+            ErrorKind::ArithmeticOverflow);
+  EXPECT_NO_THROW(-Rational(I128Min + 1, 1));
+}
+
+TEST(RationalOverflow, NegativeDenominatorOfMinimumOverflows) {
+  // normalize() must negate both parts; Den = INT128_MIN cannot flip.
+  EXPECT_THROW(Rational(1, I128Min), EngineError);
+  EXPECT_NO_THROW(Rational(1, I128Min + 1));
+}
+
+TEST(RationalOverflow, CrossMultiplyingComparisonsAreChecked) {
+  // a/b < c/d compares a*d with c*b; near-max numerators overflow there
+  // even though both operands are individually representable.
+  Rational A(I128Max, 2);
+  Rational B(2, 3);
+  EXPECT_EQ(kindOf([&] { (void)(A < A); }), ErrorKind::ArithmeticOverflow);
+  EXPECT_TRUE(B < Rational(1));
+}
+
+TEST(RationalOverflow, DivisionByZeroIsStructured) {
+  EXPECT_EQ(kindOf([&] { (void)(Rational(1) / Rational(0)); }),
+            ErrorKind::InternalInvariant);
+}
+
+TEST(RationalOverflow, ToInt64RangeChecked) {
+  Rational Big(static_cast<__int128>(INT64_MAX) + 1, 1);
+  EXPECT_EQ(kindOf([&] { (void)Big.toInt64(); }),
+            ErrorKind::ArithmeticOverflow);
+  EXPECT_EQ(Rational(INT64_MAX).toInt64(), INT64_MAX);
+  EXPECT_EQ(kindOf([&] { (void)Rational(1, 2).toInt64(); }),
+            ErrorKind::InternalInvariant);
+}
+
+TEST(RationalOverflow, ValueUnchangedAfterFailedOperation) {
+  // Strong guarantee: a throwing operator leaves its operands intact.
+  Rational Max(I128Max, 1);
+  Rational Copy = Max;
+  EXPECT_THROW(Max += Rational(1), EngineError);
+  EXPECT_EQ(Max, Copy);
 }

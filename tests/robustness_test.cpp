@@ -49,6 +49,97 @@ TEST(DifferenceAbort, NeverFiringHookChangesNothing) {
   EXPECT_EQ(R1.D.numStates(), R2.D.numStates());
 }
 
+TEST(DifferenceAbort, MaxProductStatesCapsAndMarks) {
+  // A hard state cap aborts the construction and sets HitStateCap, the
+  // signal the analyzer uses to degrade to word-only subtraction rather
+  // than give up on the whole iteration.
+  Rng R(16);
+  Buchi A = randomBa(R, {14, 2, 1.6, 30});
+  Buchi B = randomSdba(R, 3, 6, 2);
+  auto S = prepareSdba(B);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O(*S, NcsbVariant::Lazy);
+  DifferenceOptions Opts;
+  Opts.MaxProductStates = 2; // absurdly tight: must trip immediately
+  DifferenceResult Res = difference(A, O, Opts);
+  EXPECT_TRUE(Res.Aborted);
+  EXPECT_TRUE(Res.HitStateCap);
+  EXPECT_EQ(Res.D.numStates(), 0u);
+}
+
+TEST(DifferenceAbort, GenerousCapChangesNothing) {
+  Rng R(17);
+  Buchi A = randomBa(R, {6, 2, 1.4, 30});
+  Buchi B = randomSdba(R, 2, 4, 2);
+  auto S = prepareSdba(B);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O1(*S, NcsbVariant::Lazy);
+  NcsbOracle O2(*S, NcsbVariant::Lazy);
+  DifferenceOptions Plain;
+  DifferenceOptions Capped;
+  Capped.MaxProductStates = 1u << 20;
+  DifferenceResult R1 = difference(A, O1, Plain);
+  DifferenceResult R2 = difference(A, O2, Capped);
+  EXPECT_FALSE(R2.Aborted);
+  EXPECT_FALSE(R2.HitStateCap);
+  EXPECT_EQ(R1.IsEmpty, R2.IsEmpty);
+  EXPECT_EQ(R1.D.numStates(), R2.D.numStates());
+}
+
+TEST(DifferenceAbort, ResourceGuardHeadroomAborts) {
+  // An in-flight construction polls the shared guard: when live states
+  // would cross the remaining budget, the subtraction aborts as capped
+  // (degradable) without charging the unfinished states.
+  Rng R(18);
+  Buchi A = randomBa(R, {14, 2, 1.6, 30});
+  Buchi B = randomSdba(R, 3, 6, 2);
+  auto S = prepareSdba(B);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O(*S, NcsbVariant::Lazy);
+  ResourceGuard::Limits L;
+  L.MaxStates = 4;
+  ResourceGuard G(L);
+  DifferenceOptions Opts;
+  Opts.Guard = &G;
+  DifferenceResult Res = difference(A, O, Opts);
+  EXPECT_TRUE(Res.Aborted);
+  EXPECT_TRUE(Res.HitStateCap);
+  EXPECT_EQ(G.statesCharged(), 0u) << "aborted work must not be charged";
+  EXPECT_FALSE(G.exhausted()) << "headroom abort is not a sticky trip";
+}
+
+TEST(DifferenceAbort, ExhaustedGuardStopsBeforeWork) {
+  Rng R(19);
+  Buchi A = randomBa(R, {8, 2, 1.4, 30});
+  Buchi B = randomSdba(R, 2, 4, 2);
+  auto S = prepareSdba(B);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O(*S, NcsbVariant::Lazy);
+  ResourceGuard G;
+  G.trip();
+  DifferenceOptions Opts;
+  Opts.Guard = &G;
+  DifferenceResult Res = difference(A, O, Opts);
+  EXPECT_TRUE(Res.Aborted);
+  EXPECT_FALSE(Res.HitStateCap) << "sticky exhaustion is not a cap abort";
+}
+
+TEST(DifferenceAbort, CompletedConstructionChargesTheGuard) {
+  Rng R(20);
+  Buchi A = randomBa(R, {5, 2, 1.3, 30});
+  Buchi B = randomSdba(R, 2, 3, 2);
+  auto S = prepareSdba(B);
+  ASSERT_TRUE(S.has_value());
+  NcsbOracle O(*S, NcsbVariant::Lazy);
+  ResourceGuard G; // unlimited: nothing aborts, everything is metered
+  DifferenceOptions Opts;
+  Opts.Guard = &G;
+  DifferenceResult Res = difference(A, O, Opts);
+  EXPECT_FALSE(Res.Aborted);
+  EXPECT_EQ(G.statesCharged(),
+            Res.ProductStatesExplored + Res.ComplementStatesDiscovered);
+}
+
 TEST(NcsbBlocking, SafeRunTouchingAcceptingStateBlocks) {
   // S-runs must stay safe: a macro-state whose S component is forced into
   // an accepting state has no successor on that symbol.

@@ -4,13 +4,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Error.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <gtest/gtest.h>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 using namespace termcheck;
@@ -120,6 +124,74 @@ TEST(Statistics, PrintIsDeterministicallyOrdered) {
   S.print(OS);
   std::string Out = OS.str();
   EXPECT_LT(Out.find("alpha"), Out.find("zeta"));
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  std::atomic<int> Count{0};
+  ThreadPool Pool(4);
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 100);
+  EXPECT_TRUE(Pool.takeErrors().empty());
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotTerminateOrLoseTheWorker) {
+  // The historical bug: an exception escaping a job unwound into
+  // std::thread and took the whole process down via std::terminate. The
+  // worker must survive and keep draining the queue.
+  std::atomic<int> Ran{0};
+  ThreadPool Pool(1); // one worker: a dead worker would strand the rest
+  Pool.submit([] { throw std::runtime_error("job 0 fails"); });
+  for (int I = 0; I < 10; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  Pool.waitIdle();
+  EXPECT_EQ(Ran.load(), 10);
+  EXPECT_EQ(Pool.takeErrors().size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleReturnsDespiteThrowingJobs) {
+  // The second half of the bug: the Outstanding decrement lived after the
+  // job call, so a throw skipped it and waitIdle hung forever. All-throwing
+  // workloads must still drain.
+  ThreadPool Pool(4);
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([] { throw std::runtime_error("always fails"); });
+  Pool.waitIdle(); // must return
+  EXPECT_EQ(Pool.takeErrors().size(), 64u);
+}
+
+TEST(ThreadPool, TakeErrorsPreservesTheExceptions) {
+  ThreadPool Pool(2);
+  Pool.submit([] {
+    throw EngineError(ErrorKind::ArithmeticOverflow, "from a job");
+  });
+  Pool.waitIdle();
+  std::vector<std::exception_ptr> Errors = Pool.takeErrors();
+  ASSERT_EQ(Errors.size(), 1u);
+  try {
+    std::rethrow_exception(Errors[0]);
+    FAIL() << "expected a rethrow";
+  } catch (const EngineError &E) {
+    EXPECT_EQ(E.kind(), ErrorKind::ArithmeticOverflow);
+    EXPECT_EQ(E.message(), "from a job");
+  }
+  // The channel is drained: a second take is empty.
+  EXPECT_TRUE(Pool.takeErrors().empty());
+}
+
+TEST(ThreadPool, MixedOutcomesAllCount) {
+  std::atomic<int> Ok{0};
+  ThreadPool Pool(3);
+  for (int I = 0; I < 30; ++I)
+    Pool.submit([&Ok, I] {
+      if (I % 3 == 0)
+        throw std::runtime_error("every third job");
+      ++Ok;
+    });
+  Pool.waitIdle();
+  EXPECT_EQ(Ok.load(), 20);
+  EXPECT_EQ(Pool.takeErrors().size(), 10u);
 }
 
 } // namespace

@@ -22,13 +22,20 @@
 ///     --dot-modules       also print each certified module as Graphviz
 ///     --quiet             verdict only
 ///
+///     --max-states <N>    per-subtraction live-state cap (0 = unlimited);
+///                         a capped subtraction degrades to word-only
+///                         removal instead of exhausting memory
+///
 /// Exit code: 0 terminating, 1 nonterminating (validated certificate),
-/// 2 unknown, 3 timeout or cancelled, 4 usage or parse error.
+/// 2 unknown (including an engine fault contained at top level -- the
+/// diagnostic goes to stderr), 3 timeout or cancelled, 4 usage or parse
+/// error. Parse diagnostics are printed as `path:line:col: message`.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "automata/Dot.h"
 #include "program/Parser.h"
+#include "support/Error.h"
 #include "termination/Portfolio.h"
 
 #include <cstdio>
@@ -58,15 +65,18 @@ void usage(const char *Prog) {
       "  --no-nonterm            disable the nontermination prover (a lasso\n"
       "                          unproven terminating reports UNKNOWN)\n"
       "  --witness               print the full nontermination witness\n"
+      "  --max-states <N>        live-state cap per subtraction (0 =\n"
+      "                          unlimited); capped subtractions degrade\n"
+      "                          to word-only removal\n"
       "  --dot-cfg               print the CFG as Graphviz and exit\n"
       "  --dot-modules           print each module as Graphviz\n"
       "  --quiet                 print the verdict only\n",
       Prog);
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+/// The whole front end; any exception escaping it is mapped to exit 2 by
+/// main() below.
+int runMain(int Argc, char **Argv) {
   AnalyzerOptions Opts;
   Opts.TimeoutSeconds = 60;
   bool DotCfg = false, DotModules = false, Quiet = false, Witness = false;
@@ -114,6 +124,13 @@ int main(int Argc, char **Argv) {
       Opts.ProveNontermination = false;
     } else if (std::strcmp(Arg, "--witness") == 0) {
       Witness = true;
+    } else if (std::strcmp(Arg, "--max-states") == 0) {
+      long N = std::atol(NeedsValue("--max-states"));
+      if (N < 0) {
+        std::fprintf(stderr, "error: --max-states needs a count >= 0\n");
+        std::exit(4);
+      }
+      Opts.MaxProductStates = static_cast<uint64_t>(N);
     } else if (std::strcmp(Arg, "--portfolio") == 0) {
       PortfolioK = std::atol(NeedsValue("--portfolio"));
       if (PortfolioK < 1) {
@@ -162,7 +179,20 @@ int main(int Argc, char **Argv) {
 
   ParseResult Parsed = parseProgram(Buf.str());
   if (!Parsed.ok()) {
-    std::fprintf(stderr, "%s: %s\n", Path, Parsed.Error.c_str());
+    // `path:line:col: message` -- the shape editors and CI annotators
+    // already know how to jump to. The parser message embeds the same
+    // position (it must stand alone for library users); drop that prefix
+    // here rather than saying it twice.
+    if (Parsed.Line > 0) {
+      std::string Msg = Parsed.Error;
+      std::string Embedded = "line " + std::to_string(Parsed.Line) +
+                             ", col " + std::to_string(Parsed.Col) + ": ";
+      if (Msg.rfind(Embedded, 0) == 0)
+        Msg = Msg.substr(Embedded.size());
+      std::fprintf(stderr, "%s:%d:%d: error: %s\n", Path, Parsed.Line,
+                   Parsed.Col, Msg.c_str());
+    } else
+      std::fprintf(stderr, "%s: error: %s\n", Path, Parsed.Error.c_str());
     return 4;
   }
   Program &P = *Parsed.Prog;
@@ -181,6 +211,7 @@ int main(int Argc, char **Argv) {
     PO.Jobs = static_cast<size_t>(JobsN);
     PO.TimeoutSeconds = Opts.TimeoutSeconds;
     PO.DisableNonterm = !Opts.ProveNontermination;
+    PO.MaxProductStates = Opts.MaxProductStates;
     std::vector<PortfolioConfig> Configs =
         defaultPortfolio(static_cast<size_t>(PortfolioK));
     PortfolioRunResult PR = runPortfolio(P, Configs, PO);
@@ -244,4 +275,25 @@ int main(int Argc, char **Argv) {
     return 3;
   }
   return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Last-resort containment: the engine contains its own faults (stage
+  // fallbacks, portfolio quarantine), so anything landing here is either a
+  // fault on a path with no softer fallback or a bug -- report one line to
+  // stderr and exit 2 (the analysis is UNKNOWN), never std::terminate.
+  try {
+    return runMain(Argc, Argv);
+  } catch (const EngineError &E) {
+    std::fprintf(stderr, "termcheck: engine fault: %s\n", E.what());
+    return 2;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "termcheck: unexpected error: %s\n", E.what());
+    return 2;
+  } catch (...) {
+    std::fprintf(stderr, "termcheck: unexpected non-standard exception\n");
+    return 2;
+  }
 }
