@@ -19,14 +19,70 @@
 #include "benchgen/RandomAutomata.h"
 #include "benchgen/SdbaHarvest.h"
 #include "program/Parser.h"
+#include "support/Json.h"
 #include "termination/Analyzer.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 namespace termcheck {
 namespace bench {
+
+/// Every harness's --json document is stamped with this schema pair; the
+/// per-run objects inside embed the termcheck-run-report fields (see
+/// termination/RunReport.h and DESIGN.md section 11), so one consumer
+/// reads CLI reports and bench snapshots alike.
+inline constexpr const char *BenchReportSchemaName = "termcheck-bench-report";
+inline constexpr int BenchReportSchemaVersion = 1;
+
+/// Writes the shared bench document header into an open object.
+inline void beginBenchReport(json::Writer &W, const char *BenchName) {
+  W.field("schema", BenchReportSchemaName);
+  W.field("schema_version", static_cast<int64_t>(BenchReportSchemaVersion));
+  W.field("bench", BenchName);
+}
+
+/// Strips a `--json <path>` flag out of (Argc, Argv) in place; returns the
+/// path ("" = flag absent, "-" = stdout). Exits with status 1 on a
+/// dangling flag so every harness diagnoses it the same way.
+inline std::string takeJsonFlag(int &Argc, char **Argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: --json needs a path\n", Argv[0]);
+        std::exit(1);
+      }
+      Path = Argv[++I];
+    } else {
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+  return Path;
+}
+
+/// Writes the finished --json document to \p Path ('-' = stdout).
+/// \returns false (with a diagnostic) when the file cannot be created.
+inline bool writeJsonDocument(const std::string &Path,
+                              const std::string &Doc) {
+  if (Path == "-") {
+    std::fputs(Doc.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Doc;
+  return true;
+}
 
 /// One SDBA corpus entry.
 struct CorpusSdba {

@@ -15,11 +15,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
+#include "termination/RunReport.h"
+
+#include <sstream>
 
 using namespace termcheck;
 using namespace termcheck::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --json <path|-> emits the shared bench schema: one entry per program
+  // embedding the run-report fields of both the single- and multi-stage
+  // run. With the flag absent no report objects are built at all, so the
+  // measured walls are unchanged.
+  std::string JsonPath = takeJsonFlag(Argc, Argv);
+  const bool EmitJson = !JsonPath.empty();
   constexpr double Budget = 2.0; // paper: 300 s; scaled (see DESIGN.md)
   std::printf("Figure 5 (left): single-stage vs multi-stage, budget %.1f s\n",
               Budget);
@@ -31,6 +40,15 @@ int main() {
   std::vector<BenchProgram> Suite = benchmarkSuite();
   size_t SolvedSingle = 0, SolvedMulti = 0, N = 0;
   double TimeSingle = 0, TimeMulti = 0;
+  std::ostringstream JsonBuf;
+  json::Writer W(JsonBuf);
+  if (EmitJson) {
+    W.beginObject();
+    beginBenchReport(W, "fig5_multistage");
+    W.field("budget_s", Budget);
+    W.key("runs");
+    W.beginArray();
+  }
   for (const BenchProgram &B : Suite) {
     AnalyzerOptions Single;
     Single.MultiStage = false;
@@ -53,6 +71,24 @@ int main() {
     TimeSingle += RS.Seconds;
     TimeMulti += RM.Seconds;
     ++N;
+    if (EmitJson) {
+      W.beginObject();
+      W.field("program", B.Name);
+      W.field("expected", ExpectName);
+      auto EmitRun = [&](const char *Key, const AnalysisResult &R) {
+        W.key(Key);
+        W.beginObject();
+        RunReportInput In;
+        In.ProgramName = B.Name;
+        In.Result = &R;
+        In.TimeoutSeconds = Budget;
+        writeRunReportFields(W, In);
+        W.endObject();
+      };
+      EmitRun("single_stage", RS);
+      EmitRun("multi_stage", RM);
+      W.endObject();
+    }
   }
   hr();
   std::printf("solved: single-stage %zu/%zu, multi-stage %zu/%zu "
@@ -60,5 +96,20 @@ int main() {
               SolvedSingle, N, SolvedMulti, N);
   std::printf("total time: single-stage %.2f s, multi-stage %.2f s\n",
               TimeSingle, TimeMulti);
+  if (EmitJson) {
+    W.endArray();
+    W.key("totals");
+    W.beginObject();
+    W.field("tasks", static_cast<int64_t>(N));
+    W.field("solved_single_stage", static_cast<int64_t>(SolvedSingle));
+    W.field("solved_multi_stage", static_cast<int64_t>(SolvedMulti));
+    W.field("time_single_stage_s", TimeSingle);
+    W.field("time_multi_stage_s", TimeMulti);
+    W.endObject();
+    W.endObject();
+    W.finish();
+    if (!writeJsonDocument(JsonPath, JsonBuf.str()))
+      return 1;
+  }
   return 0;
 }

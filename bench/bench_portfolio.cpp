@@ -27,9 +27,12 @@
 ///   timeout-seconds  per-configuration budget    (default: 10)
 ///   configs          portfolio size K, 1..14     (default: 6)
 ///   jobs             worker threads, 0 = one per config (default: 0)
-///   --json <path>    additionally emit a machine-readable report (per
-///                    program: verdict, winner, wall clocks; plus totals)
-///                    to the file, or to stdout when the path is `-`
+///   --json <path>    additionally emit a machine-readable report to the
+///                    file (or stdout when the path is `-`): the shared
+///                    "termcheck-bench-report" schema whose per-program
+///                    entries embed the full termcheck-run-report fields
+///                    (winner, entrant timelines, stage census) plus a
+///                    `bench` object with the wall-clock comparison
 ///
 /// Jobs defaults to one thread per configuration rather than the core
 /// count: a portfolio is a race, and racing through the OS scheduler works
@@ -40,7 +43,7 @@
 
 #include "BenchSupport.h"
 #include "support/Timer.h"
-#include "termination/Portfolio.h"
+#include "termination/RunReport.h"
 
 #include <algorithm>
 #include <cstring>
@@ -90,19 +93,10 @@ double runSequential(const Program &P, const PortfolioConfig &C,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string JsonPath;
+  std::string JsonPath = takeJsonFlag(Argc, Argv);
   std::vector<const char *> Pos;
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--json") == 0) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "bench_portfolio: --json needs a path\n");
-        return 1;
-      }
-      JsonPath = Argv[++I];
-    } else {
-      Pos.push_back(Argv[I]);
-    }
-  }
+  for (int I = 1; I < Argc; ++I)
+    Pos.push_back(Argv[I]);
   std::string Dir = Pos.size() > 0 ? Pos[0] : "benchmarks";
   double Timeout = Pos.size() > 1 ? std::atof(Pos[1]) : 10.0;
   size_t K = Pos.size() > 2 ? static_cast<size_t>(std::atol(Pos[2])) : 6;
@@ -129,11 +123,19 @@ int main(int Argc, char **Argv) {
   bool SlowerThanWorst = false;
   double BestSpeedup = 0;
   double TotalPortfolio = 0, TotalBest = 0, TotalDefault = 0;
-  std::ostringstream Json;
-  Json << "{\n  \"corpus\": \"" << Dir << "\",\n  \"timeout_s\": " << Timeout
-       << ",\n  \"configs\": " << Configs.size() << ",\n  \"jobs\": " << Jobs
-       << ",\n  \"programs\": [\n";
-  bool FirstJson = true;
+  // The --json document: the shared bench schema, with each program's
+  // entry embedding the full termcheck-run-report fields of the portfolio
+  // run plus a `bench` object of harness-only measurements.
+  std::ostringstream JsonBuf;
+  json::Writer W(JsonBuf);
+  W.beginObject();
+  beginBenchReport(W, "portfolio");
+  W.field("corpus", Dir);
+  W.field("timeout_s", Timeout);
+  W.field("configs", static_cast<int64_t>(Configs.size()));
+  W.field("jobs", static_cast<int64_t>(Jobs));
+  W.key("runs");
+  W.beginArray();
   for (const CorpusProgram &CP : Corpus) {
     ParseResult PR = parseProgram(CP.Source);
     if (!PR.ok()) {
@@ -174,15 +176,25 @@ int main(int Argc, char **Argv) {
                 verdictName(R.Result.V),
                 R.WinnerIndex < Configs.size() ? " won-by " : "",
                 R.WinnerName.c_str());
-    if (!FirstJson)
-      Json << ",\n";
-    FirstJson = false;
-    Json << "    {\"name\": \"" << CP.Name << "\", \"verdict\": \""
-         << verdictName(R.Result.V) << "\", \"winner\": \""
-         << (R.WinnerIndex < Configs.size() ? R.WinnerName : "") << "\", "
-         << "\"portfolio_s\": " << Wall << ", \"best_seq_s\": " << Best
-         << ", \"default_seq_s\": " << Default << ", \"worst_seq_s\": "
-         << Worst << ", \"speedup_vs_default\": " << Speedup << "}";
+
+    W.beginObject();
+    RunReportInput In;
+    In.ProgramName = CP.Name;
+    In.SourcePath = Dir + "/" + CP.Name + ".while";
+    In.Result = &R.Result;
+    In.Portfolio = &R;
+    In.Jobs = Jobs;
+    In.TimeoutSeconds = Timeout;
+    writeRunReportFields(W, In);
+    W.key("bench");
+    W.beginObject();
+    W.field("portfolio_s", Wall);
+    W.field("best_seq_s", Best);
+    W.field("default_seq_s", Default);
+    W.field("worst_seq_s", Worst);
+    W.field("speedup_vs_default", Speedup);
+    W.endObject();
+    W.endObject();
   }
   hr();
   std::printf("totals: portfolio %.3fs, best-seq %.3fs, default-seq %.3fs\n",
@@ -191,23 +203,18 @@ int main(int Argc, char **Argv) {
       "portfolio <= worst sequential (+10ms sched eps) on every program: %s\n",
       SlowerThanWorst ? "NO" : "yes");
   std::printf("max speedup over default configuration: %.2fx\n", BestSpeedup);
-  Json << "\n  ],\n  \"totals\": {\"portfolio_s\": " << TotalPortfolio
-       << ", \"best_seq_s\": " << TotalBest << ", \"default_seq_s\": "
-       << TotalDefault << "},\n  \"never_slower_than_worst\": "
-       << (SlowerThanWorst ? "false" : "true")
-       << ",\n  \"max_speedup_vs_default\": " << BestSpeedup << "\n}\n";
-  if (!JsonPath.empty()) {
-    if (JsonPath == "-") {
-      std::fputs(Json.str().c_str(), stdout);
-    } else {
-      std::ofstream Out(JsonPath);
-      if (!Out) {
-        std::fprintf(stderr, "bench_portfolio: cannot write %s\n",
-                     JsonPath.c_str());
-        return 1;
-      }
-      Out << Json.str();
-    }
-  }
+  W.endArray();
+  W.key("totals");
+  W.beginObject();
+  W.field("portfolio_s", TotalPortfolio);
+  W.field("best_seq_s", TotalBest);
+  W.field("default_seq_s", TotalDefault);
+  W.endObject();
+  W.field("never_slower_than_worst", !SlowerThanWorst);
+  W.field("max_speedup_vs_default", BestSpeedup);
+  W.endObject();
+  W.finish();
+  if (!JsonPath.empty() && !writeJsonDocument(JsonPath, JsonBuf.str()))
+    return 1;
   return SlowerThanWorst ? 2 : 0;
 }

@@ -19,10 +19,16 @@
 
 #include "BenchSupport.h"
 
+#include <sstream>
+
 using namespace termcheck;
 using namespace termcheck::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --json <path|-> emits the shared bench schema: one entry per stage
+  // sequence with its solved count and module-kind census.
+  std::string JsonPath = takeJsonFlag(Argc, Argv);
+  const bool EmitJson = !JsonPath.empty();
   constexpr double Budget = 2.0;
   std::vector<BenchProgram> Suite = benchmarkSuite();
 
@@ -42,6 +48,16 @@ int main() {
   std::printf("%-20s %7s | %7s %7s %7s %7s %7s\n", "sequence", "solved",
               "lasso", "finite", "det", "semi", "nondet");
   hr();
+  std::ostringstream JsonBuf;
+  json::Writer W(JsonBuf);
+  if (EmitJson) {
+    W.beginObject();
+    beginBenchReport(W, "table_modules");
+    W.field("budget_s", Budget);
+    W.field("tasks", static_cast<int64_t>(Suite.size()));
+    W.key("sequences");
+    W.beginArray();
+  }
   for (const Row &R : Rows) {
     AnalyzerOptions Opts;
     Opts.Sequence = R.Seq;
@@ -60,9 +76,33 @@ int main() {
                 static_cast<long long>(Total.get("modules.deterministic")),
                 static_cast<long long>(Total.get("modules.semideterministic")),
                 static_cast<long long>(Total.get("modules.nondeterministic")));
+    if (EmitJson) {
+      W.beginObject();
+      W.field("sequence", R.Name);
+      W.field("solved", static_cast<int64_t>(Solved));
+      // The same fixed-shape per-stage census object the run report's
+      // `stages` member uses.
+      W.key("stages");
+      W.beginObject();
+      W.field("lasso", Total.get("modules.lasso"));
+      W.field("finite", Total.get("modules.finite"));
+      W.field("deterministic", Total.get("modules.deterministic"));
+      W.field("semideterministic", Total.get("modules.semideterministic"));
+      W.field("nondeterministic", Total.get("modules.nondeterministic"));
+      W.field("rotated", Total.get("modules.rotated"));
+      W.endObject();
+      W.endObject();
+    }
   }
   hr();
   std::printf("(paper, sequence (i): 6375 finite-trace, 1200 semidet, 3 "
               "nondet modules; solved counts within +-2 across sequences)\n");
+  if (EmitJson) {
+    W.endArray();
+    W.endObject();
+    W.finish();
+    if (!writeJsonDocument(JsonPath, JsonBuf.str()))
+      return 1;
+  }
   return 0;
 }

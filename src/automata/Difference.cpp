@@ -140,6 +140,7 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   // subsumption the oracle relation degrades to equality, which makes this
   // an exact set.
   std::unordered_map<State, std::vector<State>> Emp;
+  size_t SubsumptionPruned = 0;
   if (Opts.UseSubsumption) {
     Remover.IsKnownUseless = [&](State S) {
       auto [P, Q] = Src.decode(S);
@@ -147,8 +148,10 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
       if (It == Emp.end())
         return false;
       for (State R : It->second)
-        if (BC.subsumedBy(Q, R))
+        if (BC.subsumedBy(Q, R)) {
+          ++SubsumptionPruned;
           return true;
+        }
       return false;
     };
     Remover.AddUseless = [&](State S) {
@@ -182,6 +185,7 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   Out.IsEmpty = R.LanguageEmpty;
   Out.ProductStatesExplored = R.StatesExplored;
   Out.ComplementStatesDiscovered = BC.numStatesDiscovered();
+  Out.SubsumptionPruned = SubsumptionPruned;
   // An oracle-side abort truncated some successor list, so the search saw
   // an under-approximated product; the classification is as invalid as a
   // remover-side abort.

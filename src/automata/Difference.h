@@ -68,6 +68,10 @@ struct DifferenceResult {
   /// guard's headroom), as opposed to the sticky deadline/cancellation
   /// hook: the caller may retry with a cheaper construction.
   bool HitStateCap = false;
+  /// Macro-states pruned without exploration because a subsumping member
+  /// of the emp antichain was already known useless (Section 6). Zero when
+  /// subsumption is off.
+  size_t SubsumptionPruned = 0;
 };
 
 /// Computes the useful part of L(A) \ L(B-bar-source). \p A provides k

@@ -6,14 +6,34 @@
 
 #include "automata/Dot.h"
 
+#include <cstdio>
+
 using namespace termcheck;
 
+/// Escapes \p S for a double-quoted DOT string. Quotes and backslashes
+/// get a backslash; control characters are rewritten too (newline/tab to
+/// their DOT escapes, the rest to \ooo octal), since a raw control byte
+/// inside a label makes Graphviz reject or mis-render the file.
 static std::string escapeDot(const std::string &S) {
   std::string Out;
   for (char C : S) {
-    if (C == '"' || C == '\\')
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '"' || C == '\\') {
       Out.push_back('\\');
-    Out.push_back(C);
+      Out.push_back(C);
+    } else if (C == '\n') {
+      Out += "\\n";
+    } else if (C == '\r') {
+      Out += "\\r";
+    } else if (C == '\t') {
+      Out += "\\t";
+    } else if (U < 0x20 || U == 0x7f) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\%03o", U);
+      Out += Buf;
+    } else {
+      Out.push_back(C);
+    }
   }
   return Out;
 }
@@ -21,7 +41,11 @@ static std::string escapeDot(const std::string &S) {
 std::string termcheck::toDot(
     const Buchi &A, const std::function<std::string(Symbol)> &SymbolName,
     const std::string &GraphName) {
-  std::string S = "digraph " + GraphName + " {\n  rankdir=LR;\n"
+  // The graph id is always emitted as a quoted (escaped) string: a bare id
+  // such as "my graph" or "2nd" is a DOT syntax error, and a caller-chosen
+  // name must never be able to break out of the header line.
+  std::string S = "digraph \"" + escapeDot(GraphName) + "\" {\n"
+                  "  rankdir=LR;\n"
                   "  node [shape=circle];\n";
   // Invisible entry arrows for initial states.
   for (State Q : A.initials().elems()) {

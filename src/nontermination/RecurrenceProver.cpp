@@ -78,6 +78,12 @@ std::optional<Cube> RecurrenceProver::closeUnderLoop(Cube R,
       if (!fm::entails(R, Stepped))
         Violated.push_back(std::move(Stepped));
     }
+    if (Trace *TR = Opts.Tracer)
+      TR->emit(TraceEvent(TraceEventKind::CegisRound)
+                   .with("round", static_cast<int64_t>(Round))
+                   .with("cube_atoms", static_cast<int64_t>(R.atoms().size()))
+                   .with("violated", static_cast<int64_t>(Violated.size()))
+                   .with("closed", Violated.empty()));
     if (Violated.empty())
       return R; // closed
     // Conjoin every violated direction and try again: for loops whose
@@ -209,6 +215,22 @@ RecurrenceProver::prove(const std::vector<SymbolId> &Stem,
     return std::nullopt;
   FaultInjector::hit(FaultSite::ProverEntry);
   Stats.add("nonterm.attempts");
+  if (Trace *TR = Opts.Tracer)
+    TR->emit(TraceEvent(TraceEventKind::NontermAttempt)
+                 .with("stem_len", static_cast<int64_t>(Stem.size()))
+                 .with("loop_len", static_cast<int64_t>(Loop.size())));
+  // Every return below reports its outcome so the trace reader can pair
+  // each attempt with what it yielded.
+  const char *Outcome = "failed";
+  struct Report {
+    Trace *TR;
+    const char *&Outcome;
+    ~Report() {
+      if (TR)
+        TR->emit(TraceEvent(TraceEventKind::NontermResult)
+                     .with("outcome", Outcome));
+    }
+  } ReportOnExit{Opts.Tracer, Outcome};
 
   // 1. Stem feasibility gate via the strongest-postcondition chain. The
   // final cube doubles as the seed-atom pool for the recurrent set.
@@ -220,6 +242,7 @@ RecurrenceProver::prove(const std::vector<SymbolId> &Stem,
   }
   if (StemPost.isContradictory() || !fm::isSatisfiable(StemPost)) {
     Stats.add("nonterm.stem_infeasible");
+    Outcome = "stem_infeasible";
     return std::nullopt;
   }
 
@@ -284,6 +307,7 @@ RecurrenceProver::prove(const std::vector<SymbolId> &Stem,
         continue;
       }
       Stats.add("nonterm.recurrent_sets");
+      Outcome = "recurrent_set";
       return Cert;
     }
   }
@@ -297,6 +321,7 @@ RecurrenceProver::prove(const std::vector<SymbolId> &Stem,
       return std::nullopt;
     }
     Stats.add("nonterm.witness_cycles");
+    Outcome = "witness_cycle";
     return Cert;
   }
   Stats.add("nonterm.failures");

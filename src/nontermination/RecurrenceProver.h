@@ -40,6 +40,7 @@
 #include "nontermination/NontermCertificate.h"
 #include "nontermination/PathSummary.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 
 #include <optional>
 
@@ -59,6 +60,10 @@ struct RecurrenceOptions {
   int64_t TrialValueRange = 4;
   /// RNG seed of the witness search (fixed => deterministic runs).
   uint64_t Seed = 1;
+  /// Optional trace handle (non-owning; null = disabled). The analyzer
+  /// forwards its own handle here so CEGIS round events land in the same
+  /// stream as the refinement-loop events.
+  Trace *Tracer = nullptr;
 };
 
 /// Nontermination prover for lasso words (see file comment).

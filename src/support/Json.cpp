@@ -1,0 +1,436 @@
+//===- support/Json.cpp - Minimal JSON writer and parser ------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace termcheck;
+using namespace termcheck::json;
+
+std::string termcheck::json::formatFixed(double V, int Decimals) {
+  if (!std::isfinite(V))
+    V = 0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  // "-0.000000" and "0.000000" are the same report; normalize the sign so
+  // a value that rounds to zero cannot flip bytes between runs.
+  if (Buf[0] == '-') {
+    bool AllZero = true;
+    for (const char *P = Buf + 1; *P; ++P)
+      if (*P != '0' && *P != '.')
+        AllZero = false;
+    if (AllZero)
+      return Buf + 1;
+  }
+  return Buf;
+}
+
+std::string termcheck::json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  return Out;
+}
+
+void Writer::indent(size_t Depth) {
+  for (size_t I = 0; I < Depth; ++I)
+    OS << "  ";
+}
+
+void Writer::valuePrefix() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (Stack.empty())
+    return;
+  assert(!Stack.back().IsObject &&
+         "object members need a key before the value");
+  if (!Stack.back().First)
+    OS << ',';
+  Stack.back().First = false;
+  if (Pretty) {
+    OS << '\n';
+    indent(Stack.size());
+  }
+}
+
+void Writer::key(const std::string &K) {
+  assert(!Stack.empty() && Stack.back().IsObject && !PendingKey &&
+         "key() only inside an object, never twice in a row");
+  if (!Stack.back().First)
+    OS << ',';
+  Stack.back().First = false;
+  if (Pretty) {
+    OS << '\n';
+    indent(Stack.size());
+  }
+  OS << '"' << escape(K) << "\":";
+  if (Pretty)
+    OS << ' ';
+  PendingKey = true;
+}
+
+void Writer::beginObject() {
+  valuePrefix();
+  OS << '{';
+  Stack.push_back({true, true});
+}
+
+void Writer::endObject() {
+  assert(!Stack.empty() && Stack.back().IsObject && !PendingKey);
+  bool WasEmpty = Stack.back().First;
+  Stack.pop_back();
+  if (Pretty && !WasEmpty) {
+    OS << '\n';
+    indent(Stack.size());
+  }
+  OS << '}';
+}
+
+void Writer::beginArray() {
+  valuePrefix();
+  OS << '[';
+  Stack.push_back({false, true});
+}
+
+void Writer::endArray() {
+  assert(!Stack.empty() && !Stack.back().IsObject && !PendingKey);
+  bool WasEmpty = Stack.back().First;
+  Stack.pop_back();
+  if (Pretty && !WasEmpty) {
+    OS << '\n';
+    indent(Stack.size());
+  }
+  OS << ']';
+}
+
+void Writer::value(const std::string &S) {
+  valuePrefix();
+  OS << '"' << escape(S) << '"';
+}
+
+void Writer::value(const char *S) { value(std::string(S)); }
+
+void Writer::value(int64_t V) {
+  valuePrefix();
+  OS << V;
+}
+
+void Writer::value(uint64_t V) {
+  valuePrefix();
+  OS << V;
+}
+
+void Writer::value(double V) {
+  valuePrefix();
+  OS << formatFixed(V);
+}
+
+void Writer::value(bool V) {
+  valuePrefix();
+  OS << (V ? "true" : "false");
+}
+
+void Writer::null() {
+  valuePrefix();
+  OS << "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view S, std::string *Error) : S(S), Error(Error) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != S.size())
+      return fail("trailing characters after the top-level value");
+    return true;
+  }
+
+private:
+  std::string_view S;
+  std::string *Error;
+  size_t Pos = 0;
+
+  bool fail(const std::string &Msg) {
+    if (Error)
+      *Error = "at offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view L) {
+    if (S.substr(Pos, L.size()) != L)
+      return false;
+    Pos += L.size();
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    char C = S[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      Out.K = Value::Kind::Null;
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    Out.K = Value::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.Obj.emplace(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return fail("unterminated object");
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    Out.K = Value::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return fail("unterminated array");
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= S.size())
+          return fail("dangling escape");
+        char E = S[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out.push_back('"');
+          break;
+        case '\\':
+          Out.push_back('\\');
+          break;
+        case '/':
+          Out.push_back('/');
+          break;
+        case 'b':
+          Out.push_back('\b');
+          break;
+        case 'f':
+          Out.push_back('\f');
+          break;
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 'r':
+          Out.push_back('\r');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        case 'u': {
+          if (Pos + 4 > S.size())
+            return fail("truncated \\u escape");
+          unsigned V = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = S[Pos + I];
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape digit");
+          }
+          Pos += 4;
+          // The writer only synthesizes \u00XX for control characters;
+          // decode the BMP point as UTF-8 so round-trips are exact.
+          if (V < 0x80) {
+            Out.push_back(static_cast<char>(V));
+          } else if (V < 0x800) {
+            Out.push_back(static_cast<char>(0xC0 | (V >> 6)));
+            Out.push_back(static_cast<char>(0x80 | (V & 0x3F)));
+          } else {
+            Out.push_back(static_cast<char>(0xE0 | (V >> 12)));
+            Out.push_back(static_cast<char>(0x80 | ((V >> 6) & 0x3F)));
+            Out.push_back(static_cast<char>(0x80 | (V & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+        }
+        continue;
+      }
+      Out.push_back(C);
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string Text(S.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Text.c_str(), &End);
+    if (End == Text.c_str() || *End != '\0') {
+      Pos = Start;
+      return fail("malformed number");
+    }
+    Out.K = Value::Kind::Number;
+    Out.Num = V;
+    return true;
+  }
+};
+
+} // namespace
+
+bool termcheck::json::parse(std::string_view S, Value &Out,
+                            std::string *Error) {
+  return Parser(S, Error).run(Out);
+}

@@ -1,0 +1,142 @@
+//===- support/Json.h - Minimal JSON writer and parser --------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON layer under the observability features (run reports, trace
+/// streams, bench snapshots):
+///
+///  * `json::Writer` -- a streaming writer with correct string escaping
+///    and *deterministic* number formatting: doubles are always printed
+///    with fixed six-decimal precision (never scientific notation), so a
+///    report produced twice from the same deterministic run is identical
+///    byte for byte. `formatFixed` is the one double formatter shared by
+///    the writer and Statistics::print, keeping the text and JSON dumps
+///    in lockstep.
+///
+///  * `json::Value` / `json::parse` -- a small recursive-descent parser,
+///    enough to validate emitted reports in tests and tools (numbers are
+///    held as doubles; the reports only carry values far below 2^53).
+///
+/// Neither side aims at full generality (no streaming parse, no \uXXXX
+/// synthesis beyond control characters); both aim at being obviously
+/// correct for the report schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_SUPPORT_JSON_H
+#define TERMCHECK_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace termcheck {
+namespace json {
+
+/// Formats \p V with fixed \p Decimals decimal places, never scientific
+/// notation. Non-finite values (which valid reports never contain, but a
+/// fault path might produce) are clamped to zero rather than emitting
+/// text JSON parsers reject.
+std::string formatFixed(double V, int Decimals = 6);
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes,
+/// backslashes, and all control characters below 0x20; everything else is
+/// passed through as UTF-8).
+std::string escape(const std::string &S);
+
+/// A streaming JSON writer. The caller drives structure explicitly
+/// (begin/end object/array, key, value); the writer tracks comma placement
+/// and, in pretty mode, indentation. Misuse (a value with a dangling key,
+/// unbalanced ends) is a programming error caught by assertions.
+class Writer {
+public:
+  explicit Writer(std::ostream &OS, bool Pretty = true)
+      : OS(OS), Pretty(Pretty) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key; the next emission must be its value.
+  void key(const std::string &K);
+
+  void value(const std::string &S);
+  void value(const char *S);
+  void value(int64_t V);
+  void value(uint64_t V);
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(double V);
+  void value(bool V);
+  void null();
+
+  /// key + value in one call.
+  template <typename T> void field(const std::string &K, T V) {
+    key(K);
+    value(V);
+  }
+  void fieldNull(const std::string &K) {
+    key(K);
+    null();
+  }
+
+  /// Terminates the document with a trailing newline (optional; call once
+  /// after the top-level value is closed).
+  void finish() { OS << "\n"; }
+
+private:
+  std::ostream &OS;
+  bool Pretty;
+  struct Ctx {
+    bool IsObject;
+    bool First;
+  };
+  std::vector<Ctx> Stack;
+  bool PendingKey = false;
+
+  void indent(size_t Depth);
+  /// Comma/newline bookkeeping before a value or container opens.
+  void valuePrefix();
+};
+
+/// A parsed JSON value (see file comment for the supported subset).
+struct Value {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::map<std::string, Value> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; \returns nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+};
+
+/// Parses one JSON document. \returns false on malformed input (with a
+/// position-bearing message in \p Error when provided); trailing garbage
+/// after the top-level value is an error.
+bool parse(std::string_view S, Value &Out, std::string *Error = nullptr);
+
+} // namespace json
+} // namespace termcheck
+
+#endif // TERMCHECK_SUPPORT_JSON_H

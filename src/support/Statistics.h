@@ -27,6 +27,8 @@
 #ifndef TERMCHECK_SUPPORT_STATISTICS_H
 #define TERMCHECK_SUPPORT_STATISTICS_H
 
+#include "support/Json.h"
+
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -87,14 +89,19 @@ public:
 
   /// Merges \p Other with every counter name prefixed by \p Prefix (the
   /// portfolio uses this to namespace per-configuration statistics inside
-  /// one combined dump).
-  void mergePrefixed(const Statistics &Other, const std::string &Prefix) {
+  /// one combined dump). With \p IncludeTimes false, wall-clock timers are
+  /// left out -- the portfolio's merged dump must stay byte-for-byte
+  /// reproducible with Jobs == 1, and timers are the one nondeterministic
+  /// kind (per-run timers stay available on each AnalysisResult).
+  void mergePrefixed(const Statistics &Other, const std::string &Prefix,
+                     bool IncludeTimes = true) {
     for (const auto &[K, V] : Other.Counters)
       Counters[Prefix + K] += V;
     for (const auto &[K, V] : Other.Maxima)
       recordMax(Prefix + K, V);
-    for (const auto &[K, V] : Other.Times)
-      Times[Prefix + K] += V;
+    if (IncludeTimes)
+      for (const auto &[K, V] : Other.Times)
+        Times[Prefix + K] += V;
   }
 
   /// \returns true when no counter of any kind has been touched.
@@ -103,14 +110,17 @@ public:
   }
 
   /// Pretty-prints all counters, one per line, in deterministic order:
-  /// additive counters, then high-water marks, then timers.
+  /// additive counters, then high-water marks, then timers. Timers use the
+  /// same fixed-precision formatter as the JSON run report: the default
+  /// ostream precision flips tiny values into scientific notation
+  /// (1e-07), which would break the byte-for-byte determinism guards.
   void print(std::ostream &OS) const {
     for (const auto &[K, V] : Counters)
       OS << "  " << K << " = " << V << "\n";
     for (const auto &[K, V] : Maxima)
       OS << "  " << K << " = " << V << " (max)\n";
     for (const auto &[K, V] : Times)
-      OS << "  " << K << " = " << V << " s\n";
+      OS << "  " << K << " = " << json::formatFixed(V) << " s\n";
   }
 
   /// \returns the print() output as a string (determinism guards in tests

@@ -1,0 +1,69 @@
+//===- support/Trace.cpp - Typed trace events and RAII spans --------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+using namespace termcheck;
+
+const char *termcheck::traceEventKindName(TraceEventKind K) {
+  switch (K) {
+  case TraceEventKind::SpanBegin:
+    return "span_begin";
+  case TraceEventKind::SpanEnd:
+    return "span_end";
+  case TraceEventKind::LassoSampled:
+    return "lasso_sampled";
+  case TraceEventKind::LassoProved:
+    return "lasso_proved";
+  case TraceEventKind::StageAttempt:
+    return "stage_attempt";
+  case TraceEventKind::ModuleBuilt:
+    return "module_built";
+  case TraceEventKind::Subtraction:
+    return "subtraction";
+  case TraceEventKind::FaultContained:
+    return "fault_contained";
+  case TraceEventKind::CegisRound:
+    return "cegis_round";
+  case TraceEventKind::NontermAttempt:
+    return "nonterm_attempt";
+  case TraceEventKind::NontermResult:
+    return "nonterm_result";
+  case TraceEventKind::EntrantSpawn:
+    return "entrant_spawn";
+  case TraceEventKind::EntrantResult:
+    return "entrant_result";
+  case TraceEventKind::EntrantFault:
+    return "entrant_fault";
+  case TraceEventKind::RaceDecided:
+    return "race_decided";
+  case TraceEventKind::VerdictReached:
+    return "verdict_reached";
+  }
+  return "?";
+}
+
+const TraceEvent::FieldValue *TraceEvent::find(const char *Key) const {
+  for (const auto &[K, V] : Fields)
+    if (std::string_view(K) == Key)
+      return &V;
+  return nullptr;
+}
+
+void JsonlSink::consume(const TraceEvent &E) {
+  json::Writer W(OS, /*Pretty=*/false);
+  W.beginObject();
+  W.field("at_s", E.AtSeconds);
+  W.field("event", traceEventKindName(E.Kind));
+  for (const auto &[Key, V] : E.Fields) {
+    W.key(Key);
+    std::visit([&W](const auto &X) { W.value(X); }, V);
+  }
+  W.endObject();
+  OS << "\n";
+}

@@ -35,6 +35,53 @@ const char *termcheck::verdictName(Verdict V) {
   return "?";
 }
 
+/// Stage numbering of the trace stream and the run report: 0 is the
+/// implicit M_uv lasso module, 1-4 are the generalization stages of
+/// Section 3.1 in increasing generality.
+static int stageIndex(Stage S) {
+  switch (S) {
+  case Stage::Finite:
+    return 1;
+  case Stage::Deterministic:
+    return 2;
+  case Stage::Semideterministic:
+    return 3;
+  case Stage::Nondeterministic:
+    return 4;
+  }
+  return 0;
+}
+
+static const char *lassoStatusName(LassoStatus S) {
+  switch (S) {
+  case LassoStatus::StemInfeasible:
+    return "stem_infeasible";
+  case LassoStatus::Terminating:
+    return "terminating";
+  case LassoStatus::Nonterminating:
+    return "nonterminating";
+  case LassoStatus::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+static int moduleStageIndex(ModuleKind K) {
+  switch (K) {
+  case ModuleKind::Lasso:
+    return 0;
+  case ModuleKind::FiniteTrace:
+    return 1;
+  case ModuleKind::Deterministic:
+    return 2;
+  case ModuleKind::Semideterministic:
+    return 3;
+  case ModuleKind::Nondeterministic:
+    return 4;
+  }
+  return 0;
+}
+
 Buchi termcheck::programToBuchi(const Program &P) {
   Buchi A(P.numSymbols() == 0 ? 1 : P.numSymbols(), 1);
   A.addStates(P.numLocations());
@@ -88,6 +135,9 @@ CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
       Stats.add("stages.soft_deadline");
       break;
     }
+    if (Trace *TR = Opts.Tracer)
+      TR->emit(TraceEvent(TraceEventKind::StageAttempt)
+                   .with("stage", stageIndex(S)));
     // A faulting stage is a failed generalization attempt, not a failed
     // run: record it and let the next (weaker) stage try. The returned
     // module is always one whose construction completed, so containment
@@ -159,6 +209,11 @@ CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
     } catch (const EngineError &E) {
       Stats.add("fault.stage_skipped");
       Stats.add(std::string("fault.stage.") + errorKindName(E.kind()));
+      if (Trace *TR = Opts.Tracer)
+        TR->emit(TraceEvent(TraceEventKind::FaultContained)
+                     .with("where", "stage")
+                     .with("stage", stageIndex(S))
+                     .with("kind", errorKindName(E.kind())));
     }
   }
   // Every stage was skipped or rejected: fall back to the stem-saturated
@@ -237,25 +292,51 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
   std::optional<Sdba> Prepared;
   std::optional<Buchi> Completed;
 
+  const char *CompKind = "word_only";
   if (M.Kind == ModuleKind::FiniteTrace && M.UniversalState) {
     Stats.add("complement.finite");
+    CompKind = "finite";
     Oracle = std::make_unique<FiniteTraceComplementOracle>(M.A,
                                                            *M.UniversalState);
   } else {
     Completed = completeWithSink(M.A);
     if (Completed->isDeterministic()) {
       Stats.add("complement.dba");
+      CompKind = "dba";
       Oracle = std::make_unique<DbaComplementOracle>(*Completed);
     } else if ((Prepared = prepareSdba(*Completed))) {
       Stats.add(Opts.Ncsb == NcsbVariant::Lazy ? "complement.ncsb_lazy"
                                                : "complement.ncsb_original");
+      CompKind = Opts.Ncsb == NcsbVariant::Lazy ? "ncsb_lazy"
+                                                : "ncsb_original";
       Oracle = std::make_unique<NcsbOracle>(*Prepared, Opts.Ncsb);
     }
   }
 
+  auto TraceOutcome = [&](const char *Kind, const DifferenceResult *R,
+                          bool WordFallback) {
+    if (Trace *TR = Opts.Tracer)
+      TR->emit(TraceEvent(TraceEventKind::Subtraction)
+                   .with("complement", Kind)
+                   .with("module_stage", moduleStageIndex(M.Kind))
+                   .with("module_states", static_cast<int64_t>(M.A.numStates()))
+                   .with("product_states",
+                         R ? static_cast<int64_t>(R->ProductStatesExplored)
+                           : int64_t(0))
+                   .with("complement_states",
+                         R ? static_cast<int64_t>(R->ComplementStatesDiscovered)
+                           : int64_t(0))
+                   .with("pruned",
+                         R ? static_cast<int64_t>(R->SubsumptionPruned)
+                           : int64_t(0))
+                   .with("aborted", R ? R->Aborted : false)
+                   .with("word_fallback", WordFallback));
+  };
+
   if (!Oracle) {
     auto W = findAcceptingLasso(M.A);
     assert(W && "module language cannot be empty here");
+    TraceOutcome("word_only", nullptr, true);
     return requireWordOnly(Remaining, *W, DiffOpts, Stats);
   }
 
@@ -269,23 +350,29 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
       Stats.add("difference.state_capped");
       auto W = findAcceptingLasso(M.A);
       assert(W && "module language cannot be empty here");
+      TraceOutcome(CompKind, &R, true);
       return requireWordOnly(Remaining, *W, DiffOpts, Stats);
     }
     // The hook only fires on a tripped deadline, external cancellation, or
     // an exhausted guard, and all are sticky, so the outer loop is about
     // to stop: hand Remaining back unchanged instead of burning seconds on
     // a word-removal nobody will look at.
+    TraceOutcome(CompKind, &R, false);
     return Remaining;
   }
   Stats.add("difference.product_states",
             static_cast<int64_t>(R.ProductStatesExplored));
   Stats.add("difference.complement_states",
             static_cast<int64_t>(R.ComplementStatesDiscovered));
+  Stats.add("difference.subsumption_pruned",
+            static_cast<int64_t>(R.SubsumptionPruned));
+  TraceOutcome(CompKind, &R, false);
   return std::move(R.D);
 }
 
 AnalysisResult TerminationAnalyzer::run() {
   Timer Watch;
+  TraceSpan RunSpan(Opts.Tracer, "analyzer.run");
   Deadline Budget = Opts.TimeoutSeconds > 0
                         ? Deadline::after(Opts.TimeoutSeconds)
                         : Deadline();
@@ -303,7 +390,9 @@ AnalysisResult TerminationAnalyzer::run() {
 
   Buchi Remaining = programToBuchi(P);
   LassoProver Prover(P);
-  RecurrenceProver NontermProver(P, Opts.Nonterm);
+  RecurrenceOptions NontermOpts = Opts.Nonterm;
+  NontermOpts.Tracer = Opts.Tracer;
+  RecurrenceProver NontermProver(P, NontermOpts);
   uint64_t Iter = 0;
   // The unknown-skip hunt: lassos unproven in both directions are
   // subtracted word-by-word so a later lasso can still yield a
@@ -320,7 +409,29 @@ AnalysisResult TerminationAnalyzer::run() {
   auto Contain = [&](const EngineError &E) {
     Result.Stats.add(std::string("fault.contained.") +
                      errorKindName(E.kind()));
+    if (Trace *TR = Opts.Tracer)
+      TR->emit(TraceEvent(TraceEventKind::FaultContained)
+                   .with("where", "run")
+                   .with("kind", errorKindName(E.kind()))
+                   .with("count", static_cast<int64_t>(ContainedFaults + 1)));
     return ++ContainedFaults > Opts.MaxContainedFaults;
+  };
+  // The per-stage wall-clock timers of the run report: one accumulating
+  // timer per pipeline stage, recorded through the same Statistics bag as
+  // the counters (and so excluded from the portfolio's deterministic
+  // merged dump -- see Statistics::mergePrefixed).
+  auto Timed = [&Result](const char *Name, auto &&Fn) {
+    Timer T;
+    // The timer must be charged even when the stage throws: the fault
+    // containment paths re-enter the loop and the spent time would
+    // otherwise vanish from the report.
+    struct Charge {
+      Statistics &S;
+      const char *Name;
+      Timer &T;
+      ~Charge() { S.addTime(Name, T.seconds()); }
+    } C{Result.Stats, Name, T};
+    return Fn();
   };
   auto WordDiffOpts = [&]() {
     DifferenceOptions DiffOpts;
@@ -350,7 +461,19 @@ AnalysisResult TerminationAnalyzer::run() {
     ++Iter;
     Result.Stats.add("iterations");
 
-    std::optional<LassoWord> W = findAcceptingLasso(Remaining);
+    std::optional<LassoWord> W = Timed(
+        "time.sample", [&] { return findAcceptingLasso(Remaining); });
+    if (Trace *TR = Opts.Tracer) {
+      TraceEvent E(TraceEventKind::LassoSampled);
+      E.with("iteration", static_cast<int64_t>(Iter));
+      E.with("remaining_states", static_cast<int64_t>(Remaining.numStates()));
+      E.with("found", W.has_value());
+      if (W) {
+        E.with("stem_len", static_cast<int64_t>(W->Stem.size()));
+        E.with("loop_len", static_cast<int64_t>(W->Loop.size()));
+      }
+      TR->emit(std::move(E));
+    }
     if (!W) {
       if (FirstUnknown) {
         // Every remaining word was covered, but skipped executions are
@@ -365,7 +488,7 @@ AnalysisResult TerminationAnalyzer::run() {
     Lasso L{W->Stem, W->Loop};
     LassoProof Proof;
     try {
-      Proof = Prover.prove(L);
+      Proof = Timed("time.prove", [&] { return Prover.prove(L); });
     } catch (const EngineError &E) {
       // Synthesis faulted (overflowing Farkas system, injected fault):
       // the lasso is treated as unproven, which can only push the verdict
@@ -378,13 +501,19 @@ AnalysisResult TerminationAnalyzer::run() {
       Proof = LassoProof();
       Proof.Status = LassoStatus::Unknown;
     }
+    if (Trace *TR = Opts.Tracer)
+      TR->emit(TraceEvent(TraceEventKind::LassoProved)
+                   .with("iteration", static_cast<int64_t>(Iter))
+                   .with("status", lassoStatusName(Proof.Status)));
     if (Proof.Status == LassoStatus::Unknown) {
       if (Proof.FixpointCandidate)
         Result.Stats.add("nonterm.fixpoint_hints");
       if (Opts.ProveNontermination) {
         std::optional<NontermCertificate> Cert;
         try {
-          Cert = NontermProver.prove(L.Stem, L.Loop, Result.Stats);
+          Cert = Timed("time.nonterm", [&] {
+            return NontermProver.prove(L.Stem, L.Loop, Result.Stats);
+          });
         } catch (const EngineError &E) {
           // A faulted nontermination attempt yields no certificate; a
           // NONTERMINATING verdict still requires a validated one.
@@ -428,8 +557,18 @@ AnalysisResult TerminationAnalyzer::run() {
     }
 
     try {
-      CertifiedModule M = generalize(L, *W, Proof, Result.Stats);
-      Remaining = subtract(Remaining, M, Result.Stats);
+      CertifiedModule M = Timed(
+          "time.generalize", [&] { return generalize(L, *W, Proof,
+                                                     Result.Stats); });
+      if (Trace *TR = Opts.Tracer)
+        TR->emit(TraceEvent(TraceEventKind::ModuleBuilt)
+                     .with("iteration", static_cast<int64_t>(Iter))
+                     .with("stage", moduleStageIndex(M.Kind))
+                     .with("kind", moduleKindName(M.Kind))
+                     .with("states", static_cast<int64_t>(M.A.numStates())));
+      Remaining = Timed(
+          "time.subtract", [&] { return subtract(Remaining, M,
+                                                 Result.Stats); });
       Result.Modules.push_back(std::move(M));
     } catch (const EngineError &E) {
       if (Contain(E)) {
@@ -458,7 +597,9 @@ AnalysisResult TerminationAnalyzer::run() {
     if (Opts.ReduceRemaining &&
         Remaining.numStates() <= Opts.ReduceStateCap) {
       uint32_t Before = Remaining.numStates();
-      Remaining = quotientByDirectSimulation(Remaining, BudgetHook);
+      Remaining = Timed("time.reduce", [&] {
+        return quotientByDirectSimulation(Remaining, BudgetHook);
+      });
       Result.Stats.add("reduce.states_saved",
                        static_cast<int64_t>(Before - Remaining.numStates()));
     }
@@ -467,5 +608,13 @@ AnalysisResult TerminationAnalyzer::run() {
   }
 
   Result.Seconds = Watch.seconds();
+  if (Trace *TR = Opts.Tracer)
+    TR->emit(TraceEvent(TraceEventKind::VerdictReached)
+                 .with("verdict", verdictName(Result.V))
+                 .with("iterations", static_cast<int64_t>(Iter))
+                 .with("modules", static_cast<int64_t>(Result.Modules.size()))
+                 .with("contained_faults",
+                       static_cast<int64_t>(ContainedFaults))
+                 .with("seconds", Result.Seconds));
   return Result;
 }

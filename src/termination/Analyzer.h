@@ -33,6 +33,7 @@
 #include "support/ResourceGuard.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include "termination/Generalize.h"
 
 namespace termcheck {
@@ -103,6 +104,12 @@ struct AnalyzerOptions {
   /// up with UNKNOWN. Each contained fault only ever weakens the verdict;
   /// the cap bounds livelock when faults repeat on every iteration.
   uint32_t MaxContainedFaults = 8;
+  /// Optional trace handle (non-owning; must outlive the run). Null means
+  /// tracing is disabled, and every emit site checks the pointer before
+  /// building any event payload, so the hot paths pay nothing. The same
+  /// handle is forwarded into the recurrence prover and may be shared by
+  /// concurrent portfolio entrants (Trace is thread-safe).
+  Trace *Tracer = nullptr;
 
   /// The paper's stage sequences for the Section 7 ablation.
   static std::vector<Stage> sequenceSkipDet() {

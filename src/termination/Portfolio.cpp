@@ -105,6 +105,7 @@ AnalyzerOptions effectiveOptions(const PortfolioConfig &C,
     O.MaxProductStates = PO.MaxProductStates;
   O.Cancel = Token;
   O.Guard = Guard;
+  O.Tracer = PO.Tracer;
   return O;
 }
 
@@ -114,7 +115,10 @@ AnalyzerOptions effectiveOptions(const PortfolioConfig &C,
 void recordRun(Statistics &Merged, const PortfolioConfig &C,
                const AnalysisResult &R) {
   const std::string Prefix = "cfg." + C.Name + ".";
-  Merged.mergePrefixed(R.Stats, Prefix);
+  // Timers are excluded: the merged dump must stay byte-for-byte
+  // reproducible with Jobs == 1 and wall-clock never is. The winner's own
+  // timers stay available on Result.Stats (the run report embeds them).
+  Merged.mergePrefixed(R.Stats, Prefix, /*IncludeTimes=*/false);
   Merged.add(Prefix + "verdict." + verdictName(R.V));
   Merged.add("portfolio.started");
   if (isConclusive(R.V))
@@ -154,6 +158,10 @@ termcheck::runPortfolio(const Program &P,
   const size_t None = Configs.size();
   size_t Jobs = Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
   Out.Merged.add("portfolio.configs", static_cast<int64_t>(Configs.size()));
+  Out.Entrants.resize(Configs.size());
+  for (size_t I = 0; I < Configs.size(); ++I)
+    Out.Entrants[I].Name = Configs[I].Name;
+  Trace *Tracer = Opts.Tracer;
 
   // One guard meters the whole race: entrants draw from a shared budget,
   // so K configurations cannot multiply the memory footprint by K.
@@ -176,16 +184,35 @@ termcheck::runPortfolio(const Program &P,
     bool HaveFallback = false;
     bool FallbackIsUnknown = false;
     for (size_t I = 0; I < Configs.size(); ++I) {
+      EntrantTimeline &TL = Out.Entrants[I];
+      TL.Started = true;
+      TL.SpawnSeconds = Watch.seconds();
+      if (Tracer)
+        Tracer->emit(TraceEvent(TraceEventKind::EntrantSpawn)
+                         .with("entrant", Configs[I].Name)
+                         .with("index", static_cast<int64_t>(I)));
       Program Local = P;
       TerminationAnalyzer A(
           Local, effectiveOptions(Configs[I], Opts, nullptr, Guard));
       ErrorOr<AnalysisResult> R = errorOrOf([&A] { return A.run(); });
+      TL.FinishSeconds = Watch.seconds();
       if (!R.ok()) {
         ++Out.FaultedEntrants;
         recordFault(Out.Merged, Configs[I], R.error());
+        TL.Faulted = true;
+        TL.FaultKind = errorKindName(R.error().kind());
+        if (Tracer)
+          Tracer->emit(TraceEvent(TraceEventKind::EntrantFault)
+                           .with("entrant", Configs[I].Name)
+                           .with("kind", TL.FaultKind));
         continue;
       }
       recordRun(Out.Merged, Configs[I], R.value());
+      TL.V = R.value().V;
+      if (Tracer)
+        Tracer->emit(TraceEvent(TraceEventKind::EntrantResult)
+                         .with("entrant", Configs[I].Name)
+                         .with("verdict", verdictName(R.value().V)));
       bool Won = isConclusive(R.value().V);
       if (Won || !HaveFallback ||
           (!FallbackIsUnknown && R.value().V == Verdict::Unknown)) {
@@ -195,8 +222,13 @@ termcheck::runPortfolio(const Program &P,
         Out.WinnerIndex = Won ? I : None;
         Out.WinnerName = Won ? Configs[I].Name : "";
       }
-      if (Won)
+      if (Won) {
+        TL.Won = true;
+        if (Tracer)
+          Tracer->emit(TraceEvent(TraceEventKind::RaceDecided)
+                           .with("winner", Configs[I].Name));
         break;
+      }
     }
     if (!HaveFallback) {
       Out.Result.V = Verdict::Unknown;
@@ -228,20 +260,45 @@ termcheck::runPortfolio(const Program &P,
         // A queued entrant whose race is already decided never starts.
         if (Token.cancelled())
           return;
+        // Timeline slots are per-entrant and only read after waitIdle(),
+        // so writing them outside M is race-free.
+        EntrantTimeline &TL = Out.Entrants[I];
+        TL.Started = true;
+        TL.SpawnSeconds = Watch.seconds();
+        if (Tracer)
+          Tracer->emit(TraceEvent(TraceEventKind::EntrantSpawn)
+                           .with("entrant", Configs[I].Name)
+                           .with("index", static_cast<int64_t>(I)));
         Program Local = P;
         TerminationAnalyzer A(
             Local, effectiveOptions(Configs[I], Opts, &Token, Guard));
         // Quarantine boundary: a worker that throws retires its entrant
         // but must not take the race (or the pool thread) down with it.
         ErrorOr<AnalysisResult> R = errorOrOf([&A] { return A.run(); });
+        TL.FinishSeconds = Watch.seconds();
         std::lock_guard<std::mutex> Lock(M);
         if (!R.ok()) {
           Faults[I] = R.error();
+          TL.Faulted = true;
+          TL.FaultKind = errorKindName(R.error().kind());
+          if (Tracer)
+            Tracer->emit(TraceEvent(TraceEventKind::EntrantFault)
+                             .with("entrant", Configs[I].Name)
+                             .with("kind", TL.FaultKind));
           return;
         }
+        TL.V = R.value().V;
+        if (Tracer)
+          Tracer->emit(TraceEvent(TraceEventKind::EntrantResult)
+                           .with("entrant", Configs[I].Name)
+                           .with("verdict", verdictName(R.value().V)));
         if (isConclusive(R.value().V) && Winner == None) {
           Winner = I;
+          TL.Won = true;
           Token.cancel();
+          if (Tracer)
+            Tracer->emit(TraceEvent(TraceEventKind::RaceDecided)
+                             .with("winner", Configs[I].Name));
         }
         Slots[I] = std::move(R.value());
       });

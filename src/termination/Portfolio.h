@@ -67,6 +67,34 @@ struct PortfolioOptions {
   /// the race globally, so the combined portfolio (not each entrant
   /// separately) stays under the state/memory budget. All-zero = no guard.
   ResourceGuard::Limits GuardLimits;
+  /// Optional shared trace handle (non-owning; Trace is thread-safe, so
+  /// all racing entrants emit into the same stream). Also receives the
+  /// portfolio's own timeline events (entrant spawn/result/fault, race
+  /// decided).
+  Trace *Tracer = nullptr;
+};
+
+/// The per-entrant timeline of one race: when the entrant started, when
+/// its result (or quarantine) was recorded, and how it ended. Timestamps
+/// are seconds relative to the race start; an entrant cancelled before it
+/// ever started has Started == false and zeroed timestamps. The run
+/// report's `entrants` array is built from these.
+struct EntrantTimeline {
+  std::string Name;
+  /// The entrant began analyzing (false = cancelled while still queued).
+  bool Started = false;
+  /// The entrant was quarantined; FaultKind holds the reason.
+  bool Faulted = false;
+  /// The entrant's conclusive verdict decided the race.
+  bool Won = false;
+  /// Final verdict (meaningful when Started && !Faulted).
+  Verdict V = Verdict::Unknown;
+  /// Quarantine reason (errorKindName) when Faulted.
+  std::string FaultKind;
+  /// Race-relative spawn timestamp in seconds.
+  double SpawnSeconds = 0;
+  /// Race-relative timestamp at which the result or fault was recorded.
+  double FinishSeconds = 0;
 };
 
 /// Outcome of a portfolio race.
@@ -90,6 +118,9 @@ struct PortfolioRunResult {
   /// deterministic counters are merged (no wall-clock), so with Jobs == 1
   /// the dump is reproducible byte for byte.
   Statistics Merged;
+  /// One timeline entry per roster entrant, in roster order (present for
+  /// every entrant, including quarantined and never-started ones).
+  std::vector<EntrantTimeline> Entrants;
   /// Wall-clock seconds of the whole race.
   double Seconds = 0;
 };

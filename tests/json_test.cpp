@@ -1,0 +1,201 @@
+//===- tests/json_test.cpp - JSON writer/parser and trace sinks -----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The JSON layer under the run reports: deterministic fixed-precision
+/// number formatting (never scientific notation -- the 1e-07 regression),
+/// escaping-correct string output, writer/parser round-trips, and the
+/// trace plumbing (null tracer is free, RecordingSink counts, JsonlSink
+/// emits parseable lines).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+using namespace termcheck;
+
+TEST(JsonFormat, FixedPrecisionNeverScientific) {
+  // The bug this pins down: ostream's default formatting printed a 100ns
+  // timer as "1e-07", which is valid JSON but broke byte-determinism
+  // between dumps and surprised jq pipelines expecting fixed columns.
+  EXPECT_EQ(json::formatFixed(1e-7), "0.000000");
+  EXPECT_EQ(json::formatFixed(1e-7, 9), "0.000000100");
+  EXPECT_EQ(json::formatFixed(0.75), "0.750000");
+  EXPECT_EQ(json::formatFixed(2.0), "2.000000");
+  EXPECT_EQ(json::formatFixed(1234567.5), "1234567.500000");
+  EXPECT_EQ(json::formatFixed(-0.25), "-0.250000");
+}
+
+TEST(JsonFormat, NegativeZeroAndNonFiniteAreNormalized) {
+  EXPECT_EQ(json::formatFixed(-0.0), "0.000000");
+  EXPECT_EQ(json::formatFixed(-1e-9), "0.000000"); // rounds to -0 -> 0
+  EXPECT_EQ(json::formatFixed(std::numeric_limits<double>::quiet_NaN()),
+            "0.000000");
+  EXPECT_EQ(json::formatFixed(std::numeric_limits<double>::infinity()),
+            "0.000000");
+}
+
+TEST(JsonEscape, QuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json::escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json::escape(std::string("x\x01y", 3)), "x\\u0001y");
+  EXPECT_EQ(json::escape("caf\xc3\xa9"), "caf\xc3\xa9"); // UTF-8 untouched
+}
+
+TEST(JsonWriter, CompactDocumentShape) {
+  std::ostringstream OS;
+  json::Writer W(OS, /*Pretty=*/false);
+  W.beginObject();
+  W.field("name", "run\n1");
+  W.field("n", 3);
+  W.field("t", 0.5);
+  W.field("ok", true);
+  W.fieldNull("none");
+  W.key("xs");
+  W.beginArray();
+  W.value(1);
+  W.value(2);
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(OS.str(), "{\"name\":\"run\\n1\",\"n\":3,\"t\":0.500000,"
+                      "\"ok\":true,\"none\":null,\"xs\":[1,2]}");
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  std::ostringstream OS;
+  json::Writer W(OS);
+  W.beginObject();
+  W.field("s", "a \"quoted\" \\ value\twith tabs");
+  W.field("i", static_cast<int64_t>(-42));
+  W.field("d", 0.125);
+  W.field("b", false);
+  W.fieldNull("z");
+  W.key("arr");
+  W.beginArray();
+  W.value("x");
+  W.value(7);
+  W.endArray();
+  W.endObject();
+  W.finish();
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(OS.str(), V, &Err)) << Err;
+  ASSERT_TRUE(V.isObject());
+  ASSERT_NE(V.find("s"), nullptr);
+  EXPECT_EQ(V.find("s")->Str, "a \"quoted\" \\ value\twith tabs");
+  EXPECT_EQ(V.find("i")->Num, -42);
+  EXPECT_EQ(V.find("d")->Num, 0.125);
+  EXPECT_FALSE(V.find("b")->B);
+  EXPECT_TRUE(V.find("z")->isNull());
+  ASSERT_TRUE(V.find("arr")->isArray());
+  ASSERT_EQ(V.find("arr")->Arr.size(), 2u);
+  EXPECT_EQ(V.find("arr")->Arr[0].Str, "x");
+  EXPECT_EQ(V.find("arr")->Arr[1].Num, 7);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse("{", V, &Err));
+  EXPECT_FALSE(json::parse("{\"a\":}", V, &Err));
+  EXPECT_FALSE(json::parse("[1,]", V, &Err));
+  EXPECT_FALSE(json::parse("\"unterminated", V, &Err));
+  EXPECT_FALSE(json::parse("{} trailing", V, &Err));
+  EXPECT_FALSE(json::parse("", V, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(JsonParser, DecodesUnicodeEscapes) {
+  json::Value V;
+  ASSERT_TRUE(json::parse("\"a\\u0041\\u00e9\\n\"", V));
+  EXPECT_EQ(V.Str, "aA\xc3\xa9\n");
+}
+
+TEST(Trace, NullTracerIsSafeEverywhere) {
+  // Every producer guards on the pointer; the span helper must too.
+  { TraceSpan Span(nullptr, "nothing"); }
+  SUCCEED();
+}
+
+TEST(Trace, RecordingSinkCountsAndStampsEvents) {
+  RecordingSink Sink;
+  Trace T(Sink);
+  T.emit(TraceEvent(TraceEventKind::LassoSampled)
+             .with("iteration", 1)
+             .with("found", true));
+  T.emit(TraceEvent(TraceEventKind::VerdictReached).with("verdict", "UNKNOWN"));
+  EXPECT_EQ(T.eventCount(), 2u);
+  ASSERT_EQ(Sink.events().size(), 2u);
+  EXPECT_EQ(Sink.count(TraceEventKind::LassoSampled), 1u);
+  EXPECT_EQ(Sink.count(TraceEventKind::VerdictReached), 1u);
+  EXPECT_EQ(Sink.count(TraceEventKind::CegisRound), 0u);
+  const TraceEvent &E = Sink.events()[0];
+  ASSERT_NE(E.find("iteration"), nullptr);
+  EXPECT_EQ(std::get<int64_t>(*E.find("iteration")), 1);
+  ASSERT_NE(E.find("found"), nullptr);
+  EXPECT_TRUE(std::get<bool>(*E.find("found")));
+  EXPECT_EQ(E.find("missing"), nullptr);
+  EXPECT_GE(E.AtSeconds, 0.0);
+}
+
+TEST(Trace, SpanEmitsBeginAndEndWithDuration) {
+  RecordingSink Sink;
+  Trace T(Sink);
+  { TraceSpan Span(&T, "work"); }
+  ASSERT_EQ(Sink.events().size(), 2u);
+  EXPECT_EQ(Sink.events()[0].Kind, TraceEventKind::SpanBegin);
+  EXPECT_EQ(Sink.events()[1].Kind, TraceEventKind::SpanEnd);
+  const TraceEvent::FieldValue *Secs = Sink.events()[1].find("seconds");
+  ASSERT_NE(Secs, nullptr);
+  EXPECT_GE(std::get<double>(*Secs), 0.0);
+}
+
+TEST(Trace, JsonlSinkEmitsOneParseableObjectPerLine) {
+  std::ostringstream OS;
+  JsonlSink Sink(OS);
+  Trace T(Sink);
+  T.emit(TraceEvent(TraceEventKind::Subtraction)
+             .with("complement", "ncsb_lazy")
+             .with("product_states", static_cast<int64_t>(42))
+             .with("aborted", false)
+             .with("seconds", 0.25));
+  T.emit(TraceEvent(TraceEventKind::RaceDecided).with("winner", "seq_i"));
+
+  std::istringstream In(OS.str());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    json::Value V;
+    std::string Err;
+    ASSERT_TRUE(json::parse(Line, V, &Err)) << Line << ": " << Err;
+    ASSERT_TRUE(V.isObject());
+    ASSERT_NE(V.find("event"), nullptr);
+    ASSERT_NE(V.find("at_s"), nullptr);
+  }
+  EXPECT_EQ(Lines, 2u);
+  EXPECT_NE(OS.str().find("\"event\":\"subtraction\""), std::string::npos);
+  EXPECT_NE(OS.str().find("\"product_states\":42"), std::string::npos);
+  EXPECT_NE(OS.str().find("\"seconds\":0.250000"), std::string::npos);
+}
+
+TEST(Trace, EventKindNamesAreStable) {
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::LassoSampled),
+               "lasso_sampled");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::CegisRound), "cegis_round");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::EntrantFault),
+               "entrant_fault");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::VerdictReached),
+               "verdict_reached");
+}

@@ -115,7 +115,7 @@ TEST(Dot, RendersStatesEdgesAndAcceptance) {
   A.addTransition(0, 0, 1);
   A.addTransition(1, 1, 0);
   std::string S = toDot(A);
-  EXPECT_NE(S.find("digraph buchi"), std::string::npos);
+  EXPECT_NE(S.find("digraph \"buchi\""), std::string::npos);
   EXPECT_NE(S.find("q0 -> q1 [label=\"0\"]"), std::string::npos);
   EXPECT_NE(S.find("doublecircle"), std::string::npos);
   EXPECT_NE(S.find("init0 -> q0"), std::string::npos);
@@ -128,7 +128,7 @@ TEST(Dot, UsesSymbolNameCallbackAndEscapes) {
   A.addTransition(S, 0, S);
   std::string Out =
       toDot(A, [](Symbol) { return std::string("x := \"1\""); }, "g");
-  EXPECT_NE(Out.find("digraph g"), std::string::npos);
+  EXPECT_NE(Out.find("digraph \"g\""), std::string::npos);
   EXPECT_NE(Out.find("\\\"1\\\""), std::string::npos);
 }
 

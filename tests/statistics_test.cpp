@@ -44,6 +44,18 @@ TEST(Statistics, TimersAccumulateSeconds) {
   EXPECT_DOUBLE_EQ(S.getTime("t"), 0.75);
 }
 
+TEST(Statistics, TinyTimersNeverPrintScientificNotation) {
+  // A 100ns timer used to dump as "1e-07 s", which broke both human
+  // readability and the byte-determinism comparison against reports that
+  // format doubles with fixed precision.
+  Statistics S;
+  S.addTime("fast", 1e-7);
+  EXPECT_EQ(S.str(), "  fast = 0.000000 s\n");
+  Statistics T;
+  T.addTime("slow", 0.1234567891);
+  EXPECT_EQ(T.str(), "  slow = 0.123457 s\n");
+}
+
 TEST(Statistics, KindsAreSeparateNamespaces) {
   // The same name can exist in all three maps without collision; this is
   // what makes merge() well-defined per kind.
@@ -119,8 +131,9 @@ TEST(Statistics, EmptyAndDumpAreDeterministic) {
   S.addTime("t", 2.0);
   EXPECT_FALSE(S.empty());
   // std::map ordering: additive counters alphabetically, then maxima
-  // (tagged), then timers (tagged).
-  EXPECT_EQ(S.str(), "  a = 2\n  b = 1\n  z = 3 (max)\n  t = 2 s\n");
+  // (tagged), then timers (tagged). Timers print with fixed six-decimal
+  // precision via the shared json::formatFixed formatter.
+  EXPECT_EQ(S.str(), "  a = 2\n  b = 1\n  z = 3 (max)\n  t = 2.000000 s\n");
   // Two identically-filled bags dump identically regardless of insertion
   // order (the portfolio determinism guard relies on this).
   Statistics T;

@@ -23,6 +23,24 @@ FAIL=0
 SEEN=""
 for F in "$CORPUS"/*.while; do
   OUT=$("$BIN" --quiet --timeout 60 "$F")
+  RC=$?
+  # Exit codes 0-3 encode the verdict already printed on stdout
+  # (terminating / nonterminating / unknown / timeout-or-cancelled) and are
+  # judged against the expectations below. Anything else means the CLI
+  # never reached a verdict -- report it distinctly instead of parsing
+  # whatever half-line it printed: 4 is a usage or parse error, higher
+  # codes (or signal deaths, 128+N) are crashes.
+  if [ "$RC" -gt 3 ]; then
+    NAME=$(basename "$F" .while)
+    SEEN="$SEEN $NAME"
+    if [ "$RC" -eq 4 ]; then
+      echo "FAIL $F: termcheck usage or parse error (exit 4)" >&2
+    else
+      echo "FAIL $F: termcheck exited $RC" >&2
+    fi
+    FAIL=1
+    continue
+  fi
   NAME=${OUT%%:*}
   GOT=$(echo "${OUT#*: }" | tr -d ' ')
   WANT=$(awk -v n="$NAME" '$1 == n { print $2 }' "$EXPECT")

@@ -26,6 +26,19 @@
 ///                         a capped subtraction degrades to word-only
 ///                         removal instead of exhausting memory
 ///
+///     --stats-json <f>    write the versioned JSON run report to f
+///                         ('-' = stdout); schema "termcheck-run-report"
+///     --trace <f>         stream typed trace events as JSONL to f
+///                         ('-' = stdout)
+///     --stats-deterministic
+///                         zero wall-clock values in the JSON report so
+///                         two Jobs=1 runs emit byte-identical reports
+///
+/// Numeric option values are validated strictly: a non-numeric, negative,
+/// out-of-range, or trailing-garbage value is a usage error (exit 4) with
+/// a diagnostic naming the flag and the expected domain -- never silently
+/// parsed as zero.
+///
 /// Exit code: 0 terminating, 1 nonterminating (validated certificate),
 /// 2 unknown (including an engine fault contained at top level -- the
 /// diagnostic goes to stderr), 3 timeout or cancelled, 4 usage or parse
@@ -36,13 +49,21 @@
 #include "automata/Dot.h"
 #include "program/Parser.h"
 #include "support/Error.h"
+#include "support/Trace.h"
 #include "termination/Portfolio.h"
+#include "termination/RunReport.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 using namespace termcheck;
 
@@ -70,8 +91,47 @@ void usage(const char *Prog) {
       "                          to word-only removal\n"
       "  --dot-cfg               print the CFG as Graphviz and exit\n"
       "  --dot-modules           print each module as Graphviz\n"
-      "  --quiet                 print the verdict only\n",
+      "  --quiet                 print the verdict only\n"
+      "  --stats-json <file>     write a versioned JSON run report\n"
+      "                          ('-' = stdout)\n"
+      "  --trace <file>          stream typed trace events as JSON lines\n"
+      "                          ('-' = stdout)\n"
+      "  --stats-deterministic   zero wall-clock values in the JSON report\n"
+      "                          (byte-identical reports with --jobs 1)\n",
       Prog);
+}
+
+/// Structured diagnostic for a malformed numeric option value; always a
+/// usage error (exit 4), never a silent atoi-style zero.
+[[noreturn]] void badValue(const char *Flag, const char *Val,
+                           const char *Expected) {
+  std::fprintf(stderr,
+               "termcheck: error: invalid value '%s' for %s (expected %s)\n",
+               Val, Flag, Expected);
+  std::exit(4);
+}
+
+/// Strict non-negative seconds: rejects non-numeric text, trailing
+/// garbage, negatives, NaN/inf, and overflow.
+double parseSeconds(const char *Flag, const char *Val) {
+  errno = 0;
+  char *End = nullptr;
+  double D = std::strtod(Val, &End);
+  if (End == Val || *End != '\0' || errno == ERANGE || !(D >= 0) || D > 1e9)
+    badValue(Flag, Val, "a number of seconds in [0, 1e9]");
+  return D;
+}
+
+/// Strict decimal integer in [Min, Max]: rejects non-numeric text,
+/// trailing garbage, and out-of-range (including overflowing) values.
+long parseCount(const char *Flag, const char *Val, long Min, long Max,
+                const char *Expected) {
+  errno = 0;
+  char *End = nullptr;
+  long N = std::strtol(Val, &End, 10);
+  if (End == Val || *End != '\0' || errno == ERANGE || N < Min || N > Max)
+    badValue(Flag, Val, Expected);
+  return N;
 }
 
 /// The whole front end; any exception escaping it is mapped to exit 2 by
@@ -80,8 +140,10 @@ int runMain(int Argc, char **Argv) {
   AnalyzerOptions Opts;
   Opts.TimeoutSeconds = 60;
   bool DotCfg = false, DotModules = false, Quiet = false, Witness = false;
+  bool StatsDeterministic = false;
   long PortfolioK = 0, JobsN = 0;
   const char *Path = nullptr;
+  const char *StatsJsonPath = nullptr, *TracePath = nullptr;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -93,7 +155,7 @@ int runMain(int Argc, char **Argv) {
       return Argv[++I];
     };
     if (std::strcmp(Arg, "--timeout") == 0) {
-      Opts.TimeoutSeconds = std::atof(NeedsValue("--timeout"));
+      Opts.TimeoutSeconds = parseSeconds("--timeout", NeedsValue("--timeout"));
     } else if (std::strcmp(Arg, "--single-stage") == 0) {
       Opts.MultiStage = false;
     } else if (std::strcmp(Arg, "--sequence") == 0) {
@@ -125,24 +187,21 @@ int runMain(int Argc, char **Argv) {
     } else if (std::strcmp(Arg, "--witness") == 0) {
       Witness = true;
     } else if (std::strcmp(Arg, "--max-states") == 0) {
-      long N = std::atol(NeedsValue("--max-states"));
-      if (N < 0) {
-        std::fprintf(stderr, "error: --max-states needs a count >= 0\n");
-        std::exit(4);
-      }
-      Opts.MaxProductStates = static_cast<uint64_t>(N);
+      Opts.MaxProductStates = static_cast<uint64_t>(
+          parseCount("--max-states", NeedsValue("--max-states"), 0, LONG_MAX,
+                     "a state count >= 0 (0 = unlimited)"));
     } else if (std::strcmp(Arg, "--portfolio") == 0) {
-      PortfolioK = std::atol(NeedsValue("--portfolio"));
-      if (PortfolioK < 1) {
-        std::fprintf(stderr, "error: --portfolio needs a positive count\n");
-        return 4;
-      }
+      PortfolioK = parseCount("--portfolio", NeedsValue("--portfolio"), 1,
+                              LONG_MAX, "a positive configuration count");
     } else if (std::strcmp(Arg, "--jobs") == 0) {
-      JobsN = std::atol(NeedsValue("--jobs"));
-      if (JobsN < 1) {
-        std::fprintf(stderr, "error: --jobs needs a positive count\n");
-        return 4;
-      }
+      JobsN = parseCount("--jobs", NeedsValue("--jobs"), 1, LONG_MAX,
+                         "a positive worker-thread count");
+    } else if (std::strcmp(Arg, "--stats-json") == 0) {
+      StatsJsonPath = NeedsValue("--stats-json");
+    } else if (std::strcmp(Arg, "--trace") == 0) {
+      TracePath = NeedsValue("--trace");
+    } else if (std::strcmp(Arg, "--stats-deterministic") == 0) {
+      StatsDeterministic = true;
     } else if (std::strcmp(Arg, "--dot-cfg") == 0) {
       DotCfg = true;
     } else if (std::strcmp(Arg, "--dot-modules") == 0) {
@@ -203,24 +262,48 @@ int runMain(int Argc, char **Argv) {
     return 0;
   }
 
+  // Optional trace stream: one JSONL sink shared by the analyzer (or all
+  // racing portfolio entrants -- Trace is thread-safe) for the whole run.
+  std::ofstream TraceFile;
+  std::unique_ptr<JsonlSink> TraceSinkPtr;
+  std::unique_ptr<Trace> Tracer;
+  if (TracePath) {
+    std::ostream *TOS = &std::cout;
+    if (std::strcmp(TracePath, "-") != 0) {
+      TraceFile.open(TracePath);
+      if (!TraceFile) {
+        std::fprintf(stderr, "error: cannot open trace file %s\n", TracePath);
+        return 4;
+      }
+      TOS = &TraceFile;
+    }
+    TraceSinkPtr = std::make_unique<JsonlSink>(*TOS);
+    Tracer = std::make_unique<Trace>(*TraceSinkPtr);
+    Opts.Tracer = Tracer.get();
+  }
+
   AnalysisResult Result;
-  Statistics PortfolioStats;
+  PortfolioRunResult PR;
   std::string WinnerNote;
-  if (PortfolioK > 0) {
+  const bool UsedPortfolio = PortfolioK > 0;
+  size_t JobsUsed = 1;
+  if (UsedPortfolio) {
     PortfolioOptions PO;
     PO.Jobs = static_cast<size_t>(JobsN);
     PO.TimeoutSeconds = Opts.TimeoutSeconds;
     PO.DisableNonterm = !Opts.ProveNontermination;
     PO.MaxProductStates = Opts.MaxProductStates;
+    PO.Tracer = Tracer.get();
     std::vector<PortfolioConfig> Configs =
         defaultPortfolio(static_cast<size_t>(PortfolioK));
-    PortfolioRunResult PR = runPortfolio(P, Configs, PO);
+    PR = runPortfolio(P, Configs, PO);
     Result = std::move(PR.Result);
-    PortfolioStats = std::move(PR.Merged);
     WinnerNote = PR.WinnerIndex < Configs.size()
                      ? "winner: " + PR.WinnerName
                      : "winner: none (no conclusive configuration)";
     Result.Seconds = PR.Seconds;
+    JobsUsed = PO.Jobs != 0 ? PO.Jobs
+                            : std::max(1u, std::thread::hardware_concurrency());
   } else {
     TerminationAnalyzer Analyzer(P, Opts);
     Result = Analyzer.run();
@@ -256,25 +339,39 @@ int runMain(int Argc, char **Argv) {
                   Result.Nonterm->Kind == NontermKind::RecurrentSet
                       ? "closed recurrent set"
                       : "executable cycle");
-    if (PortfolioK > 0)
-      PortfolioStats.print(std::cout);
+    if (UsedPortfolio)
+      PR.Merged.print(std::cout);
     else
       Result.Stats.print(std::cout);
   }
   if (Witness && Result.Nonterm)
     std::printf("%s", Result.Nonterm->str(P).c_str());
-  switch (Result.V) {
-  case Verdict::Terminating:
-    return 0;
-  case Verdict::Nonterminating:
-    return 1;
-  case Verdict::Unknown:
-    return 2;
-  case Verdict::Timeout:
-  case Verdict::Cancelled:
-    return 3;
+
+  if (StatsJsonPath) {
+    RunReportInput In;
+    In.ProgramName = P.name();
+    In.SourcePath = Path;
+    In.Result = &Result;
+    In.Portfolio = UsedPortfolio ? &PR : nullptr;
+    In.Jobs = JobsUsed;
+    In.TimeoutSeconds = Opts.TimeoutSeconds;
+    In.TraceEvents = Tracer ? Tracer->eventCount() : 0;
+    RunReportOptions RO;
+    RO.Deterministic = StatsDeterministic;
+    if (std::strcmp(StatsJsonPath, "-") == 0) {
+      writeRunReport(std::cout, In, RO);
+    } else {
+      std::ofstream Out(StatsJsonPath);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot open report file %s\n",
+                     StatsJsonPath);
+        return 4;
+      }
+      writeRunReport(Out, In, RO);
+    }
   }
-  return 2;
+
+  return verdictExitCode(Result.V);
 }
 
 } // namespace
