@@ -21,12 +21,13 @@
 /// exceeds the fastest sequential wall, which is noise, not a cancellation
 /// failure.
 ///
-/// Usage: bench_portfolio [--json <path|->] [corpus-dir] [timeout-seconds]
-///                        [configs] [jobs]
+/// Usage: bench_portfolio [--json <path|->] [--repeat N] [corpus-dir]
+///                        [timeout-seconds] [configs] [jobs]
 ///   corpus-dir       directory of .while files   (default: benchmarks)
 ///   timeout-seconds  per-configuration budget    (default: 10)
 ///   configs          portfolio size K, 1..14     (default: 6)
 ///   jobs             worker threads, 0 = one per config (default: 0)
+///   --repeat N       report every wall as the median of N runs (default 1)
 ///   --json <path>    additionally emit a machine-readable report to the
 ///                    file (or stdout when the path is `-`): the shared
 ///                    "termcheck-bench-report" schema whose per-program
@@ -94,6 +95,7 @@ double runSequential(const Program &P, const PortfolioConfig &C,
 
 int main(int Argc, char **Argv) {
   std::string JsonPath = takeJsonFlag(Argc, Argv);
+  const unsigned Repeat = takeRepeatFlag(Argc, Argv);
   std::vector<const char *> Pos;
   for (int I = 1; I < Argc; ++I)
     Pos.push_back(Argv[I]);
@@ -134,6 +136,7 @@ int main(int Argc, char **Argv) {
   W.field("timeout_s", Timeout);
   W.field("configs", static_cast<int64_t>(Configs.size()));
   W.field("jobs", static_cast<int64_t>(Jobs));
+  W.field("repeat", static_cast<int64_t>(Repeat));
   W.key("runs");
   W.beginArray();
   for (const CorpusProgram &CP : Corpus) {
@@ -147,7 +150,8 @@ int main(int Argc, char **Argv) {
 
     double Best = 1e300, Worst = 0, Default = 0;
     for (size_t I = 0; I < Configs.size(); ++I) {
-      double S = runSequential(P, Configs[I], Timeout);
+      double S = medianWall(
+          Repeat, [&] { return runSequential(P, Configs[I], Timeout); });
       if (I == 0)
         Default = S;
       Best = std::min(Best, S);
@@ -157,9 +161,12 @@ int main(int Argc, char **Argv) {
     PortfolioOptions PO;
     PO.Jobs = Jobs;
     PO.TimeoutSeconds = Timeout;
-    Timer T;
-    PortfolioRunResult R = runPortfolio(P, Configs, PO);
-    double Wall = T.seconds();
+    PortfolioRunResult R;
+    double Wall = medianWall(Repeat, [&] {
+      Timer T;
+      R = runPortfolio(P, Configs, PO);
+      return T.seconds();
+    });
 
     double Speedup = Wall > 0 ? Default / Wall : 0;
     BestSpeedup = std::max(BestSpeedup, Speedup);

@@ -6,42 +6,101 @@
 
 #include "automata/Buchi.h"
 
+#include "automata/PerfCounters.h"
+
+#include <algorithm>
 #include <deque>
+#include <numeric>
 
 using namespace termcheck;
 
-bool Buchi::isComplete() const {
-  for (State S = 0; S < numStates(); ++S) {
-    // Count distinct symbols with at least one outgoing arc.
-    std::vector<bool> Seen(Symbols, false);
-    uint32_t Distinct = 0;
-    for (const Arc &A : Adj[S]) {
-      if (!Seen[A.Sym]) {
-        Seen[A.Sym] = true;
-        ++Distinct;
+void Buchi::flushDedupSlow() const {
+  std::vector<uint32_t> Order;
+  std::vector<bool> Drop;
+  for (State S : DirtyStates) {
+    Dirty[S] = false;
+    std::vector<Arc> &Arcs = Adj[S];
+    if (Arcs.size() < 2)
+      continue;
+    // Sort positions by (Sym, To, position); every group's smallest
+    // position is the surviving first occurrence. Compacting by position
+    // afterwards keeps insertion order, matching the historical eager
+    // dedup in addTransition byte for byte.
+    Order.resize(Arcs.size());
+    std::iota(Order.begin(), Order.end(), 0u);
+    std::sort(Order.begin(), Order.end(), [&Arcs](uint32_t A, uint32_t B) {
+      if (Arcs[A].Sym != Arcs[B].Sym)
+        return Arcs[A].Sym < Arcs[B].Sym;
+      if (Arcs[A].To != Arcs[B].To)
+        return Arcs[A].To < Arcs[B].To;
+      return A < B;
+    });
+    Drop.assign(Arcs.size(), false);
+    bool AnyDrop = false;
+    for (size_t I = 1; I < Order.size(); ++I) {
+      if (Arcs[Order[I]] == Arcs[Order[I - 1]]) {
+        Drop[Order[I]] = true;
+        AnyDrop = true;
       }
     }
-    if (Distinct != Symbols)
-      return false;
+    if (!AnyDrop)
+      continue;
+    size_t Keep = 0;
+    for (size_t I = 0; I < Arcs.size(); ++I)
+      if (!Drop[I])
+        Arcs[Keep++] = Arcs[I];
+    Arcs.resize(Keep);
   }
+  DirtyStates.clear();
+}
+
+void Buchi::buildIndex() const {
+  flushDedup();
+  const size_t Rows = static_cast<size_t>(numStates()) * Symbols;
+  Csr.Row.assign(Rows + 1, 0);
+  size_t Total = 0;
+  for (State S = 0; S < numStates(); ++S) {
+    for (const Arc &A : Adj[S])
+      ++Csr.Row[static_cast<size_t>(S) * Symbols + A.Sym + 1];
+    Total += Adj[S].size();
+  }
+  for (size_t R = 0; R < Rows; ++R)
+    Csr.Row[R + 1] += Csr.Row[R];
+  Csr.Targets.resize(Total);
+  // Stable counting sort: a scratch cursor per row; scanning each state's
+  // arcs in insertion order keeps every (state, symbol) row in
+  // first-insertion order, so span queries replay exactly what the old
+  // linear filter produced.
+  std::vector<uint32_t> Cursor(Csr.Row.begin(), Csr.Row.end() - 1);
+  for (State S = 0; S < numStates(); ++S)
+    for (const Arc &A : Adj[S])
+      Csr.Targets[Cursor[static_cast<size_t>(S) * Symbols + A.Sym]++] = A.To;
+  IndexValid = true;
+  ++perf::local().CsrRebuilds;
+}
+
+bool Buchi::isComplete() const {
+  ensureIndex();
+  const size_t Rows = static_cast<size_t>(numStates()) * Symbols;
+  for (size_t R = 0; R < Rows; ++R)
+    if (Csr.Row[R] == Csr.Row[R + 1])
+      return false;
   return true;
 }
 
 bool Buchi::isDeterministic() const {
   if (Initial.size() > 1)
     return false;
-  for (State S = 0; S < numStates(); ++S) {
-    std::vector<bool> Seen(Symbols, false);
-    for (const Arc &A : Adj[S]) {
-      if (Seen[A.Sym])
-        return false;
-      Seen[A.Sym] = true;
-    }
-  }
+  ensureIndex();
+  const size_t Rows = static_cast<size_t>(numStates()) * Symbols;
+  for (size_t R = 0; R < Rows; ++R)
+    if (Csr.Row[R + 1] - Csr.Row[R] > 1)
+      return false;
   return true;
 }
 
 StateSet Buchi::reachableStates() const {
+  flushDedup();
   std::vector<bool> Seen(numStates(), false);
   std::deque<State> Work;
   for (State S : Initial.elems()) {
@@ -64,6 +123,7 @@ StateSet Buchi::reachableStates() const {
 }
 
 std::string Buchi::str() const {
+  flushDedup();
   std::string S = "GBA: " + std::to_string(numStates()) + " states, " +
                   std::to_string(Symbols) + " symbols, " +
                   std::to_string(Conditions) + " conditions\n";

@@ -12,6 +12,16 @@
 /// products are smaller and intersect more cheaply than degeneralized BAs
 /// (the paper's footnote at the start of Section 4).
 ///
+/// Every engine in the refinement loop funnels through per-(state, symbol)
+/// successor queries, so transitions are indexed by a compressed-sparse-row
+/// table keyed by (state, symbol). The index is built lazily on first
+/// query and invalidated by mutation; addTransition is an O(1) append
+/// (duplicates are removed at index-build time, preserving first-occurrence
+/// order, so construction-order determinism is unchanged). The lazily
+/// rebuilt caches make the const accessors non-reentrant for a *first*
+/// query from two threads at once; call ensureIndex() before sharing a
+/// const Buchi across threads (nothing in the tree shares one today).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TERMCHECK_AUTOMATA_BUCHI_H
@@ -52,6 +62,7 @@ public:
   uint32_t numStates() const { return static_cast<uint32_t>(Adj.size()); }
 
   size_t numTransitions() const {
+    flushDedup();
     size_t N = 0;
     for (const auto &Arcs : Adj)
       N += Arcs.size();
@@ -66,6 +77,8 @@ public:
   State addState() {
     Adj.emplace_back();
     AcceptMask.push_back(0);
+    Dirty.push_back(false);
+    IndexValid = false; // the CSR row table is sized by numStates
     return numStates() - 1;
   }
 
@@ -103,36 +116,77 @@ public:
   /// \returns true when \p S is in every acceptance set.
   bool isAcceptingAll(State S) const { return acceptMask(S) == fullMask(); }
 
-  /// Adds the transition, deduplicating.
+  /// Adds the transition. O(1): duplicates are deduplicated lazily (first
+  /// occurrence wins) when the adjacency is next observed.
   void addTransition(State From, Symbol Sym, State To) {
     assert(From < numStates() && To < numStates() && Sym < Symbols &&
            "transition out of range");
-    for (const Arc &A : Adj[From])
-      if (A.Sym == Sym && A.To == To)
-        return;
     Adj[From].push_back({Sym, To});
+    if (!Dirty[From]) {
+      Dirty[From] = true;
+      DirtyStates.push_back(From);
+    }
+    IndexValid = false;
   }
 
+  /// The deduplicated out-arcs of \p S in first-insertion order.
   const std::vector<Arc> &arcsFrom(State S) const {
     assert(S < numStates() && "unknown state");
+    flushDedup();
     return Adj[S];
   }
 
-  /// All \p Sym-successors of \p S.
+  /// Half-open range of the \p Sym-successors of \p S, in first-insertion
+  /// order. Valid until the next mutation.
+  std::pair<const State *, const State *> successorsSpan(State S,
+                                                         Symbol Sym) const {
+    assert(S < numStates() && Sym < Symbols && "query out of range");
+    ensureIndex();
+    size_t Row = static_cast<size_t>(S) * Symbols + Sym;
+    const State *Base = Csr.Targets.data();
+    return {Base + Csr.Row[Row], Base + Csr.Row[Row + 1]};
+  }
+
+  /// Calls \p Fn(State) for every \p Sym-successor of \p S. Allocation-free.
+  template <typename Fn>
+  void forEachSuccessor(State S, Symbol Sym, Fn &&F) const {
+    auto [B, E] = successorsSpan(S, Sym);
+    for (; B != E; ++B)
+      F(*B);
+  }
+
+  /// Appends the \p Sym-successors of \p S to \p Out. Allocation-free when
+  /// \p Out has capacity.
+  void successorsInto(State S, Symbol Sym, std::vector<State> &Out) const {
+    auto [B, E] = successorsSpan(S, Sym);
+    Out.insert(Out.end(), B, E);
+  }
+
+  /// All \p Sym-successors of \p S (allocating; prefer successorsSpan /
+  /// forEachSuccessor / successorsInto on hot paths).
   std::vector<State> successors(State S, Symbol Sym) const {
-    std::vector<State> Out;
-    for (const Arc &A : Adj[S])
-      if (A.Sym == Sym)
-        Out.push_back(A.To);
-    return Out;
+    auto [B, E] = successorsSpan(S, Sym);
+    return std::vector<State>(B, E);
   }
 
   /// All successors of \p S over any symbol (the paper's post(q)).
   StateSet post(State S) const {
-    StateSet Out;
-    for (const Arc &A : Adj[S])
-      Out.insert(A.To);
-    return Out;
+    // Collect then normalize once: repeated sorted insertion is O(d^2) for
+    // high-out-degree states.
+    const std::vector<Arc> &Arcs = arcsFrom(S);
+    std::vector<State> Out;
+    Out.reserve(Arcs.size());
+    for (const Arc &A : Arcs)
+      Out.push_back(A.To);
+    return StateSet(std::move(Out));
+  }
+
+  /// Builds the (state, symbol) CSR successor index now if it is stale.
+  /// Queries call this implicitly; call it explicitly before sharing a
+  /// const Buchi across threads.
+  void ensureIndex() const {
+    if (!IndexValid)
+      buildIndex();
   }
 
   /// \returns true when every state has a successor on every symbol.
@@ -151,9 +205,37 @@ public:
 private:
   uint32_t Symbols;
   uint32_t Conditions;
-  std::vector<std::vector<Arc>> Adj;
+  /// Raw adjacency in insertion order; may transiently hold duplicates
+  /// until flushDedup() runs (mutable: dedup and the CSR are lazy caches
+  /// refreshed from const accessors).
+  mutable std::vector<std::vector<Arc>> Adj;
   std::vector<uint64_t> AcceptMask;
   StateSet Initial;
+
+  /// States with arcs appended since the last dedup flush.
+  mutable std::vector<bool> Dirty;
+  mutable std::vector<State> DirtyStates;
+
+  /// CSR over (state, symbol): row r = S * Symbols + Sym holds the targets
+  /// Targets[Row[r] .. Row[r+1]) in first-insertion order.
+  struct CsrIndex {
+    std::vector<uint32_t> Row;
+    std::vector<State> Targets;
+  };
+  mutable CsrIndex Csr;
+  mutable bool IndexValid = false;
+
+  /// Deduplicates the adjacency of every dirty state, keeping the first
+  /// occurrence of each (Sym, To) in insertion order. The common "nothing
+  /// pending" case must stay inline: arcsFrom sits in N^2 fixpoint loops.
+  void flushDedup() const {
+    if (!DirtyStates.empty())
+      flushDedupSlow();
+  }
+
+  void flushDedupSlow() const;
+
+  void buildIndex() const;
 };
 
 } // namespace termcheck

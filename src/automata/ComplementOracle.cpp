@@ -7,22 +7,26 @@
 #include "automata/ComplementOracle.h"
 
 #include <deque>
-#include <unordered_map>
 
 using namespace termcheck;
 
 Buchi ComplementOracle::materialize() {
   Buchi Out(numSymbols(), 1);
-  std::unordered_map<State, State> Map; // oracle id -> explicit id
+  // Every oracle hands out small dense-ish ids (intern ids, or the DBA
+  // complement's (q << 1) | copy encoding), so the id -> explicit-state map
+  // is a flat vector with a sentinel instead of a hash map.
+  constexpr State Unmapped = ~State(0);
+  std::vector<State> Map;
   std::deque<State> Work;
   auto Intern = [&](State S) {
-    auto It = Map.find(S);
-    if (It != Map.end())
-      return It->second;
+    if (S >= Map.size())
+      Map.resize(S + 1, Unmapped);
+    if (Map[S] != Unmapped)
+      return Map[S];
     State Fresh = Out.addState();
     if (isAccepting(S))
       Out.setAccepting(Fresh);
-    Map.emplace(S, Fresh);
+    Map[S] = Fresh;
     Work.push_back(S);
     return Fresh;
   };
@@ -32,7 +36,7 @@ Buchi ComplementOracle::materialize() {
   while (!Work.empty()) {
     State S = Work.front();
     Work.pop_front();
-    State From = Map.at(S);
+    State From = Map[S];
     for (Symbol Sym = 0; Sym < numSymbols(); ++Sym) {
       Buf.clear();
       successors(S, Sym, Buf);

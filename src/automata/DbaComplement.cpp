@@ -16,6 +16,7 @@ DbaComplementOracle::DbaComplementOracle(const Buchi &A) : A(A) {
   assert(A.isDeterministic() && "DBA complement expects a DBA");
   assert(A.isComplete() && "DBA complement expects a complete DBA");
   Seen.assign(static_cast<size_t>(A.numStates()) * 2, false);
+  A.ensureIndex(); // one build up front; the input never mutates
 }
 
 State DbaComplementOracle::encode(State Q, bool Copy2) {
@@ -42,15 +43,13 @@ void DbaComplementOracle::successors(State S, Symbol Sym,
                                      std::vector<State> &Out) {
   State Q = S >> 1;
   bool Copy2 = (S & 1) != 0;
-  for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
-    if (Arc.Sym != Sym)
-      continue;
+  A.forEachSuccessor(Q, Sym, [&](State To) {
     if (!Copy2) {
-      Out.push_back(encode(Arc.To, false));
-      if (A.acceptMask(Arc.To) == 0)
-        Out.push_back(encode(Arc.To, true));
-    } else if (A.acceptMask(Arc.To) == 0) {
-      Out.push_back(encode(Arc.To, true));
+      Out.push_back(encode(To, false));
+      if (A.acceptMask(To) == 0)
+        Out.push_back(encode(To, true));
+    } else if (A.acceptMask(To) == 0) {
+      Out.push_back(encode(To, true));
     }
-  }
+  });
 }

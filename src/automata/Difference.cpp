@@ -6,10 +6,11 @@
 
 #include "automata/Difference.h"
 
+#include "automata/Interner.h"
+#include "automata/PerfCounters.h"
 #include "support/FaultInjector.h"
 
 #include <cassert>
-#include <unordered_map>
 
 using namespace termcheck;
 
@@ -18,10 +19,14 @@ namespace {
 /// The on-the-fly product A x B-bar as a GbaSource. Product states are
 /// interned (aState, cState) pairs; arcs are memoized because Algorithm 1
 /// asks for them once per expansion and the materialization step asks
-/// again.
+/// again. Both the pair index and the arc memo are flat, state-indexed
+/// structures: product ids are dense, so a hash map per lookup is pure
+/// overhead on this hot path.
 class ProductSource : public GbaSource {
 public:
-  ProductSource(const Buchi &A, ComplementOracle &BC) : A(A), BC(BC) {}
+  ProductSource(const Buchi &A, ComplementOracle &BC) : A(A), BC(BC) {
+    A.ensureIndex(); // arcsFrom below wants the deduped arc lists
+  }
 
   uint64_t fullMask() const override {
     return (A.fullMask() << 1) | 1; // bit 0: complement acceptance
@@ -36,52 +41,53 @@ public:
   }
 
   uint64_t acceptMask(State S) override {
-    auto [P, Q] = Info[S];
+    auto [P, Q] = Pairs.get(S);
     return (A.acceptMask(P) << 1) | (BC.isAccepting(Q) ? 1 : 0);
   }
 
   void arcs(State S, std::vector<Buchi::Arc> &Out) override {
-    auto It = ArcCache.find(S);
-    if (It != ArcCache.end()) {
-      Out.insert(Out.end(), It->second.begin(), It->second.end());
+    if (S < ArcCached.size() && ArcCached[S]) {
+      const std::vector<Buchi::Arc> &Hit = ArcCache[S];
+      Out.insert(Out.end(), Hit.begin(), Hit.end());
       return;
     }
     FaultInjector::hit(FaultSite::DifferenceExpand);
     std::vector<Buchi::Arc> Arcs;
-    auto [P, Q] = Info[S];
-    std::vector<State> Buf;
+    auto [P, Q] = Pairs.get(S);
     for (const Buchi::Arc &ArcA : A.arcsFrom(P)) {
-      Buf.clear();
-      BC.successors(Q, ArcA.Sym, Buf);
-      for (State CTo : Buf)
+      SuccBuf.clear();
+      BC.successors(Q, ArcA.Sym, SuccBuf);
+      for (State CTo : SuccBuf)
         Arcs.push_back({ArcA.Sym, intern(ArcA.To, CTo)});
     }
     Out.insert(Out.end(), Arcs.begin(), Arcs.end());
-    ArcCache.emplace(S, std::move(Arcs));
+    // intern() above may have discovered fresh states; size the memo after.
+    if (ArcCache.size() < Pairs.size()) {
+      ArcCache.resize(Pairs.size());
+      ArcCached.resize(Pairs.size(), false);
+    }
+    MemoizedArcs += Arcs.size();
+    perf::local().ArcsMemoized += Arcs.size();
+    ArcCache[S] = std::move(Arcs);
+    ArcCached[S] = true;
   }
 
   /// Decodes a product id.
-  std::pair<State, State> decode(State S) const { return Info[S]; }
+  std::pair<State, State> decode(State S) const { return Pairs.get(S); }
 
-  size_t numProductStates() const { return Info.size(); }
+  size_t numProductStates() const { return Pairs.size(); }
+  size_t numArcsMemoized() const { return MemoizedArcs; }
 
 private:
   const Buchi &A;
   ComplementOracle &BC;
-  std::vector<std::pair<State, State>> Info;
-  std::unordered_map<uint64_t, State> Index;
-  std::unordered_map<State, std::vector<Buchi::Arc>> ArcCache;
+  PairInterner Pairs;
+  std::vector<std::vector<Buchi::Arc>> ArcCache;
+  std::vector<bool> ArcCached;
+  std::vector<State> SuccBuf; // scratch for one oracle successor query
+  size_t MemoizedArcs = 0;
 
-  State intern(State P, State Q) {
-    uint64_t Key = (static_cast<uint64_t>(P) << 32) | Q;
-    auto It = Index.find(Key);
-    if (It != Index.end())
-      return It->second;
-    State S = static_cast<State>(Info.size());
-    Info.push_back({P, Q});
-    Index.emplace(Key, S);
-    return S;
-  }
+  State intern(State P, State Q) { return Pairs.intern(P, Q).first; }
 };
 
 } // namespace
@@ -138,16 +144,15 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   // emp as a per-A-state antichain of complement macro-states, compared
   // with the oracle's subsumption relation (Section 6, Eq. 10). Without
   // subsumption the oracle relation degrades to equality, which makes this
-  // an exact set.
-  std::unordered_map<State, std::vector<State>> Emp;
+  // an exact set. A states are dense, so the per-state chains live in a
+  // flat vector instead of a hash map.
+  std::vector<std::vector<State>> Emp;
   size_t SubsumptionPruned = 0;
   if (Opts.UseSubsumption) {
+    Emp.resize(A.numStates());
     Remover.IsKnownUseless = [&](State S) {
       auto [P, Q] = Src.decode(S);
-      auto It = Emp.find(P);
-      if (It == Emp.end())
-        return false;
-      for (State R : It->second)
+      for (State R : Emp[P])
         if (BC.subsumedBy(Q, R)) {
           ++SubsumptionPruned;
           return true;
@@ -171,8 +176,7 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
     };
   }
 
-  DifferenceResult Out{Buchi(A.numSymbols(), A.numConditions() + 1),
-                       true, 0, 0, false, false};
+  DifferenceResult Out{Buchi(A.numSymbols(), A.numConditions() + 1)};
   // A guard that is already exhausted (earlier subtraction, another
   // portfolio entrant) stops the construction before any work: the sticky
   // trip is run-level, not a per-construction cap.
@@ -186,6 +190,7 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
   Out.ProductStatesExplored = R.StatesExplored;
   Out.ComplementStatesDiscovered = BC.numStatesDiscovered();
   Out.SubsumptionPruned = SubsumptionPruned;
+  Out.ArcsMemoized = Src.numArcsMemoized();
   // An oracle-side abort truncated some successor list, so the search saw
   // an under-approximated product; the classification is as invalid as a
   // remover-side abort.
@@ -196,11 +201,14 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
 
   // Materialize the useful part. Product condition bit 0 is the
   // complement's; shift A's conditions up by one to match acceptMask().
-  std::unordered_map<State, State> Map;
+  // Product ids are dense, so the useful->fresh map is a flat vector with
+  // a sentinel for dropped states.
+  constexpr State NotUseful = ~State(0);
+  std::vector<State> Map(Src.numProductStates(), NotUseful);
   for (State S : R.Useful) {
     State Fresh = Out.D.addState();
     Out.D.setAcceptMask(Fresh, Src.acceptMask(S));
-    Map.emplace(S, Fresh);
+    Map[S] = Fresh;
   }
   std::vector<Buchi::Arc> Buf;
   uint32_t PollCountdown = 256;
@@ -215,17 +223,15 @@ DifferenceResult termcheck::difference(const Buchi &A, ComplementOracle &BC,
     }
     Buf.clear();
     Src.arcs(S, Buf);
-    for (const Buchi::Arc &Arc : Buf) {
-      auto It = Map.find(Arc.To);
-      if (It != Map.end())
-        Out.D.addTransition(Map.at(S), Arc.Sym, It->second);
-    }
+    for (const Buchi::Arc &Arc : Buf)
+      if (Arc.To < Map.size() && Map[Arc.To] != NotUseful)
+        Out.D.addTransition(Map[S], Arc.Sym, Map[Arc.To]);
   }
   for (State S : Src.initialStates()) {
-    auto It = Map.find(S);
-    if (It != Map.end())
-      Out.D.addInitial(It->second);
+    if (Map[S] != NotUseful)
+      Out.D.addInitial(Map[S]);
   }
+  Out.ArcsMemoized = Src.numArcsMemoized();
   // Only completed constructions are charged: an aborted one frees its
   // states on return, and charging it would double-bill retries.
   if (Opts.Guard)

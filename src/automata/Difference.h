@@ -72,6 +72,9 @@ struct DifferenceResult {
   /// of the emp antichain was already known useless (Section 6). Zero when
   /// subsumption is off.
   size_t SubsumptionPruned = 0;
+  /// Product arcs memoized by the on-the-fly product: each is computed once
+  /// during the search and replayed from the cache during materialization.
+  size_t ArcsMemoized = 0;
 };
 
 /// Computes the useful part of L(A) \ L(B-bar-source). \p A provides k

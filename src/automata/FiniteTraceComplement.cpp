@@ -15,19 +15,7 @@ FiniteTraceComplementOracle::FiniteTraceComplementOracle(const Buchi &A,
     : A(A), Universal(Universal) {
   assert(Universal < A.numStates() && "unknown universal state");
   assert(A.acceptMask(Universal) != 0 && "universal state must accept");
-}
-
-State FiniteTraceComplementOracle::intern(StateSet S) {
-  size_t H = S.hash();
-  auto It = Index.find(H);
-  if (It != Index.end())
-    for (State Id : It->second)
-      if (Subsets[Id] == S)
-        return Id;
-  State Id = static_cast<State>(Subsets.size());
-  Subsets.push_back(std::move(S));
-  Index[H].push_back(Id);
-  return Id;
+  A.ensureIndex(); // one build up front; the input never mutates
 }
 
 std::vector<State> FiniteTraceComplementOracle::initialStates() {
@@ -41,11 +29,13 @@ std::vector<State> FiniteTraceComplementOracle::initialStates() {
 
 void FiniteTraceComplementOracle::successors(State S, Symbol Sym,
                                              std::vector<State> &Out) {
-  StateSet Next;
+  // The interner's references are stable, so the subset can be expanded in
+  // place; collect into a scratch vector and normalize once instead of
+  // maintaining sorted order per insertion (O(d^2) on wide subsets).
+  Scratch.clear();
   for (State Q : Subsets[S].elems())
-    for (const Buchi::Arc &Arc : A.arcsFrom(Q))
-      if (Arc.Sym == Sym)
-        Next.insert(Arc.To);
+    A.successorsInto(Q, Sym, Scratch);
+  StateSet Next(Scratch);
   // Reaching the universal accepting state means the consumed prefix is in
   // Pref, so every continuation is accepted by the module: kill this run.
   if (Next.contains(Universal))

@@ -20,9 +20,8 @@
 #define TERMCHECK_AUTOMATA_FINITETRACECOMPLEMENT_H
 
 #include "automata/ComplementOracle.h"
+#include "automata/Interner.h"
 #include "automata/StateSet.h"
-
-#include <unordered_map>
 
 namespace termcheck {
 
@@ -52,10 +51,10 @@ public:
 private:
   const Buchi &A;
   State Universal;
-  std::vector<StateSet> Subsets;
-  std::unordered_map<size_t, std::vector<State>> Index;
+  Interner<StateSet> Subsets;
+  std::vector<State> Scratch;
 
-  State intern(StateSet S);
+  State intern(StateSet S) { return Subsets.intern(std::move(S)); }
 };
 
 } // namespace termcheck

@@ -1,0 +1,203 @@
+//===- automata/Interner.h - Arena-backed macro-state interning -*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared intern-table machinery behind every lazily constructed
+/// complement: NCSB macro-states (Section 5), the subset-construction
+/// states of the finite-trace complement (Section 3.1.2), rank states
+/// (Kupferman-Vardi), and the (aState, cState) pairs of the on-the-fly
+/// product (Section 4). Complementation throughput is dominated by
+/// successor enumeration and macro-state dedup, so this table is built for
+/// the dedup half:
+///
+///  * values live in a chunked arena -- growth never moves an element, so
+///    `const T &` references handed out by operator[] stay valid across
+///    later intern() calls (no more "copy because intern() may grow the
+///    vector" workarounds);
+///  * ids are dense and assigned in first-intern order, so a sequence of
+///    intern() calls yields exactly the same ids as the historical
+///    vector + hash-bucket implementation (construction determinism);
+///  * the lookup index is a single open-addressing table over precomputed
+///    hashes: one flat allocation, linear probing, no per-bucket vectors to
+///    rehash and copy as the table grows (rehashing reinserts ids by their
+///    stored hash and never re-touches the values).
+///
+/// `T` needs `size_t hash() const`, `operator==`, a default constructor,
+/// and move assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_INTERNER_H
+#define TERMCHECK_AUTOMATA_INTERNER_H
+
+#include "automata/PerfCounters.h"
+#include "automata/StateSet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace termcheck {
+
+/// Arena-backed intern table with stable references and dense ids.
+template <typename T> class Interner {
+public:
+  /// Interns \p V: \returns the id of the existing equal value, or a fresh
+  /// dense id with \p V moved into the arena.
+  State intern(T V) {
+    size_t H = V.hash();
+    if (Count * 8 >= Table.size() * 5) // load factor 5/8
+      growTable();
+    size_t Mask = Table.size() - 1;
+    size_t Idx = H & Mask;
+    while (Table[Idx] != Empty) {
+      State Id = Table[Idx];
+      if (Hashes[Id] == H && (*this)[Id] == V) {
+        ++perf::local().InternHits;
+        return Id;
+      }
+      Idx = (Idx + 1) & Mask;
+    }
+    State Id = static_cast<State>(Count);
+    if ((Count & ChunkMask) == 0)
+      Chunks.push_back(std::make_unique<T[]>(ChunkSize));
+    Chunks[Count >> ChunkShift][Count & ChunkMask] = std::move(V);
+    Hashes.push_back(H);
+    ++Count;
+    Table[Idx] = Id;
+    ++perf::local().InternMisses;
+    return Id;
+  }
+
+  /// Interns \p V without consuming it: the arena copy happens only on a
+  /// miss. Lets hot loops probe with a reused scratch value -- the common
+  /// already-interned case then allocates nothing at all.
+  State internRef(const T &V) {
+    size_t H = V.hash();
+    if (Count * 8 >= Table.size() * 5)
+      growTable();
+    size_t Mask = Table.size() - 1;
+    size_t Idx = H & Mask;
+    while (Table[Idx] != Empty) {
+      State Id = Table[Idx];
+      if (Hashes[Id] == H && (*this)[Id] == V) {
+        ++perf::local().InternHits;
+        return Id;
+      }
+      Idx = (Idx + 1) & Mask;
+    }
+    State Id = static_cast<State>(Count);
+    if ((Count & ChunkMask) == 0)
+      Chunks.push_back(std::make_unique<T[]>(ChunkSize));
+    Chunks[Count >> ChunkShift][Count & ChunkMask] = V;
+    Hashes.push_back(H);
+    ++Count;
+    Table[Idx] = Id;
+    ++perf::local().InternMisses;
+    return Id;
+  }
+
+  /// The value behind \p Id. The reference is stable: it survives every
+  /// later intern() (the arena grows by whole chunks, never reallocates).
+  const T &operator[](State Id) const {
+    assert(Id < Count && "unknown intern id");
+    return Chunks[Id >> ChunkShift][Id & ChunkMask];
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  static constexpr size_t ChunkShift = 6;
+  static constexpr size_t ChunkSize = size_t(1) << ChunkShift;
+  static constexpr size_t ChunkMask = ChunkSize - 1;
+  static constexpr State Empty = ~State(0);
+
+  std::vector<std::unique_ptr<T[]>> Chunks;
+  std::vector<size_t> Hashes;               ///< precomputed, by id
+  std::vector<State> Table{Empty, Empty,    ///< open addressing, id or Empty
+                           Empty, Empty, Empty, Empty, Empty, Empty};
+  size_t Count = 0;
+
+  void growTable() {
+    std::vector<State> Next(Table.size() * 2, Empty);
+    size_t Mask = Next.size() - 1;
+    for (size_t Id = 0; Id < Count; ++Id) {
+      size_t Idx = Hashes[Id] & Mask;
+      while (Next[Idx] != Empty)
+        Idx = (Idx + 1) & Mask;
+      Next[Idx] = static_cast<State>(Id);
+    }
+    Table = std::move(Next);
+  }
+};
+
+/// Open-addressing intern table for (left, right) state pairs packed into a
+/// 64-bit key: the product states of the difference engine, degeneralization
+/// layers, and lasso-membership products. Ids are dense in first-intern
+/// order; the caller keeps its own id -> payload side table.
+class PairInterner {
+public:
+  /// Interns the pair \p P, \p Q. \returns (id, inserted).
+  std::pair<State, bool> intern(State P, State Q) {
+    uint64_t Key = (static_cast<uint64_t>(P) << 32) | Q;
+    if (Keys.size() * 8 >= Table.size() * 5)
+      growTable();
+    size_t Mask = Table.size() - 1;
+    size_t Idx = mix(Key) & Mask;
+    while (Table[Idx] != Empty) {
+      State Id = Table[Idx];
+      if (Keys[Id] == Key)
+        return {Id, false};
+      Idx = (Idx + 1) & Mask;
+    }
+    State Id = static_cast<State>(Keys.size());
+    Keys.push_back(Key);
+    Table[Idx] = Id;
+    return {Id, true};
+  }
+
+  /// Decodes an id back into its (left, right) pair.
+  std::pair<State, State> get(State Id) const {
+    assert(Id < Keys.size() && "unknown pair id");
+    return {static_cast<State>(Keys[Id] >> 32),
+            static_cast<State>(Keys[Id] & 0xffffffffULL)};
+  }
+
+  size_t size() const { return Keys.size(); }
+
+private:
+  static constexpr State Empty = ~State(0);
+
+  std::vector<uint64_t> Keys;
+  std::vector<State> Table{Empty, Empty, Empty, Empty,
+                           Empty, Empty, Empty, Empty};
+
+  /// splitmix64 finalizer: the raw packed key is far too regular (dense
+  /// state ids in both halves) for masked linear probing.
+  static uint64_t mix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+  void growTable() {
+    std::vector<State> Next(Table.size() * 2, Empty);
+    size_t Mask = Next.size() - 1;
+    for (size_t Id = 0; Id < Keys.size(); ++Id) {
+      size_t Idx = mix(Keys[Id]) & Mask;
+      while (Next[Idx] != Empty)
+        Idx = (Idx + 1) & Mask;
+      Next[Idx] = static_cast<State>(Id);
+    }
+    Table = std::move(Next);
+  }
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_INTERNER_H

@@ -16,19 +16,7 @@ using namespace termcheck;
 NcsbOracle::NcsbOracle(const Sdba &In, NcsbVariant Variant)
     : In(In), Variant(Variant) {
   assert(In.A.isComplete() && "NCSB expects a complete SDBA");
-}
-
-State NcsbOracle::intern(NcsbMacroState M) {
-  size_t H = M.hash();
-  auto It = Index.find(H);
-  if (It != Index.end())
-    for (State S : It->second)
-      if (Macro[S] == M)
-        return S;
-  State S = static_cast<State>(Macro.size());
-  Macro.push_back(std::move(M));
-  Index[H].push_back(S);
-  return S;
+  In.A.ensureIndex(); // one build up front; the input never mutates
 }
 
 std::vector<State> NcsbOracle::initialStates() {
@@ -45,42 +33,46 @@ std::vector<State> NcsbOracle::initialStates() {
   return {intern(std::move(M))};
 }
 
-StateSet NcsbOracle::delta2(const StateSet &X, Symbol Sym) const {
-  StateSet Out;
+void NcsbOracle::delta2Into(const StateSet &X, Symbol Sym, StateSet &Out) {
+  ScratchA.clear();
   for (State S : X.elems()) {
     assert(In.inQ2(S) && "delta2 applies to Q2 states only");
-    for (const Buchi::Arc &Arc : In.A.arcsFrom(S))
-      if (Arc.Sym == Sym)
-        Out.insert(Arc.To);
+    In.A.successorsInto(S, Sym, ScratchA);
   }
-  return Out;
+  Out.assignNormalized(ScratchA); // normalize once (sort + unique)
 }
 
 void NcsbOracle::deltaFromN(const StateSet &N, Symbol Sym, StateSet &N1,
-                            StateSet &T) const {
+                            StateSet &T) {
+  ScratchA.clear();
+  ScratchB.clear();
   for (State S : N.elems()) {
-    for (const Buchi::Arc &Arc : In.A.arcsFrom(S)) {
-      if (Arc.Sym != Sym)
-        continue;
-      if (In.inQ2(Arc.To))
-        T.insert(Arc.To);
-      else
-        N1.insert(Arc.To);
-    }
+    In.A.forEachSuccessor(S, Sym, [this](State To) {
+      (In.inQ2(To) ? ScratchB : ScratchA).push_back(To);
+    });
   }
+  N1.assignNormalized(ScratchA);
+  T.assignNormalized(ScratchB);
 }
 
-StateSet NcsbOracle::acceptingOf(const StateSet &X) const {
-  StateSet Out;
+void NcsbOracle::acceptingInto(const StateSet &X, StateSet &Out) {
+  ScratchA.clear();
   for (State S : X.elems())
     if (In.isAccepting(S))
-      Out.insert(S);
-  return Out;
+      ScratchA.push_back(S);
+  Out.assignNormalized(ScratchA); // already sorted; the sort is a no-op scan
+}
+
+bool NcsbOracle::anyAccepting(const StateSet &X) const {
+  for (State S : X.elems())
+    if (In.isAccepting(S))
+      return true;
+  return false;
 }
 
 template <typename Fn>
-void NcsbOracle::enumerateSplits(const StateSet &Free, Fn Emit) {
-  const auto &Elems = Free.elems();
+void NcsbOracle::enumerateSplits(const StateSet &FreeSet, Fn Emit) {
+  const auto &Elems = FreeSet.elems();
   // A free set this wide means 2^|Free| successor macro-states: not a bug
   // but an input the construction cannot afford. Raising ResourceExhausted
   // (instead of the old assert, which vanished under NDEBUG and left a
@@ -97,21 +89,25 @@ void NcsbOracle::enumerateSplits(const StateSet &Free, Fn Emit) {
     // enumeration is unsound; aborted() tells the caller to discard it.
     if (pollAbort())
       return;
-    StateSet ToFirst, ToSecond;
+    SplitA.clear();
+    SplitB.clear();
     for (size_t I = 0; I < Elems.size(); ++I) {
+      // Elems is sorted and scanned in order, so both splits come out
+      // sorted and duplicate-free, as assignUnion requires.
       if (Bits & (1u << I))
-        ToFirst.insert(Elems[I]);
+        SplitA.push_back(Elems[I]);
       else
-        ToSecond.insert(Elems[I]);
+        SplitB.push_back(Elems[I]);
     }
-    Emit(std::move(ToFirst), std::move(ToSecond));
+    Emit(SplitA, SplitB);
   }
 }
 
 void NcsbOracle::successors(State S, Symbol Sym, std::vector<State> &Out) {
   FaultInjector::hit(FaultSite::NcsbSuccessor);
-  // Copy: intern() may grow Macro and invalidate references.
-  NcsbMacroState M = Macro[S];
+  // The arena-backed interner hands out stable references, so the
+  // macro-state can be read in place while intern() discovers successors.
+  const NcsbMacroState &M = Macro[S];
   if (Variant == NcsbVariant::Original)
     succOriginal(M, Sym, Out);
   else
@@ -125,77 +121,121 @@ void NcsbOracle::succOriginal(const NcsbMacroState &M, Symbol Sym,
   //   S' supseteq delta_2(S, a)           (rule 4)
   //   C' supseteq delta_2(C \ F, a)       (rule 5)
   //   C' supseteq D cap F                 (S' is accepting-free)
-  StateSet NPrime, T;
   deltaFromN(M.N, Sym, NPrime, T);
-  StateSet D = T.unionWith(delta2(M.C.unionWith(M.S), Sym));
+  ScratchA.clear(); // delta2(C cup S) in one collect-then-normalize pass
+  for (State S : M.C.elems()) {
+    assert(In.inQ2(S) && "C must stay inside Q2");
+    In.A.successorsInto(S, Sym, ScratchA);
+  }
+  for (State S : M.S.elems()) {
+    assert(In.inQ2(S) && "S must stay inside Q2");
+    In.A.successorsInto(S, Sym, ScratchA);
+  }
+  Tmp1.assignNormalized(ScratchA);
+  D.assignUnion(T, Tmp1);
 
-  StateSet MustS = delta2(M.S, Sym);
-  if (!acceptingOf(MustS).empty())
+  delta2Into(M.S, Sym, MustS);
+  if (anyAccepting(MustS))
     return; // blocked: a safe run touched an accepting state
-  StateSet MustC =
-      delta2(M.C.minus(acceptingOf(M.C)), Sym).unionWith(acceptingOf(D));
-  if (MustC.intersects(MustS))
+  acceptingInto(M.C, Tmp1);          // C cap F
+  Tmp2.assignDifference(M.C, Tmp1);  // C \ F
+  delta2Into(Tmp2, Sym, Tmp1);       // delta2(C \ F)
+  acceptingInto(D, Tmp2);            // D cap F
+  Must2.assignUnion(Tmp1, Tmp2);     // MustC
+  if (Must2.intersects(MustS))
     return; // blocked: rule 3 cannot hold
 
-  StateSet Free = D.minus(MustC.unionWith(MustS));
-  StateSet BSucc = M.B.empty() ? StateSet() : delta2(M.B, Sym);
-  enumerateSplits(Free, [&](StateSet ToC, StateSet ToS) {
-    NcsbMacroState Next;
-    Next.N = NPrime;
-    Next.C = MustC.unionWith(ToC);
-    Next.S = MustS.unionWith(ToS);
-    Next.B = M.B.empty() ? Next.C : BSucc.intersectWith(Next.C);
-    Out.push_back(intern(std::move(Next)));
-  });
+  Tmp1.assignUnion(Must2, MustS);
+  Free.assignDifference(D, Tmp1);
+  bool BEmpty = M.B.empty();
+  if (BEmpty)
+    BSucc.clear();
+  else
+    delta2Into(M.B, Sym, BSucc);
+  ScratchNext.N = NPrime; // invariant across the splits
+  enumerateSplits(
+      Free, [&](const std::vector<State> &ToC, const std::vector<State> &ToS) {
+        ScratchNext.C.assignUnion(Must2, ToC);
+        ScratchNext.S.assignUnion(MustS, ToS);
+        if (BEmpty)
+          ScratchNext.B = ScratchNext.C;
+        else
+          ScratchNext.B.assignIntersection(BSucc, ScratchNext.C);
+        Out.push_back(Macro.internRef(ScratchNext));
+      });
 }
 
 void NcsbOracle::succLazy(const NcsbMacroState &M, Symbol Sym,
                           std::vector<State> &Out) {
-  StateSet NPrime, T;
   deltaFromN(M.N, Sym, NPrime, T);
 
   if (M.B.empty()) {
     // Rules a1-a6: like the original but with rule 5 removed -- on leaving
     // an accepting macro-state, ALL postponed guesses are made at once.
-    StateSet D = T.unionWith(delta2(M.C.unionWith(M.S), Sym));
-    StateSet MustS = delta2(M.S, Sym);
-    if (!acceptingOf(MustS).empty())
+    ScratchA.clear(); // delta2(C cup S)
+    for (State S : M.C.elems()) {
+      assert(In.inQ2(S) && "C must stay inside Q2");
+      In.A.successorsInto(S, Sym, ScratchA);
+    }
+    for (State S : M.S.elems()) {
+      assert(In.inQ2(S) && "S must stay inside Q2");
+      In.A.successorsInto(S, Sym, ScratchA);
+    }
+    Tmp1.assignNormalized(ScratchA);
+    D.assignUnion(T, Tmp1);
+    delta2Into(M.S, Sym, MustS);
+    if (anyAccepting(MustS))
       return;
-    StateSet MustC = acceptingOf(D);
-    if (MustC.intersects(MustS))
+    acceptingInto(D, Must2); // MustC
+    if (Must2.intersects(MustS))
       return;
-    StateSet Free = D.minus(MustC.unionWith(MustS));
-    enumerateSplits(Free, [&](StateSet ToC, StateSet ToS) {
-      NcsbMacroState Next;
-      Next.N = NPrime;
-      Next.C = MustC.unionWith(ToC);
-      Next.S = MustS.unionWith(ToS);
-      Next.B = Next.C; // rule a6
-      Out.push_back(intern(std::move(Next)));
+    Tmp1.assignUnion(Must2, MustS);
+    Free.assignDifference(D, Tmp1);
+    ScratchNext.N = NPrime;
+    enumerateSplits(Free, [&](const std::vector<State> &ToC,
+                              const std::vector<State> &ToS) {
+      ScratchNext.C.assignUnion(Must2, ToC);
+      ScratchNext.S.assignUnion(MustS, ToS);
+      ScratchNext.B = ScratchNext.C; // rule a6
+      Out.push_back(Macro.internRef(ScratchNext));
     });
     return;
   }
 
   // Rules b1-b6: only the successors of accepting states inside B may be
   // guessed into S; C follows deterministically (rule b5).
-  StateSet DB = delta2(M.B.unionWith(M.S), Sym);
-  StateSet MustS = delta2(M.S, Sym);
-  if (!acceptingOf(MustS).empty())
+  ScratchA.clear(); // DB = delta2(B cup S)
+  for (State S : M.B.elems()) {
+    assert(In.inQ2(S) && "B must stay inside Q2");
+    In.A.successorsInto(S, Sym, ScratchA);
+  }
+  for (State S : M.S.elems()) {
+    assert(In.inQ2(S) && "S must stay inside Q2");
+    In.A.successorsInto(S, Sym, ScratchA);
+  }
+  D.assignNormalized(ScratchA); // D doubles as DB here
+  delta2Into(M.S, Sym, MustS);
+  if (anyAccepting(MustS))
     return; // a safe run touched an accepting state
-  StateSet MustB =
-      delta2(M.B.minus(acceptingOf(M.B)), Sym).unionWith(acceptingOf(DB));
-  if (MustB.intersects(MustS))
+  acceptingInto(M.B, Tmp1);          // B cap F
+  Tmp2.assignDifference(M.B, Tmp1);  // B \ F
+  delta2Into(Tmp2, Sym, Tmp1);       // delta2(B \ F)
+  acceptingInto(D, Tmp2);            // DB cap F
+  Must2.assignUnion(Tmp1, Tmp2);     // MustB
+  if (Must2.intersects(MustS))
     return; // rule b3 cannot hold
-  StateSet Free = DB.minus(MustB.unionWith(MustS));
-  StateSet CSucc = delta2(M.C, Sym).unionWith(T);
-  enumerateSplits(Free, [&](StateSet ToB, StateSet ToS) {
-    NcsbMacroState Next;
-    Next.N = NPrime;
-    Next.B = MustB.unionWith(ToB);
-    Next.S = MustS.unionWith(ToS);
-    Next.C = CSucc.minus(Next.S); // rule b5
-    Out.push_back(intern(std::move(Next)));
-  });
+  Tmp1.assignUnion(Must2, MustS);
+  Free.assignDifference(D, Tmp1);
+  delta2Into(M.C, Sym, Tmp1);
+  CSucc.assignUnion(Tmp1, T); // delta2(C) cup T
+  ScratchNext.N = NPrime;
+  enumerateSplits(
+      Free, [&](const std::vector<State> &ToB, const std::vector<State> &ToS) {
+        ScratchNext.B.assignUnion(Must2, ToB);
+        ScratchNext.S.assignUnion(MustS, ToS);
+        ScratchNext.C.assignDifference(CSucc, ScratchNext.S); // rule b5
+        Out.push_back(Macro.internRef(ScratchNext));
+      });
 }
 
 bool NcsbOracle::subsumedBy(State Sub, State Sup) const {

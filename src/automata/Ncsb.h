@@ -27,10 +27,9 @@
 #define TERMCHECK_AUTOMATA_NCSB_H
 
 #include "automata/ComplementOracle.h"
+#include "automata/Interner.h"
 #include "automata/Sdba.h"
 #include "automata/StateSet.h"
-
-#include <unordered_map>
 
 namespace termcheck {
 
@@ -77,34 +76,47 @@ public:
   /// component-wise superset of Sub over Sup.
   bool subsumedBy(State Sub, State Sup) const override;
 
-  /// The interned macro-state behind a dense id (tests, debugging).
+  /// The interned macro-state behind a dense id (tests, debugging). The
+  /// reference is stable across later discoveries (arena-backed interner).
   const NcsbMacroState &macroState(State S) const { return Macro[S]; }
 
 private:
   const Sdba &In;
   NcsbVariant Variant;
 
-  std::vector<NcsbMacroState> Macro;
-  std::unordered_map<size_t, std::vector<State>> Index;
+  Interner<NcsbMacroState> Macro;
 
-  State intern(NcsbMacroState M);
+  /// Scratch hoisted out of the successor helpers. The StateSets are the
+  /// intermediate sets of Definition 5.1 / the lazy rules, overwritten in
+  /// place each expansion so their capacity is reused; ScratchNext is the
+  /// candidate macro-state probed against the interner, which copies it
+  /// into the arena only on a miss. Steady-state expansions (mostly
+  /// re-discovering interned macro-states) therefore allocate nothing.
+  std::vector<State> ScratchA, ScratchB;
+  std::vector<State> SplitA, SplitB;
+  StateSet NPrime, T, D, MustS, Must2, Free, BSucc, CSucc, Tmp1, Tmp2;
+  NcsbMacroState ScratchNext;
 
-  /// Deterministic-part successors of every state of \p X on \p Sym.
-  StateSet delta2(const StateSet &X, Symbol Sym) const;
+  State intern(NcsbMacroState M) { return Macro.intern(std::move(M)); }
+
+  /// Out = deterministic-part successors of every state of \p X on \p Sym.
+  void delta2Into(const StateSet &X, Symbol Sym, StateSet &Out);
   /// Splits delta(N, Sym) into its Q1 part (into \p N1) and Q2 part
   /// (into \p T).
-  void deltaFromN(const StateSet &N, Symbol Sym, StateSet &N1,
-                  StateSet &T) const;
-  /// Accepting states of \p X.
-  StateSet acceptingOf(const StateSet &X) const;
+  void deltaFromN(const StateSet &N, Symbol Sym, StateSet &N1, StateSet &T);
+  /// Out = the accepting states of \p X.
+  void acceptingInto(const StateSet &X, StateSet &Out);
+  /// \returns true when \p X contains an accepting state.
+  bool anyAccepting(const StateSet &X) const;
 
   void succOriginal(const NcsbMacroState &M, Symbol Sym,
                     std::vector<State> &Out);
   void succLazy(const NcsbMacroState &M, Symbol Sym, std::vector<State> &Out);
 
-  /// Emits every (MustTo + subset-of-Free) split into \p Emit.
+  /// Emits every two-way split of \p FreeSet as a pair of sorted vectors
+  /// (reused scratch; consume before the next emission).
   template <typename Fn>
-  void enumerateSplits(const StateSet &Free, Fn Emit);
+  void enumerateSplits(const StateSet &FreeSet, Fn Emit);
 };
 
 } // namespace termcheck

@@ -25,6 +25,7 @@ struct NestedDfsRun {
     State S;
     size_t ArcIdx;
     Symbol InSym; // symbol on the edge that discovered S (root: unused)
+    const std::vector<Buchi::Arc> *Arcs; // cached: stable while we run
   };
   std::vector<BlueFrame> BlueStack;
 
@@ -40,12 +41,13 @@ struct NestedDfsRun {
       State S;
       size_t ArcIdx;
       Symbol InSym;
+      const std::vector<Buchi::Arc> *Arcs; // cached: stable while we run
     };
-    std::vector<RedFrame> Stack{{Seed, 0, 0}};
+    std::vector<RedFrame> Stack{{Seed, 0, 0, &A.arcsFrom(Seed)}};
     RedVisited[Seed] = true;
     while (!Stack.empty()) {
       RedFrame &F = Stack.back();
-      const auto &Arcs = A.arcsFrom(F.S);
+      const auto &Arcs = *F.Arcs;
       if (F.ArcIdx >= Arcs.size()) {
         Stack.pop_back();
         continue;
@@ -62,7 +64,7 @@ struct NestedDfsRun {
       }
       if (!RedVisited[Arc.To]) {
         RedVisited[Arc.To] = true;
-        Stack.push_back({Arc.To, 0, Arc.Sym});
+        Stack.push_back({Arc.To, 0, Arc.Sym, &A.arcsFrom(Arc.To)});
       }
     }
     return std::nullopt;
@@ -73,16 +75,16 @@ struct NestedDfsRun {
   std::optional<LassoWord> blueSearch(State Root) {
     BlueVisited[Root] = true;
     OnBlueStack[Root] = true;
-    BlueStack.push_back({Root, 0, 0});
+    BlueStack.push_back({Root, 0, 0, &A.arcsFrom(Root)});
     while (!BlueStack.empty()) {
       BlueFrame &F = BlueStack.back();
-      const auto &Arcs = A.arcsFrom(F.S);
+      const auto &Arcs = *F.Arcs;
       if (F.ArcIdx < Arcs.size()) {
         const Buchi::Arc &Arc = Arcs[F.ArcIdx++];
         if (!BlueVisited[Arc.To]) {
           BlueVisited[Arc.To] = true;
           OnBlueStack[Arc.To] = true;
-          BlueStack.push_back({Arc.To, 0, Arc.Sym});
+          BlueStack.push_back({Arc.To, 0, Arc.Sym, &A.arcsFrom(Arc.To)});
         }
         continue;
       }

@@ -8,12 +8,12 @@
 
 #include "automata/DbaComplement.h"
 #include "automata/Difference.h"
+#include "automata/Interner.h"
 #include "automata/Ncsb.h"
 #include "automata/Sdba.h"
 
 #include <cassert>
 #include <deque>
-#include <unordered_map>
 
 using namespace termcheck;
 
@@ -34,37 +34,35 @@ Buchi termcheck::completeWithSink(const Buchi &A) {
   State Sink = Out.addState();
   for (Symbol Sym = 0; Sym < A.numSymbols(); ++Sym)
     Out.addTransition(Sink, Sym, Sink);
+  // isComplete() above already built A's transition index, so per-(state,
+  // symbol) emptiness is a span check instead of a scan over arcsFrom.
   for (State S = 0; S < A.numStates(); ++S) {
-    std::vector<bool> Has(A.numSymbols(), false);
-    for (const Buchi::Arc &Arc : A.arcsFrom(S))
-      Has[Arc.Sym] = true;
-    for (Symbol Sym = 0; Sym < A.numSymbols(); ++Sym)
-      if (!Has[Sym])
+    for (Symbol Sym = 0; Sym < A.numSymbols(); ++Sym) {
+      auto [B, E] = A.successorsSpan(S, Sym);
+      if (B == E)
         Out.addTransition(S, Sym, Sink);
+    }
   }
   return Out;
 }
 
 Buchi termcheck::restrictToStates(const Buchi &A, const StateSet &Keep) {
   Buchi Out(A.numSymbols(), A.numConditions());
-  std::unordered_map<State, State> Map;
+  constexpr State Dropped = ~State(0);
+  std::vector<State> Map(A.numStates(), Dropped);
   for (State S : Keep.elems()) {
     State Fresh = Out.addState();
     Out.setAcceptMask(Fresh, A.acceptMask(S));
-    Map.emplace(S, Fresh);
+    Map[S] = Fresh;
   }
   for (State S : Keep.elems()) {
-    for (const Buchi::Arc &Arc : A.arcsFrom(S)) {
-      auto It = Map.find(Arc.To);
-      if (It != Map.end())
-        Out.addTransition(Map.at(S), Arc.Sym, It->second);
-    }
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      if (Map[Arc.To] != Dropped)
+        Out.addTransition(Map[S], Arc.Sym, Map[Arc.To]);
   }
-  for (State S : A.initials().elems()) {
-    auto It = Map.find(S);
-    if (It != Map.end())
-      Out.addInitial(It->second);
-  }
+  for (State S : A.initials().elems())
+    if (Map[S] != Dropped)
+      Out.addInitial(Map[S]);
   return Out;
 }
 
@@ -112,18 +110,16 @@ Buchi termcheck::degeneralize(const Buchi &A) {
   // the (only) accepting layer. Successor layers advance through every
   // condition the target state satisfies.
   Buchi Out(A.numSymbols(), 1);
-  std::unordered_map<uint64_t, State> Index;
-  std::vector<std::pair<State, uint32_t>> Info;
+  PairInterner Index;
   auto Intern = [&](State Q, uint32_t Layer) {
-    uint64_t Key = (static_cast<uint64_t>(Q) << 32) | Layer;
-    auto It = Index.find(Key);
-    if (It != Index.end())
-      return It->second;
-    State Fresh = Out.addState();
-    if (Layer == K)
-      Out.setAccepting(Fresh);
-    Index.emplace(Key, Fresh);
-    Info.push_back({Q, Layer});
+    auto [Fresh, Inserted] = Index.intern(Q, Layer);
+    if (Inserted) {
+      State Added = Out.addState();
+      assert(Added == Fresh && "pair ids must track output states");
+      (void)Added;
+      if (Layer == K)
+        Out.setAccepting(Fresh);
+    }
     return Fresh;
   };
   auto Advance = [&](uint32_t Layer, State Target) {
@@ -147,7 +143,7 @@ Buchi termcheck::degeneralize(const Buchi &A) {
     if (S >= Expanded.size())
       Expanded.resize(S + 1, false);
     Expanded[S] = true;
-    auto [Q, Layer] = Info[S];
+    auto [Q, Layer] = Index.get(S);
     for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
       State T = Intern(Arc.To, Advance(Layer, Arc.To));
       Out.addTransition(S, Arc.Sym, T);
@@ -163,20 +159,19 @@ Buchi termcheck::intersect(const Buchi &A, const Buchi &B) {
   uint32_t Conds = A.numConditions() + B.numConditions();
   assert(Conds <= 64 && "too many acceptance conditions");
   Buchi Out(A.numSymbols(), Conds);
+  B.ensureIndex(); // the inner loop below queries B per (state, symbol)
 
-  std::unordered_map<uint64_t, State> Index;
-  std::vector<std::pair<State, State>> Info;
+  PairInterner Index;
   auto Intern = [&](State P, State Q) {
-    uint64_t Key = (static_cast<uint64_t>(P) << 32) | Q;
-    auto It = Index.find(Key);
-    if (It != Index.end())
-      return It->second;
-    State Fresh = Out.addState();
-    uint64_t Mask =
-        A.acceptMask(P) | (B.acceptMask(Q) << A.numConditions());
-    Out.setAcceptMask(Fresh, Mask);
-    Index.emplace(Key, Fresh);
-    Info.push_back({P, Q});
+    auto [Fresh, Inserted] = Index.intern(P, Q);
+    if (Inserted) {
+      State Added = Out.addState();
+      assert(Added == Fresh && "pair ids must track output states");
+      (void)Added;
+      uint64_t Mask =
+          A.acceptMask(P) | (B.acceptMask(Q) << A.numConditions());
+      Out.setAcceptMask(Fresh, Mask);
+    }
     return Fresh;
   };
 
@@ -197,16 +192,16 @@ Buchi termcheck::intersect(const Buchi &A, const Buchi &B) {
     if (S >= Expanded.size())
       Expanded.resize(S + 1, false);
     Expanded[S] = true;
-    auto [P, Q] = Info[S];
+    auto [P, Q] = Index.get(S);
     for (const Buchi::Arc &ArcA : A.arcsFrom(P)) {
-      for (const Buchi::Arc &ArcB : B.arcsFrom(Q)) {
-        if (ArcA.Sym != ArcB.Sym)
-          continue;
-        State T = Intern(ArcA.To, ArcB.To);
+      // Matching B-arcs come from the CSR row for (Q, ArcA.Sym) instead of
+      // rescanning all of Q's arcs per A-arc.
+      B.forEachSuccessor(Q, ArcA.Sym, [&](State BTo) {
+        State T = Intern(ArcA.To, BTo);
         Out.addTransition(S, ArcA.Sym, T);
         if (T >= Expanded.size() || !Expanded[T])
           Work.push_back(T);
-      }
+      });
     }
   }
   return Out;

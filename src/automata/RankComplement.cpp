@@ -16,19 +16,7 @@ RankComplementOracle::RankComplementOracle(const Buchi &A) : A(A) {
   assert(A.numStates() <= MaxInputStates &&
          "rank-based complementation is restricted to tiny automata");
   MaxRank = static_cast<int8_t>(2 * A.numStates());
-}
-
-State RankComplementOracle::intern(RankState R) {
-  size_t H = R.hash();
-  auto It = Index.find(H);
-  if (It != Index.end())
-    for (State S : It->second)
-      if (Macro[S] == R)
-        return S;
-  State S = static_cast<State>(Macro.size());
-  Macro.push_back(std::move(R));
-  Index[H].push_back(S);
-  return S;
+  A.ensureIndex(); // one build up front; the input never mutates
 }
 
 std::vector<State> RankComplementOracle::initialStates() {
@@ -41,22 +29,23 @@ std::vector<State> RankComplementOracle::initialStates() {
 
 void RankComplementOracle::successors(State S, Symbol Sym,
                                       std::vector<State> &Out) {
-  RankState Cur = Macro[S]; // copy: intern() may reallocate Macro
+  // Stable interner references: Cur can be read in place while intern()
+  // discovers successors (no more defensive copy).
+  const RankState &Cur = Macro[S];
   const uint32_t N = A.numStates();
 
   // Per-successor rank bound: min over present predecessors.
-  std::vector<int8_t> Bound(N, -1); // -1: not in the next level
+  Bound.assign(N, -1); // -1: not in the next level
   for (State Q = 0; Q < N; ++Q) {
     if (Cur.Rank[Q] < 0)
       continue;
-    for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
-      if (Arc.Sym != Sym)
-        continue;
-      if (Bound[Arc.To] < 0 || Cur.Rank[Q] < Bound[Arc.To])
-        Bound[Arc.To] = Cur.Rank[Q];
-    }
+    int8_t RankQ = Cur.Rank[Q];
+    A.forEachSuccessor(Q, Sym, [this, RankQ](State To) {
+      if (Bound[To] < 0 || RankQ < Bound[To])
+        Bound[To] = RankQ;
+    });
   }
-  std::vector<State> Domain;
+  Domain.clear();
   for (State Q = 0; Q < N; ++Q)
     if (Bound[Q] >= 0)
       Domain.push_back(Q);
@@ -64,19 +53,18 @@ void RankComplementOracle::successors(State S, Symbol Sym,
     return; // cannot happen on complete inputs with nonempty levels
 
   // delta(O, Sym) restricted to the next level.
-  StateSet OSucc;
+  OSuccBuf.clear();
   for (State Q : Cur.O.elems())
-    for (const Buchi::Arc &Arc : A.arcsFrom(Q))
-      if (Arc.Sym == Sym)
-        OSucc.insert(Arc.To);
+    A.successorsInto(Q, Sym, OSuccBuf);
+  StateSet OSucc(OSuccBuf);
 
   // Enumerate every legal level ranking f' <= Bound pointwise, with even
   // ranks on accepting states.
-  std::vector<int8_t> Choice(Domain.size(), 0);
-  std::vector<std::vector<int8_t>> Options(Domain.size());
+  Options.resize(Domain.size());
   for (size_t I = 0; I < Domain.size(); ++I) {
     State Q = Domain[I];
     bool Accepting = A.acceptMask(Q) != 0;
+    Options[I].clear();
     for (int8_t V = 0; V <= Bound[Q]; ++V)
       if (!Accepting || V % 2 == 0)
         Options[I].push_back(V);
@@ -84,12 +72,12 @@ void RankComplementOracle::successors(State S, Symbol Sym,
   }
 
   // Odometer over the option lists.
-  std::vector<size_t> Idx(Domain.size(), 0);
+  Odometer.assign(Domain.size(), 0);
   while (true) {
     RankState Next;
     Next.Rank.assign(N, -1);
     for (size_t I = 0; I < Domain.size(); ++I)
-      Next.Rank[Domain[I]] = Options[I][Idx[I]];
+      Next.Rank[Domain[I]] = Options[I][Odometer[I]];
     // Breakpoint: reset to all even-ranked states when O was empty,
     // otherwise keep tracking the still-even successors of O.
     for (State Q : Domain) {
@@ -102,13 +90,13 @@ void RankComplementOracle::successors(State S, Symbol Sym,
 
     // Advance the odometer.
     size_t I = 0;
-    while (I < Idx.size()) {
-      if (++Idx[I] < Options[I].size())
+    while (I < Odometer.size()) {
+      if (++Odometer[I] < Options[I].size())
         break;
-      Idx[I] = 0;
+      Odometer[I] = 0;
       ++I;
     }
-    if (I == Idx.size())
+    if (I == Odometer.size())
       break;
   }
 }

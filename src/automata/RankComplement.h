@@ -24,9 +24,8 @@
 #define TERMCHECK_AUTOMATA_RANKCOMPLEMENT_H
 
 #include "automata/ComplementOracle.h"
+#include "automata/Interner.h"
 #include "automata/StateSet.h"
-
-#include <unordered_map>
 
 namespace termcheck {
 
@@ -65,10 +64,16 @@ private:
 
   const Buchi &A;
   int8_t MaxRank;
-  std::vector<RankState> Macro;
-  std::unordered_map<size_t, std::vector<State>> Index;
+  Interner<RankState> Macro;
 
-  State intern(RankState R);
+  /// Scratch buffers for successors(): per-call allocations hoisted into
+  /// the oracle (one rank enumeration churns through thousands of calls).
+  std::vector<int8_t> Bound;
+  std::vector<State> Domain, OSuccBuf;
+  std::vector<std::vector<int8_t>> Options;
+  std::vector<size_t> Odometer;
+
+  State intern(RankState R) { return Macro.intern(std::move(R)); }
 };
 
 } // namespace termcheck

@@ -6,6 +6,8 @@
 
 #include "automata/Scc.h"
 
+#include "automata/Interner.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -40,10 +42,19 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
   RemoveUselessResult Result;
   const uint64_t Full = Src.fullMask();
 
-  std::unordered_map<State, uint32_t> DfsNum;
-  std::unordered_set<State> Useful;
-  std::unordered_set<State> EmpFallback;
-  std::unordered_set<State> OnAct;
+  // Sources hand out dense ids (GbaSource contract), so every per-state set
+  // is a flat vector grown on first touch -- the hash sets this replaces
+  // dominated the profile of the difference engine's emptiness checks.
+  std::vector<uint32_t> DfsNum; // 0 = unvisited (Cnt starts at 1)
+  std::vector<uint8_t> Useful, EmpFallback, OnAct;
+  auto Touch = [](auto &V, State S) -> decltype(V[0]) & {
+    if (S >= V.size())
+      V.resize(S + 1, 0);
+    return V[S];
+  };
+  auto InSet = [](const auto &V, State S) {
+    return S < V.size() && V[S] != 0;
+  };
   std::vector<State> Act;
   std::vector<SccEntry> SCCs;
   std::vector<Frame> Frames;
@@ -52,20 +63,20 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
   auto KnownUseless = [&](State Q) {
     if (IsKnownUseless)
       return IsKnownUseless(Q);
-    return EmpFallback.count(Q) != 0;
+    return InSet(EmpFallback, Q);
   };
   auto MarkUseless = [&](State Q) {
     if (AddUseless)
       AddUseless(Q);
     else
-      EmpFallback.insert(Q);
+      Touch(EmpFallback, Q) = 1;
   };
 
   auto enter = [&](State S) {
-    DfsNum.emplace(S, ++Cnt);
+    Touch(DfsNum, S) = ++Cnt;
     SCCs.push_back({S, Cnt, Src.acceptMask(S)});
     Act.push_back(S);
-    OnAct.insert(S);
+    Touch(OnAct, S) = 1;
     Frames.push_back(Frame{S, {}, 0, false});
     Src.arcs(S, Frames.back().Succs);
     ++Result.StatesExplored;
@@ -84,11 +95,11 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
   };
 
   for (State QI : Src.initialStates()) {
-    if (Useful.count(QI)) {
+    if (InSet(Useful, QI)) {
       Result.LanguageEmpty = false;
       continue;
     }
-    if (KnownUseless(QI) || DfsNum.count(QI))
+    if (KnownUseless(QI) || InSet(DfsNum, QI))
       continue;
     enter(QI);
 
@@ -100,21 +111,20 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
       Frame &F = Frames.back();
       if (F.Idx < F.Succs.size()) {
         State T = F.Succs[F.Idx++].To;
-        if (Useful.count(T)) {
+        if (InSet(Useful, T)) {
           F.IsNemp = true;
           continue;
         }
         if (KnownUseless(T))
           continue;
-        auto It = DfsNum.find(T);
-        if (It == DfsNum.end()) {
+        if (!InSet(DfsNum, T)) {
           enter(T);
           continue;
         }
-        if (!OnAct.count(T))
+        if (!InSet(OnAct, T))
           continue; // fully explored and classified elsewhere
         // T closes a cycle: merge the SCC candidates younger than T.
-        uint32_t TNum = It->second;
+        uint32_t TNum = DfsNum[T];
         uint64_t Mask = 0;
         SccEntry Last{};
         do {
@@ -144,9 +154,9 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
           assert(!Act.empty() && "act stack underflow");
           U = Act.back();
           Act.pop_back();
-          OnAct.erase(U);
+          OnAct[U] = 0;
           if (F.IsNemp) {
-            Useful.insert(U);
+            Touch(Useful, U) = 1;
             Result.Useful.push_back(U);
           } else {
             MarkUseless(U);
@@ -162,7 +172,7 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
       Result.LanguageEmpty = false;
       return Result;
     }
-    if (Useful.count(QI))
+    if (InSet(Useful, QI))
       Result.LanguageEmpty = false;
   }
   return Result;
@@ -210,26 +220,27 @@ SccDecomposition tarjan(const Buchi &A) {
   struct TFrame {
     State S;
     size_t Idx;
+    const std::vector<Buchi::Arc> *Arcs; // cached: stable while we run
   };
   std::vector<TFrame> Frames;
 
   for (State Root : A.initials().elems()) {
     if (Index[Root] != UINT32_MAX)
       continue;
-    Frames.push_back({Root, 0});
+    Frames.push_back({Root, 0, &A.arcsFrom(Root)});
     Index[Root] = Low[Root] = Next++;
     Stack.push_back(Root);
     OnStack[Root] = true;
     while (!Frames.empty()) {
       TFrame &F = Frames.back();
-      const auto &Arcs = A.arcsFrom(F.S);
+      const auto &Arcs = *F.Arcs;
       if (F.Idx < Arcs.size()) {
         State T = Arcs[F.Idx++].To;
         if (Index[T] == UINT32_MAX) {
           Index[T] = Low[T] = Next++;
           Stack.push_back(T);
           OnStack[T] = true;
-          Frames.push_back({T, 0});
+          Frames.push_back({T, 0, &A.arcsFrom(T)});
         } else if (OnStack[T]) {
           if (Index[T] < Low[F.S])
             Low[F.S] = Index[T];
@@ -295,14 +306,17 @@ BfsTree bfsFromInitials(const Buchi &A) {
 std::optional<std::pair<std::vector<Symbol>, State>>
 bfsWithinScc(const Buchi &A, const SccDecomposition &D, int32_t Comp,
              State From, const std::function<bool(State)> &Goal) {
-  std::unordered_map<State, std::pair<State, Symbol>> Pred;
+  // States are dense, so predecessor/visited tracking is two flat vectors
+  // rather than hash maps keyed by state.
+  std::vector<std::pair<State, Symbol>> Pred(A.numStates());
+  std::vector<bool> Seen(A.numStates(), false);
   std::deque<State> Work{From};
-  std::unordered_set<State> Seen{From};
+  Seen[From] = true;
   auto Reconstruct = [&](State Target) {
     std::vector<Symbol> Path;
     State Cur = Target;
     while (Cur != From) {
-      auto [P, Sym] = Pred.at(Cur);
+      auto [P, Sym] = Pred[Cur];
       Path.push_back(Sym);
       Cur = P;
     }
@@ -315,9 +329,9 @@ bfsWithinScc(const Buchi &A, const SccDecomposition &D, int32_t Comp,
     State S = Work.front();
     Work.pop_front();
     for (const Buchi::Arc &Arc : A.arcsFrom(S)) {
-      if (D.CompOf[Arc.To] != Comp || Seen.count(Arc.To))
+      if (D.CompOf[Arc.To] != Comp || Seen[Arc.To])
         continue;
-      Seen.insert(Arc.To);
+      Seen[Arc.To] = true;
       Pred[Arc.To] = {S, Arc.Sym};
       if (Goal(Arc.To))
         return std::make_pair(Reconstruct(Arc.To), Arc.To);
@@ -427,18 +441,17 @@ bool termcheck::acceptsLasso(const Buchi &A, const LassoWord &W) {
 
   // Product of A with the one-word lasso automaton, over a 1-symbol
   // alphabet (the word fixes all symbols).
+  A.ensureIndex(); // every expansion reads exactly one (state, symbol) row
   Buchi P(1, A.numConditions());
-  std::unordered_map<uint64_t, State> Index;
-  std::vector<std::pair<State, uint32_t>> Info;
+  PairInterner Index;
   auto Intern = [&](State Q, uint32_t Pos) {
-    uint64_t Key = (static_cast<uint64_t>(Q) << 32) | Pos;
-    auto It = Index.find(Key);
-    if (It != Index.end())
-      return It->second;
-    State Fresh = P.addState();
-    P.setAcceptMask(Fresh, A.acceptMask(Q));
-    Index.emplace(Key, Fresh);
-    Info.push_back({Q, Pos});
+    auto [Fresh, Inserted] = Index.intern(Q, Pos);
+    if (Inserted) {
+      State Added = P.addState();
+      assert(Added == Fresh && "pair ids must track product states");
+      (void)Added;
+      P.setAcceptMask(Fresh, A.acceptMask(Q));
+    }
     return Fresh;
   };
 
@@ -448,21 +461,22 @@ bool termcheck::acceptsLasso(const Buchi &A, const LassoWord &W) {
     P.addInitial(S);
     Work.push_back(S);
   }
-  std::unordered_set<State> Expanded;
+  std::vector<bool> Expanded;
   while (!Work.empty()) {
     State S = Work.front();
     Work.pop_front();
-    if (!Expanded.insert(S).second)
+    if (S < Expanded.size() && Expanded[S])
       continue;
-    auto [Q, Pos] = Info[S];
+    if (S >= Expanded.size())
+      Expanded.resize(S + 1, false);
+    Expanded[S] = true;
+    auto [Q, Pos] = Index.get(S);
     Symbol Want = SymbolAt(Pos);
-    for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
-      if (Arc.Sym != Want)
-        continue;
-      State T = Intern(Arc.To, NextPos(Pos));
+    A.forEachSuccessor(Q, Want, [&](State To) {
+      State T = Intern(To, NextPos(Pos));
       P.addTransition(S, 0, T);
       Work.push_back(T);
-    }
+    });
   }
   return !isEmpty(P);
 }

@@ -12,7 +12,7 @@ using namespace termcheck;
 
 size_t SimulationRelation::pairCount() const {
   size_t Count = 0;
-  for (bool B : Rel)
+  for (uint8_t B : Rel)
     Count += B ? 1 : 0;
   return Count;
 }
@@ -37,11 +37,12 @@ bool stepOk(const Buchi &A, bool Pending, State P2, State R2,
 SimulationRelation termcheck::computeEarlySimulation(const Buchi &A,
                                                      SimulationKind Kind) {
   assert(A.numConditions() == 1 && "early simulation expects a plain BA");
+  A.ensureIndex(); // duplicator replies are per-symbol CSR rows below
   const size_t N = A.numStates();
   // Win[(p * N + r) * 2 + pending]: duplicator survives forever from the
   // configuration. Greatest fixpoint: start optimistic, strike losing
   // configurations until stable.
-  std::vector<bool> Win(N * N * 2, true);
+  std::vector<uint8_t> Win(N * N * 2, 1);
   auto Index = [N](State P, State R, bool Pending) {
     return (static_cast<size_t>(P) * N + R) * 2 + (Pending ? 1 : 0);
   };
@@ -59,13 +60,14 @@ SimulationRelation termcheck::computeEarlySimulation(const Buchi &A,
           bool Lost = false;
           for (const Buchi::Arc &Move : A.arcsFrom(P)) {
             bool Answered = false;
-            for (const Buchi::Arc &Reply : A.arcsFrom(R)) {
-              if (Reply.Sym != Move.Sym)
-                continue;
+            // The duplicator's candidate replies are exactly the CSR row
+            // for (R, Move.Sym); no same-symbol filtering needed.
+            auto [Reply, End] = A.successorsSpan(R, Move.Sym);
+            for (; Reply != End; ++Reply) {
               bool Next;
-              if (!stepOk(A, Pending != 0, Move.To, Reply.To, Next))
+              if (!stepOk(A, Pending != 0, Move.To, *Reply, Next))
                 continue;
-              if (Win[Index(Move.To, Reply.To, Next)]) {
+              if (Win[Index(Move.To, *Reply, Next)]) {
                 Answered = true;
                 break;
               }
@@ -76,7 +78,7 @@ SimulationRelation termcheck::computeEarlySimulation(const Buchi &A,
             }
           }
           if (Lost) {
-            Win[Index(P, R, Pending)] = false;
+            Win[Index(P, R, Pending)] = 0;
             Changed = true;
           }
         }
@@ -90,7 +92,7 @@ SimulationRelation termcheck::computeEarlySimulation(const Buchi &A,
   // window only at the spoiler's first accepting visit.
   SimulationRelation Out;
   Out.N = N;
-  Out.Rel.assign(N * N, false);
+  Out.Rel.assign(N * N, 0);
   for (State P = 0; P < N; ++P) {
     for (State R = 0; R < N; ++R) {
       bool PAcc = A.acceptMask(P) != 0;
@@ -112,15 +114,16 @@ SimulationRelation termcheck::computeEarlySimulation(const Buchi &A,
 SimulationRelation
 termcheck::computeDirectSimulation(const Buchi &A,
                                    const std::function<bool()> &ShouldAbort) {
+  A.ensureIndex(); // duplicator replies are per-symbol CSR rows below
   const size_t N = A.numStates();
   SimulationRelation Out;
   Out.N = N;
-  Out.Rel.assign(N * N, true);
+  Out.Rel.assign(N * N, 1);
   // Initial refinement: acceptance-mark containment.
   for (State P = 0; P < N; ++P)
     for (State R = 0; R < N; ++R)
       if ((A.acceptMask(P) & ~A.acceptMask(R)) != 0)
-        Out.Rel[static_cast<size_t>(P) * N + R] = false;
+        Out.Rel[static_cast<size_t>(P) * N + R] = 0;
 
   bool Changed = true;
   while (Changed) {
@@ -139,9 +142,9 @@ termcheck::computeDirectSimulation(const Buchi &A,
         bool Ok = true;
         for (const Buchi::Arc &Move : A.arcsFrom(P)) {
           bool Matched = false;
-          for (const Buchi::Arc &Reply : A.arcsFrom(R)) {
-            if (Reply.Sym == Move.Sym &&
-                Out.Rel[static_cast<size_t>(Move.To) * N + Reply.To]) {
+          auto [Reply, End] = A.successorsSpan(R, Move.Sym);
+          for (; Reply != End; ++Reply) {
+            if (Out.Rel[static_cast<size_t>(Move.To) * N + *Reply]) {
               Matched = true;
               break;
             }
@@ -152,7 +155,7 @@ termcheck::computeDirectSimulation(const Buchi &A,
           }
         }
         if (!Ok) {
-          Out.Rel[Idx] = false;
+          Out.Rel[Idx] = 0;
           Changed = true;
         }
       }

@@ -44,7 +44,7 @@ class SimulationRelation {
 public:
   /// \returns true when \p P is simulated by \p R.
   bool simulates(State P, State R) const {
-    return Rel[static_cast<size_t>(P) * N + R];
+    return Rel[static_cast<size_t>(P) * N + R] != 0;
   }
 
   /// Number of related pairs (diagonal included).
@@ -61,7 +61,8 @@ private:
   computeDirectSimulation(const Buchi &A,
                           const std::function<bool()> &ShouldAbort);
   size_t N = 0;
-  std::vector<bool> Rel; // row-major [p][r]
+  std::vector<uint8_t> Rel; // row-major [p][r]; bytes, not bits -- the
+                            // refinement loop is random-access bound
 };
 
 /// Computes the early / early+1 simulation preorder of \p A (one

@@ -18,6 +18,7 @@
 #define TERMCHECK_AUTOMATA_STATESET_H
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -69,6 +70,47 @@ public:
                    std::back_inserter(R.Elems));
     return R;
   }
+
+  // In-place variants for hot loops: the result set is overwritten and its
+  // capacity reused, so steady-state iterations allocate nothing. The
+  // result must not alias either operand.
+
+  /// *this = A cup B. \p B may be any sorted duplicate-free range.
+  void assignUnion(const StateSet &A, const StateSet &B) {
+    assignUnion(A, B.Elems);
+  }
+  void assignUnion(const StateSet &A, const std::vector<State> &B) {
+    assert(this != &A && "in-place union aliases its operand");
+    Elems.clear();
+    Elems.reserve(A.Elems.size() + B.size());
+    std::set_union(A.Elems.begin(), A.Elems.end(), B.begin(), B.end(),
+                   std::back_inserter(Elems));
+  }
+
+  /// *this = A cap B.
+  void assignIntersection(const StateSet &A, const StateSet &B) {
+    assert(this != &A && this != &B && "in-place intersection aliases");
+    Elems.clear();
+    std::set_intersection(A.Elems.begin(), A.Elems.end(), B.Elems.begin(),
+                          B.Elems.end(), std::back_inserter(Elems));
+  }
+
+  /// *this = A \ B. \p B may be any sorted duplicate-free range.
+  void assignDifference(const StateSet &A, const StateSet &B) {
+    assert(this != &A && this != &B && "in-place difference aliases");
+    Elems.clear();
+    std::set_difference(A.Elems.begin(), A.Elems.end(), B.Elems.begin(),
+                        B.Elems.end(), std::back_inserter(Elems));
+  }
+
+  /// *this = the set of \p Raw's elements (sorts and dedups a scratch
+  /// buffer into the reused storage).
+  void assignNormalized(const std::vector<State> &Raw) {
+    Elems.assign(Raw.begin(), Raw.end());
+    normalize();
+  }
+
+  void clear() { Elems.clear(); }
 
   StateSet intersectWith(const StateSet &O) const {
     StateSet R;

@@ -84,6 +84,7 @@ Cube Cube::map(const std::function<Constraint(const Constraint &)> &Fn) const {
   if (Contradictory)
     return contradiction();
   Cube Out;
+  Out.reserve(Atoms.size());
   for (const Constraint &C : Atoms)
     Out.add(Fn(C));
   return Out;

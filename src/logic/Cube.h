@@ -41,6 +41,9 @@ public:
   /// Conjoins one constraint (no-op once contradictory).
   void add(const Constraint &C);
 
+  /// Pre-sizes the atom storage (hot loops add one atom at a time).
+  void reserve(size_t N) { Atoms.reserve(N); }
+
   /// Conjoins all constraints of \p Other.
   void conjoin(const Cube &Other);
 

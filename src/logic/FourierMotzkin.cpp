@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 
 using namespace termcheck;
 
@@ -48,6 +47,7 @@ Cube fm::eliminate(const Cube &C, VarId V) {
     if (Atom.rel() != RelKind::EQ || !Atom.mentions(V))
       continue;
     Cube Out;
+    Out.reserve(C.size());
     for (const Constraint &Other : C.atoms()) {
       if (&Other == &Atom)
         continue;
@@ -61,6 +61,7 @@ Cube fm::eliminate(const Cube &C, VarId V) {
   // Classical FM combination of lower and upper bounds on V.
   std::vector<const Constraint *> Pos, Neg;
   Cube Out;
+  Out.reserve(C.size());
   for (const Constraint &Atom : C.atoms()) {
     int64_t Coeff = Atom.expr().coeff(V);
     if (Coeff > 0)
@@ -94,11 +95,15 @@ Cube fm::eliminateAll(Cube C, const std::vector<VarId> &Vars) {
 }
 
 std::vector<VarId> fm::variablesOf(const Cube &C) {
-  std::set<VarId> Vars;
+  // Collect-then-normalize: this runs once per elimination round, where a
+  // node-per-element std::set dominated the whole satisfiability check.
+  std::vector<VarId> Vars;
   for (const Constraint &Atom : C.atoms())
     for (const LinearExpr::Term &T : Atom.expr().terms())
-      Vars.insert(T.Var);
-  return std::vector<VarId>(Vars.begin(), Vars.end());
+      Vars.push_back(T.Var);
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars;
 }
 
 bool fm::isSatisfiable(const Cube &C) {
@@ -112,25 +117,32 @@ bool fm::isSatisfiable(const Cube &C) {
     std::vector<VarId> Vars = variablesOf(Work);
     if (Vars.empty())
       return true; // all atoms ground and individually true by normalization
+    // Tally bound counts per variable in one pass over the atoms (Vars is
+    // sorted, so position lookup is a binary search); the old
+    // per-variable re-scan was quadratic in practice.
+    std::vector<uint32_t> NPos(Vars.size(), 0), NNeg(Vars.size(), 0),
+        NEq(Vars.size(), 0);
+    for (const Constraint &Atom : Work.atoms()) {
+      bool IsEq = Atom.rel() == RelKind::EQ;
+      for (const LinearExpr::Term &T : Atom.expr().terms()) {
+        size_t I = static_cast<size_t>(
+            std::lower_bound(Vars.begin(), Vars.end(), T.Var) - Vars.begin());
+        if (IsEq)
+          ++NEq[I];
+        else if (T.Coeff > 0)
+          ++NPos[I];
+        else
+          ++NNeg[I];
+      }
+    }
     VarId Best = Vars.front();
     size_t BestCost = static_cast<size_t>(-1);
-    for (VarId V : Vars) {
-      size_t NPos = 0, NNeg = 0, NEq = 0;
-      for (const Constraint &Atom : Work.atoms()) {
-        int64_t Coeff = Atom.expr().coeff(V);
-        if (Coeff == 0)
-          continue;
-        if (Atom.rel() == RelKind::EQ)
-          ++NEq;
-        else if (Coeff > 0)
-          ++NPos;
-        else
-          ++NNeg;
-      }
-      size_t Cost = NEq > 0 ? 0 : NPos * NNeg;
+    for (size_t I = 0; I < Vars.size(); ++I) {
+      size_t Cost =
+          NEq[I] > 0 ? 0 : static_cast<size_t>(NPos[I]) * NNeg[I];
       if (Cost < BestCost) {
         BestCost = Cost;
-        Best = V;
+        Best = Vars[I];
       }
     }
     Work = eliminate(Work, Best);
@@ -240,6 +252,21 @@ bool fm::entails(const Cube &P, const Constraint &C) {
     return true;
   if (C.isTrivallyFalse())
     return !isSatisfiable(P);
+  // Syntactic subsumption: Cube::add keeps at most one (tightest) atom per
+  // term set, so one scan decides whether P already contains an atom at
+  // least as tight as C. Only positive answers short-circuit -- a looser
+  // atom over the same terms says nothing about what the rest of P implies.
+  for (const Constraint &Atom : P.atoms()) {
+    if (Atom.expr().terms() != C.expr().terms())
+      continue;
+    int64_t PC = Atom.expr().constantTerm();
+    int64_t CC = C.expr().constantTerm();
+    // t + PC (EQ|LE) 0 forces t <= -PC, so t + CC <= 0 whenever PC >= CC.
+    if (C.rel() == RelKind::LE ? PC >= CC
+                               : Atom.rel() == RelKind::EQ && PC == CC)
+      return true;
+    break;
+  }
   // P |= C  iff  P /\ not(C) is unsatisfiable; the negation of an equality
   // is a disjunction, so every disjunct must be jointly unsat with P.
   for (const Constraint &NegAtom : C.negation()) {

@@ -60,17 +60,46 @@ void LinearExpr::canonicalize() {
               Terms.end());
 }
 
+LinearExpr LinearExpr::mergeScaled(const LinearExpr &L, const LinearExpr &R,
+                                   int64_t K) {
+  // Merges two canonical (sorted, zero-free) term lists into `L + K * R`.
+  // Linear with one reservation -- operator+/- sit in the Fourier-Motzkin
+  // inner loop, where a scan-per-term merge plus re-sort dominated.
+  LinearExpr Out;
+  Out.Constant = clampToInt64(static_cast<__int128>(L.Constant) +
+                              static_cast<__int128>(R.Constant) * K);
+  Out.Terms.reserve(L.Terms.size() + R.Terms.size());
+  auto A = L.Terms.begin(), AE = L.Terms.end();
+  auto B = R.Terms.begin(), BE = R.Terms.end();
+  while (A != AE && B != BE) {
+    if (A->Var < B->Var) {
+      Out.Terms.push_back(*A++);
+    } else if (B->Var < A->Var) {
+      Out.Terms.push_back(
+          {B->Var, clampToInt64(static_cast<__int128>(B->Coeff) * K)});
+      ++B;
+    } else {
+      int64_t C = clampToInt64(static_cast<__int128>(A->Coeff) +
+                               static_cast<__int128>(B->Coeff) * K);
+      if (C != 0)
+        Out.Terms.push_back({A->Var, C});
+      ++A;
+      ++B;
+    }
+  }
+  Out.Terms.insert(Out.Terms.end(), A, AE);
+  for (; B != BE; ++B)
+    Out.Terms.push_back(
+        {B->Var, clampToInt64(static_cast<__int128>(B->Coeff) * K)});
+  return Out;
+}
+
 LinearExpr LinearExpr::operator+(const LinearExpr &O) const {
-  LinearExpr R = *this;
-  R.Constant = clampToInt64(static_cast<__int128>(R.Constant) + O.Constant);
-  for (const Term &T : O.Terms)
-    R.addTerm(T.Var, T.Coeff);
-  R.canonicalize();
-  return R;
+  return mergeScaled(*this, O, 1);
 }
 
 LinearExpr LinearExpr::operator-(const LinearExpr &O) const {
-  return *this + (-O);
+  return mergeScaled(*this, O, -1);
 }
 
 LinearExpr LinearExpr::operator-() const { return scaledBy(-1); }

@@ -99,6 +99,10 @@ private:
   void addTerm(VarId V, __int128 Coeff);
   void canonicalize();
 
+  /// `L + K * R` by linear merge of the sorted term lists.
+  static LinearExpr mergeScaled(const LinearExpr &L, const LinearExpr &R,
+                                int64_t K);
+
   std::vector<Term> Terms; // sorted by Var, no zero coefficients
   int64_t Constant = 0;
 };

@@ -49,20 +49,38 @@ public:
   bool isInteger() const { return Den == 1; }
 
   Rational operator+(const Rational &O) const {
+    // Fast paths: zero operands and integer-integer sums need no cross
+    // multiplication and no gcd; LP tableaus are mostly small integers.
+    if (O.Num == 0)
+      return *this;
+    if (Num == 0)
+      return O;
+    if (Den == 1 && O.Den == 1)
+      return fromIntParts(checkedAdd(Num, O.Num));
     return Rational(checkedAdd(checkedMul(Num, O.Den), checkedMul(O.Num, Den)),
                     checkedMul(Den, O.Den));
   }
   Rational operator-(const Rational &O) const {
+    if (O.Num == 0)
+      return *this;
+    if (Den == 1 && O.Den == 1)
+      return fromIntParts(checkedSub(Num, O.Num));
     return Rational(checkedSub(checkedMul(Num, O.Den), checkedMul(O.Num, Den)),
                     checkedMul(Den, O.Den));
   }
   Rational operator*(const Rational &O) const {
+    if (Num == 0 || O.Num == 0)
+      return Rational();
+    if (Den == 1 && O.Den == 1)
+      return fromIntParts(checkedMul(Num, O.Num));
     return Rational(checkedMul(Num, O.Num), checkedMul(Den, O.Den));
   }
   Rational operator/(const Rational &O) const {
     if (O.isZero())
       throw EngineError(ErrorKind::InternalInvariant,
                         "rational division by zero");
+    if (Num == 0)
+      return Rational();
     return Rational(checkedMul(Num, O.Den), checkedMul(Den, O.Num));
   }
   Rational operator-() const {
@@ -82,9 +100,13 @@ public:
   }
   bool operator!=(const Rational &O) const { return !(*this == O); }
   bool operator<(const Rational &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Num < O.Num;
     return checkedMul(Num, O.Den) < checkedMul(O.Num, Den);
   }
   bool operator<=(const Rational &O) const {
+    if (Den == 1 && O.Den == 1)
+      return Num <= O.Num;
     return checkedMul(Num, O.Den) <= checkedMul(O.Num, Den);
   }
   bool operator>(const Rational &O) const { return O < *this; }
@@ -106,6 +128,17 @@ public:
   std::string str() const;
 
 private:
+  /// Builds an already-canonical integer (denominator 1) without the
+  /// normalize() gcd pass. The 128-bit minimum has no absolute value, so
+  /// normalize() rejects it inside gcd(); reject it here the same way.
+  static Rational fromIntParts(Int N) {
+    if (N < 0)
+      (void)checkedNeg(N);
+    Rational R;
+    R.Num = N;
+    return R;
+  }
+
   [[noreturn]] static void overflow() {
     throw EngineError(ErrorKind::ArithmeticOverflow,
                       "rational arithmetic exceeds 128 bits");

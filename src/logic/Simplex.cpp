@@ -48,8 +48,10 @@ struct Tableau {
   void pivot(int Row, int Col) {
     Rational P = A[Row][Col];
     assert(!P.isZero() && "pivot on zero entry");
+    std::vector<Rational> &PivotRow = A[Row];
     for (int J = 0; J < NumCols; ++J)
-      A[Row][J] /= P;
+      if (!PivotRow[J].isZero()) // tableaus stay sparse; skip the zeros
+        PivotRow[J] /= P;
     B[Row] /= P;
     for (size_t I = 0; I < A.size(); ++I) {
       if (static_cast<int>(I) == Row)
@@ -57,8 +59,10 @@ struct Tableau {
       Rational F = A[I][Col];
       if (F.isZero())
         continue;
+      std::vector<Rational> &Ri = A[I];
       for (int J = 0; J < NumCols; ++J)
-        A[I][J] -= F * A[Row][J];
+        if (!PivotRow[J].isZero())
+          Ri[J] -= F * PivotRow[J];
       B[I] -= F * B[Row];
     }
     Basis[Row] = Col;
@@ -190,21 +194,16 @@ std::optional<std::vector<Rational>> Problem::solve() const {
     if (Leave < 0)
       return std::nullopt; // phase-1 objective unbounded: cannot happen,
                            // but fail closed rather than loop
-    // Update objective and reduced costs incrementally by re-deriving them
-    // after the pivot (simpler and still cheap at our sizes).
+    // Standard incremental update: with exact rationals the textbook
+    //   r'_j = r_j - r_e * a'_{leave,j},  z' = z - r_e * b'_leave
+    // identities (primed = post-pivot) hold exactly, so one O(cols) sweep
+    // replaces the old full O(rows * cols) re-derivation.
+    Rational REnter = Reduced[Enter];
     T.pivot(Leave, Enter);
-    Objective = Rational(0);
-    for (Rational &R : Reduced)
-      R = Rational(0);
-    for (int I = 0; I < M; ++I) {
-      if (T.Cost[T.Basis[I]].isZero())
-        continue;
-      for (int J = 0; J < T.NumCols; ++J)
-        Reduced[J] += T.A[I][J];
-      Objective += T.B[I];
-    }
     for (int J = 0; J < T.NumCols; ++J)
-      Reduced[J] -= T.Cost[J];
+      if (!T.A[Leave][J].isZero())
+        Reduced[J] -= REnter * T.A[Leave][J];
+    Objective -= REnter * T.B[Leave];
   }
 
   if (Objective.isPositive())

@@ -10,6 +10,7 @@
 #include "automata/Difference.h"
 #include "automata/FiniteTraceComplement.h"
 #include "automata/Ops.h"
+#include "automata/PerfCounters.h"
 #include "automata/RankComplement.h"
 #include "automata/Simulation.h"
 
@@ -329,6 +330,9 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
                    .with("pruned",
                          R ? static_cast<int64_t>(R->SubsumptionPruned)
                            : int64_t(0))
+                   .with("arcs_memoized",
+                         R ? static_cast<int64_t>(R->ArcsMemoized)
+                           : int64_t(0))
                    .with("aborted", R ? R->Aborted : false)
                    .with("word_fallback", WordFallback));
   };
@@ -366,12 +370,19 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
             static_cast<int64_t>(R.ComplementStatesDiscovered));
   Stats.add("difference.subsumption_pruned",
             static_cast<int64_t>(R.SubsumptionPruned));
+  Stats.add("difference.arcs_memoized",
+            static_cast<int64_t>(R.ArcsMemoized));
   TraceOutcome(CompKind, &R, false);
   return std::move(R.D);
 }
 
 AnalysisResult TerminationAnalyzer::run() {
   Timer Watch;
+  // Snapshot the thread-local hot-path counters: the structures that bump
+  // them (CSR indexes, intern tables) live and die deep inside the loop,
+  // so a delta around the whole run is the only attributable total. One
+  // run executes on exactly one thread, so the delta is deterministic.
+  const perf::Counters PerfStart = perf::local();
   TraceSpan RunSpan(Opts.Tracer, "analyzer.run");
   Deadline Budget = Opts.TimeoutSeconds > 0
                         ? Deadline::after(Opts.TimeoutSeconds)
@@ -607,6 +618,19 @@ AnalysisResult TerminationAnalyzer::run() {
                            static_cast<int64_t>(Remaining.numStates()));
   }
 
+  const perf::Counters &PerfEnd = perf::local();
+  Result.Stats.add("perf.csr_rebuilds",
+                   static_cast<int64_t>(PerfEnd.CsrRebuilds -
+                                        PerfStart.CsrRebuilds));
+  Result.Stats.add("perf.intern_hits",
+                   static_cast<int64_t>(PerfEnd.InternHits -
+                                        PerfStart.InternHits));
+  Result.Stats.add("perf.intern_misses",
+                   static_cast<int64_t>(PerfEnd.InternMisses -
+                                        PerfStart.InternMisses));
+  Result.Stats.add("perf.arcs_memoized",
+                   static_cast<int64_t>(PerfEnd.ArcsMemoized -
+                                        PerfStart.ArcsMemoized));
   Result.Seconds = Watch.seconds();
   if (Trace *TR = Opts.Tracer)
     TR->emit(TraceEvent(TraceEventKind::VerdictReached)

@@ -7,6 +7,7 @@
 #include "termination/CertifiedModule.h"
 
 #include <cassert>
+#include <optional>
 
 using namespace termcheck;
 
@@ -45,13 +46,19 @@ Predicate termcheck::postOldrnkAssign(const Predicate &Pre,
   return Predicate(std::move(Base), /*OldrnkIsInf=*/false);
 }
 
+Predicate termcheck::hoarePostPredicate(const Predicate &Pre,
+                                        const Statement &S, const Program &P,
+                                        const LinearExpr *RankUpdate) {
+  if (!RankUpdate)
+    return postPredicate(Pre, S, P);
+  return postPredicate(postOldrnkAssign(Pre, *RankUpdate, P), S, P);
+}
+
 bool termcheck::hoareValidPredicate(const Predicate &Pre, const Statement &S,
                                     const Predicate &Post, const Program &P,
                                     const LinearExpr *RankUpdate) {
-  Predicate Cur = Pre;
-  if (RankUpdate)
-    Cur = postOldrnkAssign(Cur, *RankUpdate, P);
-  return postPredicate(Cur, S, P).entails(Post, P.oldrnkVar());
+  return hoarePostPredicate(Pre, S, P, RankUpdate).entails(Post,
+                                                           P.oldrnkVar());
 }
 
 std::string termcheck::validateModule(const CertifiedModule &M,
@@ -85,14 +92,17 @@ std::string termcheck::validateModule(const CertifiedModule &M,
   }
 
   // Every edge is a valid Hoare triple; edges leaving accepting states
-  // insert the oldrnk := f update first.
+  // insert the oldrnk := f update first. The post only depends on the
+  // source and the symbol, so compute it once per (Q, Sym) pair.
+  std::vector<std::optional<Predicate>> Posts(A.numSymbols());
   for (State Q = 0; Q < A.numStates(); ++Q) {
-    bool Accepting = A.acceptMask(Q) != 0;
+    const LinearExpr *Update = A.acceptMask(Q) != 0 ? &M.Rank : nullptr;
+    Posts.assign(A.numSymbols(), std::nullopt);
     for (const Buchi::Arc &Arc : A.arcsFrom(Q)) {
       const Statement &S = P.statement(Arc.Sym);
-      bool Ok = hoareValidPredicate(M.Cert[Q], S, M.Cert[Arc.To], P,
-                                    Accepting ? &M.Rank : nullptr);
-      if (!Ok)
+      if (!Posts[Arc.Sym])
+        Posts[Arc.Sym] = hoarePostPredicate(M.Cert[Q], S, P, Update);
+      if (!Posts[Arc.Sym]->entails(M.Cert[Arc.To], Old))
         return "invalid Hoare triple on q" + std::to_string(Q) + " --[" +
                S.str(P.vars()) + "]--> q" + std::to_string(Arc.To);
     }

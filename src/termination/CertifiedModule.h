@@ -72,6 +72,14 @@ Predicate postPredicate(const Predicate &Pre, const Statement &S,
 Predicate postOldrnkAssign(const Predicate &Pre, const LinearExpr &Rank,
                            const Program &P);
 
+/// The source side of a Hoare triple: strongest post of \p Pre through the
+/// optional `oldrnk := f;` update and then \p S. Checking one source
+/// against many candidate postconditions should compute this once and call
+/// entails() per target -- the post does not depend on the target.
+Predicate hoarePostPredicate(const Predicate &Pre, const Statement &S,
+                             const Program &P,
+                             const LinearExpr *RankUpdate = nullptr);
+
 /// Hoare validity { Pre } [oldrnk := f;] S { Post } at the predicate level.
 bool hoareValidPredicate(const Predicate &Pre, const Statement &S,
                          const Predicate &Post, const Program &P,

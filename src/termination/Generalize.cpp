@@ -209,8 +209,11 @@ StateSet ModuleBuilder::deltaAnd(const CertifiedModule &M0, State Qf,
   StateSet Out;
   const Statement &S = P.statement(Sym);
   const LinearExpr *Update = SourceHasQf ? &M0.Rank : nullptr;
+  // The triple's source side is target-independent: compute the post once
+  // and only re-check entailment per candidate target state.
+  Predicate Post = hoarePostPredicate(Pre, S, P, Update);
   for (State Q = 0; Q < M0.A.numStates(); ++Q)
-    if (hoareValidPredicate(Pre, S, M0.Cert[Q], P, Update))
+    if (Post.entails(M0.Cert[Q], P.oldrnkVar()))
       Out.insert(Q);
   return Out;
 }
@@ -424,8 +427,9 @@ ModuleBuilder::buildSaturatedLasso(const CertifiedModule &M0) {
     const LinearExpr *Update = Accepting ? &M0.Rank : nullptr;
     for (Symbol Sym : Alphabet) {
       const Statement &S = P.statement(Sym);
+      Predicate Post = hoarePostPredicate(M0.Cert[Q], S, P, Update);
       for (State To = 0; To < M0.A.numStates(); ++To)
-        if (hoareValidPredicate(M0.Cert[Q], S, M0.Cert[To], P, Update))
+        if (Post.entails(M0.Cert[To], P.oldrnkVar()))
           M.A.addTransition(Q, Sym, To);
     }
   }
@@ -447,8 +451,9 @@ ModuleBuilder::buildNondeterministic(const CertifiedModule &M0) {
     const LinearExpr *Update = Accepting ? &M0.Rank : nullptr;
     for (Symbol Sym : Alphabet) {
       const Statement &S = P.statement(Sym);
+      Predicate Post = hoarePostPredicate(M0.Cert[Q], S, P, Update);
       for (State To = 0; To < M0.A.numStates(); ++To)
-        if (hoareValidPredicate(M0.Cert[Q], S, M0.Cert[To], P, Update))
+        if (Post.entails(M0.Cert[To], P.oldrnkVar()))
           M.A.addTransition(Q, Sym, To);
     }
   }
