@@ -1,0 +1,194 @@
+//===- bench/bench_modular_complement.cpp - Mix-and-match complement ------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Benchmarks the modular ("mix-and-match") complement on seeded
+/// class-mixed corpora (DESIGN.md section 13):
+///
+///  * the main corpus times full materialization of the modular complement
+///    over automata whose accepting SCCs span all four classes, and
+///    reports the per-engine component mix, and
+///  * a rank-comparison corpus of small single-block instances (where the
+///    monolithic rank construction is still materializable) contrasts the
+///    complement sizes -- the modular build should need far fewer states
+///    because each component gets the cheapest applicable engine.
+///
+/// --json emits the shared termcheck-bench-report schema; total_wall_ns
+/// (the main-corpus materialization wall, median of --repeat) feeds the
+/// suite's regression gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "automata/ModularComplement.h"
+#include "automata/Ops.h"
+#include "automata/RankComplement.h"
+#include "support/Timer.h"
+
+#include <map>
+#include <sstream>
+
+using namespace termcheck;
+using namespace termcheck::bench;
+
+namespace {
+
+/// Same spec recipe as tests/modular_complement_test.cpp: at least one
+/// enabled block, and whenever a general block (rank component) is drawn
+/// the prefix shrinks so the rank engine's co-reach cut stays tiny.
+ClassMixedSpec randomSpec(Rng &R) {
+  ClassMixedSpec Spec;
+  for (;;) {
+    Spec.PrefixStates = 1 + static_cast<uint32_t>(R.below(3));
+    Spec.DetStates = static_cast<uint32_t>(R.below(3));
+    Spec.WeakStates = static_cast<uint32_t>(R.below(3));
+    Spec.SemiStates = static_cast<uint32_t>(R.below(3));
+    Spec.GeneralStates = static_cast<uint32_t>(R.below(3));
+    if (Spec.GeneralStates)
+      Spec.PrefixStates = 1;
+    if (Spec.DetStates + Spec.WeakStates + Spec.SemiStates +
+        Spec.GeneralStates)
+      return Spec;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = takeJsonFlag(Argc, Argv);
+  const unsigned Repeat = takeRepeatFlag(Argc, Argv);
+  const bool EmitJson = !JsonPath.empty();
+  constexpr int CorpusSize = 80;
+  constexpr int RankCorpusSize = 40;
+
+  std::printf("modular complement: class-mixed corpus of %d automata, "
+              "median of %u\n",
+              CorpusSize, Repeat);
+  hr();
+
+  // Main corpus: generation is outside the timed region; the wall is the
+  // modular build plus full materialization.
+  std::vector<Buchi> Corpus;
+  {
+    Rng R(0xD17A0001);
+    for (int I = 0; I < CorpusSize; ++I)
+      Corpus.push_back(randomClassMixedBa(R, randomSpec(R)));
+  }
+  size_t ModularStates = 0, ComponentCount = 0;
+  std::map<std::string, int64_t> Engines;
+  double ModularWall = medianWall(Repeat, [&] {
+    ModularStates = ComponentCount = 0;
+    Engines.clear();
+    Timer T;
+    for (const Buchi &A : Corpus) {
+      auto Mod = buildModularComplement(A);
+      if (!Mod) {
+        std::fprintf(stderr, "bench: modular build failed unexpectedly\n");
+        std::exit(1);
+      }
+      ModularStates += trim(Mod->materialize()).numStates();
+      ComponentCount += Mod->numComponents();
+      for (const ModularComponentInfo &CI : Mod->componentInfo())
+        ++Engines[modularEngineName(CI.Engine)];
+    }
+    return T.seconds();
+  });
+  std::printf("%-28s %10.3f s  %8zu states  %5zu components\n",
+              "modular materialize", ModularWall, ModularStates,
+              ComponentCount);
+  for (const auto &KV : Engines)
+    std::printf("  engine %-12s %6lld components\n", KV.first.c_str(),
+                static_cast<long long>(KV.second));
+
+  // Rank comparison: small single-block instances whose completion the
+  // monolithic rank construction can still materialize (the rank state
+  // space grows super-exponentially, so the cap is load-bearing).
+  std::vector<Buchi> RankCorpus;
+  {
+    Rng R(0xD17A0002);
+    while (RankCorpus.size() < RankCorpusSize) {
+      ClassMixedSpec Spec;
+      Spec.PrefixStates = 1;
+      Spec.DetStates = Spec.WeakStates = Spec.SemiStates =
+          Spec.GeneralStates = 0;
+      switch (R.below(3)) {
+      case 0:
+        Spec.DetStates = 2;
+        break;
+      case 1:
+        Spec.WeakStates = 1 + static_cast<uint32_t>(R.below(2));
+        break;
+      default:
+        Spec.GeneralStates = 2;
+        break;
+      }
+      Buchi A = randomClassMixedBa(R, Spec);
+      if (completeWithSink(A).numStates() <= 4)
+        RankCorpus.push_back(std::move(A));
+    }
+  }
+  size_t ModSmallStates = 0, RankStates = 0;
+  double ModSmallWall = medianWall(Repeat, [&] {
+    ModSmallStates = 0;
+    Timer T;
+    for (const Buchi &A : RankCorpus)
+      ModSmallStates += trim(buildModularComplement(A)->materialize())
+                            .numStates();
+    return T.seconds();
+  });
+  double RankWall = medianWall(Repeat, [&] {
+    RankStates = 0;
+    Timer T;
+    for (const Buchi &A : RankCorpus) {
+      // The oracle references its input, so the completion must outlive it.
+      Buchi Completed = completeWithSink(A);
+      RankComplementOracle O(Completed);
+      RankStates += trim(O.materialize()).numStates();
+    }
+    return T.seconds();
+  });
+  hr();
+  std::printf("vs rank on %d small instances:\n", RankCorpusSize);
+  std::printf("%-28s %10.3f s  %8zu states\n", "  modular", ModSmallWall,
+              ModSmallStates);
+  std::printf("%-28s %10.3f s  %8zu states\n", "  monolithic rank", RankWall,
+              RankStates);
+
+  if (EmitJson) {
+    std::ostringstream Buf;
+    json::Writer W(Buf);
+    W.beginObject();
+    beginBenchReport(W, "modular_complement");
+    W.field("repeat", static_cast<int64_t>(Repeat));
+    W.key("class_mixed");
+    W.beginObject();
+    W.field("instances", static_cast<int64_t>(Corpus.size()));
+    W.field("wall_s", ModularWall);
+    W.field("complement_states", static_cast<int64_t>(ModularStates));
+    W.field("components", static_cast<int64_t>(ComponentCount));
+    W.key("engines");
+    W.beginObject();
+    for (const auto &KV : Engines)
+      W.field(KV.first, KV.second);
+    W.endObject();
+    W.endObject();
+    W.key("vs_rank");
+    W.beginObject();
+    W.field("instances", static_cast<int64_t>(RankCorpus.size()));
+    W.field("modular_wall_s", ModSmallWall);
+    W.field("modular_states", static_cast<int64_t>(ModSmallStates));
+    W.field("rank_wall_s", RankWall);
+    W.field("rank_states", static_cast<int64_t>(RankStates));
+    W.endObject();
+    // The suite regression gate compares this wall against the baseline's.
+    W.field("total_wall_ns", ModularWall * 1e9);
+    W.endObject();
+    W.finish();
+    if (!writeJsonDocument(JsonPath, Buf.str()))
+      return 1;
+  }
+  return 0;
+}

@@ -199,16 +199,7 @@ std::string LassoWord::str() const {
   return S + "]";
 }
 
-namespace {
-
-/// Tarjan SCC decomposition (iterative). Component ids are assigned in
-/// reverse topological completion order.
-struct SccDecomposition {
-  std::vector<int32_t> CompOf; // -1 for unreachable
-  uint32_t NumComps = 0;
-};
-
-SccDecomposition tarjan(const Buchi &A) {
+SccDecomposition termcheck::sccDecompose(const Buchi &A) {
   const uint32_t N = A.numStates();
   SccDecomposition D;
   D.CompOf.assign(N, -1);
@@ -265,6 +256,8 @@ SccDecomposition tarjan(const Buchi &A) {
   }
   return D;
 }
+
+namespace {
 
 /// BFS over the whole automaton from the initial states; fills predecessor
 /// arcs so paths can be reconstructed.
@@ -344,7 +337,7 @@ bfsWithinScc(const Buchi &A, const SccDecomposition &D, int32_t Comp,
 } // namespace
 
 std::optional<LassoWord> termcheck::findAcceptingLasso(const Buchi &A) {
-  SccDecomposition D = tarjan(A);
+  SccDecomposition D = sccDecompose(A);
   BfsTree T = bfsFromInitials(A);
 
   // Classify components: nontrivial (has an internal arc) and covering all

@@ -116,6 +116,23 @@ public:
 /// \returns true iff L(A) is empty (Gaiser-Schwoon over the explicit GBA).
 bool isEmpty(const Buchi &A);
 
+/// Tarjan SCC decomposition of the reachable part of an explicit GBA.
+/// Component ids are assigned in reverse topological completion order
+/// (every arc between distinct components goes from a higher id to a
+/// lower one). Unreachable states carry component id -1.
+struct SccDecomposition {
+  std::vector<int32_t> CompOf; ///< per state; -1 for unreachable
+  uint32_t NumComps = 0;
+
+  /// \returns true when \p S and \p T share a (reachable) component.
+  bool sameComponent(State S, State T) const {
+    return CompOf[S] >= 0 && CompOf[S] == CompOf[T];
+  }
+};
+
+/// Runs Tarjan's algorithm from the initial states of \p A.
+SccDecomposition sccDecompose(const Buchi &A);
+
 /// An ultimately periodic word u v^omega.
 struct LassoWord {
   std::vector<Symbol> Stem;

@@ -1,0 +1,175 @@
+//===- automata/SccClassify.cpp - Accepting-SCC classification ------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/SccClassify.h"
+
+#include <cassert>
+
+using namespace termcheck;
+
+const char *termcheck::sccClassName(SccClass C) {
+  switch (C) {
+  case SccClass::NonAccepting:
+    return "non_accepting";
+  case SccClass::InertWeak:
+    return "inert_weak";
+  case SccClass::Deterministic:
+    return "deterministic";
+  case SccClass::Semideterministic:
+    return "semideterministic";
+  case SccClass::General:
+    return "general";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when the subgraph induced by the non-accepting states of one SCC
+/// contains a cycle (iterative three-color DFS; a self-loop counts). No
+/// such cycle means the SCC is inherently weak accepting: every infinite
+/// path inside it hits the accepting set infinitely often.
+bool hasNonAcceptingCycle(const Buchi &A, const std::vector<State> &Members,
+                          const SccDecomposition &D) {
+  const int32_t Comp = D.CompOf[Members.front()];
+  auto InSubgraph = [&](State S) {
+    return D.CompOf[S] == Comp && A.acceptMask(S) == 0;
+  };
+
+  // 0 = white, 1 = on the DFS stack, 2 = done.
+  std::unordered_map<State, uint8_t> Color;
+  std::vector<std::pair<State, size_t>> Stack;
+  for (State Root : Members) {
+    if (!InSubgraph(Root) || Color.count(Root))
+      continue;
+    Stack.emplace_back(Root, 0);
+    Color[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[S, Next] = Stack.back();
+      const auto &Arcs = A.arcsFrom(S);
+      bool Descended = false;
+      while (Next < Arcs.size()) {
+        State T = Arcs[Next++].To;
+        if (!InSubgraph(T))
+          continue;
+        uint8_t &C = Color[T];
+        if (C == 1)
+          return true;
+        if (C == 0) {
+          C = 1;
+          Stack.emplace_back(T, 0);
+          Descended = true;
+          break;
+        }
+      }
+      if (!Descended && Next >= Arcs.size()) {
+        Color[S] = 2;
+        Stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+/// True when every state reachable from \p Seeds has at most one successor
+/// per symbol. (Initial-state multiplicity is the caller's concern; the
+/// partial complement re-restricts before checking the full DBA shape.)
+bool downstreamDeterministic(const Buchi &A, const std::vector<State> &Seeds) {
+  std::vector<uint8_t> Seen(A.numStates(), 0);
+  std::vector<State> Work;
+  for (State S : Seeds)
+    if (!Seen[S]) {
+      Seen[S] = 1;
+      Work.push_back(S);
+    }
+  std::vector<uint32_t> Fanout(A.numSymbols());
+  while (!Work.empty()) {
+    State S = Work.back();
+    Work.pop_back();
+    std::fill(Fanout.begin(), Fanout.end(), 0);
+    for (const Buchi::Arc &Arc : A.arcsFrom(S)) {
+      if (++Fanout[Arc.Sym] > 1)
+        return false;
+      if (!Seen[Arc.To]) {
+        Seen[Arc.To] = 1;
+        Work.push_back(Arc.To);
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+SccClassification termcheck::classifySccs(const Buchi &A) {
+  assert(A.fullMask() <= 1 && "classifySccs needs a plain (1-condition) BA");
+
+  SccClassification R;
+  R.D = sccDecompose(A);
+  R.ClassOf.assign(R.D.NumComps, SccClass::NonAccepting);
+  if (R.D.NumComps == 0)
+    return R;
+
+  std::vector<std::vector<State>> Members(R.D.NumComps);
+  for (State S = 0; S < A.numStates(); ++S)
+    if (R.D.CompOf[S] >= 0)
+      Members[static_cast<uint32_t>(R.D.CompOf[S])].push_back(S);
+
+  std::vector<uint32_t> Fanout(A.numSymbols());
+  for (uint32_t C = 0; C < R.D.NumComps; ++C) {
+    const std::vector<State> &M = Members[C];
+
+    // Accepting SCC = nontrivial (some internal arc, so a run can stay
+    // forever) and contains an accepting state.
+    bool HasInternalArc = false, HasAccepting = false;
+    for (State S : M) {
+      HasAccepting |= A.acceptMask(S) != 0;
+      for (const Buchi::Arc &Arc : A.arcsFrom(S))
+        HasInternalArc |= R.D.CompOf[Arc.To] == static_cast<int32_t>(C);
+    }
+    if (!HasInternalArc || !HasAccepting)
+      continue; // stays NonAccepting
+
+    // InertWeak: closed + internally complete + inherently weak.
+    bool Closed = true, Complete = true;
+    for (State S : M) {
+      std::fill(Fanout.begin(), Fanout.end(), 0);
+      for (const Buchi::Arc &Arc : A.arcsFrom(S)) {
+        Closed &= R.D.CompOf[Arc.To] == static_cast<int32_t>(C);
+        ++Fanout[Arc.Sym];
+      }
+      for (uint32_t F : Fanout)
+        Complete &= F > 0;
+    }
+    if (Closed && Complete && !hasNonAcceptingCycle(A, M, R.D)) {
+      R.ClassOf[C] = SccClass::InertWeak;
+      continue;
+    }
+
+    // Deterministic: the SCC and everything reachable from it.
+    if (downstreamDeterministic(A, M)) {
+      R.ClassOf[C] = SccClass::Deterministic;
+      continue;
+    }
+
+    // Semideterministic: at most one in-SCC successor per state and symbol.
+    bool InternallyDet = true;
+    for (State S : M) {
+      std::fill(Fanout.begin(), Fanout.end(), 0);
+      for (const Buchi::Arc &Arc : A.arcsFrom(S))
+        if (R.D.CompOf[Arc.To] == static_cast<int32_t>(C) &&
+            ++Fanout[Arc.Sym] > 1) {
+          InternallyDet = false;
+          break;
+        }
+      if (!InternallyDet)
+        break;
+    }
+    R.ClassOf[C] =
+        InternallyDet ? SccClass::Semideterministic : SccClass::General;
+  }
+  return R;
+}

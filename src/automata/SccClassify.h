@@ -1,0 +1,90 @@
+//===- automata/SccClassify.h - Accepting-SCC classification --*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decomposition step of modular ("mix-and-match") complementation
+/// (Havlena/Lengal et al., PAPERS.md): every accepting run of a BA is
+/// eventually trapped in exactly one accepting SCC, so L(A) splits into the
+/// union over accepting SCCs D of "words with an accepting run trapped in
+/// D", and the complement into the intersection of the per-SCC partial
+/// complements. Each accepting SCC is classified by the cheapest
+/// complementation construction that fits it:
+///
+///  * InertWeak        -- the SCC is closed (no arc leaves it), internally
+///                        complete (every state has a successor on every
+///                        symbol), and inherently weak accepting (no cycle
+///                        avoids the accepting set). Every run that enters
+///                        such an SCC accepts whatever the suffix, so the
+///                        trapped language is Pref . Sigma^omega and the
+///                        finite-trace subset complement applies.
+///  * Deterministic    -- the SCC and everything reachable from it is
+///                        deterministic; Kurshan's DBA complement applies
+///                        when the prefix part is deterministic too.
+///  * Semideterministic-- the SCC's internal transition structure is
+///                        deterministic (at most one in-SCC successor per
+///                        state and symbol). Restricted to states that can
+///                        still reach the SCC's accepting states, the
+///                        partial automaton is an SDBA and NCSB applies.
+///  * General          -- anything else; only the rank-based construction
+///                        is known to fit.
+///
+/// Non-accepting SCCs (trivial ones, and those without an accepting state)
+/// are labeled NonAccepting and never get a partial complement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_SCCCLASSIFY_H
+#define TERMCHECK_AUTOMATA_SCCCLASSIFY_H
+
+#include "automata/Scc.h"
+
+namespace termcheck {
+
+/// The modular-complementation class of one SCC.
+enum class SccClass : uint8_t {
+  NonAccepting,      ///< trivial, or no accepting state: never traps a run
+  InertWeak,         ///< closed + complete + inherently weak accepting
+  Deterministic,     ///< SCC and its downstream closure deterministic
+  Semideterministic, ///< SCC internally deterministic
+  General,           ///< everything else (rank territory)
+};
+
+/// \returns a stable lowercase name (statistics, traces, tests).
+const char *sccClassName(SccClass C);
+
+/// The decomposition plus per-component class labels.
+struct SccClassification {
+  SccDecomposition D;
+  /// Class of every component, indexed by component id.
+  std::vector<SccClass> ClassOf;
+
+  /// Component ids of one class, in increasing id order.
+  std::vector<uint32_t> componentsOf(SccClass C) const {
+    std::vector<uint32_t> Out;
+    for (uint32_t I = 0; I < D.NumComps; ++I)
+      if (ClassOf[I] == C)
+        Out.push_back(I);
+    return Out;
+  }
+
+  /// Number of accepting (non-NonAccepting) components.
+  size_t numAcceptingComponents() const {
+    size_t N = 0;
+    for (SccClass C : ClassOf)
+      N += C != SccClass::NonAccepting;
+    return N;
+  }
+};
+
+/// Classifies the reachable SCCs of \p A (one acceptance condition).
+/// Classes are disjoint and exhaustive by construction: every reachable
+/// component gets exactly one label, checked in the order InertWeak ->
+/// Deterministic -> Semideterministic -> General.
+SccClassification classifySccs(const Buchi &A);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_SCCCLASSIFY_H

@@ -51,6 +51,8 @@ const char *termcheck::faultSiteName(FaultSite S) {
     return "ncsb_successor";
   case FaultSite::ProverEntry:
     return "prover_entry";
+  case FaultSite::ModularExpand:
+    return "modular_expand";
   case FaultSite::NumSites:
     break;
   }

@@ -16,7 +16,8 @@
 ///   * RationalOp       -- every checked Rational multiply/add,
 ///   * DifferenceExpand -- each product-state expansion of the difference,
 ///   * NcsbSuccessor    -- each NCSB successor computation,
-///   * ProverEntry      -- entry of the lasso and recurrence provers.
+///   * ProverEntry      -- entry of the lasso and recurrence provers,
+///   * ModularExpand    -- each tuple expansion of the modular complement.
 ///
 /// Arming takes a single seed. The seed deterministically derives, per
 /// site, whether the site is active this run, the hit index at which it
@@ -47,6 +48,7 @@ enum class FaultSite : uint8_t {
   DifferenceExpand,
   NcsbSuccessor,
   ProverEntry,
+  ModularExpand,
   NumSites,
 };
 

@@ -9,6 +9,7 @@
 #include "automata/DbaComplement.h"
 #include "automata/Difference.h"
 #include "automata/FiniteTraceComplement.h"
+#include "automata/ModularComplement.h"
 #include "automata/Ops.h"
 #include "automata/PerfCounters.h"
 #include "automata/RankComplement.h"
@@ -99,14 +100,22 @@ Buchi termcheck::programToBuchi(const Program &P) {
 /// module: finite-trace, deterministic, or semideterministic. Rank-based
 /// complementation of general BAs is deliberately not on this list -- its
 /// blowup is the very thing the multi-stage approach avoids -- so a module
-/// failing this test is replaced by a weaker complementable one.
-static bool cheaplyComplementable(const CertifiedModule &M) {
+/// failing this test is replaced by a weaker complementable one. Under the
+/// Modular strategy a module also qualifies when the mix-and-match
+/// decomposition fits: every accepting SCC then gets an engine of its own,
+/// and rank only ever sees a single small component, not the whole module.
+static bool cheaplyComplementable(const CertifiedModule &M,
+                                  const AnalyzerOptions &Opts) {
   if (M.Kind == ModuleKind::FiniteTrace && M.UniversalState)
     return true;
   Buchi C = completeWithSink(M.A);
   if (C.isDeterministic())
     return true;
-  return classifySdba(C).IsSemideterministic;
+  if (classifySdba(C).IsSemideterministic)
+    return true;
+  if (Opts.Complement == ComplementStrategy::Modular)
+    return buildModularComplement(M.A, {Opts.Ncsb}) != nullptr;
+  return false;
 }
 
 CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
@@ -200,7 +209,7 @@ CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
       }
       case Stage::Nondeterministic: {
         CertifiedModule M = Builder.buildNondeterministic(M0);
-        if (acceptsLasso(M.A, W) && cheaplyComplementable(M)) {
+        if (acceptsLasso(M.A, W) && cheaplyComplementable(M, Opts)) {
           Stats.add("modules.nondeterministic");
           return M;
         }
@@ -223,7 +232,7 @@ CertifiedModule TerminationAnalyzer::generalize(const Lasso &L,
   // anomalies), use the bare lasso module.
   try {
     CertifiedModule MSat = Builder.buildSaturatedLasso(M0);
-    if (acceptsLasso(MSat.A, W) && cheaplyComplementable(MSat)) {
+    if (acceptsLasso(MSat.A, W) && cheaplyComplementable(MSat, Opts)) {
       Stats.add("modules.semideterministic");
       return MSat;
     }
@@ -299,7 +308,14 @@ Buchi TerminationAnalyzer::subtract(const Buchi &Remaining,
     CompKind = "finite";
     Oracle = std::make_unique<FiniteTraceComplementOracle>(M.A,
                                                            *M.UniversalState);
-  } else {
+  } else if (Opts.Complement == ComplementStrategy::Modular &&
+             (Oracle = buildModularComplement(M.A, {Opts.Ncsb}))) {
+    // A failed build leaves Oracle null and falls through to the
+    // monolithic chain below.
+    Stats.add("complement.modular");
+    CompKind = "modular";
+  }
+  if (!Oracle && !(M.Kind == ModuleKind::FiniteTrace && M.UniversalState)) {
     Completed = completeWithSink(M.A);
     if (Completed->isDeterministic()) {
       Stats.add("complement.dba");
@@ -631,6 +647,15 @@ AnalysisResult TerminationAnalyzer::run() {
   Result.Stats.add("perf.arcs_memoized",
                    static_cast<int64_t>(PerfEnd.ArcsMemoized -
                                         PerfStart.ArcsMemoized));
+  Result.Stats.add("perf.modular_builds",
+                   static_cast<int64_t>(PerfEnd.ModularBuilds -
+                                        PerfStart.ModularBuilds));
+  Result.Stats.add("perf.modular_components",
+                   static_cast<int64_t>(PerfEnd.ModularComponents -
+                                        PerfStart.ModularComponents));
+  Result.Stats.add("perf.modular_cheap_components",
+                   static_cast<int64_t>(PerfEnd.ModularCheapComponents -
+                                        PerfStart.ModularCheapComponents));
   Result.Seconds = Watch.seconds();
   if (Trace *TR = Opts.Tracer)
     TR->emit(TraceEvent(TraceEventKind::VerdictReached)

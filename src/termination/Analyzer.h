@@ -46,6 +46,18 @@ enum class Stage : uint8_t {
   Nondeterministic,  ///< M_nondet
 };
 
+/// How subtract() complements certified modules.
+enum class ComplementStrategy : uint8_t {
+  /// The historical chain: finite-trace, then Kurshan DBA, then NCSB, then
+  /// the word-only fallback.
+  Auto,
+  /// Try the modular (mix-and-match) decomposition first: classify the
+  /// module's accepting SCCs, complement each class with its cheapest
+  /// engine, and intersect the partial complements. Falls back to Auto's
+  /// chain when no decomposition fits.
+  Modular,
+};
+
 /// Analyzer configuration (the Section 7 evaluation axes).
 struct AnalyzerOptions {
   /// Stage sequence tried in order after the implicit stage 0; the
@@ -56,6 +68,8 @@ struct AnalyzerOptions {
   bool MultiStage = true;
   /// Which NCSB variant complements semideterministic modules.
   NcsbVariant Ncsb = NcsbVariant::Lazy;
+  /// Module complementation strategy (see ComplementStrategy).
+  ComplementStrategy Complement = ComplementStrategy::Auto;
   /// Subsumption antichain in the difference construction (Section 6).
   bool UseSubsumption = true;
   /// Wall-clock budget in seconds (0 = unlimited).

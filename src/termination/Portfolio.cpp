@@ -24,6 +24,7 @@ std::vector<PortfolioConfig> termcheck::defaultPortfolio(size_t K) {
     NcsbVariant V;
     bool Sub;
     bool NontermBiased;
+    bool Modular = false;
   };
   // Diversity-first order: entry 0 is the library default; every short
   // prefix already spans all three axes, so --portfolio 4 races genuinely
@@ -61,6 +62,14 @@ std::vector<PortfolioConfig> termcheck::defaultPortfolio(size_t K) {
        NcsbVariant::Original, false, false},
       {"nonterm-deep-orig", AnalyzerOptions::sequenceAll,
        NcsbVariant::Original, true, true},
+      // The modular entrants ride at the roster's tail so every historical
+      // prefix of defaultPortfolio(K) is unchanged; they race the
+      // mix-and-match complement, whose per-SCC engines accept stage-4
+      // modules the monolithic chain would degrade to word-only removal.
+      {"seq_iii-modular-sub", AnalyzerOptions::sequenceAll, NcsbVariant::Lazy,
+       true, false, true},
+      {"nonterm-modular-deep", AnalyzerOptions::sequenceSkipDet,
+       NcsbVariant::Lazy, true, true, true},
   };
   constexpr size_t RosterSize = sizeof(Roster) / sizeof(Roster[0]);
   if (K == 0)
@@ -76,6 +85,8 @@ std::vector<PortfolioConfig> termcheck::defaultPortfolio(size_t K) {
     C.Opts.Sequence = Roster[I].Seq();
     C.Opts.Ncsb = Roster[I].V;
     C.Opts.UseSubsumption = Roster[I].Sub;
+    if (Roster[I].Modular)
+      C.Opts.Complement = ComplementStrategy::Modular;
     if (Roster[I].NontermBiased) {
       C.Opts.Nonterm.MaxCegisRounds = 16;
       C.Opts.Nonterm.MaxWitnessTrials = 32;

@@ -117,14 +117,21 @@ struct ArmedScope {
   ~ArmedScope() { FaultInjector::disarm(); }
 };
 
+AnalyzerOptions modularChaosOptions() {
+  AnalyzerOptions Opts = chaosOptions();
+  Opts.Complement = ComplementStrategy::Modular;
+  return Opts;
+}
+
 /// One seeded analyzer run. \returns the result, or the captured fault for
 /// flavors the analyzer deliberately does not contain (foreign exceptions,
 /// bad_alloc).
 ErrorOr<AnalysisResult> chaosRun(const Program &P, uint64_t Seed,
-                                 uint64_t &FiredOut) {
+                                 uint64_t &FiredOut,
+                                 const AnalyzerOptions &Opts = chaosOptions()) {
   ArmedScope Armed(Seed);
   Program Local = P;
-  TerminationAnalyzer A(Local, chaosOptions());
+  TerminationAnalyzer A(Local, Opts);
   ErrorOr<AnalysisResult> R = errorOrOf([&A] { return A.run(); });
   FiredOut = FaultInjector::firedCount();
   return R;
@@ -182,6 +189,47 @@ TEST(Chaos, HealthyRunsMatchExpectationsExactly) {
   }
 }
 
+TEST(Chaos, HealthyModularRunsMatchExpectationsExactly) {
+  // End-to-end control group for the modular complement strategy: with the
+  // injector disarmed, --complement modular must reproduce every recorded
+  // corpus verdict exactly (the strategy only changes how complements are
+  // built, never the language they recognize).
+  FaultInjector::disarm();
+  for (const CorpusEntry &E : loadCorpusWithExpectations()) {
+    Program Local = E.Prog;
+    TerminationAnalyzer A(Local, modularChaosOptions());
+    AnalysisResult R = A.run();
+    EXPECT_EQ(R.V, E.Expected) << E.File << " under --complement modular";
+  }
+}
+
+TEST(Chaos, ModularStrategyFaultsOnlyWeaken) {
+  // The modular path's fault contract: seeds whose plan arms the
+  // ModularExpand site (each tuple expansion of the modular product) may
+  // degrade a verdict to UNKNOWN/TIMEOUT but never flip it.
+  std::vector<CorpusEntry> Corpus = loadCorpusWithExpectations();
+  ASSERT_FALSE(Corpus.empty());
+  uint64_t Runs = 0, TotalFired = 0;
+  for (uint64_t Seed = 1; Seed <= 4096 && Runs < 80; ++Seed) {
+    FaultInjector::arm(Seed);
+    bool ModularArmed =
+        FaultInjector::plannedTrigger(FaultSite::ModularExpand) != 0;
+    FaultInjector::disarm();
+    if (!ModularArmed)
+      continue;
+    ++Runs;
+    const CorpusEntry &E = Corpus[Seed % Corpus.size()];
+    uint64_t Fired = 0;
+    ErrorOr<AnalysisResult> R =
+        chaosRun(E.Prog, Seed, Fired, modularChaosOptions());
+    TotalFired += Fired;
+    if (R.ok())
+      expectNoFlip(E, R.value().V, Seed);
+  }
+  EXPECT_EQ(Runs, 80u) << "seed scan exhausted before 80 armed plans";
+  EXPECT_GT(TotalFired, 0u) << "no fault ever fired under modular chaos";
+}
+
 TEST(Chaos, SameSeedReproducesTheSameOutcome) {
   // The reproducibility promise: sequential chaos runs are functions of
   // (program, seed). Verdict, iteration count, and fired-fault count must
@@ -229,6 +277,29 @@ TEST(Chaos, PortfolioRacesSurviveFaultsAndNeverHang) {
   }
 }
 
+TEST(Chaos, ModularPortfolioEntrantsSurviveFaults) {
+  // Same contract for the two modular-strategy entrants at the roster
+  // tail: quarantine on faults, no hangs, no flipped verdicts.
+  std::vector<CorpusEntry> Corpus = loadCorpusWithExpectations();
+  ASSERT_FALSE(Corpus.empty());
+  std::vector<PortfolioConfig> All = defaultPortfolio(16);
+  ASSERT_EQ(All.size(), 16u);
+  std::vector<PortfolioConfig> Configs{All[14], All[15]};
+  for (const PortfolioConfig &C : Configs) {
+    EXPECT_NE(C.Name.find("modular"), std::string::npos) << C.Name;
+    EXPECT_EQ(C.Opts.Complement, ComplementStrategy::Modular) << C.Name;
+  }
+  PortfolioOptions PO;
+  PO.Jobs = 2;
+  PO.TimeoutSeconds = 5;
+  for (uint64_t Seed = 701; Seed <= 724; ++Seed) {
+    const CorpusEntry &E = Corpus[Seed % Corpus.size()];
+    ArmedScope Armed(Seed);
+    PortfolioRunResult R = runPortfolio(E.Prog, Configs, PO);
+    expectNoFlip(E, R.Result.V, Seed);
+  }
+}
+
 TEST(Chaos, AllEntrantsFaultedStillReturnsUnknown) {
   // Single-entrant portfolio with a seed that makes the very first prover
   // call throw a FOREIGN exception (one the analyzer deliberately does not
@@ -238,7 +309,10 @@ TEST(Chaos, AllEntrantsFaultedStillReturnsUnknown) {
   std::vector<CorpusEntry> Corpus = loadCorpusWithExpectations();
   ASSERT_FALSE(Corpus.empty());
   std::vector<PortfolioConfig> Configs = defaultPortfolio(1);
-  for (uint64_t Seed = 0; Seed < 4096; ++Seed) {
+  // Adding a fault site re-derives every seed's plan, so the scan range is
+  // generous: 16384 seeds keep a qualifying plan in range across site-count
+  // changes.
+  for (uint64_t Seed = 0; Seed < 16384; ++Seed) {
     FaultInjector::arm(Seed);
     bool FirstHitForeign =
         FaultInjector::plannedTrigger(FaultSite::ProverEntry) == 1 &&

@@ -128,8 +128,8 @@ TEST(Portfolio, SequentialFallbackIsDeterministic) {
 
 TEST(Portfolio, RosterIsDiverseAndClamped) {
   EXPECT_EQ(defaultPortfolio(0).size(), 1u);
-  EXPECT_EQ(defaultPortfolio(100).size(), 14u);
-  std::vector<PortfolioConfig> Configs = defaultPortfolio(14);
+  EXPECT_EQ(defaultPortfolio(100).size(), 16u);
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(16);
   for (size_t I = 0; I < Configs.size(); ++I)
     for (size_t J = I + 1; J < Configs.size(); ++J)
       EXPECT_NE(Configs[I].Name, Configs[J].Name);
@@ -139,15 +139,59 @@ TEST(Portfolio, RosterIsDiverseAndClamped) {
   EXPECT_EQ(Configs[0].Opts.Ncsb, Default.Ncsb);
   EXPECT_EQ(Configs[0].Opts.UseSubsumption, Default.UseSubsumption);
   // The roster carries nonterm-biased entrants with enlarged recurrence
-  // budgets, reachable from a small prefix.
+  // budgets, reachable from a small prefix; the full roster adds a third
+  // (the deep modular entrant at the tail).
   RecurrenceOptions DefaultNonterm;
   size_t Biased = 0;
   for (const PortfolioConfig &C : Configs)
     if (C.Opts.Nonterm.MaxCegisRounds > DefaultNonterm.MaxCegisRounds)
       ++Biased;
-  EXPECT_EQ(Biased, 2u);
+  EXPECT_EQ(Biased, 3u);
   EXPECT_GT(defaultPortfolio(4).back().Opts.Nonterm.MaxUnroll,
             DefaultNonterm.MaxUnroll);
+  // The modular entrants ride at the tail so historical prefixes are
+  // unchanged: every pre-existing slot races the Auto strategy, and the
+  // last two race the mix-and-match modular complement.
+  for (size_t I = 0; I < 14; ++I)
+    EXPECT_EQ(Configs[I].Opts.Complement, ComplementStrategy::Auto)
+        << Configs[I].Name;
+  for (size_t I = 14; I < 16; ++I) {
+    EXPECT_EQ(Configs[I].Opts.Complement, ComplementStrategy::Modular)
+        << Configs[I].Name;
+    EXPECT_NE(Configs[I].Name.find("modular"), std::string::npos)
+        << Configs[I].Name;
+  }
+}
+
+TEST(Portfolio, ModularEntrantsAreDeterministicWithCounters) {
+  // The modular entrants must keep the Jobs == 1 contract: byte-identical
+  // merged dumps across runs, with the perf.modular_* counters from the
+  // mix-and-match complement present under the entrant's cfg. prefix. At
+  // least one corpus program must actually exercise a modular build.
+  std::vector<CorpusEntry> Corpus = loadCorpus();
+  ASSERT_FALSE(Corpus.empty());
+  std::vector<PortfolioConfig> All = defaultPortfolio(16);
+  std::vector<PortfolioConfig> Configs = {All[14], All[15]};
+  ASSERT_EQ(Configs[0].Opts.Complement, ComplementStrategy::Modular);
+  int64_t TotalBuilds = 0;
+  for (const CorpusEntry &E : Corpus) {
+    PortfolioOptions PO;
+    PO.Jobs = 1;
+    PO.TimeoutSeconds = 30;
+    PortfolioRunResult First = runPortfolio(E.Prog, Configs, PO);
+    PortfolioRunResult Second = runPortfolio(E.Prog, Configs, PO);
+    EXPECT_EQ(First.Result.V, Second.Result.V) << E.Name;
+    EXPECT_EQ(First.Merged.str(), Second.Merged.str())
+        << E.Name << ": statistics dump must be byte-identical";
+    // The first entrant always runs under Jobs == 1, so its counters must
+    // land in the merged dump (value may be zero on trivial programs).
+    const std::string Key = "cfg." + Configs[0].Name + ".perf.modular_builds";
+    EXPECT_NE(First.Merged.str().find(Key), std::string::npos) << E.Name;
+    TotalBuilds += First.Merged.get(Key);
+    TotalBuilds +=
+        First.Merged.get("cfg." + Configs[1].Name + ".perf.modular_builds");
+  }
+  EXPECT_GT(TotalBuilds, 0) << "no corpus program exercised a modular build";
 }
 
 TEST(Portfolio, UnknownNeverOutracesConclusive) {

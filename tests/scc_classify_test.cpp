@@ -1,0 +1,253 @@
+//===- tests/scc_classify_test.cpp - Accepting-SCC classification ---------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The decomposition step of modular complementation: hand-built automata
+/// with known per-SCC class labels, the disjointness/exhaustiveness
+/// invariant on random corpora, and stability of the labeling under state
+/// renumbering (the classes are properties of the transition structure, not
+/// of state ids).
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/SccClassify.h"
+
+#include "benchgen/RandomAutomata.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+using namespace termcheck;
+
+namespace {
+
+SccClass classOfState(const SccClassification &C, State S) {
+  EXPECT_GE(C.D.CompOf[S], 0) << "state " << S << " unreachable";
+  return C.ClassOf[static_cast<uint32_t>(C.D.CompOf[S])];
+}
+
+TEST(SccClassify, InertWeakSelfLoop) {
+  // A single accepting state, complete and closed: finite-trace shape.
+  Buchi A(2, 1);
+  State S = A.addState();
+  A.addInitial(S);
+  A.setAccepting(S);
+  A.addTransition(S, 0, S);
+  A.addTransition(S, 1, S);
+  SccClassification C = classifySccs(A);
+  EXPECT_EQ(classOfState(C, S), SccClass::InertWeak);
+  EXPECT_EQ(C.numAcceptingComponents(), 1u);
+}
+
+TEST(SccClassify, InertWeakToleratesInternalNondeterminism) {
+  // Closed + complete + all states accepting: inherent weakness does not
+  // care about determinism.
+  Buchi A(2, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  for (State S = 0; S < 2; ++S) {
+    A.setAccepting(S);
+    for (Symbol Sym = 0; Sym < 2; ++Sym) {
+      A.addTransition(S, Sym, 1 - S);
+      A.addTransition(S, Sym, S); // second successor: nondeterministic
+    }
+  }
+  SccClassification C = classifySccs(A);
+  EXPECT_EQ(classOfState(C, 0), SccClass::InertWeak);
+}
+
+TEST(SccClassify, IncompleteWeakSccIsNotInert) {
+  // Accepting self-loop on symbol 0 only: a run can die on symbol 1, so
+  // the trapped language is not Pref . Sigma^omega. Deterministic applies.
+  Buchi A(2, 1);
+  State S = A.addState();
+  A.addInitial(S);
+  A.setAccepting(S);
+  A.addTransition(S, 0, S);
+  SccClassification C = classifySccs(A);
+  EXPECT_EQ(classOfState(C, S), SccClass::Deterministic);
+}
+
+TEST(SccClassify, NonAcceptingCycleBreaksInertness) {
+  // Closed, complete, deterministic two-state component where only one
+  // state accepts and the other has a non-accepting self-loop.
+  Buchi A(2, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(0);
+  for (State S = 0; S < 2; ++S) {
+    A.addTransition(S, 0, 1 - S);
+    A.addTransition(S, 1, S); // self-loops; the one at state 1 never accepts
+  }
+  SccClassification C = classifySccs(A);
+  EXPECT_EQ(classOfState(C, 0), SccClass::Deterministic);
+}
+
+TEST(SccClassify, DeterministicNeedsDeterministicDownstream) {
+  // An internally deterministic accepting cycle escaping into a
+  // nondeterministic sink is Semideterministic, not Deterministic.
+  Buchi A(2, 1);
+  A.addStates(3); // 0 = accepting loop, 1/2 = nondeterministic tail
+  A.addInitial(0);
+  A.setAccepting(0);
+  A.addTransition(0, 0, 0);
+  A.addTransition(0, 1, 1);
+  A.addTransition(1, 0, 1);
+  A.addTransition(1, 0, 2); // the nondeterminism, strictly downstream
+  A.addTransition(2, 0, 2);
+  SccClassification C = classifySccs(A);
+  EXPECT_EQ(classOfState(C, 0), SccClass::Semideterministic);
+  EXPECT_EQ(classOfState(C, 1), SccClass::NonAccepting);
+  // Removing the nondeterministic arc promotes the SCC to Deterministic.
+  Buchi B(2, 1);
+  B.addStates(2);
+  B.addInitial(0);
+  B.setAccepting(0);
+  B.addTransition(0, 0, 0);
+  B.addTransition(0, 1, 1);
+  B.addTransition(1, 0, 1);
+  EXPECT_EQ(classOfState(classifySccs(B), 0), SccClass::Deterministic);
+}
+
+TEST(SccClassify, InternalNondeterminismIsGeneral) {
+  // Two in-SCC successors on one symbol: no cheaper class applies.
+  Buchi A(2, 1);
+  A.addStates(2);
+  A.addInitial(0);
+  A.setAccepting(0);
+  A.addTransition(0, 0, 0);
+  A.addTransition(0, 0, 1); // internal nondeterminism on symbol 0
+  A.addTransition(1, 0, 0);
+  A.addTransition(1, 1, 1); // non-accepting cycle: not inherently weak
+  SccClassification C = classifySccs(A);
+  EXPECT_EQ(classOfState(C, 0), SccClass::General);
+}
+
+TEST(SccClassify, TrivialAndNonAcceptingSccs) {
+  Buchi A(1, 1);
+  A.addStates(3); // 0 -> 1 -> 2, cycle at 2 without acceptance
+  A.addInitial(0);
+  A.setAccepting(1); // accepting but trivial: no internal arc
+  A.addTransition(0, 0, 1);
+  A.addTransition(1, 0, 2);
+  A.addTransition(2, 0, 2);
+  SccClassification C = classifySccs(A);
+  EXPECT_EQ(classOfState(C, 0), SccClass::NonAccepting);
+  EXPECT_EQ(classOfState(C, 1), SccClass::NonAccepting);
+  EXPECT_EQ(classOfState(C, 2), SccClass::NonAccepting);
+  EXPECT_EQ(C.numAcceptingComponents(), 0u);
+}
+
+TEST(SccClassify, ClassNamesAreStable) {
+  EXPECT_STREQ(sccClassName(SccClass::NonAccepting), "non_accepting");
+  EXPECT_STREQ(sccClassName(SccClass::InertWeak), "inert_weak");
+  EXPECT_STREQ(sccClassName(SccClass::Deterministic), "deterministic");
+  EXPECT_STREQ(sccClassName(SccClass::Semideterministic),
+               "semideterministic");
+  EXPECT_STREQ(sccClassName(SccClass::General), "general");
+}
+
+TEST(SccClassify, ClassMixedGeneratorHitsAllFourClasses) {
+  // The generator's contract: each enabled block contributes an SCC of its
+  // designed class, on every seed.
+  Rng R(7100);
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    ClassMixedSpec Spec;
+    Spec.PrefixStates = 1 + static_cast<uint32_t>(R.below(3));
+    Buchi A = randomClassMixedBa(R, Spec);
+    SccClassification C = classifySccs(A);
+    EXPECT_GE(C.componentsOf(SccClass::InertWeak).size(), 1u) << A.str();
+    EXPECT_GE(C.componentsOf(SccClass::Deterministic).size(), 1u) << A.str();
+    EXPECT_GE(C.componentsOf(SccClass::Semideterministic).size(), 1u)
+        << A.str();
+    EXPECT_GE(C.componentsOf(SccClass::General).size(), 1u) << A.str();
+  }
+}
+
+TEST(SccClassify, SingleBlockSpecsProduceTheirClass) {
+  Rng R(7200);
+  const struct {
+    uint32_t Det, Weak, Semi, Gen;
+    SccClass Expected;
+  } Cases[] = {{2, 0, 0, 0, SccClass::Deterministic},
+               {0, 2, 0, 0, SccClass::InertWeak},
+               {0, 0, 2, 0, SccClass::Semideterministic},
+               {0, 0, 0, 2, SccClass::General}};
+  for (const auto &TC : Cases)
+    for (int Iter = 0; Iter < 20; ++Iter) {
+      ClassMixedSpec Spec;
+      Spec.DetStates = TC.Det;
+      Spec.WeakStates = TC.Weak;
+      Spec.SemiStates = TC.Semi;
+      Spec.GeneralStates = TC.Gen;
+      Buchi A = randomClassMixedBa(R, Spec);
+      SccClassification C = classifySccs(A);
+      EXPECT_EQ(C.componentsOf(TC.Expected).size(), 1u)
+          << sccClassName(TC.Expected) << "\n" << A.str();
+      EXPECT_EQ(C.numAcceptingComponents(), 1u) << A.str();
+    }
+}
+
+TEST(SccClassify, DisjointAndExhaustiveOnRandomCorpus) {
+  // Every reachable component gets exactly one label; unreachable states
+  // get none; componentsOf partitions the component ids.
+  Rng R(7300);
+  for (int Iter = 0; Iter < 150; ++Iter) {
+    RandomAutomatonSpec Spec;
+    Spec.NumStates = 2 + static_cast<uint32_t>(R.below(8));
+    Spec.NumSymbols = 1 + static_cast<uint32_t>(R.below(3));
+    Buchi A = randomBa(R, Spec);
+    SccClassification C = classifySccs(A);
+    ASSERT_EQ(C.ClassOf.size(), C.D.NumComps);
+    size_t Sum = 0;
+    for (SccClass Cls :
+         {SccClass::NonAccepting, SccClass::InertWeak, SccClass::Deterministic,
+          SccClass::Semideterministic, SccClass::General})
+      Sum += C.componentsOf(Cls).size();
+    EXPECT_EQ(Sum, C.D.NumComps) << "labels do not partition\n" << A.str();
+  }
+}
+
+/// Renumbers A's states by \p Perm (new id of old state S is Perm[S]),
+/// preserving language and structure exactly.
+Buchi renumber(const Buchi &A, const std::vector<State> &Perm) {
+  Buchi B(A.numSymbols(), A.numConditions());
+  B.addStates(A.numStates());
+  for (State S = 0; S < A.numStates(); ++S) {
+    B.setAcceptMask(Perm[S], A.acceptMask(S));
+    for (const Buchi::Arc &Arc : A.arcsFrom(S))
+      B.addTransition(Perm[S], Arc.Sym, Perm[Arc.To]);
+  }
+  for (State I : A.initials().elems())
+    B.addInitial(Perm[I]);
+  return B;
+}
+
+TEST(SccClassify, StableUnderStateRenumbering) {
+  Rng R(7400);
+  for (int Iter = 0; Iter < 80; ++Iter) {
+    Buchi A = Iter % 2 == 0
+                  ? randomClassMixedBa(R, ClassMixedSpec{})
+                  : randomBa(R, RandomAutomatonSpec{});
+    // A seeded Fisher-Yates permutation of the state ids.
+    std::vector<State> Perm(A.numStates());
+    for (State S = 0; S < A.numStates(); ++S)
+      Perm[S] = S;
+    for (State S = A.numStates(); S > 1; --S)
+      std::swap(Perm[S - 1], Perm[R.below(S)]);
+    Buchi B = renumber(A, Perm);
+    SccClassification CA = classifySccs(A);
+    SccClassification CB = classifySccs(B);
+    EXPECT_EQ(CA.D.NumComps, CB.D.NumComps);
+    StateSet Reach = A.reachableStates();
+    for (State S : Reach.elems())
+      EXPECT_EQ(classOfState(CA, S), classOfState(CB, Perm[S]))
+          << "class of state " << S << " changed under renumbering\n"
+          << A.str();
+  }
+}
+
+} // namespace

@@ -73,4 +73,11 @@ expect_accept --max-states 100000
 expect_accept --jobs 1
 expect_accept --portfolio 2
 
+# --complement is enumerated, not numeric, but gets the same structured
+# rejection: a typo must be exit 4 naming the flag, never a silent default.
+expect_reject --complement bogus
+expect_reject --complement ""
+expect_accept --complement auto
+expect_accept --complement modular
+
 exit $FAIL

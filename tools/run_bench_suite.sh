@@ -41,7 +41,8 @@ done
 MICRO="$BUILD/bench/bench_micro_ncsb"
 FIG5="$BUILD/bench/bench_fig5_multistage"
 PORTFOLIO="$BUILD/bench/bench_portfolio"
-for BIN in "$MICRO" "$FIG5" "$PORTFOLIO"; do
+MODULAR="$BUILD/bench/bench_modular_complement"
+for BIN in "$MICRO" "$FIG5" "$PORTFOLIO" "$MODULAR"; do
   [ -x "$BIN" ] || { echo "run_bench_suite.sh: $BIN not built" >&2; exit 4; }
 done
 
@@ -58,6 +59,9 @@ done
 
 echo "== bench_fig5_multistage (median of $REPEAT) =="
 "$FIG5" --repeat "$REPEAT" --json "$TMP/fig5.json"
+
+echo "== bench_modular_complement (median of $REPEAT) =="
+"$MODULAR" --repeat "$REPEAT" --json "$TMP/modular.json"
 
 echo "== bench_portfolio (median of $REPEAT) =="
 "$PORTFOLIO" --repeat "$REPEAT" --json "$TMP/portfolio.json" benchmarks || {
@@ -138,8 +142,25 @@ if baseline_path:
 
 with open(os.path.join(tmp, "fig5.json")) as f:
     report["fig5_multistage"] = json.load(f)
+with open(os.path.join(tmp, "modular.json")) as f:
+    report["modular_complement"] = json.load(f)
 with open(os.path.join(tmp, "portfolio.json")) as f:
     report["portfolio"] = json.load(f)
+
+# The modular-complement wall joins the regression gate once a baseline
+# carries the section (older baselines predate the harness and skip it).
+if baseline_path and "modular_complement" in base_doc:
+    base_ns = base_doc["modular_complement"]["total_wall_ns"]
+    cur_ns = report["modular_complement"]["total_wall_ns"]
+    ratio = base_ns / cur_ns if cur_ns > 0 else float("inf")
+    report["vs_baseline"]["modular_complement"] = {
+        "baseline_ns": base_ns,
+        "current_ns": cur_ns,
+        "speedup": round(ratio, 4),
+    }
+    if ratio < 1.0 - max_regress:
+        failures.append(
+            f"modular_complement: {1/ratio:.3f}x slower than baseline")
 
 with open(out, "w") as f:
     json.dump(report, f, indent=2)

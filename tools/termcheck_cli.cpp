@@ -12,8 +12,9 @@
 ///     --single-stage      generalize every lasso straight to M_nondet
 ///     --sequence <i|ii|iii>  stage sequence of Section 7 (default i)
 ///     --ncsb <lazy|original> SDBA complementation variant (default lazy)
+///     --complement <auto|modular> module complementation strategy
 ///     --no-subsumption    disable the Section 6 antichain
-///     --portfolio <K>     race the first K default configurations (1..14)
+///     --portfolio <K>     race the first K default configurations (1..16)
 ///     --jobs <N>          portfolio worker threads (default: all cores;
 ///                         1 = deterministic sequential fallback)
 ///     --no-nonterm        disable the nontermination prover
@@ -77,9 +78,13 @@ void usage(const char *Prog) {
       "  --single-stage          generalize straight to M_nondet\n"
       "  --sequence <i|ii|iii>   multi-stage sequence (default i)\n"
       "  --ncsb <lazy|original>  SDBA complementation variant\n"
+      "  --complement <auto|modular>\n"
+      "                          module complementation strategy: 'modular'\n"
+      "                          decomposes modules by accepting SCC and\n"
+      "                          intersects per-class partial complements\n"
       "  --no-subsumption        disable the antichain optimization\n"
       "  --portfolio <K>         race the first K default configurations\n"
-      "                          (1..14) and report the first conclusive\n"
+      "                          (1..16) and report the first conclusive\n"
       "                          verdict; per-config statistics are merged\n"
       "  --jobs <N>              portfolio worker threads (default: all\n"
       "                          cores; 1 = deterministic sequential mode)\n"
@@ -180,6 +185,14 @@ int runMain(int Argc, char **Argv) {
         std::fprintf(stderr, "error: unknown NCSB variant '%s'\n", V);
         return 4;
       }
+    } else if (std::strcmp(Arg, "--complement") == 0) {
+      const char *V = NeedsValue("--complement");
+      if (std::strcmp(V, "auto") == 0)
+        Opts.Complement = ComplementStrategy::Auto;
+      else if (std::strcmp(V, "modular") == 0)
+        Opts.Complement = ComplementStrategy::Modular;
+      else
+        badValue("--complement", V, "'auto' or 'modular'");
     } else if (std::strcmp(Arg, "--no-subsumption") == 0) {
       Opts.UseSubsumption = false;
     } else if (std::strcmp(Arg, "--no-nonterm") == 0) {
