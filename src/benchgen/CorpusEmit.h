@@ -1,0 +1,46 @@
+//===- benchgen/CorpusEmit.h - On-disk batch corpora ----------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch-corpus emission for the `termcheckd` pipeline: K seeded WHILE
+/// programs with EXACT verdict oracles, written to a directory next to an
+/// EXPECTATIONS.txt in the `<name> <VERDICT>` format the whole toolchain
+/// keys on (tools/check_expectations.sh, termcheck-batch, the server e2e
+/// test).
+///
+/// Unlike randomPrograms -- whose oracle is only "terminating" and whose
+/// on-disk name differs from the parsed program name -- every batch
+/// program here is an instance of a template family with a proven oracle,
+/// randomized only in constants that cannot flip the verdict, and its
+/// parsed `program <name>` IS its corpus name, so per-file CLI runs,
+/// batch-server runs, and the expectations file all agree on the key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_BENCHGEN_CORPUSEMIT_H
+#define TERMCHECK_BENCHGEN_CORPUSEMIT_H
+
+#include "benchgen/ProgramFamilies.h"
+
+namespace termcheck {
+
+/// \returns \p Count seeded template-instance programs, a deterministic
+/// mix of terminating (countdowns, nests, branching loops, phase chains,
+/// stem-invariant loops) and nonterminating (count-ups, closed drifts,
+/// while-true) instances. Expect is never Expected::Hard: every oracle is
+/// exact and the analyzer is expected to prove it.
+std::vector<BenchProgram> batchPrograms(Rng &R, size_t Count);
+
+/// Writes one `<P.Name>.while` file per program plus EXPECTATIONS.txt
+/// into \p Dir (created if missing). \returns false with \p Error set on
+/// any I/O failure.
+bool writeBatchCorpus(const std::string &Dir,
+                      const std::vector<BenchProgram> &Programs,
+                      std::string *Error = nullptr);
+
+} // namespace termcheck
+
+#endif // TERMCHECK_BENCHGEN_CORPUSEMIT_H

@@ -6,6 +6,8 @@
 
 #include "support/Json.h"
 
+#include "support/Error.h"
+
 #include <cassert>
 #include <cctype>
 #include <cmath>
@@ -185,9 +187,19 @@ namespace {
 
 class Parser {
 public:
-  Parser(std::string_view S, std::string *Error) : S(S), Error(Error) {}
+  Parser(std::string_view S, const ParseLimits &Limits, std::string *Error)
+      : S(S), Limits(Limits), Error(Error) {
+    if (this->Limits.MaxDepth == 0)
+      this->Limits.MaxDepth = ParseLimits().MaxDepth;
+  }
 
   bool run(Value &Out) {
+    if (Limits.MaxBytes != 0 && S.size() > Limits.MaxBytes) {
+      LimitBreached = true;
+      return fail("input of " + std::to_string(S.size()) +
+                  " bytes exceeds the " + std::to_string(Limits.MaxBytes) +
+                  "-byte limit");
+    }
     skipWs();
     if (!parseValue(Out))
       return false;
@@ -197,15 +209,42 @@ public:
     return true;
   }
 
+  /// True when run() failed because a ParseLimits cap was breached rather
+  /// than because the text was malformed.
+  bool limitBreached() const { return LimitBreached; }
+
 private:
   std::string_view S;
+  ParseLimits Limits;
   std::string *Error;
   size_t Pos = 0;
+  size_t Depth = 0;
+  bool LimitBreached = false;
 
   bool fail(const std::string &Msg) {
     if (Error)
       *Error = "at offset " + std::to_string(Pos) + ": " + Msg;
     return false;
+  }
+
+  /// RAII nesting meter: parseObject/parseArray enter one level each, so
+  /// the cap bounds the recursion depth of parseValue.
+  class DepthScope {
+  public:
+    explicit DepthScope(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthScope() { --P.Depth; }
+
+  private:
+    Parser &P;
+  };
+
+  bool enterContainer() {
+    if (Depth >= Limits.MaxDepth) {
+      LimitBreached = true;
+      return fail("nesting deeper than the " +
+                  std::to_string(Limits.MaxDepth) + "-level limit");
+    }
+    return true;
   }
 
   void skipWs() {
@@ -256,6 +295,9 @@ private:
   }
 
   bool parseObject(Value &Out) {
+    if (!enterContainer())
+      return false;
+    DepthScope Scope(*this);
     Out.K = Value::Kind::Object;
     ++Pos; // '{'
     skipWs();
@@ -295,6 +337,9 @@ private:
   }
 
   bool parseArray(Value &Out) {
+    if (!enterContainer())
+      return false;
+    DepthScope Scope(*this);
     Out.K = Value::Kind::Array;
     ++Pos; // '['
     skipWs();
@@ -431,6 +476,23 @@ private:
 } // namespace
 
 bool termcheck::json::parse(std::string_view S, Value &Out,
+                            const ParseLimits &Limits, std::string *Error) {
+  return Parser(S, Limits, Error).run(Out);
+}
+
+bool termcheck::json::parse(std::string_view S, Value &Out,
                             std::string *Error) {
-  return Parser(S, Error).run(Out);
+  return parse(S, Out, ParseLimits(), Error);
+}
+
+json::Value termcheck::json::parseOrThrow(std::string_view S,
+                                          const ParseLimits &Limits) {
+  Value Out;
+  std::string Error;
+  Parser P(S, Limits, &Error);
+  if (!P.run(Out))
+    throw EngineError(P.limitBreached() ? ErrorKind::ResourceExhausted
+                                        : ErrorKind::ParseFailure,
+                      "json: " + Error);
+  return Out;
 }

@@ -20,6 +20,14 @@
 ///    enough to validate emitted reports in tests and tools (numbers are
 ///    held as doubles; the reports only carry values far below 2^53).
 ///
+/// The parser also fronts the `termcheckd` network protocol, so it is
+/// hardened for untrusted input: every parse runs under ParseLimits (a
+/// recursion-depth cap bounding stack growth and an input-size cap
+/// bounding allocation), and `parseOrThrow` maps violations onto the
+/// structured EngineError taxonomy (ParseFailure for malformed text,
+/// ResourceExhausted for a breached limit) instead of a stack overflow or
+/// an unbounded std::bad_alloc.
+///
 /// Neither side aims at full generality (no streaming parse, no \uXXXX
 /// synthesis beyond control characters); both aim at being obviously
 /// correct for the report schema.
@@ -131,10 +139,33 @@ struct Value {
   }
 };
 
-/// Parses one JSON document. \returns false on malformed input (with a
-/// position-bearing message in \p Error when provided); trailing garbage
-/// after the top-level value is an error.
+/// Caps protecting the parser against untrusted input. Both caps are
+/// always enforced; the defaults are far above anything the report and
+/// protocol schemas produce while still bounding stack and heap growth.
+struct ParseLimits {
+  /// Maximum container nesting (objects + arrays). Each level costs one
+  /// recursive parseValue frame, so this bounds stack use. 0 = default.
+  size_t MaxDepth = 256;
+  /// Maximum input size in bytes; 0 = unlimited. An oversized document is
+  /// rejected before any of it is parsed or copied.
+  size_t MaxBytes = 0;
+};
+
+/// Parses one JSON document under \p Limits. \returns false on malformed
+/// input or a breached limit (with a position-bearing message in \p Error
+/// when provided); trailing garbage after the top-level value is an error.
+bool parse(std::string_view S, Value &Out, const ParseLimits &Limits,
+           std::string *Error = nullptr);
+
+/// Parses with the default limits (depth 256, unbounded size).
 bool parse(std::string_view S, Value &Out, std::string *Error = nullptr);
+
+/// Parses one untrusted JSON document, mapping failures onto the engine
+/// error taxonomy: a breached ParseLimits cap throws
+/// EngineError(ResourceExhausted), malformed text throws
+/// EngineError(ParseFailure). The termcheckd protocol front end uses this
+/// so a hostile payload surfaces as a structured, containable fault.
+Value parseOrThrow(std::string_view S, const ParseLimits &Limits = {});
 
 } // namespace json
 } // namespace termcheck

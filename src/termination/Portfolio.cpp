@@ -12,6 +12,7 @@
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <condition_variable>
 #include <mutex>
 #include <optional>
 
@@ -195,6 +196,10 @@ termcheck::runPortfolio(const Program &P,
     bool HaveFallback = false;
     bool FallbackIsUnknown = false;
     for (size_t I = 0; I < Configs.size(); ++I) {
+      // An externally cancelled run stops starting entrants, mirroring the
+      // parallel race (queued entrants never start after cancel()).
+      if (Opts.Cancel && Opts.Cancel->cancelled())
+        break;
       EntrantTimeline &TL = Out.Entrants[I];
       TL.Started = true;
       TL.SpawnSeconds = Watch.seconds();
@@ -204,7 +209,7 @@ termcheck::runPortfolio(const Program &P,
                          .with("index", static_cast<int64_t>(I)));
       Program Local = P;
       TerminationAnalyzer A(
-          Local, effectiveOptions(Configs[I], Opts, nullptr, Guard));
+          Local, effectiveOptions(Configs[I], Opts, Opts.Cancel, Guard));
       ErrorOr<AnalysisResult> R = errorOrOf([&A] { return A.run(); });
       TL.FinishSeconds = Watch.seconds();
       if (!R.ok()) {
@@ -242,8 +247,13 @@ termcheck::runPortfolio(const Program &P,
       }
     }
     if (!HaveFallback) {
-      Out.Result.V = Verdict::Unknown;
-      Out.WinnerName = "<all entrants faulted>";
+      if (Opts.Cancel && Opts.Cancel->cancelled()) {
+        Out.Result.V = Verdict::Cancelled;
+        Out.WinnerName = "<cancelled before any entrant ran>";
+      } else {
+        Out.Result.V = Verdict::Unknown;
+        Out.WinnerName = "<all entrants faulted>";
+      }
     }
     if (Out.WinnerIndex != None)
       Out.Merged.add("portfolio.winner_index",
@@ -252,115 +262,218 @@ termcheck::runPortfolio(const Program &P,
     return Out;
   }
 
-  // The race. One shared token tears down the losers; each worker owns a
-  // private Program copy (the lasso prover interns fresh variables, so a
-  // shared instance would be a data race) and a private Statistics bag.
-  // All cross-thread state below is only touched under M; results are
-  // merged after waitIdle(), when every worker is quiescent.
-  CancellationToken Token;
-  std::mutex M;
-  std::vector<std::optional<AnalysisResult>> Slots(Configs.size());
-  std::vector<std::optional<EngineError>> Faults(Configs.size());
-  size_t Winner = None;
-  size_t WorkerEscapes = 0;
-
+  // The race, delegated to the shared event-driven core on a private pool
+  // (the CLI owns the whole process, so a per-race pool is fine there; the
+  // server reuses PortfolioRace directly on its shared pool instead). The
+  // per-race bookkeeping Out accumulated so far is rebuilt by the race's
+  // finalizer, so hand over a fresh result.
+  PortfolioRace Race(P, Configs, Opts);
+  std::mutex DoneM;
+  std::condition_variable DoneCv;
+  bool DoneFlag = false;
+  PortfolioRunResult Result;
   {
     ThreadPool Pool(std::min(Jobs, Configs.size()));
+    Race.start(Pool, [&](PortfolioRunResult R) {
+      {
+        std::lock_guard<std::mutex> Lock(DoneM);
+        Result = std::move(R);
+        DoneFlag = true;
+      }
+      DoneCv.notify_all();
+    });
+    std::unique_lock<std::mutex> Lock(DoneM);
+    DoneCv.wait(Lock, [&] { return DoneFlag; });
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// PortfolioRace
+//===----------------------------------------------------------------------===//
+
+struct PortfolioRace::State {
+  Program Prog; // master copy; every entrant copies from it
+  std::vector<PortfolioConfig> Configs;
+  PortfolioOptions Opts;
+  Timer Watch;
+  CancellationToken Token;
+  std::optional<ResourceGuard> GuardStorage;
+  ResourceGuard *Guard = nullptr;
+
+  std::mutex M;
+  std::vector<std::optional<AnalysisResult>> Slots;
+  std::vector<std::optional<EngineError>> Faults;
+  std::vector<EntrantTimeline> Entrants;
+  size_t Winner;
+  size_t ForeignEscapes = 0;
+  size_t Remaining;
+  std::function<void(PortfolioRunResult)> Done;
+
+  explicit State(const Program &P, std::vector<PortfolioConfig> Cs,
+                 const PortfolioOptions &O)
+      : Prog(P), Configs(std::move(Cs)), Opts(O),
+        Slots(Configs.size()), Faults(Configs.size()),
+        Entrants(Configs.size()), Winner(Configs.size()),
+        Remaining(Configs.size()) {
+    for (size_t I = 0; I < Configs.size(); ++I)
+      Entrants[I].Name = Configs[I].Name;
+    if (O.GuardLimits.MaxStates != 0 || O.GuardLimits.MaxApproxBytes != 0 ||
+        O.GuardLimits.StageSoftDeadlineSeconds > 0) {
+      GuardStorage.emplace(O.GuardLimits);
+      Guard = &*GuardStorage;
+    }
+  }
+
+  /// Merges the quiescent per-entrant slots into the final result. Called
+  /// exactly once, by whichever worker decrements Remaining to zero; at
+  /// that point no other thread touches the race, so no lock is needed.
+  PortfolioRunResult finalize() {
+    const size_t None = Configs.size();
+    PortfolioRunResult Out;
+    Out.Merged.add("portfolio.configs", static_cast<int64_t>(Configs.size()));
+    Out.Entrants = std::move(Entrants);
     for (size_t I = 0; I < Configs.size(); ++I) {
-      Pool.submit([&, I] {
-        // A queued entrant whose race is already decided never starts.
-        if (Token.cancelled())
-          return;
-        // Timeline slots are per-entrant and only read after waitIdle(),
-        // so writing them outside M is race-free.
-        EntrantTimeline &TL = Out.Entrants[I];
+      if (Slots[I])
+        recordRun(Out.Merged, Configs[I], *Slots[I]);
+      if (Faults[I]) {
+        ++Out.FaultedEntrants;
+        recordFault(Out.Merged, Configs[I], *Faults[I]);
+      }
+    }
+    if (ForeignEscapes != 0)
+      Out.Merged.add("portfolio.worker_escapes",
+                     static_cast<int64_t>(ForeignEscapes));
+
+    Out.WinnerIndex = Winner;
+    if (Winner != None) {
+      Out.Result = std::move(*Slots[Winner]);
+      Out.WinnerName = Configs[Winner].Name;
+      Out.Merged.add("portfolio.winner_index", static_cast<int64_t>(Winner));
+    } else {
+      // Nobody was conclusive; prefer the first Unknown result (it carries
+      // a counterexample lasso), then the first finished one, and only when
+      // every entrant faulted or was cancelled unstarted, a bare Unknown.
+      size_t Pick = None;
+      for (size_t I = 0; I < Slots.size(); ++I)
+        if (Slots[I] && Slots[I]->V == Verdict::Unknown) {
+          Pick = I;
+          break;
+        }
+      if (Pick == None)
+        for (size_t I = 0; I < Slots.size(); ++I)
+          if (Slots[I]) {
+            Pick = I;
+            break;
+          }
+      if (Pick != None) {
+        Out.Result = std::move(*Slots[Pick]);
+      } else {
+        Out.Result.V = Verdict::Unknown;
+        Out.WinnerName = "<all entrants faulted>";
+      }
+    }
+    Out.Seconds = Watch.seconds();
+    return Out;
+  }
+};
+
+PortfolioRace::PortfolioRace(const Program &P,
+                             std::vector<PortfolioConfig> Configs,
+                             const PortfolioOptions &Opts)
+    : St(std::make_shared<State>(P, std::move(Configs), Opts)) {}
+
+void PortfolioRace::cancel() { St->Token.cancel(); }
+
+void PortfolioRace::start(ThreadPool &Pool,
+                          std::function<void(PortfolioRunResult)> Done) {
+  if (St->Configs.empty()) {
+    PortfolioRunResult Out;
+    Out.Result.V = Verdict::Unknown;
+    Out.WinnerName = "<empty portfolio>";
+    Done(std::move(Out));
+    return;
+  }
+  St->Done = std::move(Done);
+  const size_t None = St->Configs.size();
+  for (size_t I = 0; I < St->Configs.size(); ++I) {
+    // Each task keeps the state alive; the handle may be dropped as soon
+    // as start() returns.
+    std::shared_ptr<State> S = St;
+    Pool.submit([S, I, None] {
+      Trace *Tracer = S->Opts.Tracer;
+      // A queued entrant whose race is already decided (or whose job was
+      // cancelled by a deadline or a draining server) never starts.
+      if (!S->Token.cancelled()) {
+        // Timeline slots are per-entrant: only this task writes slot I,
+        // and the finalizer runs strictly after the last decrement, so
+        // writing outside M is race-free.
+        EntrantTimeline &TL = S->Entrants[I];
         TL.Started = true;
-        TL.SpawnSeconds = Watch.seconds();
+        TL.SpawnSeconds = S->Watch.seconds();
         if (Tracer)
           Tracer->emit(TraceEvent(TraceEventKind::EntrantSpawn)
-                           .with("entrant", Configs[I].Name)
+                           .with("entrant", S->Configs[I].Name)
                            .with("index", static_cast<int64_t>(I)));
-        Program Local = P;
-        TerminationAnalyzer A(
-            Local, effectiveOptions(Configs[I], Opts, &Token, Guard));
         // Quarantine boundary: a worker that throws retires its entrant
         // but must not take the race (or the pool thread) down with it.
-        ErrorOr<AnalysisResult> R = errorOrOf([&A] { return A.run(); });
-        TL.FinishSeconds = Watch.seconds();
-        std::lock_guard<std::mutex> Lock(M);
+        // errorOrOf folds everything derived from std::exception; a truly
+        // foreign throw (throw 42;) is caught below so the race still
+        // completes -- on a shared server pool nobody drains the pool's
+        // failure channel per race.
+        ErrorOr<AnalysisResult> R = [&]() -> ErrorOr<AnalysisResult> {
+          try {
+            Program Local = S->Prog;
+            TerminationAnalyzer A(
+                Local, effectiveOptions(S->Configs[I], S->Opts, &S->Token,
+                                        S->Guard));
+            return errorOrOf([&A] { return A.run(); });
+          } catch (...) {
+            std::lock_guard<std::mutex> Lock(S->M);
+            ++S->ForeignEscapes;
+            return ErrorOr<AnalysisResult>(EngineError(
+                ErrorKind::InternalInvariant,
+                "non-standard exception escaped a portfolio worker"));
+          }
+        }();
+        TL.FinishSeconds = S->Watch.seconds();
+        std::lock_guard<std::mutex> Lock(S->M);
         if (!R.ok()) {
-          Faults[I] = R.error();
+          S->Faults[I] = R.error();
           TL.Faulted = true;
           TL.FaultKind = errorKindName(R.error().kind());
           if (Tracer)
             Tracer->emit(TraceEvent(TraceEventKind::EntrantFault)
-                             .with("entrant", Configs[I].Name)
+                             .with("entrant", S->Configs[I].Name)
                              .with("kind", TL.FaultKind));
-          return;
-        }
-        TL.V = R.value().V;
-        if (Tracer)
-          Tracer->emit(TraceEvent(TraceEventKind::EntrantResult)
-                           .with("entrant", Configs[I].Name)
-                           .with("verdict", verdictName(R.value().V)));
-        if (isConclusive(R.value().V) && Winner == None) {
-          Winner = I;
-          TL.Won = true;
-          Token.cancel();
+        } else {
+          TL.V = R.value().V;
           if (Tracer)
-            Tracer->emit(TraceEvent(TraceEventKind::RaceDecided)
-                             .with("winner", Configs[I].Name));
+            Tracer->emit(TraceEvent(TraceEventKind::EntrantResult)
+                             .with("entrant", S->Configs[I].Name)
+                             .with("verdict", verdictName(R.value().V)));
+          if (isConclusive(R.value().V) && S->Winner == None) {
+            S->Winner = I;
+            TL.Won = true;
+            S->Token.cancel();
+            if (Tracer)
+              Tracer->emit(TraceEvent(TraceEventKind::RaceDecided)
+                               .with("winner", S->Configs[I].Name));
+          }
+          S->Slots[I] = std::move(R.value());
         }
-        Slots[I] = std::move(R.value());
-      });
-    }
-    Pool.waitIdle();
-    // errorOrOf folds everything derived from std::exception; only truly
-    // foreign throws (throw 42;) land in the pool's failure channel. Keep
-    // the count visible -- an escape here is a bug worth noticing.
-    WorkerEscapes = Pool.takeErrors().size();
-  }
-
-  for (size_t I = 0; I < Configs.size(); ++I) {
-    if (Slots[I])
-      recordRun(Out.Merged, Configs[I], *Slots[I]);
-    if (Faults[I]) {
-      ++Out.FaultedEntrants;
-      recordFault(Out.Merged, Configs[I], *Faults[I]);
-    }
-  }
-  if (WorkerEscapes != 0)
-    Out.Merged.add("portfolio.worker_escapes",
-                   static_cast<int64_t>(WorkerEscapes));
-
-  Out.WinnerIndex = Winner;
-  if (Winner != None) {
-    Out.Result = std::move(*Slots[Winner]);
-    Out.WinnerName = Configs[Winner].Name;
-    Out.Merged.add("portfolio.winner_index", static_cast<int64_t>(Winner));
-  } else {
-    // Nobody was conclusive; prefer the first Unknown result (it carries
-    // a counterexample lasso), then the first finished one, and only when
-    // every entrant faulted or was cancelled unstarted, a bare Unknown.
-    size_t Pick = None;
-    for (size_t I = 0; I < Slots.size(); ++I)
-      if (Slots[I] && Slots[I]->V == Verdict::Unknown) {
-        Pick = I;
-        break;
       }
-    if (Pick == None)
-      for (size_t I = 0; I < Slots.size(); ++I)
-        if (Slots[I]) {
-          Pick = I;
-          break;
-        }
-    if (Pick != None) {
-      Out.Result = std::move(*Slots[Pick]);
-    } else {
-      Out.Result.V = Verdict::Unknown;
-      Out.WinnerName = "<all entrants faulted>";
-    }
+      // Completion mark: the last entrant (started or skipped) finalizes
+      // and fires the callback outside the lock.
+      bool Last;
+      {
+        std::lock_guard<std::mutex> Lock(S->M);
+        Last = --S->Remaining == 0;
+      }
+      if (Last) {
+        std::function<void(PortfolioRunResult)> Done = std::move(S->Done);
+        Done(S->finalize());
+      }
+    });
   }
-  Out.Seconds = Watch.seconds();
-  return Out;
 }

@@ -32,6 +32,9 @@
 
 #include "termination/Analyzer.h"
 
+#include <functional>
+#include <memory>
+
 namespace termcheck {
 
 /// One named entrant of a portfolio race.
@@ -74,6 +77,13 @@ struct PortfolioOptions {
   /// portfolio's own timeline events (entrant spawn/result/fault, race
   /// decided).
   Trace *Tracer = nullptr;
+  /// Optional external cancellation (non-owning). The Jobs == 1 sequential
+  /// fallback threads it into every entrant, so a deadline monitor or a
+  /// draining server can tear down a deterministic run mid-entrant
+  /// (parallel races are cancelled through PortfolioRace::cancel()
+  /// instead). Cancellation does not perturb determinism: two uncancelled
+  /// runs still dump byte-identical statistics.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// The per-entrant timeline of one race: when the entrant started, when
@@ -132,6 +142,51 @@ struct PortfolioRunResult {
 PortfolioRunResult runPortfolio(const Program &P,
                                 const std::vector<PortfolioConfig> &Configs,
                                 const PortfolioOptions &Opts = {});
+
+class ThreadPool;
+
+/// An event-driven portfolio race over an externally owned thread pool.
+///
+/// `runPortfolio` blocks its caller until the race is over, which is right
+/// for the CLI but wrong for a server multiplexing many programs over one
+/// shared pool: a job must not pin a pool worker just to wait for its own
+/// entrants. PortfolioRace is the non-blocking core both sit on -- start()
+/// submits one pool task per entrant and returns immediately; the
+/// completion callback fires exactly once, on whichever worker finishes
+/// last, after every entrant has finished, faulted, or been skipped by
+/// cancellation. `runPortfolio` (Jobs > 1) wraps it with a private pool
+/// and a condition-variable wait; `termcheckd`'s scheduler starts many
+/// races on one shared pool and finalizes each job in its callback
+/// (two-tier scheduling, DESIGN.md section 14).
+///
+/// Race state is shared-ownership: the entrant tasks and the callback keep
+/// it alive, so the PortfolioRace handle itself may be dropped as soon as
+/// start() returns. cancel() (a deadline monitor, a draining server)
+/// trips the same sticky token the winner uses to tear down losers, so an
+/// externally cancelled race still completes through the callback with
+/// every entrant accounted for.
+class PortfolioRace {
+public:
+  /// Copies \p P once; each entrant copies again from that master copy
+  /// (the lasso prover interns variables into the program's VarTable, so
+  /// entrants must never share an instance).
+  PortfolioRace(const Program &P, std::vector<PortfolioConfig> Configs,
+                const PortfolioOptions &Opts);
+
+  /// Submits every entrant to \p Pool and returns. \p Done runs exactly
+  /// once, on a pool worker (or synchronously here when the roster is
+  /// empty). start() may be called at most once per race.
+  void start(ThreadPool &Pool, std::function<void(PortfolioRunResult)> Done);
+
+  /// Externally cancels the race: queued entrants never start, running
+  /// ones notice at their next budget poll and finish with CANCELLED. The
+  /// completion callback still fires after the last one drains.
+  void cancel();
+
+private:
+  struct State;
+  std::shared_ptr<State> St;
+};
 
 } // namespace termcheck
 

@@ -1,0 +1,131 @@
+//===- tests/corpus_emit_test.cpp - Batch-corpus oracle gate --------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The batch-corpus emitter gate: every generated program parses, its
+/// parsed `program <name>` equals its corpus name (the key the whole
+/// verdict-comparison toolchain joins on), generation is seed-
+/// deterministic, the on-disk layout matches EXPECTATIONS.txt, and -- the
+/// oracle gate -- the analyzer proves every sampled expectation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/CorpusEmit.h"
+#include "program/Parser.h"
+#include "termination/Analyzer.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace termcheck;
+
+namespace {
+
+TEST(CorpusEmit, ProgramsParseAndNamesMatch) {
+  Rng R(7);
+  std::vector<BenchProgram> Ps = batchPrograms(R, 60);
+  ASSERT_EQ(Ps.size(), 60u);
+  std::set<std::string> Names;
+  for (const BenchProgram &P : Ps) {
+    ParseResult PR = parseProgram(P.Source);
+    ASSERT_TRUE(PR.ok()) << P.Name << ": " << PR.Error;
+    // The join key of the whole pipeline: parsed name == corpus name.
+    EXPECT_EQ(PR.Prog->name(), P.Name);
+    EXPECT_TRUE(Names.insert(P.Name).second) << "duplicate " << P.Name;
+    EXPECT_NE(P.Expect, Expected::Hard) << P.Name;
+  }
+}
+
+TEST(CorpusEmit, SeedDeterminism) {
+  Rng A(42), B(42), C(43);
+  std::vector<BenchProgram> P1 = batchPrograms(A, 30);
+  std::vector<BenchProgram> P2 = batchPrograms(B, 30);
+  std::vector<BenchProgram> P3 = batchPrograms(C, 30);
+  ASSERT_EQ(P1.size(), P2.size());
+  bool AnyDiff = false;
+  for (size_t I = 0; I < P1.size(); ++I) {
+    EXPECT_EQ(P1[I].Name, P2[I].Name);
+    EXPECT_EQ(P1[I].Source, P2[I].Source);
+    if (I < P3.size() && P1[I].Source != P3[I].Source)
+      AnyDiff = true;
+  }
+  EXPECT_TRUE(AnyDiff) << "seed 43 produced the seed-42 corpus";
+}
+
+TEST(CorpusEmit, MixContainsBothVerdicts) {
+  Rng R(1);
+  std::vector<BenchProgram> Ps = batchPrograms(R, 100);
+  size_t Term = 0, Nonterm = 0;
+  for (const BenchProgram &P : Ps)
+    (P.Expect == Expected::Terminating ? Term : Nonterm) += 1;
+  // Roughly 2:1, never degenerate.
+  EXPECT_GE(Term, 40u);
+  EXPECT_GE(Nonterm, 15u);
+}
+
+TEST(CorpusEmit, AnalyzerProvesSampledOracles) {
+  Rng R(11);
+  std::vector<BenchProgram> Ps = batchPrograms(R, 16);
+  for (const BenchProgram &P : Ps) {
+    ParseResult PR = parseProgram(P.Source);
+    ASSERT_TRUE(PR.ok()) << P.Name;
+    AnalyzerOptions O;
+    O.TimeoutSeconds = 30;
+    TerminationAnalyzer A(*PR.Prog, O);
+    AnalysisResult Res = A.run();
+    Verdict Want = P.Expect == Expected::Terminating
+                       ? Verdict::Terminating
+                       : Verdict::Nonterminating;
+    EXPECT_EQ(Res.V, Want) << P.Name << "\n" << P.Source;
+  }
+}
+
+TEST(CorpusEmit, WriteBatchCorpusLayout) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "tc_corpus_emit_test";
+  fs::remove_all(Dir);
+
+  Rng R(5);
+  std::vector<BenchProgram> Ps = batchPrograms(R, 12);
+  std::string Error;
+  ASSERT_TRUE(writeBatchCorpus(Dir.string(), Ps, &Error)) << Error;
+
+  // One .while per program, content identical to the source.
+  for (const BenchProgram &P : Ps) {
+    fs::path File = Dir / (P.Name + ".while");
+    ASSERT_TRUE(fs::exists(File)) << File;
+    std::ifstream In(File);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    EXPECT_EQ(Buf.str(), P.Source);
+  }
+
+  // EXPECTATIONS.txt: one "<name> <VERDICT>" line per program.
+  std::ifstream Exp(Dir / "EXPECTATIONS.txt");
+  ASSERT_TRUE(Exp.good());
+  std::map<std::string, std::string> Want;
+  std::string Line;
+  while (std::getline(Exp, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Name, Verdict;
+    ASSERT_TRUE(LS >> Name >> Verdict) << Line;
+    Want[Name] = Verdict;
+  }
+  ASSERT_EQ(Want.size(), Ps.size());
+  for (const BenchProgram &P : Ps)
+    EXPECT_EQ(Want[P.Name], P.Expect == Expected::Nonterminating
+                                ? "NONTERMINATING"
+                                : "TERMINATING");
+  fs::remove_all(Dir);
+}
+
+} // namespace

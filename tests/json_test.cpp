@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Error.h"
 #include "support/Json.h"
 #include "support/Trace.h"
 
@@ -120,6 +121,85 @@ TEST(JsonParser, DecodesUnicodeEscapes) {
   json::Value V;
   ASSERT_TRUE(json::parse("\"a\\u0041\\u00e9\\n\"", V));
   EXPECT_EQ(V.Str, "aA\xc3\xa9\n");
+}
+
+namespace {
+
+std::string nestedArrays(size_t Depth) {
+  return std::string(Depth, '[') + std::string(Depth, ']');
+}
+
+} // namespace
+
+TEST(JsonLimits, DeepNestingIsRejectedNotOverflowed) {
+  // 200k levels of nesting would overflow the stack one recursive
+  // parseValue frame at a time; the depth cap must reject it with a
+  // diagnostic instead. Arrays and objects count levels alike.
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse(nestedArrays(200000), V, &Err));
+  EXPECT_NE(Err.find("nesting deeper"), std::string::npos);
+
+  std::string DeepObj;
+  for (int I = 0; I < 200000; ++I)
+    DeepObj += "{\"k\":";
+  DeepObj += "null";
+  DeepObj.append(200000, '}');
+  EXPECT_FALSE(json::parse(DeepObj, V, &Err));
+  EXPECT_NE(Err.find("nesting deeper"), std::string::npos);
+}
+
+TEST(JsonLimits, DepthLimitIsExact) {
+  json::Value V;
+  json::ParseLimits L;
+  L.MaxDepth = 8;
+  EXPECT_TRUE(json::parse(nestedArrays(8), V, L));
+  EXPECT_FALSE(json::parse(nestedArrays(9), V, L));
+  // The default-parse overload admits documents the reports produce.
+  EXPECT_TRUE(json::parse(nestedArrays(64), V));
+}
+
+TEST(JsonLimits, OversizedInputIsRejectedUpFront) {
+  json::Value V;
+  json::ParseLimits L;
+  L.MaxBytes = 16;
+  std::string Err;
+  EXPECT_FALSE(
+      json::parse("\"0123456789abcdef-way-past-the-cap\"", V, L, &Err));
+  EXPECT_NE(Err.find("byte limit"), std::string::npos);
+  EXPECT_TRUE(json::parse("\"0123456789\"", V, L, &Err));
+}
+
+TEST(JsonLimits, ParseOrThrowMapsOntoEngineErrors) {
+  // Limit breaches are resource exhaustion; malformed or truncated text is
+  // a parse failure. Both are containable EngineErrors, never a crash.
+  json::ParseLimits Tight;
+  Tight.MaxDepth = 4;
+  Tight.MaxBytes = 64;
+  try {
+    json::parseOrThrow(nestedArrays(5), Tight);
+    FAIL() << "depth breach not thrown";
+  } catch (const EngineError &E) {
+    EXPECT_EQ(E.kind(), ErrorKind::ResourceExhausted);
+  }
+  try {
+    json::parseOrThrow(std::string(100, 'x'), Tight);
+    FAIL() << "size breach not thrown";
+  } catch (const EngineError &E) {
+    EXPECT_EQ(E.kind(), ErrorKind::ResourceExhausted);
+  }
+  for (const char *Truncated :
+       {"{\"id\":\"a\",", "{\"id\":\"a\"", "[1,2", "\"dangling\\", "{\"a\":1"}) {
+    try {
+      json::parseOrThrow(Truncated, Tight);
+      FAIL() << "truncated payload accepted: " << Truncated;
+    } catch (const EngineError &E) {
+      EXPECT_EQ(E.kind(), ErrorKind::ParseFailure) << Truncated;
+    }
+  }
+  json::Value V = json::parseOrThrow("{\"op\":\"submit\"}", Tight);
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("op")->Str, "submit");
 }
 
 TEST(Trace, NullTracerIsSafeEverywhere) {

@@ -1,17 +1,79 @@
 #!/bin/sh
 # check_expectations.sh <termcheck-binary> <corpus-dir> <expectations-file>
+# check_expectations.sh --verdicts <verdicts-file> <expectations-file>
 #
-# Runs the CLI over every *.while program of the corpus and compares the
-# printed verdict against the checked-in expectations file. Exits nonzero
-# on any mismatch, any program missing an expectation, or any expectation
-# without a program -- so both verdict regressions and stale expectation
-# lists fail the build.
+# One comparison code path for every verdict producer in the tree:
+#
+#  * Classic mode runs the CLI over every *.while program of the corpus,
+#    collects "NAME VERDICT" lines, and compares them against the
+#    checked-in expectations file.
+#  * --verdicts mode skips the runs and compares a pre-computed verdicts
+#    file in the same "NAME VERDICT" format -- the file termcheck-batch
+#    --verdicts writes, so the server e2e pipeline is judged by exactly
+#    the per-process rules.
+#
+# Either way the comparison exits nonzero on any mismatch, any verdict
+# missing an expectation, or any expectation without a verdict -- so both
+# verdict regressions and stale expectation lists fail the build.
 set -u
 
-if [ $# -ne 3 ]; then
+usage() {
   echo "usage: $0 <termcheck-binary> <corpus-dir> <expectations-file>" >&2
+  echo "       $0 --verdicts <verdicts-file> <expectations-file>" >&2
   exit 4
+}
+
+# compare_verdicts <verdicts-file> <expectations-file>
+# Verdicts format: one "NAME VERDICT" per line; a NAME of the form
+# "FAIL <detail...>" marks a program that produced no verdict and is
+# reported as a failure verbatim. Returns 0 when everything matches.
+compare_verdicts() {
+  V=$1
+  E=$2
+  CFAIL=0
+  CSEEN=""
+  while read -r NAME GOT; do
+    case "$NAME" in ''|'#'*) continue ;; esac
+    if [ "$NAME" = "FAIL" ]; then
+      echo "FAIL $GOT" >&2
+      CFAIL=1
+      continue
+    fi
+    CSEEN="$CSEEN $NAME"
+    WANT=$(awk -v n="$NAME" '$1 == n { print $2 }' "$E")
+    if [ -z "$WANT" ]; then
+      echo "FAIL $NAME: no expectation recorded" >&2
+      CFAIL=1
+    elif [ "$GOT" != "$WANT" ]; then
+      echo "FAIL $NAME: verdict $GOT, expected $WANT" >&2
+      CFAIL=1
+    else
+      echo "ok   $NAME $GOT"
+    fi
+  done < "$V"
+  # Every recorded expectation must correspond to a produced verdict.
+  while read -r NAME WANT; do
+    case "$NAME" in ''|'#'*) continue ;; esac
+    case " $CSEEN " in
+      *" $NAME "*) ;;
+      *) echo "FAIL stale expectation for '$NAME' (no verdict)" >&2
+         CFAIL=1 ;;
+    esac
+  done < "$E"
+  return $CFAIL
+}
+
+if [ "${1:-}" = "--verdicts" ]; then
+  [ $# -eq 3 ] || usage
+  VERDICTS=$2
+  EXPECT=$3
+  [ -f "$VERDICTS" ] || { echo "error: $VERDICTS not found" >&2; exit 4; }
+  [ -f "$EXPECT" ] || { echo "error: $EXPECT not found" >&2; exit 4; }
+  compare_verdicts "$VERDICTS" "$EXPECT"
+  exit $?
 fi
+
+[ $# -eq 3 ] || usage
 BIN=$1
 CORPUS=$2
 EXPECT=$3
@@ -19,8 +81,11 @@ EXPECT=$3
 [ -d "$CORPUS" ] || { echo "error: $CORPUS is not a directory" >&2; exit 4; }
 [ -f "$EXPECT" ] || { echo "error: $EXPECT not found" >&2; exit 4; }
 
-FAIL=0
-SEEN=""
+# Run the CLI per program and collect "NAME VERDICT" lines, then judge
+# them through the one shared comparison above.
+VFILE=$(mktemp "${TMPDIR:-/tmp}/tc_verdicts.XXXXXX") || exit 4
+trap 'rm -f "$VFILE"' EXIT
+
 for F in "$CORPUS"/*.while; do
   OUT=$("$BIN" --quiet --timeout 60 "$F")
   RC=$?
@@ -31,39 +96,17 @@ for F in "$CORPUS"/*.while; do
   # whatever half-line it printed: 4 is a usage or parse error, higher
   # codes (or signal deaths, 128+N) are crashes.
   if [ "$RC" -gt 3 ]; then
-    NAME=$(basename "$F" .while)
-    SEEN="$SEEN $NAME"
     if [ "$RC" -eq 4 ]; then
-      echo "FAIL $F: termcheck usage or parse error (exit 4)" >&2
+      echo "FAIL $F: termcheck usage or parse error (exit 4)" >> "$VFILE"
     else
-      echo "FAIL $F: termcheck exited $RC" >&2
+      echo "FAIL $F: termcheck exited $RC" >> "$VFILE"
     fi
-    FAIL=1
     continue
   fi
   NAME=${OUT%%:*}
   GOT=$(echo "${OUT#*: }" | tr -d ' ')
-  WANT=$(awk -v n="$NAME" '$1 == n { print $2 }' "$EXPECT")
-  SEEN="$SEEN $NAME"
-  if [ -z "$WANT" ]; then
-    echo "FAIL $F: no expectation recorded for '$NAME'" >&2
-    FAIL=1
-  elif [ "$GOT" != "$WANT" ]; then
-    echo "FAIL $F: verdict $GOT, expected $WANT" >&2
-    FAIL=1
-  else
-    echo "ok   $NAME $GOT"
-  fi
+  echo "$NAME $GOT" >> "$VFILE"
 done
 
-# Every recorded expectation must correspond to a corpus program.
-while read -r NAME WANT; do
-  case "$NAME" in ''|'#'*) continue ;; esac
-  case " $SEEN " in
-    *" $NAME "*) ;;
-    *) echo "FAIL stale expectation for '$NAME' (no such program)" >&2
-       FAIL=1 ;;
-  esac
-done < "$EXPECT"
-
-exit $FAIL
+compare_verdicts "$VFILE" "$EXPECT"
+exit $?

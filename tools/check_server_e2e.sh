@@ -1,0 +1,79 @@
+#!/bin/sh
+# check_server_e2e.sh <termcheck-gencorpus> <termcheckd> <termcheck-batch> \
+#                     <termcheck> <check_expectations.sh> [count]
+#
+# The end-to-end acceptance gate for the termcheckd pipeline (DESIGN.md
+# section 14), over a freshly generated corpus of [count] programs
+# (default 100):
+#
+#  1. termcheck-gencorpus emits the corpus + EXPECTATIONS.txt oracle;
+#  2. termcheck-batch drives a spawned termcheckd over it (concurrent
+#     admission, windowed submission) and writes a verdicts file;
+#  3. the verdicts must match the oracle (batch's own --expect AND the
+#     shared check_expectations.sh --verdicts comparison);
+#  4. the same corpus is run one-process-per-program through the plain
+#     CLI; the batch verdicts must be IDENTICAL to the per-process ones;
+#  5. a rerun against a deliberately tiny admission queue must still
+#     produce identical verdicts -- queue_full backpressure reorders
+#     work, never drops or corrupts it.
+set -u
+
+if [ $# -lt 5 ] || [ $# -gt 6 ]; then
+  echo "usage: $0 <gencorpus> <termcheckd> <batch> <termcheck>" \
+       "<check_expectations.sh> [count]" >&2
+  exit 4
+fi
+GENCORPUS=$1
+DAEMON=$2
+BATCH=$3
+CLI=$4
+CHECK=$5
+COUNT=${6:-100}
+for B in "$GENCORPUS" "$DAEMON" "$BATCH" "$CLI"; do
+  [ -x "$B" ] || { echo "error: $B is not executable" >&2; exit 4; }
+done
+[ -f "$CHECK" ] || { echo "error: $CHECK not found" >&2; exit 4; }
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/tc_server_e2e.XXXXXX") || exit 4
+trap 'rm -rf "$DIR"' EXIT
+
+echo "== 1. generate the corpus ($COUNT programs)"
+"$GENCORPUS" --out "$DIR/corpus" --count "$COUNT" --seed 42 || exit 1
+
+echo "== 2+3. batch run through a spawned termcheckd, verdicts vs oracle"
+"$BATCH" --spawn "$DAEMON" --max-active 4 --timeout 60 --quiet \
+         --verdicts "$DIR/batch.txt" --expect "$DIR/corpus/EXPECTATIONS.txt" \
+         "$DIR/corpus" || { echo "FAIL batch run vs oracle" >&2; exit 1; }
+sh "$CHECK" --verdicts "$DIR/batch.txt" "$DIR/corpus/EXPECTATIONS.txt" \
+  > /dev/null || { echo "FAIL shared comparison path" >&2; exit 1; }
+
+echo "== 4. per-process CLI runs must produce identical verdicts"
+: > "$DIR/single.txt"
+for F in "$DIR/corpus"/*.while; do
+  OUT=$("$CLI" --quiet --timeout 60 "$F")
+  RC=$?
+  if [ "$RC" -gt 3 ]; then
+    echo "FAIL $F: termcheck exited $RC" >&2
+    exit 1
+  fi
+  NAME=${OUT%%:*}
+  GOT=$(echo "${OUT#*: }" | tr -d ' ')
+  echo "$NAME $GOT" >> "$DIR/single.txt"
+done
+sort "$DIR/single.txt" > "$DIR/single.sorted.txt"
+if ! diff -u "$DIR/single.sorted.txt" "$DIR/batch.txt"; then
+  echo "FAIL batch verdicts differ from per-process verdicts" >&2
+  exit 1
+fi
+
+echo "== 5. tiny queue (queue-cap 2, max-active 1): backpressure rerun"
+"$BATCH" --spawn "$DAEMON" --queue-cap 2 --max-active 1 --window 16 \
+         --timeout 60 --quiet --verdicts "$DIR/squeezed.txt" \
+         "$DIR/corpus" || { echo "FAIL squeezed batch run" >&2; exit 1; }
+if ! diff -u "$DIR/batch.txt" "$DIR/squeezed.txt"; then
+  echo "FAIL backpressure rerun changed verdicts" >&2
+  exit 1
+fi
+
+echo "server e2e: $COUNT programs, batch == per-process == oracle"
+exit 0

@@ -42,7 +42,8 @@ MICRO="$BUILD/bench/bench_micro_ncsb"
 FIG5="$BUILD/bench/bench_fig5_multistage"
 PORTFOLIO="$BUILD/bench/bench_portfolio"
 MODULAR="$BUILD/bench/bench_modular_complement"
-for BIN in "$MICRO" "$FIG5" "$PORTFOLIO" "$MODULAR"; do
+SERVER="$BUILD/bench/bench_server_throughput"
+for BIN in "$MICRO" "$FIG5" "$PORTFOLIO" "$MODULAR" "$SERVER"; do
   [ -x "$BIN" ] || { echo "run_bench_suite.sh: $BIN not built" >&2; exit 4; }
 done
 
@@ -62,6 +63,9 @@ echo "== bench_fig5_multistage (median of $REPEAT) =="
 
 echo "== bench_modular_complement (median of $REPEAT) =="
 "$MODULAR" --repeat "$REPEAT" --json "$TMP/modular.json"
+
+echo "== bench_server_throughput (median of $REPEAT) =="
+"$SERVER" --repeat "$REPEAT" --json "$TMP/server.json"
 
 echo "== bench_portfolio (median of $REPEAT) =="
 "$PORTFOLIO" --repeat "$REPEAT" --json "$TMP/portfolio.json" benchmarks || {
@@ -146,6 +150,8 @@ with open(os.path.join(tmp, "modular.json")) as f:
     report["modular_complement"] = json.load(f)
 with open(os.path.join(tmp, "portfolio.json")) as f:
     report["portfolio"] = json.load(f)
+with open(os.path.join(tmp, "server.json")) as f:
+    report["server_throughput"] = json.load(f)
 
 # The modular-complement wall joins the regression gate once a baseline
 # carries the section (older baselines predate the harness and skip it).
@@ -161,6 +167,21 @@ if baseline_path and "modular_complement" in base_doc:
     if ratio < 1.0 - max_regress:
         failures.append(
             f"modular_complement: {1/ratio:.3f}x slower than baseline")
+
+# The batch-server wall joins the gate the same way: present in the
+# baseline -> compared, absent (pre-termcheckd baselines) -> skipped.
+if baseline_path and "server_throughput" in base_doc:
+    base_s = base_doc["server_throughput"]["wall_s"]
+    cur_s = report["server_throughput"]["wall_s"]
+    ratio = base_s / cur_s if cur_s > 0 else float("inf")
+    report["vs_baseline"]["server_throughput"] = {
+        "baseline_s": base_s,
+        "current_s": cur_s,
+        "speedup": round(ratio, 4),
+    }
+    if ratio < 1.0 - max_regress:
+        failures.append(
+            f"server_throughput: {1/ratio:.3f}x slower than baseline")
 
 with open(out, "w") as f:
     json.dump(report, f, indent=2)

@@ -1,0 +1,102 @@
+//===- tools/termcheck_gencorpus_cli.cpp - Batch corpus generator ---------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// `termcheck-gencorpus`: emit a seeded batch corpus for the `termcheckd`
+/// pipeline -- K oracle-exact WHILE programs as `<name>.while` files plus
+/// an EXPECTATIONS.txt, all keyed on the parsed program name.
+///
+///   termcheck-gencorpus --out <dir> [--count K] [--seed S]
+///
+/// The same seed always produces the same corpus, so e2e tests and the
+/// throughput bench can regenerate their inputs instead of checking in
+/// hundreds of files.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/CorpusEmit.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace termcheck;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s --out <dir> [--count K] [--seed S]\n"
+               "  --out <dir>    output directory (created if missing)\n"
+               "  --count <K>    number of programs (default 100)\n"
+               "  --seed <S>     PRNG seed (default 1)\n",
+               Prog);
+}
+
+unsigned long long parseNum(const char *Flag, const char *Val,
+                            unsigned long long Min,
+                            unsigned long long Max) {
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Val, &End, 10);
+  if (End == Val || *End != '\0' || errno == ERANGE || N < Min || N > Max) {
+    std::fprintf(stderr,
+                 "termcheck-gencorpus: error: invalid value '%s' for %s\n",
+                 Val, Flag);
+    std::exit(4);
+  }
+  return N;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutDir = nullptr;
+  size_t Count = 100;
+  uint64_t Seed = 1;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NeedsValue = [&](const char *Name) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Name);
+        std::exit(4);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--out") == 0)
+      OutDir = NeedsValue("--out");
+    else if (std::strcmp(Arg, "--count") == 0)
+      Count = static_cast<size_t>(
+          parseNum("--count", NeedsValue("--count"), 1, 1 << 20));
+    else if (std::strcmp(Arg, "--seed") == 0)
+      Seed = parseNum("--seed", NeedsValue("--seed"), 0, ~0ULL);
+    else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      usage(Argv[0]);
+      return 4;
+    }
+  }
+  if (!OutDir) {
+    usage(Argv[0]);
+    return 4;
+  }
+
+  Rng R(Seed);
+  std::vector<BenchProgram> Programs = batchPrograms(R, Count);
+  std::string Error;
+  if (!writeBatchCorpus(OutDir, Programs, &Error)) {
+    std::fprintf(stderr, "termcheck-gencorpus: error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("termcheck-gencorpus: wrote %zu programs + EXPECTATIONS.txt "
+              "to %s (seed %llu)\n",
+              Programs.size(), OutDir,
+              static_cast<unsigned long long>(Seed));
+  return 0;
+}

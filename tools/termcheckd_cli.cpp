@@ -1,0 +1,204 @@
+//===- tools/termcheckd_cli.cpp - Batch analysis daemon -------------------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// `termcheckd`: the long-running batch analysis server. Speaks the
+/// newline-delimited JSON protocol of server/Protocol.h on stdin/stdout,
+/// and optionally on a Unix-domain socket and/or a loopback TCP port, all
+/// feeding ONE two-tier scheduler (server/Scheduler.h) so admission
+/// control is global.
+///
+///   termcheckd [options]
+///     --workers <N>        shared pool threads (default: all cores)
+///     --max-active <N>     concurrent jobs, tier-1 (default 4)
+///     --queue-cap <N>      admission queue bound (default 64);
+///                          submissions beyond it are rejected with
+///                          reason "queue_full"
+///     --max-timeout <s>    clamp on per-job analysis budgets (default 300)
+///     --heartbeat <s>      unsolicited stats lines on stdout (default off)
+///     --unix-socket <path> also listen on a Unix-domain socket
+///     --tcp [port]         also listen on loopback TCP (0 = ephemeral;
+///                          the bound port is announced on stderr)
+///
+/// Shutdown: EOF on stdin or an in-band {"op":"drain"} drains gracefully
+/// (queued and running jobs finish, then a {"type":"drained"} line).
+/// With listeners up, stdin EOF does NOT drain -- run socket-only
+/// deployments as `termcheckd --unix-socket P < /dev/null` and stop them
+/// with a signal or an in-band drain. A signal-driven shutdown may emit
+/// the drained marker twice (stdio session and signal path both report);
+/// consumers should stop at the first.
+/// The first SIGINT/SIGTERM also drains gracefully; a second one upgrades
+/// to a hard drain (queued jobs are cancelled, running analyses unwind at
+/// their next cancellation poll). Either way the process exits 0 only
+/// after every accepted job produced its result line.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <climits>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+using namespace termcheck;
+using namespace termcheck::server;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --workers <N>         shared pool threads (default: all "
+               "cores)\n"
+               "  --max-active <N>      concurrent jobs (default 4)\n"
+               "  --queue-cap <N>       admission queue bound (default 64)\n"
+               "  --max-timeout <s>     per-job budget clamp (default 300)\n"
+               "  --heartbeat <s>       periodic stats lines on stdout\n"
+               "  --unix-socket <path>  listen on a Unix-domain socket\n"
+               "  --tcp [port]          listen on loopback TCP (0 = "
+               "ephemeral)\n",
+               Prog);
+}
+
+[[noreturn]] void badValue(const char *Flag, const char *Val,
+                           const char *Expected) {
+  std::fprintf(stderr,
+               "termcheckd: error: invalid value '%s' for %s (expected %s)\n",
+               Val, Flag, Expected);
+  std::exit(4);
+}
+
+long parseCount(const char *Flag, const char *Val, long Min, long Max,
+                const char *Expected) {
+  errno = 0;
+  char *End = nullptr;
+  long N = std::strtol(Val, &End, 10);
+  if (End == Val || *End != '\0' || errno == ERANGE || N < Min || N > Max)
+    badValue(Flag, Val, Expected);
+  return N;
+}
+
+double parseSeconds(const char *Flag, const char *Val) {
+  errno = 0;
+  char *End = nullptr;
+  double D = std::strtod(Val, &End);
+  if (End == Val || *End != '\0' || errno == ERANGE || !(D >= 0) || D > 1e9)
+    badValue(Flag, Val, "a number of seconds in [0, 1e9]");
+  return D;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NeedsValue = [&](const char *Name) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Name);
+        std::exit(4);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--workers") == 0)
+      Opts.Sched.Workers = static_cast<size_t>(
+          parseCount("--workers", NeedsValue("--workers"), 1, 4096,
+                     "a worker count in [1, 4096]"));
+    else if (std::strcmp(Arg, "--max-active") == 0)
+      Opts.Sched.MaxActiveJobs = static_cast<size_t>(
+          parseCount("--max-active", NeedsValue("--max-active"), 1, 1 << 20,
+                     "a positive job count"));
+    else if (std::strcmp(Arg, "--queue-cap") == 0)
+      Opts.Sched.QueueCapacity = static_cast<size_t>(
+          parseCount("--queue-cap", NeedsValue("--queue-cap"), 1, 1 << 20,
+                     "a positive queue bound"));
+    else if (std::strcmp(Arg, "--max-timeout") == 0)
+      Opts.Sched.MaxTimeoutSeconds =
+          parseSeconds("--max-timeout", NeedsValue("--max-timeout"));
+    else if (std::strcmp(Arg, "--heartbeat") == 0)
+      Opts.HeartbeatSeconds =
+          parseSeconds("--heartbeat", NeedsValue("--heartbeat"));
+    else if (std::strcmp(Arg, "--unix-socket") == 0)
+      Opts.UnixSocketPath = NeedsValue("--unix-socket");
+    else if (std::strcmp(Arg, "--tcp") == 0) {
+      Opts.EnableTcp = true;
+      // Optional port operand (0 or absent = ephemeral).
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        Opts.TcpPort = static_cast<uint16_t>(parseCount(
+            "--tcp", Argv[++I], 0, 65535, "a TCP port in [0, 65535]"));
+    } else if (std::strcmp(Arg, "--help") == 0 ||
+               std::strcmp(Arg, "-h") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      usage(Argv[0]);
+      return 4;
+    }
+  }
+
+  // Route SIGINT/SIGTERM through a dedicated sigwait thread (they are
+  // blocked process-wide first, so every thread the server spawns inherits
+  // the mask): signal-handler context never touches the scheduler.
+  sigset_t SigSet;
+  sigemptyset(&SigSet);
+  sigaddset(&SigSet, SIGINT);
+  sigaddset(&SigSet, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &SigSet, nullptr);
+
+  Server S(Opts);
+  if (!Opts.UnixSocketPath.empty() || Opts.EnableTcp) {
+    std::string Error;
+    if (!S.startListeners(&Error)) {
+      std::fprintf(stderr, "termcheckd: %s\n", Error.c_str());
+      return 1;
+    }
+    if (Opts.EnableTcp)
+      std::fprintf(stderr, "termcheckd: listening on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(S.boundTcpPort()));
+    if (!Opts.UnixSocketPath.empty())
+      std::fprintf(stderr, "termcheckd: listening on %s\n",
+                   Opts.UnixSocketPath.c_str());
+  }
+
+  std::atomic<int> Signals{0};
+  std::thread([&S, &SigSet, &Signals] {
+    for (;;) {
+      int Got = 0;
+      if (sigwait(&SigSet, &Got) != 0)
+        return;
+      int N = ++Signals;
+      if (N == 1) {
+        // First signal: graceful. A helper does the (possibly long) wait
+        // so this loop stays responsive to the escalation signal.
+        std::fprintf(stderr,
+                     "termcheckd: draining (signal again to cancel "
+                     "in-flight jobs)\n");
+        std::thread([&S] {
+          S.drain(/*Hard=*/false);
+          S.stopListeners();
+          std::fputs("{\"type\":\"drained\"}\n", stdout);
+          std::fflush(stdout);
+          std::_Exit(0);
+        }).detach();
+      } else {
+        // Second signal: upgrade to hard; the drain helper's awaitIdle
+        // returns once the cancelled jobs unwind, and it exits for us.
+        std::fprintf(stderr, "termcheckd: hard drain\n");
+        S.scheduler().beginDrain(/*Hard=*/true);
+      }
+    }
+  }).detach();
+
+  int RC = S.serveStdio(std::cin, std::cout);
+  S.stopListeners();
+  return RC;
+}
