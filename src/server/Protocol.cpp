@@ -83,7 +83,14 @@ JobOptions parseOptions(const json::Value &O) {
       Opts.NoNonterm = boolField(V, "no_nonterm");
     else if (K == "max_states")
       Opts.MaxStates = countField(V, "max_states");
-    else
+    else if (K == "test_fault") {
+      if (!V.isString() ||
+          (V.Str != "segv" && V.Str != "abort" && V.Str != "oom" &&
+           V.Str != "hang" && V.Str != "segv_first"))
+        badRequest("option 'test_fault' must be one of "
+                   "segv|abort|oom|hang|segv_first");
+      Opts.TestFault = V.Str;
+    } else
       badRequest("unknown option '" + K + "'");
   }
   return Opts;
@@ -118,6 +125,8 @@ Request termcheck::server::parseRequest(std::string_view Line,
     R.O = Request::Op::Cancel;
   else if (OpV->Str == "drain")
     R.O = Request::Op::Drain;
+  else if (OpV->Str == "health")
+    R.O = Request::Op::Health;
   else
     badRequest("unknown op '" + OpV->Str + "'");
 

@@ -15,6 +15,7 @@
 ///               "deadline_s":30,"deterministic":true,
 ///               "no_nonterm":false,"max_states":0}}
 ///   {"op":"stats"}        -- immediate server-stats response
+///   {"op":"health"}       -- load gauges + sandbox worker-fleet counters
 ///   {"op":"cancel","id":"j1"}
 ///   {"op":"drain"}        -- graceful drain, same as SIGTERM
 ///
@@ -85,11 +86,16 @@ struct JobOptions {
   /// Per-subtraction live-state cap (the CLI's --max-states); 0 = the
   /// server default.
   uint64_t MaxStates = 0;
+  /// Test hook: make the worker fault on purpose ("segv", "abort", "oom",
+  /// "hang", or "segv_first" -- crash only on the first attempt). Honored
+  /// ONLY inside a sandboxed worker, where the fault costs exactly that
+  /// job; the in-process path ignores it entirely. Empty = no fault.
+  std::string TestFault;
 };
 
 /// One parsed request line.
 struct Request {
-  enum class Op : uint8_t { Submit, Stats, Cancel, Drain };
+  enum class Op : uint8_t { Submit, Stats, Cancel, Drain, Health };
   Op O = Op::Stats;
   std::string Id;      // Submit / Cancel
   std::string Program; // Submit: WHILE-language source text

@@ -7,6 +7,7 @@
 #include "server/Scheduler.h"
 
 #include "program/Parser.h"
+#include "server/Supervisor.h"
 #include "support/CancellationToken.h"
 #include "support/Error.h"
 
@@ -28,6 +29,12 @@ const char *termcheck::server::jobStatusName(JobStatus S) {
     return "deadline_exceeded";
   case JobStatus::Cancelled:
     return "cancelled";
+  case JobStatus::WorkerCrashed:
+    return "worker_crashed";
+  case JobStatus::WorkerOom:
+    return "worker_oom";
+  case JobStatus::WorkerCpuExceeded:
+    return "worker_cpu_exceeded";
   }
   return "unknown";
 }
@@ -54,6 +61,17 @@ RunReportInput reportInput(const JobOutcome &O) {
 
 void termcheck::server::writeOutcomeReport(std::ostream &OS,
                                            const JobOutcome &O, bool Pretty) {
+  // A sandboxed outcome carries the report its worker serialized before
+  // _exit(); emitting those bytes verbatim is what keeps the byte-identity
+  // guarantee across the process boundary.
+  if (Pretty && !O.ReportPretty.empty()) {
+    OS << O.ReportPretty;
+    return;
+  }
+  if (!Pretty && !O.ReportCompact.empty()) {
+    OS << O.ReportCompact << "\n";
+    return;
+  }
   // Field-for-field the document writeRunReport emits -- the CLI's
   // --stats-json output -- so a deterministic server job's standalone
   // report is byte-identical to the equivalent `termcheck --jobs 1
@@ -69,6 +87,20 @@ void termcheck::server::writeOutcomeReport(std::ostream &OS,
   W.finish();
 }
 
+std::string termcheck::server::outcomeReportCompact(const JobOutcome &O) {
+  if (!O.ReportCompact.empty())
+    return O.ReportCompact;
+  std::ostringstream OS;
+  json::Writer W(OS, /*Pretty=*/false);
+  RunReportInput In = reportInput(O);
+  RunReportOptions RO;
+  RO.Deterministic = O.Opts.Deterministic;
+  W.beginObject();
+  writeRunReportFields(W, In, RO);
+  W.endObject();
+  return OS.str();
+}
+
 std::string termcheck::server::resultLine(const JobOutcome &O) {
   std::ostringstream OS;
   json::Writer W(OS, /*Pretty=*/false);
@@ -81,18 +113,21 @@ std::string termcheck::server::resultLine(const JobOutcome &O) {
   const bool Det = O.Opts.Deterministic;
   W.field("queue_s", Det ? 0.0 : O.QueueSeconds);
   W.field("run_s", Det ? 0.0 : O.RunSeconds);
+  if (O.Sandboxed) {
+    W.key("sandbox");
+    W.beginObject();
+    W.field("attempts", static_cast<int64_t>(O.Attempts));
+    W.field("signal", O.WorkerSignal);
+    W.field("quarantined", O.Quarantined);
+    W.endObject();
+  }
   if (O.Status == JobStatus::ParseError) {
     W.fieldNull("verdict");
     W.fieldNull("report");
   } else {
     W.field("verdict", verdictName(O.Result.V));
-    RunReportInput In = reportInput(O);
-    RunReportOptions RO;
-    RO.Deterministic = Det;
     W.key("report");
-    W.beginObject();
-    writeRunReportFields(W, In, RO);
-    W.endObject();
+    W.rawValue(outcomeReportCompact(O));
   }
   W.endObject();
   W.finish();
@@ -114,6 +149,9 @@ std::string termcheck::server::statsLine(const SchedulerStats &S) {
   W.field("parse_errors", S.ParseErrors);
   W.field("deadline_exceeded", S.DeadlineExceeded);
   W.field("cancelled", S.Cancelled);
+  W.field("worker_crashed", S.WorkerCrashed);
+  W.field("worker_oom", S.WorkerOom);
+  W.field("worker_cpu_exceeded", S.WorkerCpuExceeded);
   W.key("verdicts");
   W.beginObject();
   W.field("terminating", S.Terminating);
@@ -129,6 +167,36 @@ std::string termcheck::server::statsLine(const SchedulerStats &S) {
   W.field("uptime_s", S.UptimeSeconds);
   W.field("queue_wait_s_total", S.TotalQueueSeconds);
   W.field("run_s_total", S.TotalRunSeconds);
+  W.endObject();
+  W.finish();
+  return OS.str();
+}
+
+std::string termcheck::server::healthLine(const HealthInfo &H) {
+  std::ostringstream OS;
+  json::Writer W(OS, /*Pretty=*/false);
+  W.beginObject();
+  W.field("type", "health");
+  W.field("schema", ProtocolSchemaName);
+  W.field("schema_version", static_cast<int64_t>(ProtocolSchemaVersion));
+  W.field("queue_depth", H.QueueDepth);
+  W.field("active_jobs", H.ActiveJobs);
+  W.field("workers", H.Workers);
+  W.field("isolation", isolationModeName(H.Isolation));
+  W.field("draining", H.Draining);
+  W.field("uptime_s", H.UptimeSeconds);
+  W.key("sandbox");
+  W.beginObject();
+  W.field("active_workers", H.Sandbox.ActiveWorkers);
+  W.field("spawned", H.Sandbox.Spawned);
+  W.field("crashed", H.Sandbox.Crashed);
+  W.field("oom_killed", H.Sandbox.OomKilled);
+  W.field("cpu_exceeded", H.Sandbox.CpuExceeded);
+  W.field("killed_by_supervisor", H.Sandbox.KilledBySupervisor);
+  W.field("retries", H.Sandbox.Retries);
+  W.field("quarantine_size", H.Sandbox.QuarantineSize);
+  W.field("quarantine_short_circuits", H.Sandbox.QuarantineShortCircuits);
+  W.endObject();
   W.endObject();
   W.finish();
   return OS.str();
@@ -173,6 +241,7 @@ Scheduler::Scheduler(const SchedulerConfig &C)
     Cfg.MaxActiveJobs = 1;
   if (Cfg.MonitorPeriodSeconds <= 0)
     Cfg.MonitorPeriodSeconds = 0.025;
+  Sup = std::make_unique<Supervisor>(Cfg);
   Monitor = std::thread([this] { monitorLoop(); });
 }
 
@@ -299,6 +368,21 @@ SchedulerStats Scheduler::stats() const {
   return S;
 }
 
+HealthInfo Scheduler::health() const {
+  HealthInfo H;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    H.QueueDepth = Pending.size();
+    H.ActiveJobs = Active.size();
+    H.Workers = Pool.numThreads();
+    H.Isolation = Cfg.Isolation;
+    H.Draining = DrainFlag;
+    H.UptimeSeconds = Uptime.seconds();
+  }
+  H.Sandbox = Sup->health();
+  return H;
+}
+
 void Scheduler::activateLocked() {
   while (Active.size() < Cfg.MaxActiveJobs && !Pending.empty()) {
     std::shared_ptr<Job> J = Pending.front();
@@ -323,6 +407,68 @@ JobOutcome baseOutcome(const JobSpec &Spec) {
 
 } // namespace
 
+void termcheck::server::executeJobSync(const JobSpec &Spec,
+                                       const SchedulerConfig &Cfg,
+                                       CancellationToken *Cancel,
+                                       JobOutcome &O) {
+  ParseResult Parsed = parseProgram(Spec.ProgramText);
+  if (!Parsed.ok()) {
+    O.Status = JobStatus::ParseError;
+    O.Diagnostic = Parsed.Error;
+    return;
+  }
+  Program &P = *Parsed.Prog;
+  O.ProgramName = P.name();
+  O.Status = JobStatus::Finished;
+  const JobOptions &JO = Spec.Opts;
+
+  if (JO.PortfolioK > 0) {
+    // Deterministic portfolio: the sequential Jobs == 1 fallback runs
+    // inline on the calling thread (it spawns nothing). Reports are
+    // byte-identical to `termcheck --portfolio K --jobs 1`.
+    PortfolioOptions PO;
+    PO.Jobs = 1;
+    PO.TimeoutSeconds = JO.TimeoutSeconds;
+    PO.DisableNonterm = JO.NoNonterm;
+    PO.MaxProductStates = JO.MaxStates;
+    PO.Cancel = Cancel;
+    if (!JO.Deterministic && Cfg.DefaultMaxStatesPerJob != 0)
+      PO.GuardLimits.MaxStates = Cfg.DefaultMaxStatesPerJob;
+    PortfolioRunResult PR = runPortfolio(P, defaultPortfolio(JO.PortfolioK), PO);
+    O.Result = std::move(PR.Result);
+    O.Result.Seconds = PR.Seconds;
+    O.Portfolio = std::move(PR);
+    return;
+  }
+
+  // Single-configuration job: the library-default analyzer, exactly the
+  // CLI without --portfolio.
+  AnalyzerOptions AO;
+  AO.TimeoutSeconds = JO.TimeoutSeconds;
+  AO.ProveNontermination = !JO.NoNonterm;
+  AO.MaxProductStates = JO.MaxStates;
+  AO.Cancel = Cancel;
+  std::optional<ResourceGuard> GuardStorage;
+  if (!JO.Deterministic && Cfg.DefaultMaxStatesPerJob != 0) {
+    ResourceGuard::Limits GL;
+    GL.MaxStates = Cfg.DefaultMaxStatesPerJob;
+    GuardStorage.emplace(GL);
+    AO.Guard = &*GuardStorage;
+  }
+  ErrorOr<AnalysisResult> R = errorOrOf([&] {
+    TerminationAnalyzer A(P, AO);
+    return A.run();
+  });
+  if (R.ok()) {
+    O.Result = std::move(R.value());
+  } else {
+    // Contained engine fault: the job reports UNKNOWN with the fault as
+    // its diagnostic (the CLI's exit-2 path), never a dead server.
+    O.Result.V = Verdict::Unknown;
+    O.Diagnostic = std::string("engine fault: ") + R.error().what();
+  }
+}
+
 void Scheduler::launchLocked(const std::shared_ptr<Job> &J) {
   Pool.submit([this, J] {
     // Torn down while waiting for a worker: report without analyzing.
@@ -344,20 +490,40 @@ void Scheduler::launchLocked(const std::shared_ptr<Job> &J) {
       return;
     }
 
-    ParseResult Parsed = parseProgram(J->Spec.ProgramText);
-    if (!Parsed.ok()) {
-      O.Status = JobStatus::ParseError;
-      O.Diagnostic = Parsed.Error;
-      O.QueueSeconds = J->QueueSeconds;
-      O.RunSeconds = J->RunClock.seconds();
-      finish(J, std::move(O));
+    // Isolation dispatch: sandboxed jobs hand the whole execution --
+    // parsing included, a parser crash is still a crash -- to the
+    // supervisor, which blocks this task for the worker's lifetime (the
+    // same tier-2 slot accounting the sequential in-process path has).
+    bool UseSandbox = false;
+    switch (Cfg.Isolation) {
+    case IsolationMode::InProcess:
+      break;
+    case IsolationMode::Sandbox:
+      UseSandbox = sandboxSupported();
+      break;
+    case IsolationMode::Auto:
+      // Deterministic byte-identity jobs keep the pinned in-process path.
+      UseSandbox = sandboxSupported() && !J->Spec.Opts.Deterministic;
+      break;
+    }
+    if (UseSandbox) {
+      finishWithVerdict(J, Sup->run(J->Spec, J->Token));
       return;
     }
-    Program &P = *Parsed.Prog;
-    O.ProgramName = P.name();
-    const JobOptions &JO = J->Spec.Opts;
 
+    const JobOptions &JO = J->Spec.Opts;
     if (JO.PortfolioK > 0 && JO.EntrantJobs > 1) {
+      ParseResult Parsed = parseProgram(J->Spec.ProgramText);
+      if (!Parsed.ok()) {
+        O.Status = JobStatus::ParseError;
+        O.Diagnostic = Parsed.Error;
+        O.QueueSeconds = J->QueueSeconds;
+        O.RunSeconds = J->RunClock.seconds();
+        finish(J, std::move(O));
+        return;
+      }
+      Program &P = *Parsed.Prog;
+      O.ProgramName = P.name();
       // Fan-out: one pool task per entrant on the SAME pool this task runs
       // on; this task only launches the race and returns, so the pool
       // never has a task blocked on another task.
@@ -387,53 +553,14 @@ void Scheduler::launchLocked(const std::shared_ptr<Job> &J) {
       return;
     }
 
-    if (JO.PortfolioK > 0) {
-      // Deterministic portfolio: the sequential Jobs == 1 fallback runs
-      // inline in this one task (it spawns nothing, so "blocking" costs
-      // exactly the one worker the job is entitled to). Reports are
-      // byte-identical to `termcheck --portfolio K --jobs 1`.
-      PortfolioOptions PO;
-      PO.Jobs = 1;
-      PO.TimeoutSeconds = JO.TimeoutSeconds;
-      PO.DisableNonterm = JO.NoNonterm;
-      PO.MaxProductStates = JO.MaxStates;
-      PO.Cancel = &J->Token;
-      if (!JO.Deterministic && Cfg.DefaultMaxStatesPerJob != 0)
-        PO.GuardLimits.MaxStates = Cfg.DefaultMaxStatesPerJob;
-      PortfolioRunResult PR =
-          runPortfolio(P, defaultPortfolio(JO.PortfolioK), PO);
-      O.Result = std::move(PR.Result);
-      O.Result.Seconds = PR.Seconds;
-      O.Portfolio = std::move(PR);
-      finishWithVerdict(J, std::move(O));
+    // Sequential portfolio and single-configuration jobs run the exact
+    // code a sandbox worker child runs, on this task's thread.
+    executeJobSync(J->Spec, Cfg, &J->Token, O);
+    if (O.Status == JobStatus::ParseError) {
+      O.QueueSeconds = J->QueueSeconds;
+      O.RunSeconds = J->RunClock.seconds();
+      finish(J, std::move(O));
       return;
-    }
-
-    // Single-configuration job: the library-default analyzer, exactly the
-    // CLI without --portfolio.
-    AnalyzerOptions AO;
-    AO.TimeoutSeconds = JO.TimeoutSeconds;
-    AO.ProveNontermination = !JO.NoNonterm;
-    AO.MaxProductStates = JO.MaxStates;
-    AO.Cancel = &J->Token;
-    std::optional<ResourceGuard> GuardStorage;
-    if (!JO.Deterministic && Cfg.DefaultMaxStatesPerJob != 0) {
-      ResourceGuard::Limits GL;
-      GL.MaxStates = Cfg.DefaultMaxStatesPerJob;
-      GuardStorage.emplace(GL);
-      AO.Guard = &*GuardStorage;
-    }
-    ErrorOr<AnalysisResult> R = errorOrOf([&] {
-      TerminationAnalyzer A(P, AO);
-      return A.run();
-    });
-    if (R.ok()) {
-      O.Result = std::move(R.value());
-    } else {
-      // Contained engine fault: the job reports UNKNOWN with the fault as
-      // its diagnostic (the CLI's exit-2 path), never a dead server.
-      O.Result.V = Verdict::Unknown;
-      O.Diagnostic = std::string("engine fault: ") + R.error().what();
     }
     finishWithVerdict(J, std::move(O));
   });
@@ -441,16 +568,27 @@ void Scheduler::launchLocked(const std::shared_ptr<Job> &J) {
 
 void Scheduler::finishWithVerdict(const std::shared_ptr<Job> &J,
                                   JobOutcome O) {
+  // worker_* classifications and a worker's clean parse error are sticky:
+  // a crash that races a deadline or cancel still reports the crash (the
+  // structured evidence beats the teardown reason). Everything else is
+  // restamped from the job's teardown flags; an outcome that arrived with
+  // a non-Finished status and no flags set (the supervisor's hang
+  // classification) keeps it.
+  const bool Sticky = O.Status == JobStatus::WorkerCrashed ||
+                      O.Status == JobStatus::WorkerOom ||
+                      O.Status == JobStatus::WorkerCpuExceeded ||
+                      O.Status == JobStatus::ParseError;
   {
     std::lock_guard<std::mutex> Lock(M);
-    if (J->DeadlineFired) {
-      O.Status = JobStatus::DeadlineExceeded;
-      O.Diagnostic = "deadline exceeded";
-    } else if (J->CancelRequested) {
-      O.Status = JobStatus::Cancelled;
-      O.Diagnostic = "cancelled";
-    } else {
-      O.Status = JobStatus::Finished;
+    if (!Sticky) {
+      if (J->DeadlineFired) {
+        O.Status = JobStatus::DeadlineExceeded;
+        O.Diagnostic = "deadline exceeded";
+      } else if (J->CancelRequested) {
+        O.Status = JobStatus::Cancelled;
+        O.Diagnostic = "cancelled";
+      }
+      // else: keep the pre-set status (Finished by default).
     }
   }
   O.QueueSeconds = J->QueueSeconds;
@@ -493,6 +631,15 @@ void Scheduler::finish(const std::shared_ptr<Job> &J, JobOutcome Outcome) {
       break;
     case JobStatus::Cancelled:
       ++Counters.Cancelled;
+      break;
+    case JobStatus::WorkerCrashed:
+      ++Counters.WorkerCrashed;
+      break;
+    case JobStatus::WorkerOom:
+      ++Counters.WorkerOom;
+      break;
+    case JobStatus::WorkerCpuExceeded:
+      ++Counters.WorkerCpuExceeded;
       break;
     }
     Counters.TotalQueueSeconds += Outcome.QueueSeconds;

@@ -34,6 +34,7 @@
 #define TERMCHECK_SERVER_SCHEDULER_H
 
 #include "server/Protocol.h"
+#include "server/Sandbox.h"
 #include "support/ResourceGuard.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -49,6 +50,8 @@
 
 namespace termcheck {
 namespace server {
+
+class Supervisor;
 
 /// Fleet-level knobs of one scheduler instance.
 struct SchedulerConfig {
@@ -67,6 +70,15 @@ struct SchedulerConfig {
   uint64_t DefaultMaxStatesPerJob = 4u << 20;
   /// Deadline-monitor poll period.
   double MonitorPeriodSeconds = 0.025;
+  /// How admitted jobs execute. InProcess is the library default (no
+  /// behavior change for embedders and benches); the termcheckd CLI
+  /// defaults to Auto.
+  IsolationMode Isolation = IsolationMode::InProcess;
+  /// Per-worker OS budgets and supervision policy (sandboxed modes only).
+  SandboxConfig SandboxCfg;
+  /// Worker lifecycle events (spawn/exit/kill/retry/quarantine) are
+  /// emitted here when non-null.
+  Trace *Tracer = nullptr;
 };
 
 /// How a job left the scheduler.
@@ -79,6 +91,15 @@ enum class JobStatus : uint8_t {
   DeadlineExceeded,
   /// Cancelled by a hard drain or an explicit cancel request.
   Cancelled,
+  /// A sandboxed worker died to a crash signal (SIGSEGV, SIGABRT, ...) or
+  /// exited without a usable outcome document; Diagnostic names the
+  /// signal. The daemon itself is unaffected.
+  WorkerCrashed,
+  /// A sandboxed worker hit its address-space budget (kernel OOM kill or
+  /// self-reported allocation exhaustion).
+  WorkerOom,
+  /// A sandboxed worker's RLIMIT_CPU fired.
+  WorkerCpuExceeded,
 };
 
 /// \returns the stable wire name ("finished", "parse_error", ...).
@@ -115,7 +136,36 @@ struct JobOutcome {
   double QueueSeconds = 0;
   /// Seconds from activation to completion.
   double RunSeconds = 0;
+
+  //===-- Sandbox execution evidence (sandboxed jobs only) ---------------===//
+  /// The job ran in a forked worker (any isolation mode).
+  bool Sandboxed = false;
+  /// Worker attempts consumed, retries included (0 for a quarantine
+  /// short-circuit that never spawned one).
+  uint32_t Attempts = 0;
+  /// Terminating signal of the last worker when it died to one.
+  int WorkerSignal = 0;
+  /// The program shape is in (or just entered) the crash-loop quarantine.
+  bool Quarantined = false;
+  /// Byte-exact reports the worker pre-serialized before _exit(), so the
+  /// deterministic byte-identity guarantee survives the process boundary:
+  /// writeOutcomeReport / resultLine embed these verbatim instead of
+  /// re-marshalling the (not fully serializable) AnalysisResult.
+  std::string ReportPretty;
+  std::string ReportCompact;
 };
+
+/// Runs one job to an outcome on the calling thread: parse, then the
+/// sequential portfolio (PortfolioK > 0) or the single library-default
+/// configuration, with engine-fault containment ("engine fault: ..."
+/// diagnostic, UNKNOWN verdict). Shared verbatim by the in-process path
+/// and the sandbox worker child -- both isolation modes run exactly this
+/// code, which is what makes their reports comparable. Fills Status
+/// (Finished or ParseError), ProgramName, Diagnostic, Result, Portfolio;
+/// identity fields and timings are the caller's. Race fan-out
+/// (EntrantJobs > 1) is not handled here.
+void executeJobSync(const JobSpec &Spec, const SchedulerConfig &Cfg,
+                    CancellationToken *Cancel, JobOutcome &O);
 
 /// Writes the job's standalone run report -- byte-for-byte what
 /// `termcheck --stats-json` emits for the same program and options (the
@@ -125,8 +175,14 @@ struct JobOutcome {
 void writeOutcomeReport(std::ostream &OS, const JobOutcome &O,
                         bool Pretty = true);
 
+/// The compact (single-line, no trailing newline) form of the outcome's
+/// run report: the object resultLine embeds. Returns the worker's
+/// pre-serialized bytes when present.
+std::string outcomeReportCompact(const JobOutcome &O);
+
 /// One `result` protocol line (compact embedded report, or the diagnostic
-/// for ParseError outcomes).
+/// for ParseError outcomes). Sandboxed outcomes carry an extra `sandbox`
+/// object ({"attempts":N,"signal":S,"quarantined":B}).
 std::string resultLine(const JobOutcome &O);
 
 /// Monotone counters and gauges for the stats heartbeat.
@@ -139,6 +195,10 @@ struct SchedulerStats {
   uint64_t ParseErrors = 0;
   uint64_t DeadlineExceeded = 0;
   uint64_t Cancelled = 0;
+  /// Worker-isolation outcomes (sandboxed modes only).
+  uint64_t WorkerCrashed = 0;
+  uint64_t WorkerOom = 0;
+  uint64_t WorkerCpuExceeded = 0;
   /// Verdict census across finished jobs.
   uint64_t Terminating = 0;
   uint64_t Nonterminating = 0;
@@ -158,6 +218,21 @@ struct SchedulerStats {
 
 /// One `stats` protocol line.
 std::string statsLine(const SchedulerStats &S);
+
+/// Snapshot answering a `{"op":"health"}` probe: the load gauges a
+/// monitoring client needs plus the worker-fleet counters.
+struct HealthInfo {
+  uint64_t QueueDepth = 0;
+  uint64_t ActiveJobs = 0;
+  uint64_t Workers = 0;
+  IsolationMode Isolation = IsolationMode::InProcess;
+  bool Draining = false;
+  double UptimeSeconds = 0;
+  SandboxHealth Sandbox;
+};
+
+/// One `health` protocol line.
+std::string healthLine(const HealthInfo &H);
 
 /// The two-tier scheduler. Thread-safe; submit() may be called from any
 /// number of session threads concurrently.
@@ -209,6 +284,9 @@ public:
 
   SchedulerStats stats() const;
 
+  /// The `{"op":"health"}` snapshot (stats gauges + worker-fleet state).
+  HealthInfo health() const;
+
   /// The shared pool (tests and the throughput bench size probes by it).
   size_t workers() const { return Pool.numThreads(); }
 
@@ -218,6 +296,9 @@ private:
   SchedulerConfig Cfg;
   ThreadPool Pool;
   Timer Uptime;
+  /// Worker-table owner for the sandboxed isolation modes (always built;
+  /// idle and empty under InProcess).
+  std::unique_ptr<Supervisor> Sup;
 
   mutable std::mutex M;
   std::condition_variable IdleCv;

@@ -72,6 +72,9 @@ bool termcheck::server::handleRequestLine(Scheduler &S,
   case Request::Op::Stats:
     Write(statsLine(S.stats()));
     return false;
+  case Request::Op::Health:
+    Write(healthLine(S.health()));
+    return false;
   case Request::Op::Cancel:
     Write(cancelAckLine(R.Id, S.cancel(R.Id)));
     return false;
@@ -173,6 +176,34 @@ void closeIfOpen(int &Fd) {
   }
 }
 
+/// Bounded line read for the stdio transport, mirroring the socket
+/// transport's MaxLineBytes enforcement (std::getline would buffer a
+/// newline-free stream without bound). A line past the cap is consumed
+/// and discarded up to its newline in O(1) memory and reported through
+/// \p Overlong so the session can answer with a structured error.
+/// \returns false only at end of stream with nothing read.
+bool boundedGetline(std::istream &In, std::string &Line, size_t Cap,
+                    bool &Overlong) {
+  Line.clear();
+  Overlong = false;
+  bool Any = false;
+  char C;
+  while (In.get(C)) {
+    Any = true;
+    if (C == '\n')
+      return true;
+    if (Overlong)
+      continue; // discarding to the newline
+    if (Cap != 0 && Line.size() >= Cap) {
+      Overlong = true;
+      Line.clear();
+    } else {
+      Line.push_back(C);
+    }
+  }
+  return Any;
+}
+
 } // namespace
 
 struct Server::Listeners {
@@ -238,11 +269,19 @@ int Server::serveStdio(std::istream &In, std::ostream &Out) {
 
   std::string Line;
   bool InBandDrain = false;
-  while (std::getline(In, Line))
+  bool Overlong = false;
+  while (boundedGetline(In, Line, Opts.Limits.MaxLineBytes, Overlong)) {
+    if (Overlong) {
+      Write(protocolErrorLine("request line exceeds " +
+                              std::to_string(Opts.Limits.MaxLineBytes) +
+                              " bytes"));
+      continue;
+    }
     if (handleRequestLine(Sched, Opts.Limits, Line, Write)) {
       InBandDrain = true;
       break;
     }
+  }
   if (InBandDrain)
     noteDrainRequested();
 

@@ -53,6 +53,8 @@ const char *termcheck::faultSiteName(FaultSite S) {
     return "prover_entry";
   case FaultSite::ModularExpand:
     return "modular_expand";
+  case FaultSite::SandboxEntry:
+    return "sandbox_entry";
   case FaultSite::NumSites:
     break;
   }
@@ -95,6 +97,21 @@ uint64_t FaultInjector::plannedTrigger(FaultSite S) {
 
 FaultFlavor FaultInjector::plannedFlavor(FaultSite S) {
   return Plans[static_cast<size_t>(S)].Flavor;
+}
+
+bool FaultInjector::consumeHard(FaultSite S, FaultFlavor &F) {
+  if (!Armed.load(std::memory_order_relaxed))
+    return false;
+  const size_t I = static_cast<size_t>(S);
+  const SitePlan &P = Plans[I];
+  if (P.Trigger == 0)
+    return false;
+  uint64_t Before = Hits[I].fetch_add(1, std::memory_order_relaxed);
+  if (Before + 1 != P.Trigger)
+    return false;
+  Fired.fetch_add(1, std::memory_order_relaxed);
+  F = P.Flavor;
+  return true;
 }
 
 void FaultInjector::hitSlow(FaultSite S) {

@@ -17,7 +17,16 @@
 ///   * DifferenceExpand -- each product-state expansion of the difference,
 ///   * NcsbSuccessor    -- each NCSB successor computation,
 ///   * ProverEntry      -- entry of the lasso and recurrence provers,
-///   * ModularExpand    -- each tuple expansion of the modular complement.
+///   * ModularExpand    -- each tuple expansion of the modular complement,
+///   * SandboxEntry     -- entry of a sandboxed termcheckd worker process.
+///
+/// All sites but SandboxEntry throw through hit(). SandboxEntry is a HARD
+/// fault site: the sandbox worker consumes its plan via consumeHard() and
+/// turns the flavor into a real process death (raise(SIGSEGV), abort(), an
+/// allocation bomb), which only the process-isolation layer can contain.
+/// The armed state is plain process memory, so a forked worker inherits
+/// the plan and its hit counters at fork time -- each worker replays the
+/// plan independently, which is what the sandbox chaos flavor relies on.
 ///
 /// Arming takes a single seed. The seed deterministically derives, per
 /// site, whether the site is active this run, the hit index at which it
@@ -49,6 +58,7 @@ enum class FaultSite : uint8_t {
   NcsbSuccessor,
   ProverEntry,
   ModularExpand,
+  SandboxEntry,
   NumSites,
 };
 
@@ -94,6 +104,13 @@ public:
       return;
     hitSlow(S);
   }
+
+  /// The non-throwing twin of hit() for hard-fault sites: bumps the hit
+  /// counter and, when this hit is the planned trigger, stores the planned
+  /// flavor into \p F and returns true (exactly once per site per arm()).
+  /// The caller executes the fault itself -- the sandbox worker maps the
+  /// flavor onto a real crash/abort/allocation bomb.
+  static bool consumeHard(FaultSite S, FaultFlavor &F);
 
   /// Introspection for determinism tests: the planned one-based trigger hit
   /// of \p S, or 0 when the site is inactive under the current plan.

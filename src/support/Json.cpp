@@ -179,6 +179,11 @@ void Writer::null() {
   OS << "null";
 }
 
+void Writer::rawValue(std::string_view Json) {
+  valuePrefix();
+  OS << Json;
+}
+
 //===----------------------------------------------------------------------===//
 // Parser
 //===----------------------------------------------------------------------===//

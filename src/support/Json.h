@@ -84,6 +84,13 @@ public:
   void value(bool V);
   void null();
 
+  /// Emits \p Json verbatim in value position (comma/key bookkeeping still
+  /// applies). The caller vouches that the bytes are one complete JSON
+  /// value; the writer does not re-validate them. The termcheckd sandbox
+  /// path uses this to embed a worker-serialized report object into a
+  /// result line without a parse/re-serialize round trip.
+  void rawValue(std::string_view Json);
+
   /// key + value in one call.
   template <typename T> void field(const std::string &K, T V) {
     key(K);

@@ -44,6 +44,16 @@ const char *termcheck::traceEventKindName(TraceEventKind K) {
     return "race_decided";
   case TraceEventKind::VerdictReached:
     return "verdict_reached";
+  case TraceEventKind::WorkerSpawn:
+    return "worker_spawn";
+  case TraceEventKind::WorkerExit:
+    return "worker_exit";
+  case TraceEventKind::WorkerKill:
+    return "worker_kill";
+  case TraceEventKind::WorkerRetry:
+    return "worker_retry";
+  case TraceEventKind::WorkerQuarantine:
+    return "worker_quarantine";
   }
   return "?";
 }

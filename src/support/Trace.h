@@ -58,6 +58,11 @@ enum class TraceEventKind : uint8_t {
   EntrantFault,     ///< ... was quarantined (field: kind)
   RaceDecided,      ///< the shared token was cancelled by a winner
   VerdictReached,   ///< a run's final verdict
+  WorkerSpawn,      ///< a sandboxed termcheckd worker forked (job, pid)
+  WorkerExit,       ///< ... exited; fields carry the classification
+  WorkerKill,       ///< the supervisor signalled a worker (signal)
+  WorkerRetry,      ///< a crashed/OOM-killed attempt is being retried
+  WorkerQuarantine, ///< a program shape entered the crash-loop quarantine
 };
 
 /// Short stable name of an event kind (the `"event"` field of the JSONL

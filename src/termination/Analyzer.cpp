@@ -37,6 +37,22 @@ const char *termcheck::verdictName(Verdict V) {
   return "?";
 }
 
+bool termcheck::verdictFromName(std::string_view Name, Verdict &V) {
+  if (Name == "TERMINATING")
+    V = Verdict::Terminating;
+  else if (Name == "NONTERMINATING")
+    V = Verdict::Nonterminating;
+  else if (Name == "UNKNOWN")
+    V = Verdict::Unknown;
+  else if (Name == "TIMEOUT")
+    V = Verdict::Timeout;
+  else if (Name == "CANCELLED")
+    V = Verdict::Cancelled;
+  else
+    return false;
+  return true;
+}
+
 /// Stage numbering of the trace stream and the run report: 0 is the
 /// implicit M_uv lasso module, 1-4 are the generalization stages of
 /// Section 3.1 in increasing generality.

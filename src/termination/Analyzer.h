@@ -36,6 +36,8 @@
 #include "support/Trace.h"
 #include "termination/Generalize.h"
 
+#include <string_view>
+
 namespace termcheck {
 
 /// One generalization attempt in the multi-stage sequence.
@@ -158,6 +160,11 @@ inline bool isConclusive(Verdict V) {
 }
 
 const char *verdictName(Verdict V);
+
+/// Inverse of verdictName. \returns false (leaving \p V untouched) when
+/// \p Name is not one of the five stable verdict names; the termcheckd
+/// sandbox uses it to validate verdicts marshalled back from workers.
+bool verdictFromName(std::string_view Name, Verdict &V);
 
 /// Result of one analysis run.
 struct AnalysisResult {

@@ -1,9 +1,10 @@
 #!/bin/sh
-# check_server_e2e.sh <termcheck-gencorpus> <termcheckd> <termcheck-batch> \
-#                     <termcheck> <check_expectations.sh> [count]
+# check_server_e2e.sh [--isolation MODE] <termcheck-gencorpus> <termcheckd> \
+#                     <termcheck-batch> <termcheck> <check_expectations.sh> \
+#                     [count]
 #
 # The end-to-end acceptance gate for the termcheckd pipeline (DESIGN.md
-# section 14), over a freshly generated corpus of [count] programs
+# sections 14-15), over a freshly generated corpus of [count] programs
 # (default 100):
 #
 #  1. termcheck-gencorpus emits the corpus + EXPECTATIONS.txt oracle;
@@ -15,12 +16,32 @@
 #     CLI; the batch verdicts must be IDENTICAL to the per-process ones;
 #  5. a rerun against a deliberately tiny admission queue must still
 #     produce identical verdicts -- queue_full backpressure reorders
-#     work, never drops or corrupts it.
+#     work, never drops or corrupts it;
+#  6. a daemon on a Unix socket answers the --health probe, serves the
+#     whole corpus with identical verdicts, and (sandboxed modes) its
+#     --trace stream records worker lifecycle events;
+#  7. a sandboxed rerun with --inject-crash kills the worker of every
+#     Nth job with a real SIGSEGV: exactly those jobs come back as
+#     FAILED_worker_* pseudo-verdicts, every other verdict is unchanged,
+#     and the daemon survives to drain cleanly.
+#
+# --isolation MODE (inprocess|sandbox|auto) is forwarded to every daemon
+# phases 2-6 start; phase 7 always forces sandbox.
+#
+# Teardown is trap-based: any exit path kills a still-running daemon and
+# removes the temp dir.
 set -u
 
+ISOLATION=""
+if [ "${1:-}" = "--isolation" ]; then
+  [ $# -ge 2 ] || { echo "error: --isolation needs a value" >&2; exit 4; }
+  ISOLATION=$2
+  shift 2
+fi
+
 if [ $# -lt 5 ] || [ $# -gt 6 ]; then
-  echo "usage: $0 <gencorpus> <termcheckd> <batch> <termcheck>" \
-       "<check_expectations.sh> [count]" >&2
+  echo "usage: $0 [--isolation MODE] <gencorpus> <termcheckd> <batch>" \
+       "<termcheck> <check_expectations.sh> [count]" >&2
   exit 4
 fi
 GENCORPUS=$1
@@ -34,14 +55,34 @@ for B in "$GENCORPUS" "$DAEMON" "$BATCH" "$CLI"; do
 done
 [ -f "$CHECK" ] || { echo "error: $CHECK not found" >&2; exit 4; }
 
+ISO_ARGS=""
+[ -n "$ISOLATION" ] && ISO_ARGS="--isolation $ISOLATION"
+
+DIR=""
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null
+    # Grace, then the hammer: the daemon must never outlive the gate.
+    for _ in 1 2 3 4 5 6 7 8 9 10; do
+      kill -0 "$DAEMON_PID" 2>/dev/null || break
+      sleep 0.2
+    done
+    kill -9 "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+  [ -n "$DIR" ] && rm -rf "$DIR"
+}
+trap cleanup EXIT
+trap 'exit 130' INT TERM
+
 DIR=$(mktemp -d "${TMPDIR:-/tmp}/tc_server_e2e.XXXXXX") || exit 4
-trap 'rm -rf "$DIR"' EXIT
 
 echo "== 1. generate the corpus ($COUNT programs)"
 "$GENCORPUS" --out "$DIR/corpus" --count "$COUNT" --seed 42 || exit 1
 
 echo "== 2+3. batch run through a spawned termcheckd, verdicts vs oracle"
-"$BATCH" --spawn "$DAEMON" --max-active 4 --timeout 60 --quiet \
+"$BATCH" --spawn "$DAEMON" $ISO_ARGS --max-active 4 --timeout 60 --quiet \
          --verdicts "$DIR/batch.txt" --expect "$DIR/corpus/EXPECTATIONS.txt" \
          "$DIR/corpus" || { echo "FAIL batch run vs oracle" >&2; exit 1; }
 sh "$CHECK" --verdicts "$DIR/batch.txt" "$DIR/corpus/EXPECTATIONS.txt" \
@@ -67,13 +108,80 @@ if ! diff -u "$DIR/single.sorted.txt" "$DIR/batch.txt"; then
 fi
 
 echo "== 5. tiny queue (queue-cap 2, max-active 1): backpressure rerun"
-"$BATCH" --spawn "$DAEMON" --queue-cap 2 --max-active 1 --window 16 \
-         --timeout 60 --quiet --verdicts "$DIR/squeezed.txt" \
+"$BATCH" --spawn "$DAEMON" $ISO_ARGS --queue-cap 2 --max-active 1 \
+         --window 16 --timeout 60 --quiet --verdicts "$DIR/squeezed.txt" \
          "$DIR/corpus" || { echo "FAIL squeezed batch run" >&2; exit 1; }
 if ! diff -u "$DIR/batch.txt" "$DIR/squeezed.txt"; then
   echo "FAIL backpressure rerun changed verdicts" >&2
   exit 1
 fi
 
-echo "server e2e: $COUNT programs, batch == per-process == oracle"
+echo "== 6. unix-socket daemon: health probe + identical verdicts"
+SOCK="$DIR/d.sock"
+"$DAEMON" $ISO_ARGS --unix-socket "$SOCK" --trace "$DIR/trace.jsonl" \
+  < /dev/null > "$DIR/daemon.out" 2> "$DIR/daemon.err" &
+DAEMON_PID=$!
+SOCK_OK=0
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && { SOCK_OK=1; break; }
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [ "$SOCK_OK" != 1 ]; then
+  echo "FAIL daemon never bound $SOCK" >&2
+  cat "$DIR/daemon.err" >&2
+  exit 1
+fi
+"$BATCH" --connect "unix:$SOCK" --health > "$DIR/health.json" \
+  || { echo "FAIL health probe" >&2; exit 1; }
+grep -q '"type":"health"' "$DIR/health.json" \
+  || { echo "FAIL health probe: no health line" >&2; exit 1; }
+grep -q '"sandbox":{' "$DIR/health.json" \
+  || { echo "FAIL health probe: no sandbox counters" >&2; exit 1; }
+# The batch run's closing drain takes the daemon down with it.
+"$BATCH" --connect "unix:$SOCK" --timeout 60 --quiet \
+         --verdicts "$DIR/socket.txt" "$DIR/corpus" \
+  || { echo "FAIL socket batch run" >&2; exit 1; }
+if ! diff -u "$DIR/batch.txt" "$DIR/socket.txt"; then
+  echo "FAIL socket verdicts differ from pipe verdicts" >&2
+  exit 1
+fi
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+if [ "$ISOLATION" = "sandbox" ] || [ "$ISOLATION" = "auto" ] \
+   || [ -z "$ISOLATION" ]; then
+  # The CLI default is auto: non-deterministic corpus jobs fork workers,
+  # and the trace stream must have recorded their lifecycles.
+  grep -q '"event":"worker_spawn"' "$DIR/trace.jsonl" \
+    || { echo "FAIL no worker_spawn events in the trace" >&2; exit 1; }
+  grep -q '"event":"worker_exit"' "$DIR/trace.jsonl" \
+    || { echo "FAIL no worker_exit events in the trace" >&2; exit 1; }
+fi
+
+echo "== 7. sandboxed crash injection: every 7th worker dies to SIGSEGV"
+"$BATCH" --spawn "$DAEMON" --isolation sandbox --inject-crash 7 \
+         --timeout 60 --quiet --verdicts "$DIR/crash.txt" "$DIR/corpus" \
+  > /dev/null 2>&1
+RC=$?
+if [ "$RC" != 1 ]; then
+  echo "FAIL crash-injection run exited $RC (want 1: injected failures)" >&2
+  exit 1
+fi
+INJECTED=$(( (COUNT + 6) / 7 ))
+FAILED=$(grep -c ' FAILED_worker_' "$DIR/crash.txt")
+if [ "$FAILED" != "$INJECTED" ]; then
+  echo "FAIL $FAILED FAILED_worker_* verdicts, expected $INJECTED" >&2
+  cat "$DIR/crash.txt" >&2
+  exit 1
+fi
+grep -v ' FAILED_worker_' "$DIR/crash.txt" > "$DIR/crash.ok.txt"
+while IFS= read -r LINE; do
+  grep -qxF "$LINE" "$DIR/batch.txt" || {
+    echo "FAIL crash-injection perturbed a healthy verdict: $LINE" >&2
+    exit 1
+  }
+done < "$DIR/crash.ok.txt"
+
+echo "server e2e: $COUNT programs, batch == per-process == socket == oracle;" \
+     "$INJECTED injected crashes contained"
 exit 0

@@ -22,8 +22,13 @@
 ///     --timeout <s> --deadline <s> --portfolio <K> --jobs <N>
 ///     --deterministic --no-nonterm --max-states <N>
 ///                           per-job analysis options, forwarded verbatim
-///     --workers <N> --max-active <N> --queue-cap <N>
+///     --workers <N> --max-active <N> --queue-cap <N> --isolation <mode>
 ///                           forwarded to a --spawn'ed daemon
+///     --health              probe mode: send {"op":"health"}, print the
+///                           daemon's health line, and exit (no corpus)
+///     --inject-crash <N>    test hook: ask the daemon to crash the
+///                           sandboxed worker of every Nth job
+///                           (options.test_fault = "segv")
 ///     --quiet               suppress per-program progress lines
 ///
 /// Backpressure is part of the protocol, not an error: a `queue_full`
@@ -83,7 +88,11 @@ void usage(const char *Prog) {
       "  --deterministic        byte-reproducible reports\n"
       "  --no-nonterm           disable the nontermination prover\n"
       "  --max-states <N>       per-subtraction live-state cap\n"
-      "  --workers/--max-active/--queue-cap  forwarded to --spawn\n"
+      "  --workers/--max-active/--queue-cap/--isolation  forwarded to "
+      "--spawn\n"
+      "  --health               print the daemon's health line and exit\n"
+      "  --inject-crash <N>     crash the worker of every Nth job (test "
+      "hook)\n"
       "  --quiet                suppress per-program progress\n",
       Prog);
 }
@@ -295,11 +304,47 @@ std::string submitLine(const std::string &Id, const ProgramFile &P,
       W.field("no_nonterm", true);
     if (O.MaxStates != 0)
       W.field("max_states", static_cast<int64_t>(O.MaxStates));
+    if (!O.TestFault.empty())
+      W.field("test_fault", O.TestFault);
     W.endObject();
   }
   W.endObject();
   W.finish();
   return OS.str();
+}
+
+/// --health probe: one request, one matching response, done. Returns the
+/// process exit code.
+int probeHealth(Transport &T) {
+  if (!T.writeAll("{\"op\":\"health\"}\n")) {
+    std::fprintf(stderr, "termcheck-batch: daemon write failed\n");
+    return 2;
+  }
+  json::ParseLimits RespLimits;
+  RespLimits.MaxDepth = 64;
+  std::string Line;
+  while (T.readLine(Line)) {
+    json::Value Doc;
+    if (!json::parse(Line, Doc, RespLimits) || !Doc.isObject())
+      continue; // tolerate interleaved heartbeat noise
+    const json::Value *TypeV = Doc.find("type");
+    if (!TypeV || !TypeV->isString())
+      continue;
+    if (TypeV->Str == "health") {
+      std::printf("%s\n", Line.c_str());
+      return 0;
+    }
+    if (TypeV->Str == "error") {
+      const json::Value *D = Doc.find("detail");
+      std::fprintf(stderr, "termcheck-batch: server error: %s\n",
+                   D && D->isString() ? D->Str.c_str() : "(no detail)");
+      return 2;
+    }
+  }
+  std::fprintf(stderr,
+               "termcheck-batch: daemon closed the stream before the "
+               "health response\n");
+  return 2;
 }
 
 /// The shared comparison semantics of tools/check_expectations.sh: every
@@ -351,7 +396,9 @@ int main(int Argc, char **Argv) {
   const char *InputPath = nullptr;
   JobOptions JO;
   bool Quiet = false;
+  bool HealthProbe = false;
   size_t Window = 16;
+  size_t InjectCrashEvery = 0;
   std::vector<std::string> DaemonArgs;
 
   for (int I = 1; I < Argc; ++I) {
@@ -405,7 +452,16 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Arg, "--queue-cap") == 0) {
       DaemonArgs.push_back("--queue-cap");
       DaemonArgs.push_back(NeedsValue("--queue-cap"));
-    } else if (std::strcmp(Arg, "--quiet") == 0)
+    } else if (std::strcmp(Arg, "--isolation") == 0) {
+      DaemonArgs.push_back("--isolation");
+      DaemonArgs.push_back(NeedsValue("--isolation"));
+    } else if (std::strcmp(Arg, "--health") == 0)
+      HealthProbe = true;
+    else if (std::strcmp(Arg, "--inject-crash") == 0)
+      InjectCrashEvery = static_cast<size_t>(
+          parseCount("--inject-crash", NeedsValue("--inject-crash"), 1,
+                     1 << 20, "a positive job stride"));
+    else if (std::strcmp(Arg, "--quiet") == 0)
       Quiet = true;
     else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       usage(Argv[0]);
@@ -420,10 +476,35 @@ int main(int Argc, char **Argv) {
     } else
       InputPath = Arg;
   }
-  if (!InputPath || (!SpawnPath && !ConnectAddr) ||
+  if ((!InputPath && !HealthProbe) || (!SpawnPath && !ConnectAddr) ||
       (SpawnPath && ConnectAddr)) {
     usage(Argv[0]);
     return 4;
+  }
+
+  // Probe mode needs no corpus: connect, ask, print, leave.
+  if (HealthProbe) {
+    Transport T;
+    if (SpawnPath) {
+      if (!spawnDaemon(SpawnPath, DaemonArgs, T))
+        return 2;
+    } else if (!connectDaemon(ConnectAddr, T))
+      return 2;
+    int RC = probeHealth(T);
+    if (T.Child > 0) {
+      // Stop the daemon we spawned for the probe.
+      T.writeAll("{\"op\":\"drain\"}\n");
+      std::string Line;
+      while (T.readLine(Line))
+        if (Line.find("\"drained\"") != std::string::npos)
+          break;
+    }
+    T.closeAll();
+    if (T.Child > 0) {
+      int WStatus = 0;
+      ::waitpid(T.Child, &WStatus, 0);
+    }
+    return RC;
   }
 
   // Collect the corpus: every *.while of a directory (sorted for
@@ -504,7 +585,10 @@ int main(int Argc, char **Argv) {
     while (!Stalled && Outstanding < Window && !Todo.empty()) {
       size_t I = Todo.front();
       Todo.pop_front();
-      if (!T.writeAll(submitLine(Jobs[I].Id, Programs[I], JO,
+      JobOptions Per = JO;
+      if (InjectCrashEvery != 0 && I % InjectCrashEvery == 0)
+        Per.TestFault = "segv";
+      if (!T.writeAll(submitLine(Jobs[I].Id, Programs[I], Per,
                                  /*SendOptions=*/true))) {
         std::fprintf(stderr, "termcheck-batch: daemon write failed\n");
         TransportError = 2;

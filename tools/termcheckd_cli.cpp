@@ -21,6 +21,12 @@
 ///     --unix-socket <path> also listen on a Unix-domain socket
 ///     --tcp [port]         also listen on loopback TCP (0 = ephemeral;
 ///                          the bound port is announced on stderr)
+///     --isolation <mode>   inprocess | sandbox | auto (default auto):
+///                          run jobs in forked, rlimit-budgeted worker
+///                          processes so an engine crash costs one job,
+///                          not the daemon (DESIGN.md section 15)
+///     --trace <file>       stream worker lifecycle + engine trace events
+///                          as JSONL
 ///
 /// Shutdown: EOF on stdin or an in-band {"op":"drain"} drains gracefully
 /// (queued and running jobs finish, then a {"type":"drained"} line).
@@ -38,6 +44,8 @@
 
 #include "server/Server.h"
 
+#include "support/Trace.h"
+
 #include <atomic>
 #include <cerrno>
 #include <climits>
@@ -45,7 +53,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 using namespace termcheck;
@@ -64,7 +74,10 @@ void usage(const char *Prog) {
                "  --heartbeat <s>       periodic stats lines on stdout\n"
                "  --unix-socket <path>  listen on a Unix-domain socket\n"
                "  --tcp [port]          listen on loopback TCP (0 = "
-               "ephemeral)\n",
+               "ephemeral)\n"
+               "  --isolation <mode>    inprocess | sandbox | auto "
+               "(default auto)\n"
+               "  --trace <file>        JSONL worker lifecycle trace\n",
                Prog);
 }
 
@@ -99,6 +112,12 @@ double parseSeconds(const char *Flag, const char *Val) {
 
 int main(int Argc, char **Argv) {
   ServerOptions Opts;
+  // The daemon defaults to Auto isolation: non-deterministic jobs run in
+  // forked, rlimit-budgeted workers; deterministic jobs keep the pinned
+  // in-process byte-identity path. (The library default stays InProcess so
+  // embedders opt in explicitly.)
+  Opts.Sched.Isolation = server::IsolationMode::Auto;
+  std::string TracePath;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     auto NeedsValue = [&](const char *Name) -> const char * {
@@ -134,7 +153,13 @@ int main(int Argc, char **Argv) {
       if (I + 1 < Argc && Argv[I + 1][0] != '-')
         Opts.TcpPort = static_cast<uint16_t>(parseCount(
             "--tcp", Argv[++I], 0, 65535, "a TCP port in [0, 65535]"));
-    } else if (std::strcmp(Arg, "--help") == 0 ||
+    } else if (std::strcmp(Arg, "--isolation") == 0) {
+      const char *V = NeedsValue("--isolation");
+      if (!server::isolationModeFromName(V, Opts.Sched.Isolation))
+        badValue("--isolation", V, "one of inprocess|sandbox|auto");
+    } else if (std::strcmp(Arg, "--trace") == 0)
+      TracePath = NeedsValue("--trace");
+    else if (std::strcmp(Arg, "--help") == 0 ||
                std::strcmp(Arg, "-h") == 0) {
       usage(Argv[0]);
       return 0;
@@ -143,6 +168,23 @@ int main(int Argc, char **Argv) {
       usage(Argv[0]);
       return 4;
     }
+  }
+
+  // Trace plumbing must outlive the Server (the scheduler's supervisor
+  // emits worker lifecycle events until its destructor joins).
+  std::ofstream TraceFile;
+  std::unique_ptr<JsonlSink> TraceSinkPtr;
+  std::unique_ptr<Trace> Tracer;
+  if (!TracePath.empty()) {
+    TraceFile.open(TracePath);
+    if (!TraceFile) {
+      std::fprintf(stderr, "termcheckd: error: cannot open trace file '%s'\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    TraceSinkPtr = std::make_unique<JsonlSink>(TraceFile);
+    Tracer = std::make_unique<Trace>(*TraceSinkPtr);
+    Opts.Sched.Tracer = Tracer.get();
   }
 
   // Route SIGINT/SIGTERM through a dedicated sigwait thread (they are
