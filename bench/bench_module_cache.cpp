@@ -1,0 +1,199 @@
+//===- bench/bench_module_cache.cpp - Cold vs warm module cache -----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the cross-run certified-module cache (DESIGN.md section 16)
+/// over a duplicate-heavy batch: every generated program appears several
+/// times, the way near-identical revisions of one function arrive at a
+/// batch server. Three passes over the same batch:
+///
+///   nocache  the pre-cache analyzer (control for cache overhead),
+///   cold     a fresh cache -- later duplicates already hit what earlier
+///            copies certified,
+///   warm     the SAME cache again -- every program warm-starts from its
+///            own previous certification.
+///
+/// The cache's promise, checked here and gated in run_bench_suite.sh:
+/// the warm pass invokes `generalize` less often and finishes faster than
+/// the cold pass, with ZERO verdict differences across all three passes
+/// (every replayed module is re-validated, so a cache can speed the run
+/// up but never change what it concludes).
+///
+/// Usage: bench_module_cache [--json <path|->] [--repeat N]
+///                           [duplicates] [timeout-seconds]
+///   duplicates       copies of each program in the batch    (default: 3)
+///   timeout-seconds  per-program budget                     (default: 5)
+///   --repeat N       report walls as the median of N runs   (default 1;
+///                    each repetition uses a fresh cache)
+///   --json <path>    machine-readable "termcheck-bench-report" document
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/Timer.h"
+#include "termination/ModuleCache.h"
+
+#include <cstring>
+#include <sstream>
+
+using namespace termcheck;
+using namespace termcheck::bench;
+
+namespace {
+
+struct PassStats {
+  double WallSeconds = 0;
+  int64_t GeneralizeCalls = 0;
+  int64_t CacheHits = 0;
+  int64_t CacheMisses = 0;
+  int64_t CacheInserts = 0;
+  int64_t CacheValidationFailures = 0;
+  std::vector<Verdict> Verdicts;
+};
+
+/// One sequential pass over \p Batch, optionally consulting \p Cache.
+PassStats runPass(const std::vector<BenchProgram> &Batch, ModuleCache *Cache,
+                  double Timeout) {
+  PassStats S;
+  Timer T;
+  for (const BenchProgram &B : Batch) {
+    AnalyzerOptions Opts;
+    Opts.Cache = Cache;
+    AnalysisResult R = runTask(B, Opts, Timeout);
+    S.Verdicts.push_back(R.V);
+    S.GeneralizeCalls += R.Stats.get("perf.generalize_calls");
+    S.CacheHits += R.Stats.get("perf.cache_hits");
+    S.CacheMisses += R.Stats.get("perf.cache_misses");
+    S.CacheInserts += R.Stats.get("perf.cache_inserts");
+    S.CacheValidationFailures +=
+        R.Stats.get("perf.cache_validation_failures");
+  }
+  S.WallSeconds = T.seconds();
+  return S;
+}
+
+size_t mismatches(const std::vector<Verdict> &A, const std::vector<Verdict> &B) {
+  size_t N = 0;
+  for (size_t I = 0; I < A.size() && I < B.size(); ++I)
+    if (A[I] != B[I])
+      ++N;
+  return N;
+}
+
+void emitPass(json::Writer &W, const char *Key, const PassStats &S,
+              bool WithCache) {
+  W.key(Key);
+  W.beginObject();
+  W.field("wall_s", S.WallSeconds);
+  W.field("generalize_calls", S.GeneralizeCalls);
+  if (WithCache) {
+    W.field("cache_hits", S.CacheHits);
+    W.field("cache_misses", S.CacheMisses);
+    W.field("cache_inserts", S.CacheInserts);
+    W.field("cache_validation_failures", S.CacheValidationFailures);
+  }
+  W.endObject();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = takeJsonFlag(Argc, Argv);
+  unsigned Repeat = takeRepeatFlag(Argc, Argv);
+  size_t Duplicates = Argc > 1 ? std::strtoul(Argv[1], nullptr, 10) : 3;
+  double Timeout = Argc > 2 ? std::strtod(Argv[2], nullptr) : 5.0;
+  if (Duplicates == 0)
+    Duplicates = 1;
+
+  // Duplicate-heavy batch: every suite program repeated, duplicates
+  // interleaved (a,b,c,a,b,c,...) so cold-pass hits come from the cache,
+  // not from any per-program locality.
+  std::vector<BenchProgram> Suite = smallBenchmarkSuite();
+  std::vector<BenchProgram> Batch;
+  for (size_t D = 0; D < Duplicates; ++D)
+    for (const BenchProgram &B : Suite)
+      Batch.push_back(B);
+
+  // Medians over Repeat repetitions; each repetition gets a fresh cache so
+  // its cold pass is genuinely cold. Verdicts and counters are taken from
+  // the last repetition (they are deterministic across repetitions).
+  PassStats NoCache, Cold, Warm;
+  std::vector<double> NoCacheWalls, ColdWalls, WarmWalls;
+  for (unsigned I = 0; I < Repeat; ++I) {
+    ModuleCache Cache;
+    NoCache = runPass(Batch, nullptr, Timeout);
+    Cold = runPass(Batch, &Cache, Timeout);
+    Warm = runPass(Batch, &Cache, Timeout);
+    NoCacheWalls.push_back(NoCache.WallSeconds);
+    ColdWalls.push_back(Cold.WallSeconds);
+    WarmWalls.push_back(Warm.WallSeconds);
+  }
+  NoCache.WallSeconds = medianOf(NoCacheWalls);
+  Cold.WallSeconds = medianOf(ColdWalls);
+  Warm.WallSeconds = medianOf(WarmWalls);
+
+  size_t ColdMismatch = mismatches(NoCache.Verdicts, Cold.Verdicts);
+  size_t WarmMismatch = mismatches(NoCache.Verdicts, Warm.Verdicts);
+  double Speedup =
+      Warm.WallSeconds > 0 ? Cold.WallSeconds / Warm.WallSeconds : 0;
+
+  std::printf("module cache: %zu programs x %zu duplicates, timeout %.1fs, "
+              "median of %u\n",
+              Suite.size(), Duplicates, Timeout, Repeat);
+  hr();
+  std::printf("%-10s %10s %12s %8s %8s %10s\n", "pass", "wall_s",
+              "generalize", "hits", "misses", "vfails");
+  hr();
+  std::printf("%-10s %10.3f %12lld %8s %8s %10s\n", "nocache",
+              NoCache.WallSeconds,
+              static_cast<long long>(NoCache.GeneralizeCalls), "-", "-", "-");
+  std::printf("%-10s %10.3f %12lld %8lld %8lld %10lld\n", "cold",
+              Cold.WallSeconds, static_cast<long long>(Cold.GeneralizeCalls),
+              static_cast<long long>(Cold.CacheHits),
+              static_cast<long long>(Cold.CacheMisses),
+              static_cast<long long>(Cold.CacheValidationFailures));
+  std::printf("%-10s %10.3f %12lld %8lld %8lld %10lld\n", "warm",
+              Warm.WallSeconds, static_cast<long long>(Warm.GeneralizeCalls),
+              static_cast<long long>(Warm.CacheHits),
+              static_cast<long long>(Warm.CacheMisses),
+              static_cast<long long>(Warm.CacheValidationFailures));
+  hr();
+  std::printf("warm speedup over cold: %.2fx, verdict mismatches: %zu\n",
+              Speedup, ColdMismatch + WarmMismatch);
+
+  if (!JsonPath.empty()) {
+    std::ostringstream OS;
+    json::Writer W(OS, /*Pretty=*/true);
+    W.beginObject();
+    beginBenchReport(W, "module_cache");
+    W.field("programs", static_cast<int64_t>(Suite.size()));
+    W.field("duplicates", static_cast<int64_t>(Duplicates));
+    W.field("timeout_s", Timeout);
+    W.field("repeat", static_cast<int64_t>(Repeat));
+    emitPass(W, "nocache", NoCache, /*WithCache=*/false);
+    emitPass(W, "cold", Cold, /*WithCache=*/true);
+    emitPass(W, "warm", Warm, /*WithCache=*/true);
+    W.field("warm_speedup", Speedup);
+    W.field("verdict_mismatches",
+            static_cast<int64_t>(ColdMismatch + WarmMismatch));
+    W.endObject();
+    W.finish();
+    if (!writeJsonDocument(JsonPath, OS.str()))
+      return 1;
+  }
+
+  // A verdict difference is a soundness alarm, not a perf datum.
+  if (ColdMismatch + WarmMismatch > 0) {
+    std::fprintf(stderr,
+                 "bench_module_cache: verdicts changed with the cache on\n");
+    return 2;
+  }
+  // The cache must actually fire on this duplicate-heavy batch.
+  if (Warm.CacheHits == 0) {
+    std::fprintf(stderr, "bench_module_cache: warm pass never hit\n");
+    return 3;
+  }
+  return 0;
+}

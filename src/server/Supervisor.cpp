@@ -6,7 +6,9 @@
 
 #include "server/Supervisor.h"
 
+#include "program/Parser.h"
 #include "support/CancellationToken.h"
+#include "termination/ModuleCache.h"
 
 #include <csignal>
 #include <cstring>
@@ -171,16 +173,22 @@ Supervisor::Attempt Supervisor::drive(const JobSpec &Spec,
   return A;
 }
 
-namespace {
-
 /// Deterministic retry jitter: crash-looping neighbors submitted with
 /// adjacent ids must not retry in lockstep, but the same id must back off
-/// the same way every run (test reproducibility).
-double jitteredBackoff(double Base, const std::string &Id,
-                       uint32_t AttemptNo) {
-  uint64_t H = programShapeHash(Id) + 0x9e3779b97f4a7c15ULL * (AttemptNo + 1);
+/// the same way every run (test reproducibility). Job ids are opaque bytes,
+/// so this hashes every byte verbatim (FNV-1a) -- programShapeHash would
+/// collapse whitespace and give ids differing only in whitespace identical
+/// jitter, synchronizing their retries.
+double termcheck::server::retryBackoffJitter(double Base, const std::string &Id,
+                          uint32_t AttemptNo) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Id)
+    H = (H ^ C) * 0x100000001b3ULL;
+  H = (H ^ (AttemptNo + 1)) * 0x100000001b3ULL;
   return Base * (1.0 + static_cast<double>(H % 256) / 256.0);
 }
+
+namespace {
 
 /// Sleeps in small slices so a cancel during backoff cuts the retry short.
 void sleepWithToken(double Seconds, CancellationToken &Token) {
@@ -237,10 +245,26 @@ JobOutcome Supervisor::run(const JobSpec &Spec, CancellationToken &Token) {
     }
   }
 
+  // With a shared module cache attached, ship this program's candidate
+  // entries to the worker (shape-keyed, so only plausibly matching modules
+  // cross the pipe) and merge whatever the worker certifies back in after
+  // a clean outcome. The parent never trusts the bytes: every merge goes
+  // through insertSerialized's header/checksum check, and replay in any
+  // later consumer still re-validates against its own program.
+  std::vector<std::string> CacheEntries;
+  bool CacheOn = Cfg.Cache != nullptr;
+  if (CacheOn) {
+    ParseResult PR = parseProgram(Spec.ProgramText);
+    if (PR.ok())
+      CacheEntries =
+          Cfg.Cache->entriesForProgram(ModuleCache::programShapeKey(*PR.Prog));
+  }
+
   for (uint32_t AttemptNo = 0;; ++AttemptNo) {
     WorkerHandle H;
     std::string Err;
-    if (!spawnWorker(Spec, Cfg, AttemptNo, H, &Err)) {
+    if (!spawnWorker(Spec, Cfg, AttemptNo, H, &Err,
+                     CacheOn ? &CacheEntries : nullptr)) {
       O.Status = JobStatus::WorkerCrashed;
       O.Result.V = Verdict::Unknown;
       O.Attempts = AttemptNo + 1;
@@ -308,6 +332,11 @@ JobOutcome Supervisor::run(const JobSpec &Spec, CancellationToken &Token) {
         return O;
       }
       Parsed.Attempts = AttemptNo + 1;
+      if (CacheOn) {
+        for (const std::string &E : Parsed.CacheInserts)
+          (void)Cfg.Cache->insertSerialized(E);
+        Cfg.Cache->addTotals(Parsed.CacheStats);
+      }
       return Parsed;
     }
 
@@ -354,7 +383,7 @@ JobOutcome Supervisor::run(const JobSpec &Spec, CancellationToken &Token) {
         ++Stats.Retries;
       }
       double Backoff =
-          jitteredBackoff(SB.RetryBackoffSeconds, Spec.Id, AttemptNo + 1);
+          retryBackoffJitter(SB.RetryBackoffSeconds, Spec.Id, AttemptNo + 1);
       emit(TraceEvent(TraceEventKind::WorkerRetry)
                .with("job", Spec.Id)
                .with("attempt", static_cast<int64_t>(AttemptNo + 1))

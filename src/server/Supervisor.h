@@ -53,6 +53,14 @@ class CancellationToken;
 
 namespace server {
 
+/// Deterministic retry-backoff jitter for attempt \p AttemptNo of job
+/// \p Id: Base scaled by a factor in [1, 2) derived from a plain byte-hash
+/// of (id, attempt). Every byte of the id participates -- ids differing
+/// only in whitespace must NOT share jitter (regression-tested in
+/// tests/server_sandbox_test.cpp).
+double retryBackoffJitter(double Base, const std::string &Id,
+                          uint32_t AttemptNo);
+
 class Supervisor {
 public:
   /// \p Cfg must outlive the supervisor (the Scheduler passes its own

@@ -43,7 +43,14 @@ public:
   /// \returns a uniform value in [Lo, Hi] inclusive.
   int64_t range(int64_t Lo, int64_t Hi) {
     assert(Lo <= Hi && "inverted range");
-    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+    // The span must be computed in uint64_t: Hi - Lo overflows int64_t for
+    // wide ranges such as [INT64_MIN, INT64_MAX]. A span of 2^64 wraps to 0,
+    // which means "every 64-bit value" -- take next() directly.
+    uint64_t Span =
+        static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    if (Span == 0)
+      return static_cast<int64_t>(next());
+    return static_cast<int64_t>(static_cast<uint64_t>(Lo) + below(Span));
   }
 
   /// \returns true with probability \p Num / \p Den.

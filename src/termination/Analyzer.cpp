@@ -14,6 +14,7 @@
 #include "automata/PerfCounters.h"
 #include "automata/RankComplement.h"
 #include "automata/Simulation.h"
+#include "termination/ModuleCache.h"
 
 #include <cassert>
 #include <algorithm>
@@ -484,6 +485,46 @@ AnalysisResult TerminationAnalyzer::run() {
     DiffOpts.Guard = Opts.Guard;
     return DiffOpts;
   };
+  // Cross-run module cache (DESIGN.md section 16). Warm start: replay
+  // every module previously certified for this program shape through the
+  // normal subtraction path before hunting fresh lassos. Each replayed
+  // module was re-validated by lookupProgram, so this is exactly as sound
+  // as subtracting a freshly generalized module; a fault during a replay
+  // abandons the remaining warm set (pure optimization, never a verdict).
+  ModuleCacheStats CacheStats;
+  uint64_t ProgKey = 0;
+  if (Opts.Cache) {
+    ProgKey = ModuleCache::programShapeKey(P);
+    std::vector<CertifiedModule> Warm =
+        Opts.Cache->lookupProgram(ProgKey, P, CacheStats);
+    for (CertifiedModule &M : Warm) {
+      if (BudgetHook())
+        break;
+      try {
+        Remaining = Timed(
+            "time.subtract", [&] { return subtract(Remaining, M,
+                                                   Result.Stats); });
+      } catch (const EngineError &E) {
+        Result.Stats.add(std::string("fault.contained.") +
+                         errorKindName(E.kind()));
+        Result.Stats.add("cache.warm_replay_aborted");
+        break;
+      }
+      Result.Stats.add("cache.warm_replays");
+      if (Trace *TR = Opts.Tracer)
+        TR->emit(TraceEvent(TraceEventKind::ModuleBuilt)
+                     .with("iteration", static_cast<int64_t>(0))
+                     .with("stage", moduleStageIndex(M.Kind))
+                     .with("kind", moduleKindName(M.Kind))
+                     .with("states",
+                           static_cast<int64_t>(M.A.numStates()))
+                     .with("cached", true));
+      Result.Modules.push_back(std::move(M));
+      Remaining = dropFullConditions(Remaining);
+      if (Remaining.numConditions() > 48)
+        Remaining = degeneralize(Remaining);
+    }
+  }
   while (true) {
     if (Cancel && Cancel->cancelled()) {
       Result.V = Verdict::Cancelled;
@@ -600,15 +641,33 @@ AnalysisResult TerminationAnalyzer::run() {
     }
 
     try {
-      CertifiedModule M = Timed(
-          "time.generalize", [&] { return generalize(L, *W, Proof,
-                                                     Result.Stats); });
+      // Before paying for generalization, ask the cache whether an
+      // earlier run already certified a module for this canonical lasso
+      // shape. lookupLasso re-validates (decode, acceptsLasso on this
+      // very word, validateModule), so a hit makes exactly the progress a
+      // fresh generalize would.
+      CertifiedModule M;
+      uint64_t LassoKey = 0;
+      bool FromCache = false;
+      if (Opts.Cache) {
+        LassoKey = ModuleCache::lassoShapeKey(P, *W);
+        FromCache = Opts.Cache->lookupLasso(LassoKey, P, *W, M, CacheStats);
+      }
+      if (!FromCache) {
+        M = Timed(
+            "time.generalize", [&] { return generalize(L, *W, Proof,
+                                                       Result.Stats); });
+        Result.Stats.add("perf.generalize_calls");
+        if (Opts.Cache)
+          Opts.Cache->insert(LassoKey, ProgKey, M, P, CacheStats);
+      }
       if (Trace *TR = Opts.Tracer)
         TR->emit(TraceEvent(TraceEventKind::ModuleBuilt)
                      .with("iteration", static_cast<int64_t>(Iter))
                      .with("stage", moduleStageIndex(M.Kind))
                      .with("kind", moduleKindName(M.Kind))
-                     .with("states", static_cast<int64_t>(M.A.numStates())));
+                     .with("states", static_cast<int64_t>(M.A.numStates()))
+                     .with("cached", FromCache));
       Remaining = Timed(
           "time.subtract", [&] { return subtract(Remaining, M,
                                                  Result.Stats); });
@@ -672,6 +731,16 @@ AnalysisResult TerminationAnalyzer::run() {
   Result.Stats.add("perf.modular_cheap_components",
                    static_cast<int64_t>(PerfEnd.ModularCheapComponents -
                                         PerfStart.ModularCheapComponents));
+  if (Opts.Cache) {
+    Result.Stats.add("perf.cache_hits",
+                     static_cast<int64_t>(CacheStats.Hits));
+    Result.Stats.add("perf.cache_misses",
+                     static_cast<int64_t>(CacheStats.Misses));
+    Result.Stats.add("perf.cache_validation_failures",
+                     static_cast<int64_t>(CacheStats.ValidationFailures));
+    Result.Stats.add("perf.cache_inserts",
+                     static_cast<int64_t>(CacheStats.Inserts));
+  }
   Result.Seconds = Watch.seconds();
   if (Trace *TR = Opts.Tracer)
     TR->emit(TraceEvent(TraceEventKind::VerdictReached)

@@ -40,6 +40,8 @@
 
 namespace termcheck {
 
+class ModuleCache;
+
 /// One generalization attempt in the multi-stage sequence.
 enum class Stage : uint8_t {
   Finite,            ///< M_fin (only applicable to infeasible stems)
@@ -126,6 +128,15 @@ struct AnalyzerOptions {
   /// handle is forwarded into the recurrence prover and may be shared by
   /// concurrent portfolio entrants (Trace is thread-safe).
   Trace *Tracer = nullptr;
+  /// Optional cross-run certified-module cache (non-owning; must outlive
+  /// the run; thread-safe, may be shared across concurrent runs). When
+  /// set, the run warm-starts by replaying every cached module recorded
+  /// for this program shape through the normal subtraction path, consults
+  /// the cache before each generalize, inserts freshly certified modules,
+  /// and reports perf.cache_* counters. Every replayed module is
+  /// re-validated with validateModule first -- a stale or corrupt entry is
+  /// a miss, never an unsound verdict.
+  ModuleCache *Cache = nullptr;
 
   /// The paper's stage sequences for the Section 7 ablation.
   static std::vector<Stage> sequenceSkipDet() {

@@ -1,0 +1,200 @@
+//===- termination/ModuleCache.h - Cross-run module cache -----*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cross-run cache of certified modules (DESIGN.md section 16), treating
+/// termination arguments as reusable artifacts the way Heizmann et al.'s
+/// learning-based analysis does: a module certified for one lasso shape is
+/// replayed -- through the normal subtraction path -- whenever a later run
+/// meets the same shape, instead of re-deriving it with the full
+/// generalize-and-subtract machinery.
+///
+/// Keys are *canonical shapes*: statements are re-rendered over canonical
+/// variable names (`v0`, `v1`, ... assigned by first occurrence in edge
+/// order), so two programs differing only in variable names or whitespace
+/// share keys. The cache keeps two indexes over the same entry store:
+///
+///  * lasso shape hash -> entries, consulted before each `generalize`;
+///  * program shape hash -> entries, consulted once per run for warm-start
+///    replay of everything previously certified for this program.
+///
+/// Entries are versioned, checksummed binary serializations of
+/// CertifiedModule that are fully self-contained: they carry their own
+/// alphabet (canonical statement renderings) and their own variable-slot
+/// space, and are *rebound* to the current program at lookup time by exact
+/// canonical-string matching. Soundness never rests on the key, the
+/// checksum, or the rebinding: every looked-up module is re-validated with
+/// validateModule against the current program before it is handed out, so
+/// a stale, colliding, or corrupted entry degrades to a cache miss -- never
+/// to an unsound verdict.
+///
+/// The in-memory store is a thread-safe LRU bounded by total serialized
+/// bytes. With a directory configured (`--module-cache DIR`), inserts are
+/// additionally persisted one-file-per-entry (atomic tmp+rename) and the
+/// directory is scanned back on construction; on-disk payloads are NOT
+/// trusted at load time -- checksum and structural validation are deferred
+/// to lookup, where a corrupt entry bumps the per-run
+/// `perf.cache_validation_failures` counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_TERMINATION_MODULECACHE_H
+#define TERMCHECK_TERMINATION_MODULECACHE_H
+
+#include "automata/Scc.h"
+#include "termination/CertifiedModule.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace termcheck {
+
+/// Per-run cache counters, surfaced as `perf.cache_*` in the run report.
+struct ModuleCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t ValidationFailures = 0;
+  uint64_t Inserts = 0;
+};
+
+/// The serialization format version; bump on any layout change. Entries
+/// with a different version are rejected at lookup (a miss, never a crash).
+inline constexpr uint32_t ModuleCacheFormatVersion = 1;
+
+/// Thread-safe LRU cache of serialized certified modules with optional
+/// on-disk persistence. See the file comment for the design.
+class ModuleCache {
+public:
+  /// \p DiskDir empty = in-memory only; otherwise entries persist as
+  /// `DIR/*.tcmc` files and the directory is loaded on construction.
+  /// \p MaxBytes bounds the in-memory store (LRU eviction; on-disk files
+  /// of evicted entries are left in place for later runs).
+  explicit ModuleCache(std::string DiskDir = "",
+                       size_t MaxBytes = 64ull << 20);
+
+  ModuleCache(const ModuleCache &) = delete;
+  ModuleCache &operator=(const ModuleCache &) = delete;
+
+  /// Canonical program shape: hash of locations, entry, and every edge
+  /// with its canonically rendered statement. Variable-name- and
+  /// whitespace-insensitive.
+  static uint64_t programShapeKey(const Program &P);
+
+  /// Canonical lasso shape: hash of the canonically rendered stem and loop
+  /// statement sequences of \p W (with a stem/loop separator).
+  static uint64_t lassoShapeKey(const Program &P, const LassoWord &W);
+
+  /// Serializes \p M (certified against \p P) into a self-contained,
+  /// versioned, checksummed entry tagged with both keys. Exposed for the
+  /// round-trip tests; most callers go through insert().
+  static std::string serializeModule(const CertifiedModule &M,
+                                     const Program &P, uint64_t LassoKey,
+                                     uint64_t ProgramKey);
+
+  /// Deserializes and rebinds \p Bytes against \p P: checks magic,
+  /// version, checksum, structural well-formedness, and resolves every
+  /// canonical statement string and variable slot to \p P's symbols and
+  /// variables. \returns false (leaving \p Out untouched on failure paths
+  /// where possible) on ANY mismatch. Does NOT run validateModule -- the
+  /// lookup paths do that on top. Exposed for the corruption tests.
+  static bool deserializeModule(const std::string &Bytes, const Program &P,
+                                CertifiedModule &Out,
+                                uint64_t *LassoKey = nullptr,
+                                uint64_t *ProgramKey = nullptr);
+
+  /// Looks up one module for \p LassoKey that deserializes, rebinds,
+  /// accepts the lasso word \p W, and passes validateModule against \p P.
+  /// Bumps Hits or Misses in \p RS; every entry that matched the key but
+  /// failed decode/validation bumps ValidationFailures.
+  /// \returns true and fills \p Out on a hit.
+  bool lookupLasso(uint64_t LassoKey, const Program &P, const LassoWord &W,
+                   CertifiedModule &Out, ModuleCacheStats &RS);
+
+  /// All modules recorded for \p ProgramKey that deserialize, rebind, and
+  /// pass validateModule against \p P (warm-start replay set). Each
+  /// returned module counts one Hit; each failed candidate counts one
+  /// ValidationFailure. An empty result counts one Miss.
+  std::vector<CertifiedModule> lookupProgram(uint64_t ProgramKey,
+                                             const Program &P,
+                                             ModuleCacheStats &RS);
+
+  /// Serializes and stores \p M under both keys (and on disk when
+  /// configured). Content-identical duplicates are dropped. Bumps
+  /// RS.Inserts on a genuine insert.
+  void insert(uint64_t LassoKey, uint64_t ProgramKey,
+              const CertifiedModule &M, const Program &P,
+              ModuleCacheStats &RS);
+
+  /// Stores an already-serialized entry (the pipe-protocol merge path:
+  /// sandbox workers ship their inserts back as raw entry bytes). Only the
+  /// header is sanity-checked here; full validation stays at lookup.
+  /// \returns true when the entry was new and accepted.
+  bool insertSerialized(const std::string &Bytes);
+
+  /// Serialized entries whose program key is \p ProgramKey, most recently
+  /// used first (what the parent ships to a sandbox worker for this job).
+  std::vector<std::string> entriesForProgram(uint64_t ProgramKey) const;
+
+  /// Entries added via insert()/insertSerialized() since the last drain
+  /// (what a sandbox worker ships back to the parent). Clears the list.
+  std::vector<std::string> drainNewEntries();
+
+  /// Cumulative counters across every run sharing this cache (the
+  /// daemon's shutdown summary / health line).
+  ModuleCacheStats totals() const;
+
+  /// Folds \p S into the cumulative counters: the supervisor calls this
+  /// with a sandbox worker's reported stats, whose hits and misses happened
+  /// in the worker's private cache and would otherwise vanish with it.
+  void addTotals(const ModuleCacheStats &S);
+
+  /// Number of entries currently resident in memory.
+  size_t size() const;
+  /// Total serialized bytes currently resident in memory.
+  size_t bytes() const;
+  /// Files skipped while scanning DiskDir (unreadable or bad header).
+  size_t loadSkipped() const { return LoadSkipped; }
+
+private:
+  struct Entry {
+    uint64_t LassoKey = 0;
+    uint64_t ProgramKey = 0;
+    uint64_t ContentHash = 0;
+    std::string Bytes;
+  };
+  using EntryList = std::list<Entry>;
+
+  mutable std::mutex M;
+  /// LRU order: front = most recently used.
+  EntryList Entries;
+  std::unordered_map<uint64_t, std::vector<EntryList::iterator>> ByLasso;
+  std::unordered_map<uint64_t, std::vector<EntryList::iterator>> ByProgram;
+  std::unordered_map<uint64_t, EntryList::iterator> ByContent;
+  size_t TotalBytes = 0;
+  const size_t MaxBytes;
+  const std::string DiskDir;
+  size_t LoadSkipped = 0;
+  ModuleCacheStats Cumulative;
+  std::vector<std::string> NewEntries;
+
+  /// Inserts pre-serialized bytes under the header's keys. \returns true
+  /// when new. Caller holds no lock.
+  bool insertBytes(std::string Bytes, bool Persist, bool TrackNew);
+
+  void touchLocked(EntryList::iterator It);
+  void evictLocked();
+  void unindexLocked(EntryList::iterator It);
+  void persistToDisk(const std::string &Bytes, uint64_t ContentHash) const;
+  void loadDiskDir();
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_TERMINATION_MODULECACHE_H

@@ -1,0 +1,409 @@
+//===- tests/module_cache_test.cpp - Cross-run module cache gate ----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The acceptance gate for the cross-run certified-module cache
+/// (DESIGN.md section 16):
+///
+///  * serialize -> deserialize -> validateModule round-trips, including
+///    across alpha-renamed programs (the canonical-shape keys must agree);
+///  * corrupted, truncated, or version-mismatched bytes are rejected as
+///    misses that bump the validation-failure counter -- NEVER accepted,
+///    never a crash;
+///  * the in-memory store is a byte-bounded LRU;
+///  * concurrent hits and inserts are data-race-free (the TSan job
+///    exercises this test under -fsanitize=thread);
+///  * a warm analyzer run replays cached modules (cache_hits > 0, fewer
+///    generalize calls) and reaches the SAME verdict as the cold run;
+///  * deterministic statistics stay byte-identical with the cache on;
+///  * entries persist to disk and warm a cache constructed later over the
+///    same directory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "termination/ModuleCache.h"
+
+#include "automata/Scc.h"
+#include "program/Parser.h"
+#include "termination/Analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace termcheck;
+
+namespace {
+
+Program parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+constexpr const char *Countdown =
+    "program p(i) { while (i > 0) { i := i - 1; } }";
+/// Alpha-renamed and reformatted Countdown: same canonical shape.
+constexpr const char *CountdownRenamed =
+    "program q(counter) {\n  while (counter > 0)\n"
+    "  { counter := counter - 1; }\n}";
+/// A genuinely different shape.
+constexpr const char *CountUpByTwo =
+    "program r(i) { while (i > 0) { i := i - 2; } }";
+
+AnalysisResult analyze(Program &P, ModuleCache *Cache = nullptr) {
+  AnalyzerOptions Opts;
+  Opts.TimeoutSeconds = 30;
+  Opts.Cache = Cache;
+  TerminationAnalyzer A(P, Opts);
+  return A.run();
+}
+
+/// A certified module produced by the real pipeline, plus the program it
+/// certifies.
+struct Certified {
+  Program P;
+  CertifiedModule M;
+  explicit Certified(const char *Src) : P(parse(Src)) {
+    AnalysisResult R = analyze(P);
+    EXPECT_EQ(R.V, Verdict::Terminating);
+    EXPECT_FALSE(R.Modules.empty());
+    if (!R.Modules.empty())
+      M = R.Modules.front();
+  }
+};
+
+TEST(ModuleCacheKeys, ShapeKeysIgnoreNamesAndWhitespace) {
+  Program A = parse(Countdown), B = parse(CountdownRenamed),
+          C = parse(CountUpByTwo);
+  EXPECT_EQ(ModuleCache::programShapeKey(A), ModuleCache::programShapeKey(B));
+  EXPECT_NE(ModuleCache::programShapeKey(A), ModuleCache::programShapeKey(C));
+}
+
+TEST(ModuleCacheSerialization, RoundTripValidates) {
+  Certified C(Countdown);
+  std::string Bytes = ModuleCache::serializeModule(C.M, C.P, 7, 9);
+  ASSERT_FALSE(Bytes.empty());
+  CertifiedModule Out;
+  uint64_t LK = 0, PK = 0;
+  ASSERT_TRUE(ModuleCache::deserializeModule(Bytes, C.P, Out, &LK, &PK));
+  EXPECT_EQ(LK, 7u);
+  EXPECT_EQ(PK, 9u);
+  EXPECT_EQ(Out.Kind, C.M.Kind);
+  EXPECT_EQ(Out.A.numStates(), C.M.A.numStates());
+  EXPECT_EQ(validateModule(Out, C.P), "");
+}
+
+TEST(ModuleCacheSerialization, RebindsAcrossAlphaRenaming) {
+  // Serialize against the original program, deserialize against the
+  // renamed one: the canonical statement strings must rebind, and the
+  // module must validate against the NEW program.
+  Certified C(Countdown);
+  Program Renamed = parse(CountdownRenamed);
+  std::string Bytes = ModuleCache::serializeModule(C.M, C.P, 1, 2);
+  ASSERT_FALSE(Bytes.empty());
+  CertifiedModule Out;
+  ASSERT_TRUE(ModuleCache::deserializeModule(Bytes, Renamed, Out));
+  EXPECT_EQ(validateModule(Out, Renamed), "");
+}
+
+TEST(ModuleCacheSerialization, RejectsForeignProgram) {
+  Certified C(Countdown);
+  Program Other = parse(CountUpByTwo);
+  std::string Bytes = ModuleCache::serializeModule(C.M, C.P, 1, 2);
+  ASSERT_FALSE(Bytes.empty());
+  CertifiedModule Out;
+  // "i := i - 1" does not exist in CountUpByTwo: rebinding must fail.
+  EXPECT_FALSE(ModuleCache::deserializeModule(Bytes, Other, Out));
+}
+
+TEST(ModuleCacheSerialization, RejectsTamperedBytes) {
+  Certified C(Countdown);
+  std::string Bytes = ModuleCache::serializeModule(C.M, C.P, 1, 2);
+  ASSERT_FALSE(Bytes.empty());
+
+  // Every truncation is rejected.
+  for (size_t Len : {size_t(0), size_t(3), size_t(31), Bytes.size() - 1}) {
+    CertifiedModule Out;
+    EXPECT_FALSE(
+        ModuleCache::deserializeModule(Bytes.substr(0, Len), C.P, Out))
+        << "truncated to " << Len;
+  }
+
+  // Flipping any single byte is rejected (header fields break parsing,
+  // payload bytes break the checksum, checksum bytes break themselves).
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Bad = Bytes;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0x40);
+    CertifiedModule Out;
+    EXPECT_FALSE(ModuleCache::deserializeModule(Bad, C.P, Out))
+        << "byte " << I << " flip accepted";
+  }
+}
+
+TEST(ModuleCacheSerialization, RejectsVersionMismatch) {
+  Certified C(Countdown);
+  std::string Bytes = ModuleCache::serializeModule(C.M, C.P, 1, 2);
+  ASSERT_FALSE(Bytes.empty());
+  // The format version is the little-endian u32 right after the magic.
+  std::string Bad = Bytes;
+  Bad[4] = static_cast<char>(ModuleCacheFormatVersion + 1);
+  CertifiedModule Out;
+  EXPECT_FALSE(ModuleCache::deserializeModule(Bad, C.P, Out));
+}
+
+TEST(ModuleCacheLookup, HitMissAndValidationFailureCounters) {
+  Certified C(Countdown);
+  uint64_t PK = ModuleCache::programShapeKey(C.P);
+
+  ModuleCache Cache;
+  ModuleCacheStats RS;
+  Cache.insert(42, PK, C.M, C.P, RS);
+  EXPECT_EQ(RS.Inserts, 1u);
+
+  // Program-level warm-start lookup hits.
+  std::vector<CertifiedModule> Warm = Cache.lookupProgram(PK, C.P, RS);
+  ASSERT_EQ(Warm.size(), 1u);
+  EXPECT_EQ(validateModule(Warm[0], C.P), "");
+  EXPECT_EQ(RS.Hits, 1u);
+
+  // Unknown keys miss.
+  CertifiedModule Out;
+  LassoWord W; // empty word: acceptsLasso can't hold, but the key misses first
+  EXPECT_FALSE(Cache.lookupLasso(999, C.P, W, Out, RS));
+  EXPECT_TRUE(Cache.lookupProgram(999, C.P, RS).empty());
+  EXPECT_EQ(RS.Misses, 2u);
+
+  // A key-matching entry whose payload was corrupted in memory is a miss
+  // that bumps ValidationFailures -- never a wrong module.
+  std::string Bytes = ModuleCache::serializeModule(C.M, C.P, 7, 1234);
+  ASSERT_FALSE(Bytes.empty());
+  // Recompute the checksum over a tampered payload so the entry passes the
+  // header check on insert but fails structural rebinding at lookup: point
+  // the stored keys at a program key whose payload alphabet mismatches.
+  ModuleCacheStats RS2;
+  Program Other = parse(CountUpByTwo);
+  ModuleCache Cache2;
+  ASSERT_TRUE(Cache2.insertSerialized(Bytes));
+  EXPECT_TRUE(Cache2.lookupProgram(1234, Other, RS2).empty());
+  EXPECT_EQ(RS2.ValidationFailures, 1u);
+  EXPECT_EQ(RS2.Misses, 1u);
+}
+
+TEST(ModuleCacheLookup, LassoHitRequiresWordAcceptance) {
+  Certified C(Countdown);
+  uint64_t PK = ModuleCache::programShapeKey(C.P);
+  ModuleCache Cache;
+  ModuleCacheStats RS;
+  Cache.insert(42, PK, C.M, C.P, RS);
+
+  // Find a lasso the module actually accepts by asking the automaton.
+  auto L = findAcceptingLasso(C.M.A);
+  ASSERT_TRUE(L.has_value());
+  CertifiedModule Out;
+  EXPECT_TRUE(Cache.lookupLasso(42, C.P, *L, Out, RS));
+  EXPECT_EQ(validateModule(Out, C.P), "");
+
+  // The same key with a word the module does NOT accept is a miss: a
+  // replayed module must subtract the current lasso or it makes no
+  // progress.
+  LassoWord Empty;
+  EXPECT_FALSE(Cache.lookupLasso(42, C.P, Empty, Out, RS));
+}
+
+TEST(ModuleCacheLru, EvictionIsByteBounded) {
+  Certified C(Countdown);
+  std::string Probe = ModuleCache::serializeModule(C.M, C.P, 0, 0);
+  ASSERT_FALSE(Probe.empty());
+
+  // Room for roughly three entries.
+  ModuleCache Cache("", Probe.size() * 3);
+  size_t Inserted = 0;
+  for (uint64_t K = 1; K <= 16; ++K) {
+    std::string Bytes = ModuleCache::serializeModule(C.M, C.P, K, K);
+    ASSERT_FALSE(Bytes.empty());
+    if (Cache.insertSerialized(Bytes))
+      ++Inserted;
+  }
+  EXPECT_EQ(Inserted, 16u);
+  EXPECT_LE(Cache.bytes(), Probe.size() * 3);
+  EXPECT_LT(Cache.size(), 16u);
+  EXPECT_GE(Cache.size(), 1u);
+
+  // Only the most recently inserted keys survive.
+  EXPECT_TRUE(Cache.entriesForProgram(1).empty());
+  EXPECT_FALSE(Cache.entriesForProgram(16).empty());
+}
+
+TEST(ModuleCacheConcurrency, ParallelHitsAndInsertsAreRaceFree) {
+  Certified C(Countdown);
+  uint64_t PK = ModuleCache::programShapeKey(C.P);
+  ModuleCache Cache;
+  {
+    ModuleCacheStats RS;
+    Cache.insert(0, PK, C.M, C.P, RS);
+  }
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      ModuleCacheStats RS;
+      for (uint64_t I = 1; I <= 32; ++I) {
+        Cache.insert(I * 4 + T, PK, C.M, C.P, RS);
+        (void)Cache.lookupProgram(PK, C.P, RS);
+        (void)Cache.entriesForProgram(PK);
+        (void)Cache.drainNewEntries();
+        (void)Cache.totals();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  ModuleCacheStats RS;
+  EXPECT_FALSE(Cache.lookupProgram(PK, C.P, RS).empty());
+}
+
+TEST(ModuleCacheAnalyzer, WarmRunHitsAndAgreesWithColdRun) {
+  ModuleCache Cache;
+
+  Program Cold = parse(Countdown);
+  AnalysisResult R1 = analyze(Cold, &Cache);
+  EXPECT_EQ(R1.V, Verdict::Terminating);
+  EXPECT_GT(R1.Stats.get("perf.cache_inserts"), 0);
+  EXPECT_EQ(R1.Stats.get("perf.cache_hits"), 0);
+
+  // Second run over the alpha-renamed twin: warm-start replays the cached
+  // modules, generalize is never (or less often) invoked, and the verdict
+  // is unchanged.
+  Program Warm = parse(CountdownRenamed);
+  AnalysisResult R2 = analyze(Warm, &Cache);
+  EXPECT_EQ(R2.V, R1.V);
+  EXPECT_GT(R2.Stats.get("perf.cache_hits"), 0);
+  EXPECT_LE(R2.Stats.get("perf.generalize_calls"),
+            R1.Stats.get("perf.generalize_calls"));
+  EXPECT_EQ(R2.Stats.get("perf.cache_validation_failures"), 0);
+}
+
+TEST(ModuleCacheAnalyzer, DeterministicStatsAreByteIdenticalWithCacheOn) {
+  // Two cold runs against identically seeded caches must dump identical
+  // statistics; a warm run against a shared cache must also be
+  // self-consistent across repetitions.
+  auto RunOnce = [](ModuleCache &Cache) {
+    Program P = parse(Countdown);
+    AnalysisResult R = analyze(P, &Cache);
+    std::ostringstream OS;
+    R.Stats.print(OS);
+    // Drop wall-clock timers: they are the one legitimately nondeterministic
+    // family (the report writer's --stats-deterministic zeroes them too).
+    std::istringstream In(OS.str());
+    std::string Line, Kept;
+    while (std::getline(In, Line))
+      if (Line.find("time.") == std::string::npos)
+        Kept += Line + "\n";
+    return Kept;
+  };
+  ModuleCache A, B;
+  EXPECT_EQ(RunOnce(A), RunOnce(B));
+  // Warm repetitions over an already-populated cache are stable too.
+  EXPECT_EQ(RunOnce(A), RunOnce(B));
+}
+
+TEST(ModuleCacheDisk, PersistsAcrossCacheInstances) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "tc_module_cache_persist";
+  fs::remove_all(Dir);
+
+  Certified C(Countdown);
+  uint64_t PK = ModuleCache::programShapeKey(C.P);
+  {
+    ModuleCache Cache(Dir.string());
+    ModuleCacheStats RS;
+    Cache.insert(5, PK, C.M, C.P, RS);
+    EXPECT_EQ(RS.Inserts, 1u);
+  }
+
+  // A fresh cache over the same directory warm-loads the entry.
+  ModuleCache Reloaded(Dir.string());
+  EXPECT_EQ(Reloaded.size(), 1u);
+  EXPECT_EQ(Reloaded.loadSkipped(), 0u);
+  ModuleCacheStats RS;
+  std::vector<CertifiedModule> Warm = Reloaded.lookupProgram(PK, C.P, RS);
+  ASSERT_EQ(Warm.size(), 1u);
+  EXPECT_EQ(validateModule(Warm[0], C.P), "");
+  fs::remove_all(Dir);
+}
+
+TEST(ModuleCacheDisk, CorruptedFileIsAMissNeverAWrongModule) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "tc_module_cache_corrupt";
+  fs::remove_all(Dir);
+
+  Certified C(Countdown);
+  uint64_t PK = ModuleCache::programShapeKey(C.P);
+  {
+    ModuleCache Cache(Dir.string());
+    ModuleCacheStats RS;
+    Cache.insert(5, PK, C.M, C.P, RS);
+  }
+
+  // Corrupt every persisted payload in place (past the 32-byte header, so
+  // the header-only load check still accepts the file).
+  size_t Files = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    std::fstream F(E.path(), std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(36);
+    F.put('\xff');
+    F.put('\xee');
+    ++Files;
+  }
+  ASSERT_GT(Files, 0u);
+
+  ModuleCache Reloaded(Dir.string());
+  EXPECT_EQ(Reloaded.size(), 1u) << "header-only load accepts the file";
+  ModuleCacheStats RS;
+  EXPECT_TRUE(Reloaded.lookupProgram(PK, C.P, RS).empty());
+  EXPECT_EQ(RS.ValidationFailures, 1u);
+  EXPECT_EQ(RS.Misses, 1u);
+  EXPECT_EQ(RS.Hits, 0u);
+  fs::remove_all(Dir);
+}
+
+TEST(ModuleCachePipe, SerializedEntriesShipAndMerge) {
+  // The sandbox pipe path in miniature: parent ships entriesForProgram,
+  // child seeds a private cache via insertSerialized and ships fresh
+  // inserts back, parent merges them.
+  Certified C(Countdown);
+  uint64_t PK = ModuleCache::programShapeKey(C.P);
+
+  ModuleCache Parent;
+  {
+    ModuleCacheStats RS;
+    Parent.insert(1, PK, C.M, C.P, RS);
+  }
+  std::vector<std::string> Shipped = Parent.entriesForProgram(PK);
+  ASSERT_EQ(Shipped.size(), 1u);
+
+  ModuleCache Child;
+  for (const std::string &E : Shipped)
+    EXPECT_TRUE(Child.insertSerialized(E));
+  (void)Child.drainNewEntries(); // seeds are not "new"
+
+  ModuleCacheStats RS;
+  EXPECT_FALSE(Child.lookupProgram(PK, C.P, RS).empty());
+
+  // The child certifies something fresh; only THAT travels back.
+  std::string Fresh = ModuleCache::serializeModule(C.M, C.P, 99, PK);
+  ASSERT_TRUE(Child.insertSerialized(Fresh));
+  std::vector<std::string> Back = Child.drainNewEntries();
+  ASSERT_EQ(Back.size(), 1u);
+  EXPECT_EQ(Back[0], Fresh);
+  EXPECT_TRUE(Parent.insertSerialized(Back[0]));
+  EXPECT_FALSE(Parent.insertSerialized(Back[0])) << "duplicate merge dropped";
+}
+
+} // namespace

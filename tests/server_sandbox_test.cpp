@@ -414,6 +414,28 @@ TEST(SandboxDeterminism, AutoModeKeepsDeterministicJobsInProcess) {
 // Health snapshot
 //===----------------------------------------------------------------------===//
 
+TEST(SandboxRetry, BackoffJitterSpreadsJobIdsAndAttempts) {
+  // Regression: the jitter used to run job IDs through programShapeHash,
+  // whose whitespace collapsing is right for program TEXT but wrong for
+  // IDs -- "job 1" and "job  1" (or any IDs differing only in blanks)
+  // retried in lockstep, defeating the thundering-herd spread.
+  const double Base = 0.05;
+  double A = retryBackoffJitter(Base, "job 1", 1);
+  double B = retryBackoffJitter(Base, "job  1", 1);
+  EXPECT_NE(A, B) << "ids differing only in whitespace must jitter apart";
+
+  // Same (id, attempt) stays deterministic; later attempts move.
+  EXPECT_EQ(A, retryBackoffJitter(Base, "job 1", 1));
+  EXPECT_NE(A, retryBackoffJitter(Base, "job 1", 2));
+
+  // The jitter stays inside the documented [Base, 2*Base) envelope.
+  for (uint32_t Attempt = 1; Attempt <= 8; ++Attempt) {
+    double D = retryBackoffJitter(Base, "some-job", Attempt);
+    EXPECT_GE(D, Base);
+    EXPECT_LT(D, 2 * Base);
+  }
+}
+
 TEST(SandboxHealthTest, SnapshotCountsTheFleet) {
   REQUIRE_SANDBOX();
   SchedulerConfig Cfg = sandboxConfig();

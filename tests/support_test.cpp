@@ -11,6 +11,7 @@
 #include "support/Timer.h"
 
 #include <atomic>
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <set>
 #include <sstream>
@@ -48,6 +49,43 @@ TEST(Rng, RangeIsInclusive) {
     Seen.insert(V);
   }
   EXPECT_EQ(Seen.size(), 5u) << "all five values should appear";
+}
+
+TEST(Rng, RangeFullInt64DoesNotOverflow) {
+  // Hi - Lo + 1 == 2^64 here: computed in int64_t this is signed overflow
+  // (UB, caught by UBSan); the uint64_t span wraps to 0, which range()
+  // maps to "draw any 64-bit value". Just exercising it is the test.
+  Rng R(11);
+  for (int I = 0; I < 100; ++I)
+    (void)R.range(INT64_MIN, INT64_MAX);
+}
+
+TEST(Rng, RangeWideHalfDomains) {
+  // Spans wider than int64_t but narrower than the full domain: the
+  // subtraction still overflows int64_t, and the result must stay inside
+  // the requested bounds.
+  Rng R(12);
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.range(INT64_MIN, 0);
+    EXPECT_LE(V, 0);
+    int64_t W = R.range(-1, INT64_MAX);
+    EXPECT_GE(W, -1);
+    int64_t X = R.range(INT64_MIN + 1, INT64_MAX - 1);
+    EXPECT_GT(X, INT64_MIN);
+    EXPECT_LT(X, INT64_MAX);
+  }
+}
+
+TEST(Rng, RangeSingletonAndExtremeEndpoints) {
+  Rng R(13);
+  EXPECT_EQ(R.range(INT64_MAX, INT64_MAX), INT64_MAX);
+  EXPECT_EQ(R.range(INT64_MIN, INT64_MIN), INT64_MIN);
+  for (int I = 0; I < 200; ++I) {
+    int64_t V = R.range(INT64_MAX - 3, INT64_MAX);
+    EXPECT_GE(V, INT64_MAX - 3);
+    int64_t W = R.range(INT64_MIN, INT64_MIN + 3);
+    EXPECT_LE(W, INT64_MIN + 3);
+  }
 }
 
 TEST(Rng, ChanceExtremes) {

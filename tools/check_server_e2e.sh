@@ -182,6 +182,38 @@ while IFS= read -r LINE; do
   }
 done < "$DIR/crash.ok.txt"
 
+echo "== 8. module cache: warm second daemon run, identical verdicts + hits"
+# Two daemon runs sharing one --module-cache directory: the first populates
+# it (cross-run persistence through disk), the second must warm-start --
+# identical verdicts AND a nonzero hit count in the daemon's shutdown
+# summary line.
+mkdir -p "$DIR/modcache"
+"$BATCH" --spawn "$DAEMON" $ISO_ARGS --module-cache "$DIR/modcache" \
+         --timeout 60 --quiet --verdicts "$DIR/cache_cold.txt" \
+         "$DIR/corpus" 2> "$DIR/cache_cold.err" \
+  || { echo "FAIL cold cache batch run" >&2; exit 1; }
+if ! diff -u "$DIR/batch.txt" "$DIR/cache_cold.txt"; then
+  echo "FAIL cold-cache run changed verdicts" >&2
+  exit 1
+fi
+[ -n "$(ls "$DIR/modcache" 2>/dev/null)" ] \
+  || { echo "FAIL cold run persisted no cache entries" >&2; exit 1; }
+"$BATCH" --spawn "$DAEMON" $ISO_ARGS --module-cache "$DIR/modcache" \
+         --timeout 60 --quiet --verdicts "$DIR/cache_warm.txt" \
+         "$DIR/corpus" 2> "$DIR/cache_warm.err" \
+  || { echo "FAIL warm cache batch run" >&2; exit 1; }
+if ! diff -u "$DIR/batch.txt" "$DIR/cache_warm.txt"; then
+  echo "FAIL warm-cache run changed verdicts" >&2
+  exit 1
+fi
+SUMMARY=$(grep 'module-cache:' "$DIR/cache_warm.err" || true)
+case "$SUMMARY" in
+  *"hits=0 "*|"")
+    echo "FAIL warm run reported no cache hits: '$SUMMARY'" >&2
+    cat "$DIR/cache_warm.err" >&2
+    exit 1 ;;
+esac
+
 echo "server e2e: $COUNT programs, batch == per-process == socket == oracle;" \
-     "$INJECTED injected crashes contained"
+     "$INJECTED injected crashes contained; warm cache run identical"
 exit 0

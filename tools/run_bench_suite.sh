@@ -43,7 +43,8 @@ FIG5="$BUILD/bench/bench_fig5_multistage"
 PORTFOLIO="$BUILD/bench/bench_portfolio"
 MODULAR="$BUILD/bench/bench_modular_complement"
 SERVER="$BUILD/bench/bench_server_throughput"
-for BIN in "$MICRO" "$FIG5" "$PORTFOLIO" "$MODULAR" "$SERVER"; do
+MODCACHE="$BUILD/bench/bench_module_cache"
+for BIN in "$MICRO" "$FIG5" "$PORTFOLIO" "$MODULAR" "$SERVER" "$MODCACHE"; do
   [ -x "$BIN" ] || { echo "run_bench_suite.sh: $BIN not built" >&2; exit 4; }
 done
 
@@ -66,6 +67,11 @@ echo "== bench_modular_complement (median of $REPEAT) =="
 
 echo "== bench_server_throughput (median of $REPEAT) =="
 "$SERVER" --repeat "$REPEAT" --json "$TMP/server.json"
+
+echo "== bench_module_cache (median of $REPEAT) =="
+# Nonzero exit = verdicts changed or the warm pass never hit the cache --
+# both are hard failures, not perf data points.
+"$MODCACHE" --repeat "$REPEAT" --json "$TMP/module_cache.json"
 
 echo "== bench_portfolio (median of $REPEAT) =="
 "$PORTFOLIO" --repeat "$REPEAT" --json "$TMP/portfolio.json" benchmarks || {
@@ -152,6 +158,13 @@ with open(os.path.join(tmp, "portfolio.json")) as f:
     report["portfolio"] = json.load(f)
 with open(os.path.join(tmp, "server.json")) as f:
     report["server_throughput"] = json.load(f)
+with open(os.path.join(tmp, "module_cache.json")) as f:
+    report["module_cache"] = json.load(f)
+
+# The harness already fails hard on mismatches; re-assert here so a stale
+# or hand-edited section cannot slip through the merge.
+if report["module_cache"]["verdict_mismatches"] != 0:
+    failures.append("module_cache: verdicts changed with the cache on")
 
 # The modular-complement wall joins the regression gate once a baseline
 # carries the section (older baselines predate the harness and skip it).
@@ -167,6 +180,21 @@ if baseline_path and "modular_complement" in base_doc:
     if ratio < 1.0 - max_regress:
         failures.append(
             f"modular_complement: {1/ratio:.3f}x slower than baseline")
+
+# The warm module-cache wall joins the regression gate once a baseline
+# carries the section (older baselines predate the harness and skip it).
+if baseline_path and "module_cache" in base_doc:
+    base_s = base_doc["module_cache"]["warm"]["wall_s"]
+    cur_s = report["module_cache"]["warm"]["wall_s"]
+    ratio = base_s / cur_s if cur_s > 0 else float("inf")
+    report["vs_baseline"]["module_cache_warm"] = {
+        "baseline_s": base_s,
+        "current_s": cur_s,
+        "speedup": round(ratio, 4),
+    }
+    if ratio < 1.0 - max_regress:
+        failures.append(
+            f"module_cache warm pass: {1/ratio:.3f}x slower than baseline")
 
 # The batch-server wall joins the gate the same way: present in the
 # baseline -> compared, absent (pre-termcheckd baselines) -> skipped.

@@ -25,6 +25,13 @@
 ///                          run jobs in forked, rlimit-budgeted worker
 ///                          processes so an engine crash costs one job,
 ///                          not the daemon (DESIGN.md section 15)
+///     --module-cache <dir> share one certified-module cache across every
+///                          job (and persist it under dir across daemon
+///                          restarts); sandboxed workers receive candidate
+///                          entries over the job pipe and ship fresh
+///                          certifications back (DESIGN.md section 16).
+///                          A cumulative "module-cache:" summary line is
+///                          printed to stderr at shutdown
 ///     --trace <file>       stream worker lifecycle + engine trace events
 ///                          as JSONL
 ///
@@ -45,6 +52,7 @@
 #include "server/Server.h"
 
 #include "support/Trace.h"
+#include "termination/ModuleCache.h"
 
 #include <atomic>
 #include <cerrno>
@@ -77,6 +85,8 @@ void usage(const char *Prog) {
                "ephemeral)\n"
                "  --isolation <mode>    inprocess | sandbox | auto "
                "(default auto)\n"
+               "  --module-cache <dir>  shared certified-module cache,\n"
+               "                        persisted under dir across restarts\n"
                "  --trace <file>        JSONL worker lifecycle trace\n",
                Prog);
 }
@@ -118,6 +128,7 @@ int main(int Argc, char **Argv) {
   // embedders opt in explicitly.)
   Opts.Sched.Isolation = server::IsolationMode::Auto;
   std::string TracePath;
+  std::string ModuleCacheDir;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     auto NeedsValue = [&](const char *Name) -> const char * {
@@ -157,7 +168,9 @@ int main(int Argc, char **Argv) {
       const char *V = NeedsValue("--isolation");
       if (!server::isolationModeFromName(V, Opts.Sched.Isolation))
         badValue("--isolation", V, "one of inprocess|sandbox|auto");
-    } else if (std::strcmp(Arg, "--trace") == 0)
+    } else if (std::strcmp(Arg, "--module-cache") == 0)
+      ModuleCacheDir = NeedsValue("--module-cache");
+    else if (std::strcmp(Arg, "--trace") == 0)
       TracePath = NeedsValue("--trace");
     else if (std::strcmp(Arg, "--help") == 0 ||
                std::strcmp(Arg, "-h") == 0) {
@@ -187,6 +200,29 @@ int main(int Argc, char **Argv) {
     Opts.Sched.Tracer = Tracer.get();
   }
 
+  // The shared module cache must outlive the Server (jobs consult it until
+  // the scheduler's destructor joins). Cumulative totals go to stderr at
+  // shutdown so operators (and check_server_e2e.sh) can see warm-start
+  // traffic without parsing every result line.
+  std::unique_ptr<ModuleCache> Cache;
+  if (!ModuleCacheDir.empty()) {
+    Cache = std::make_unique<ModuleCache>(ModuleCacheDir);
+    Opts.Sched.Cache = Cache.get();
+  }
+  auto PrintCacheSummary = [](const ModuleCache *MC) {
+    if (!MC)
+      return;
+    ModuleCacheStats T = MC->totals();
+    std::fprintf(stderr,
+                 "termcheckd: module-cache: hits=%llu misses=%llu "
+                 "inserts=%llu validation_failures=%llu entries=%zu\n",
+                 static_cast<unsigned long long>(T.Hits),
+                 static_cast<unsigned long long>(T.Misses),
+                 static_cast<unsigned long long>(T.Inserts),
+                 static_cast<unsigned long long>(T.ValidationFailures),
+                 MC->size());
+  };
+
   // Route SIGINT/SIGTERM through a dedicated sigwait thread (they are
   // blocked process-wide first, so every thread the server spawns inherits
   // the mask): signal-handler context never touches the scheduler.
@@ -212,7 +248,7 @@ int main(int Argc, char **Argv) {
   }
 
   std::atomic<int> Signals{0};
-  std::thread([&S, &SigSet, &Signals] {
+  std::thread([&S, &SigSet, &Signals, &Cache, &PrintCacheSummary] {
     for (;;) {
       int Got = 0;
       if (sigwait(&SigSet, &Got) != 0)
@@ -224,9 +260,10 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr,
                      "termcheckd: draining (signal again to cancel "
                      "in-flight jobs)\n");
-        std::thread([&S] {
+        std::thread([&S, &Cache, &PrintCacheSummary] {
           S.drain(/*Hard=*/false);
           S.stopListeners();
+          PrintCacheSummary(Cache.get());
           std::fputs("{\"type\":\"drained\"}\n", stdout);
           std::fflush(stdout);
           std::_Exit(0);
@@ -242,5 +279,6 @@ int main(int Argc, char **Argv) {
 
   int RC = S.serveStdio(std::cin, std::cout);
   S.stopListeners();
+  PrintCacheSummary(Cache.get());
   return RC;
 }
