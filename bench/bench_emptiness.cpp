@@ -1,0 +1,356 @@
+//===- bench/bench_emptiness.cpp - Emptiness-engine head-to-head ----------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Races the Gaiser-Schwoon (Algorithm 1) and Couvreur/Tarjan emptiness
+/// engines over four corpora, doubling as a differential harness: any
+/// emptiness disagreement or invalid witness is a hard failure (exit 1),
+/// so the timing numbers are only ever published for agreeing engines.
+///
+///  * deep_scc     -- explicit deep-SCC chains (randomDeepSccBa) with the
+///                    generator's structural subsumption oracle driving the
+///                    on-stack cutoff; every verdict cross-checked against
+///                    isEmpty() and the construction's ground truth.
+///  * micro_ncsb   -- emptiness-only self-differences A \ A through the
+///                    NCSB-Lazy complement (always empty; the antichain
+///                    stress of Section 6).
+///  * class_mixed  -- emptiness-only self-differences through the modular
+///                    (mix-and-match) complement.
+///  * fig5         -- the small program suite end to end under --emptiness
+///                    gaiser_schwoon vs couvreur; verdicts must agree.
+///
+/// --json emits the shared termcheck-bench-report schema with per-section
+/// walls and speedups; total_wall_ns feeds the suite's regression gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "automata/Difference.h"
+#include "automata/ModularComplement.h"
+#include "automata/Ncsb.h"
+#include "support/Timer.h"
+
+#include <sstream>
+
+using namespace termcheck;
+using namespace termcheck::bench;
+
+namespace {
+
+struct SectionRow {
+  const char *Name;
+  size_t Instances = 0;
+  double GsWall = 0, CouvreurWall = 0;
+  int64_t Sccs = 0, Cutoffs = 0;
+  double speedup() const {
+    return CouvreurWall > 0 ? GsWall / CouvreurWall : 0;
+  }
+};
+
+void printRow(const SectionRow &Row) {
+  std::printf("%-12s %5zu inst  gs %8.4f s  couvreur %8.4f s  %5.2fx  "
+              "%6lld sccs  %6lld cutoffs\n",
+              Row.Name, Row.Instances, Row.GsWall, Row.CouvreurWall,
+              Row.speedup(), static_cast<long long>(Row.Sccs),
+              static_cast<long long>(Row.Cutoffs));
+}
+
+struct DeepInstance {
+  Buchi A;
+  std::vector<State> EchoOf;
+  bool Nonempty;
+};
+
+/// The deep-SCC corpus: long chains, echo count equal to the ring size
+/// (the worst case for an engine without cutoffs), alternating empty and
+/// nonempty instances.
+std::vector<DeepInstance> deepCorpus(size_t Count) {
+  std::vector<DeepInstance> Out;
+  Rng R(0xE3550001);
+  for (size_t I = 0; I < Count; ++I) {
+    DeepSccSpec Spec;
+    Spec.Blocks = 24 + static_cast<uint32_t>(R.below(8));
+    Spec.BlockStates = 5 + static_cast<uint32_t>(R.below(2));
+    Spec.EchoesPerBlock = 6;
+    Spec.EchoLength = 48;
+    Spec.Nonempty = (I % 2) == 1;
+    std::vector<State> EchoOf;
+    Buchi A = randomDeepSccBa(R, Spec, &EchoOf);
+    Out.push_back({std::move(A), std::move(EchoOf), Spec.Nonempty});
+  }
+  return Out;
+}
+
+EmptinessOptions structuralOpts(const DeepInstance &Inst) {
+  EmptinessOptions EO;
+  EO.SubsumedBy = [&EchoOf = Inst.EchoOf](State Sub, State Sup) {
+    return Sub == Sup || EchoOf[Sub] == Sup;
+  };
+  // The witness relation is a direct simulation by construction.
+  EO.SubsumptionIsEarly = true;
+  return EO;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = takeJsonFlag(Argc, Argv);
+  const unsigned Repeat = takeRepeatFlag(Argc, Argv);
+  // Optional --section <name>: run just one corpus (debugging aid); the
+  // full differential sweep needs all four.
+  std::string Only;
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--section") == 0)
+      Only = Argv[I + 1];
+  auto Enabled = [&](const char *Name) {
+    return Only.empty() || Only == Name;
+  };
+  size_t Disagreements = 0, DifferentialInstances = 0;
+
+  std::printf("emptiness engines: gaiser_schwoon vs couvreur, median of %u\n",
+              Repeat);
+  hr();
+
+  // --- deep_scc: explicit chains with the structural cutoff oracle. -----
+  SectionRow Deep{"deep_scc"};
+  if (Enabled("deep_scc")) {
+    std::vector<DeepInstance> Corpus = deepCorpus(80);
+    Deep.Instances = Corpus.size();
+    size_t GsExplored = 0, CouvreurExplored = 0;
+    // Untimed differential pass: both engines vs the reference decision
+    // procedure vs the generator's ground truth, witnesses validated.
+    for (const DeepInstance &Inst : Corpus) {
+      ++DifferentialInstances;
+      EmptinessOptions EO = structuralOpts(Inst);
+      EO.FindWitness = true;
+      EmptinessResult C =
+          checkEmptiness(Inst.A, EmptinessStrategy::Couvreur, EO);
+      EmptinessResult G =
+          checkEmptiness(Inst.A, EmptinessStrategy::GaiserSchwoon, {});
+      bool Ref = isEmpty(Inst.A);
+      if (C.IsEmpty != Ref || G.IsEmpty != Ref ||
+          C.IsEmpty != !Inst.Nonempty) {
+        std::fprintf(stderr, "bench: deep_scc emptiness disagreement\n");
+        ++Disagreements;
+      }
+      if (!C.IsEmpty &&
+          (!C.Witness || !acceptsLasso(Inst.A, *C.Witness))) {
+        std::fprintf(stderr, "bench: deep_scc invalid couvreur witness\n");
+        ++Disagreements;
+      }
+      Deep.Sccs += static_cast<int64_t>(C.SccsClosed);
+      Deep.Cutoffs +=
+          static_cast<int64_t>(C.OnStackCutoffs + C.ClosedCutoffs);
+      GsExplored += G.StatesExplored;
+      CouvreurExplored += C.StatesExplored;
+    }
+    std::printf("  explored: gs %zu, couvreur %zu\n", GsExplored,
+                CouvreurExplored);
+    Deep.GsWall = medianWall(Repeat, [&] {
+      Timer T;
+      for (const DeepInstance &Inst : Corpus)
+        if (checkEmptiness(Inst.A, EmptinessStrategy::GaiserSchwoon, {})
+                .Aborted)
+          std::exit(1);
+      return T.seconds();
+    });
+    Deep.CouvreurWall = medianWall(Repeat, [&] {
+      Timer T;
+      for (const DeepInstance &Inst : Corpus)
+        if (checkEmptiness(Inst.A, EmptinessStrategy::Couvreur,
+                           structuralOpts(Inst))
+                .Aborted)
+          std::exit(1);
+      return T.seconds();
+    });
+    printRow(Deep);
+  }
+
+  // --- micro_ncsb: emptiness-only NCSB self-differences (all empty). ----
+  SectionRow Micro{"micro_ncsb"};
+  if (Enabled("micro_ncsb")) {
+    std::vector<CorpusSdba> Corpus = sdbaCorpus(80);
+    std::vector<Sdba> Prepared;
+    std::vector<const Buchi *> Inputs;
+    for (CorpusSdba &C : Corpus)
+      if (auto S = prepareSdba(C.A)) {
+        Prepared.push_back(std::move(*S));
+        Inputs.push_back(&C.A);
+      }
+    Micro.Instances = Prepared.size();
+    auto runAll = [&](EmptinessStrategy S, bool Differential) {
+      Timer T;
+      for (size_t I = 0; I < Prepared.size(); ++I) {
+        NcsbOracle O(Prepared[I], NcsbVariant::Lazy);
+        DifferenceOptions DO;
+        DO.Emptiness = S;
+        DO.EmptinessOnly = true;
+        DifferenceResult R = difference(*Inputs[I], O, DO);
+        if (R.Aborted)
+          std::exit(1);
+        if (Differential && !R.IsEmpty) {
+          std::fprintf(stderr,
+                       "bench: micro_ncsb self-difference nonempty (%s)\n",
+                       R.EmptinessEngine);
+          ++Disagreements;
+        }
+        if (Differential && S == EmptinessStrategy::Couvreur) {
+          Micro.Sccs += static_cast<int64_t>(R.CouvreurSccs);
+          Micro.Cutoffs += static_cast<int64_t>(R.CouvreurCutoffs);
+        }
+      }
+      return T.seconds();
+    };
+    DifferentialInstances += Prepared.size();
+    runAll(EmptinessStrategy::GaiserSchwoon, true);
+    runAll(EmptinessStrategy::Couvreur, true);
+    Micro.GsWall = medianWall(
+        Repeat, [&] { return runAll(EmptinessStrategy::GaiserSchwoon,
+                                    false); });
+    Micro.CouvreurWall = medianWall(
+        Repeat, [&] { return runAll(EmptinessStrategy::Couvreur, false); });
+    printRow(Micro);
+  }
+
+  // --- class_mixed: emptiness-only modular-complement self-differences. -
+  SectionRow Mixed{"class_mixed"};
+  if (Enabled("class_mixed")) {
+    std::vector<Buchi> Corpus;
+    Rng R(0xE3550002);
+    while (Corpus.size() < 50) {
+      ClassMixedSpec Spec;
+      Spec.PrefixStates = 1 + static_cast<uint32_t>(R.below(3));
+      Spec.DetStates = static_cast<uint32_t>(R.below(3));
+      Spec.WeakStates = static_cast<uint32_t>(R.below(3));
+      Spec.SemiStates = static_cast<uint32_t>(R.below(3));
+      Spec.GeneralStates = static_cast<uint32_t>(R.below(3));
+      if (Spec.GeneralStates)
+        Spec.PrefixStates = 1;
+      if (Spec.DetStates + Spec.WeakStates + Spec.SemiStates +
+              Spec.GeneralStates ==
+          0)
+        continue;
+      Buchi A = randomClassMixedBa(R, Spec);
+      auto Mod = buildModularComplement(A);
+      if (!Mod)
+        continue;
+      // Some seeds make the modular self-difference product explode (tens
+      // of thousands of macrostates from a handful of A states); a capped
+      // probe keeps the corpus to instances both engines finish in
+      // milliseconds, so the section measures engine overhead rather than
+      // one pathological blowup.
+      DifferenceOptions Probe;
+      Probe.EmptinessOnly = true;
+      Probe.MaxProductStates = 4000;
+      if (!difference(A, *Mod, Probe).HitStateCap)
+        Corpus.push_back(std::move(A));
+    }
+    Mixed.Instances = Corpus.size();
+    auto runAll = [&](EmptinessStrategy S, bool Differential) {
+      Timer T;
+      for (const Buchi &A : Corpus) {
+        auto Mod = buildModularComplement(A);
+        DifferenceOptions DO;
+        DO.Emptiness = S;
+        DO.EmptinessOnly = true;
+        DifferenceResult Res = difference(A, *Mod, DO);
+        if (Res.Aborted)
+          std::exit(1);
+        if (Differential && !Res.IsEmpty) {
+          std::fprintf(stderr,
+                       "bench: class_mixed self-difference nonempty (%s)\n",
+                       Res.EmptinessEngine);
+          ++Disagreements;
+        }
+        if (Differential && S == EmptinessStrategy::Couvreur) {
+          Mixed.Sccs += static_cast<int64_t>(Res.CouvreurSccs);
+          Mixed.Cutoffs += static_cast<int64_t>(Res.CouvreurCutoffs);
+        }
+      }
+      return T.seconds();
+    };
+    DifferentialInstances += Corpus.size();
+    runAll(EmptinessStrategy::GaiserSchwoon, true);
+    runAll(EmptinessStrategy::Couvreur, true);
+    Mixed.GsWall = medianWall(
+        Repeat, [&] { return runAll(EmptinessStrategy::GaiserSchwoon,
+                                    false); });
+    Mixed.CouvreurWall = medianWall(
+        Repeat, [&] { return runAll(EmptinessStrategy::Couvreur, false); });
+    printRow(Mixed);
+  }
+
+  // --- fig5: the program suite end to end under each engine. ------------
+  SectionRow Fig5{"fig5"};
+  if (Enabled("fig5")) {
+    std::vector<BenchProgram> Suite = smallBenchmarkSuite();
+    Fig5.Instances = Suite.size();
+    DifferentialInstances += Suite.size();
+    auto runAll = [&](EmptinessStrategy S, std::vector<Verdict> *Verdicts) {
+      Timer T;
+      for (const BenchProgram &B : Suite) {
+        AnalyzerOptions Opts;
+        Opts.Emptiness = S;
+        AnalysisResult R = runTask(B, Opts, 5.0);
+        if (Verdicts)
+          Verdicts->push_back(R.V);
+      }
+      return T.seconds();
+    };
+    std::vector<Verdict> Gs, Cv;
+    Fig5.GsWall = medianWall(Repeat, [&] {
+      Gs.clear();
+      return runAll(EmptinessStrategy::GaiserSchwoon, &Gs);
+    });
+    Fig5.CouvreurWall = medianWall(Repeat, [&] {
+      Cv.clear();
+      return runAll(EmptinessStrategy::Couvreur, &Cv);
+    });
+    for (size_t I = 0; I < Suite.size(); ++I)
+      if (isConclusive(Gs[I]) && isConclusive(Cv[I]) && Gs[I] != Cv[I]) {
+        std::fprintf(stderr, "bench: fig5 verdict disagreement on %s\n",
+                     Suite[I].Name.c_str());
+        ++Disagreements;
+      }
+    printRow(Fig5);
+  }
+
+  hr();
+  std::printf("differential instances %zu, disagreements %zu\n",
+              DifferentialInstances, Disagreements);
+
+  const SectionRow *Rows[] = {&Deep, &Micro, &Mixed, &Fig5};
+  if (!JsonPath.empty()) {
+    std::ostringstream Buf;
+    json::Writer W(Buf);
+    W.beginObject();
+    beginBenchReport(W, "emptiness");
+    W.field("repeat", static_cast<int64_t>(Repeat));
+    double TotalWall = 0;
+    for (const SectionRow *Row : Rows) {
+      W.key(Row->Name);
+      W.beginObject();
+      W.field("instances", static_cast<int64_t>(Row->Instances));
+      W.field("gs_wall_s", Row->GsWall);
+      W.field("couvreur_wall_s", Row->CouvreurWall);
+      W.field("speedup", Row->speedup());
+      W.field("couvreur_sccs", Row->Sccs);
+      W.field("couvreur_cutoffs", Row->Cutoffs);
+      W.endObject();
+      TotalWall += Row->GsWall + Row->CouvreurWall;
+    }
+    W.field("differential_instances",
+            static_cast<int64_t>(DifferentialInstances));
+    W.field("disagreements", static_cast<int64_t>(Disagreements));
+    // The suite regression gate compares this wall against the baseline's.
+    W.field("total_wall_ns", TotalWall * 1e9);
+    W.endObject();
+    W.finish();
+    if (!writeJsonDocument(JsonPath, Buf.str()))
+      return 1;
+  }
+  return Disagreements == 0 ? 0 : 1;
+}

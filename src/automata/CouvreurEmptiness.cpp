@@ -1,0 +1,253 @@
+//===- automata/CouvreurEmptiness.cpp - Couvreur/Tarjan emptiness --------===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/CouvreurEmptiness.h"
+
+#include "automata/DfsFrames.h"
+#include "automata/EmptinessInternal.h"
+#include "automata/PerfCounters.h"
+#include "support/FaultInjector.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace termcheck;
+
+namespace {
+
+/// Entry of the Tarjan roots stack: a potential SCC root with the
+/// acceptance conditions its candidate component covers so far (merged
+/// side cycles fold their masks in here, which is what makes the roots
+/// stack the authority on "marks on the path" for the cutoff).
+struct RootEntry {
+  State Root;
+  uint32_t DfsNum;
+  uint64_t Mask;
+};
+
+/// One search attempt. A pass either completes (IsEmpty/Aborted in \p R)
+/// or detects that an SCC merge brought acceptance marks into the region
+/// of a live on-stack prune, in which case it sets \p Invalidated and the
+/// caller restarts with on-stack cutoffs disabled.
+EmptinessResult runPass(GbaSource &Src, const EmptinessOptions &Opts,
+                        bool UseOnStack, bool &Invalidated) {
+  EmptinessResult R;
+  const uint64_t Full = Src.fullMask();
+
+  // Dense ids (GbaSource contract): flat vectors grown on first touch,
+  // exactly as in UselessStateRemover.
+  std::vector<uint32_t> DfsNum; // 0 = unvisited (Cnt starts at 1)
+  std::vector<uint8_t> OnStack;
+  auto Touch = [](auto &V, State S) -> decltype(V[0]) & {
+    if (S >= V.size())
+      V.resize(S + 1, 0);
+    return V[S];
+  };
+  auto InSet = [](const auto &V, State S) {
+    return S < V.size() && V[S] != 0;
+  };
+
+  std::vector<State> Act;
+  std::vector<RootEntry> Roots;
+  ArcArena Arena;
+  std::vector<ArcArena::Frame> Frames;
+  /// DFS numbers of the justifiers of every prune whose justifying state
+  /// is still on the stack (so the prune is provisional).
+  std::vector<uint32_t> ActivePrunes;
+  uint32_t Cnt = 0;
+
+  const uint32_t Stride = Opts.PollStride == 0 ? 1 : Opts.PollStride;
+  uint32_t AbortPollCountdown = Stride;
+  auto PollAbort = [&]() {
+    if (!Opts.ShouldAbort)
+      return false;
+    if (--AbortPollCountdown != 0)
+      return false;
+    AbortPollCountdown = Stride;
+    return Opts.ShouldAbort();
+  };
+
+  auto KnownEmpty = [&](State Q) {
+    return Opts.IsKnownEmpty && Opts.IsKnownEmpty(Q);
+  };
+
+  auto enter = [&](State S, uint64_t Mask) {
+    Touch(DfsNum, S) = ++Cnt;
+    Roots.push_back({S, Cnt, Mask});
+    Act.push_back(S);
+    Touch(OnStack, S) = 1;
+    FaultInjector::hit(FaultSite::EmptinessStep);
+    Frames.push_back(Arena.push(Src, S));
+    ++R.StatesExplored;
+  };
+
+  // The check_simul_less walk: a justifier for the (mark-free) successor
+  // \p T must lie on the current DFS path with no acceptance marks at or
+  // above its candidate region -- the roots stack folds in every mark of
+  // merged side cycles, so scanning it from the top for the first marked
+  // entry bounds how deep the path walk may reach. \returns the
+  // justifier's DFS number, or 0 when none qualifies.
+  auto onStackJustifier = [&](State T) -> uint32_t {
+    uint32_t MinDfs = 1;
+    for (size_t J = Roots.size(); J-- > 0;) {
+      if (Roots[J].Mask != 0) {
+        if (J + 1 == Roots.size())
+          return 0; // the topmost candidate region already carries marks
+        MinDfs = Roots[J + 1].DfsNum;
+        break;
+      }
+    }
+    for (size_t I = Frames.size(); I-- > 0;) {
+      State S = Frames[I].S;
+      if (DfsNum[S] < MinDfs)
+        break;
+      if (Opts.SubsumedBy(T, S))
+        return DfsNum[S];
+    }
+    return 0;
+  };
+
+  for (State QI : Src.initialStates()) {
+    if (InSet(DfsNum, QI))
+      continue;
+    if (KnownEmpty(QI)) {
+      ++R.ClosedCutoffs;
+      continue;
+    }
+    enter(QI, Src.acceptMask(QI));
+
+    while (!Frames.empty()) {
+      if (PollAbort()) {
+        R.Aborted = true;
+        return R;
+      }
+      ArcArena::Frame &F = Frames.back();
+      if (!Arena.done(F)) {
+        State T = Arena.next(F).To;
+        if (InSet(DfsNum, T)) {
+          if (!InSet(OnStack, T))
+            continue; // closed in this pass: empty language
+          // T closes a cycle: merge the root candidates younger than T.
+          uint32_t TNum = DfsNum[T];
+          uint64_t Mask = 0;
+          RootEntry Last{};
+          do {
+            assert(!Roots.empty() && "roots stack underflow");
+            Last = Roots.back();
+            Roots.pop_back();
+            Mask |= Last.Mask;
+          } while (Last.DfsNum > TNum);
+          Roots.push_back({Last.Root, Last.DfsNum, Mask});
+          if (Mask == Full) {
+            // Certified by explored arcs alone -- cutoffs never justify
+            // NONEMPTY.
+            R.IsEmpty = false;
+            return R;
+          }
+          if (UseOnStack && Mask != 0 && !ActivePrunes.empty()) {
+            // Marks entered the merged region; any prune justified at or
+            // above the merged root no longer has a mark-free path
+            // segment under it.
+            for (uint32_t J : ActivePrunes) {
+              if (J >= Last.DfsNum) {
+                Invalidated = true;
+                return R;
+              }
+            }
+          }
+          continue;
+        }
+        if (KnownEmpty(T)) {
+          ++R.ClosedCutoffs;
+          continue;
+        }
+        uint64_t TMask = Src.acceptMask(T);
+        if (UseOnStack && TMask == 0) {
+          if (uint32_t J = onStackJustifier(T)) {
+            ActivePrunes.push_back(J);
+            ++R.OnStackCutoffs;
+            continue;
+          }
+        }
+        enter(T, TMask);
+        continue;
+      }
+
+      // Leaving F.S: close its SCC if F.S is the current candidate root.
+      ArcArena::Frame Top = Frames.back();
+      Frames.pop_back();
+      if (!Roots.empty() && Roots.back().Root == Top.S) {
+        uint32_t RootNum = Roots.back().DfsNum;
+        Roots.pop_back();
+        ++R.SccsClosed;
+        State U;
+        do {
+          assert(!Act.empty() && "act stack underflow");
+          U = Act.back();
+          Act.pop_back();
+          OnStack[U] = 0;
+          if (Opts.AddKnownEmpty)
+            Opts.AddKnownEmpty(U);
+        } while (U != Top.S);
+        if (!ActivePrunes.empty()) {
+          // Justifiers inside the popped component are now proven to have
+          // empty language, so their prunes are permanent (plain language
+          // inclusion suffices from here on).
+          ActivePrunes.erase(std::remove_if(ActivePrunes.begin(),
+                                            ActivePrunes.end(),
+                                            [&](uint32_t J) {
+                                              return J >= RootNum;
+                                            }),
+                             ActivePrunes.end());
+        }
+      }
+      Arena.pop(Top);
+    }
+  }
+
+  R.IsEmpty = true;
+  return R;
+}
+
+} // namespace
+
+EmptinessResult CouvreurEmptiness::check(GbaSource &Src0,
+                                         const EmptinessOptions &Opts) {
+  detail::RecordingSource Rec(Src0);
+  GbaSource &Src =
+      Opts.FindWitness ? static_cast<GbaSource &>(Rec) : Src0;
+
+  EmptinessResult Out;
+  bool UseOnStack =
+      static_cast<bool>(Opts.SubsumedBy) && Opts.SubsumptionIsEarly;
+  for (;;) {
+    bool Invalidated = false;
+    EmptinessResult R = runPass(Src, Opts, UseOnStack, Invalidated);
+    Out.StatesExplored += R.StatesExplored;
+    Out.SccsClosed += R.SccsClosed;
+    Out.OnStackCutoffs += R.OnStackCutoffs;
+    Out.ClosedCutoffs += R.ClosedCutoffs;
+    if (!Invalidated) {
+      Out.IsEmpty = R.IsEmpty;
+      Out.Aborted = R.Aborted;
+      if (!Out.IsEmpty && !Out.Aborted && Opts.FindWitness)
+        Out.Witness = Rec.buildWitness();
+      perf::local().CouvreurSccs += Out.SccsClosed;
+      perf::local().CouvreurCutoffs += Out.OnStackCutoffs + Out.ClosedCutoffs;
+      return Out;
+    }
+    // A merge invalidated a provisional prune: rerun without on-stack
+    // cutoffs (trivially sound; the closed antichain may hold entries
+    // added under the invalidated prune, so the caller's hook discards
+    // it too). Expected rare -- Result.CutoffRestarts counts it.
+    ++Out.CutoffRestarts;
+    UseOnStack = false;
+    if (Opts.ResetKnownEmpty)
+      Opts.ResetKnownEmpty();
+    if (Opts.FindWitness)
+      Rec.reset();
+  }
+}

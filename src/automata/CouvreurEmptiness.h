@@ -1,0 +1,61 @@
+//===- automata/CouvreurEmptiness.h - Couvreur/Tarjan emptiness -*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-pass iterative Couvreur/Tarjan emptiness check with on-stack
+/// simulation cutoffs, after kofola's emptiness_check.cpp (Havlena et al.,
+/// Modular Mix-and-Match Complementation, 2023).
+///
+/// The SCC search itself is the same roots-stack formulation as
+/// UselessStateRemover (Algorithm 1): a cycle-closing arc merges every
+/// roots entry younger than its target, OR-ing their acceptance masks; a
+/// merged mask covering fullMask() proves a reachable accepting cycle, so
+/// the automaton is NONEMPTY. What Couvreur adds over the Gaiser-Schwoon
+/// configuration is WHERE subsumption applies: Algorithm 1 consults the
+/// antichain only against fully classified states, while this engine also
+/// prunes a successor subsumed by a state still ON the DFS stack -- the
+/// check_simul_less trick -- which collapses towers of mutually similar
+/// SCC states while the search is inside them.
+///
+/// Cutoff soundness (DESIGN.md section 17 has the full argument):
+///
+/// * Closed-state cutoff: q is skipped when IsKnownEmpty(q); needs only
+///   language inclusion into a state already proved empty. Always on.
+/// * On-stack cutoff: successor q with acceptMask(q) == 0 is pruned when
+///   an on-stack justifier s with SubsumedBy(q, s) exists in the marks-free
+///   suffix of the stack (no acceptance marks on the path segment below s,
+///   read off the roots stack, whose entries fold in all marks of merged
+///   side cycles). Requires SubsumptionIsEarly: any accepting run through
+///   q then forces an accepting run through the still-open s, so pruning q
+///   cannot turn a nonempty product empty. Each prune records its
+///   justifier's DFS number; if a later merge brings acceptance marks into
+///   a region at or below a live justifier, the discipline is violated and
+///   the search RESTARTS from scratch with on-stack cutoffs disabled
+///   (trivially sound, and rare -- Result.CutoffRestarts counts it). A
+///   prune becomes permanent when its justifier's SCC closes empty.
+///
+/// Nonempty verdicts are always certified by explored arcs (a merged-mask
+/// cover), never by a cutoff; with FindWitness the traversed subgraph is
+/// replayed through findAcceptingLasso to hand back a concrete lasso.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_COUVREUREMPTINESS_H
+#define TERMCHECK_AUTOMATA_COUVREUREMPTINESS_H
+
+#include "automata/Emptiness.h"
+
+namespace termcheck {
+
+class CouvreurEmptiness : public EmptinessEngine {
+public:
+  const char *name() const override { return "couvreur"; }
+  EmptinessResult check(GbaSource &Src, const EmptinessOptions &Opts) override;
+};
+
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_COUVREUREMPTINESS_H

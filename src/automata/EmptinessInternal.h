@@ -1,0 +1,120 @@
+//===- automata/EmptinessInternal.h - Witness recording -------*- C++ -*-===//
+//
+// Part of the termcheck project (PLDI'18 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared between the emptiness engines (Emptiness.cpp and
+/// CouvreurEmptiness.cpp): a GbaSource wrapper that records every arc the
+/// search traverses, so a nonempty verdict can be certified with a concrete
+/// lasso by replaying the explored subgraph through findAcceptingLasso.
+/// The recorded graph is a subgraph of the source containing the accepting
+/// cycle that decided nonemptiness plus the path reaching it, so the replay
+/// always succeeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TERMCHECK_AUTOMATA_EMPTINESSINTERNAL_H
+#define TERMCHECK_AUTOMATA_EMPTINESSINTERNAL_H
+
+#include "automata/Scc.h"
+
+namespace termcheck {
+namespace detail {
+
+class RecordingSource : public GbaSource {
+public:
+  explicit RecordingSource(GbaSource &Inner) : Inner(Inner) {}
+
+  uint64_t fullMask() const override { return Inner.fullMask(); }
+
+  std::vector<State> initialStates() override {
+    Initials = Inner.initialStates();
+    for (State S : Initials)
+      touch(S);
+    return Initials;
+  }
+
+  uint64_t acceptMask(State S) override { return Inner.acceptMask(S); }
+
+  void arcs(State S, std::vector<Buchi::Arc> &Out) override {
+    touch(S);
+    Expanded.push_back(S);
+    size_t Before = Out.size();
+    Inner.arcs(S, Out);
+    for (size_t I = Before; I < Out.size(); ++I) {
+      touch(Out[I].To);
+      Recorded.push_back({S, Out[I]});
+    }
+  }
+
+  /// Discards everything recorded so far (a restarted search re-traverses
+  /// the same arcs; clearing avoids duplicating them in the rebuilt graph).
+  void reset() {
+    Initials.clear();
+    Expanded.clear();
+    Recorded.clear();
+    MaxId = 0;
+    Any = false;
+  }
+
+  /// Rebuilds the explored subgraph as an explicit GBA and extracts an
+  /// accepting lasso from it. Call only after the search decided NONEMPTY.
+  std::optional<LassoWord> buildWitness() {
+    if (!Any)
+      return std::nullopt;
+    const uint64_t Full = Inner.fullMask();
+    uint32_t Conds = 0;
+    while (Conds < 64 && (Full >> Conds) != 0)
+      ++Conds;
+    // A GBA with zero conditions accepts on ANY cycle; model that as one
+    // condition carried by every state.
+    const bool AllAccepting = Full == 0;
+    if (AllAccepting)
+      Conds = 1;
+    uint32_t Syms = 1;
+    for (const RecArc &R : Recorded)
+      Syms = std::max(Syms, R.A.Sym + 1);
+
+    Buchi B(Syms, Conds);
+    B.addStates(MaxId + 1);
+    if (AllAccepting) {
+      for (State S = 0; S <= MaxId; ++S)
+        B.setAcceptMask(S, 1);
+    } else {
+      // Only expanded states can lie on a recorded cycle, but stem states
+      // need no mask at all, so masks of expanded states suffice.
+      for (State S : Expanded)
+        B.setAcceptMask(S, Inner.acceptMask(S));
+    }
+    for (const RecArc &R : Recorded)
+      B.addTransition(R.From, R.A.Sym, R.A.To);
+    for (State S : Initials)
+      B.addInitial(S);
+    return findAcceptingLasso(B);
+  }
+
+private:
+  struct RecArc {
+    State From;
+    Buchi::Arc A;
+  };
+
+  void touch(State S) {
+    MaxId = std::max(MaxId, S);
+    Any = true;
+  }
+
+  GbaSource &Inner;
+  std::vector<State> Initials;
+  std::vector<State> Expanded;
+  std::vector<RecArc> Recorded;
+  State MaxId = 0;
+  bool Any = false;
+};
+
+} // namespace detail
+} // namespace termcheck
+
+#endif // TERMCHECK_AUTOMATA_EMPTINESSINTERNAL_H

@@ -6,6 +6,8 @@
 
 #include "automata/NestedDfs.h"
 
+#include "automata/DfsFrames.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -13,21 +15,16 @@ using namespace termcheck;
 
 namespace {
 
-/// Shared state of one nested-DFS run.
+/// Shared state of one nested-DFS run. Both searches iterate arcs through
+/// the shared ExplicitArcFrame (DfsFrames.h), which carries the incoming
+/// symbol needed for lasso reconstruction.
 struct NestedDfsRun {
   const Buchi &A;
   std::vector<bool> BlueVisited;
   std::vector<bool> OnBlueStack;
   std::vector<bool> RedVisited;
 
-  /// Blue DFS stack with incoming symbols (for lasso reconstruction).
-  struct BlueFrame {
-    State S;
-    size_t ArcIdx;
-    Symbol InSym; // symbol on the edge that discovered S (root: unused)
-    const std::vector<Buchi::Arc> *Arcs; // cached: stable while we run
-  };
-  std::vector<BlueFrame> BlueStack;
+  std::vector<ExplicitArcFrame> BlueStack;
 
   explicit NestedDfsRun(const Buchi &A)
       : A(A), BlueVisited(A.numStates(), false),
@@ -37,22 +34,15 @@ struct NestedDfsRun {
   /// some state on the blue stack (the closing state is appended to
   /// \p Closing), or std::nullopt.
   std::optional<std::vector<Symbol>> redSearch(State Seed, State &Closing) {
-    struct RedFrame {
-      State S;
-      size_t ArcIdx;
-      Symbol InSym;
-      const std::vector<Buchi::Arc> *Arcs; // cached: stable while we run
-    };
-    std::vector<RedFrame> Stack{{Seed, 0, 0, &A.arcsFrom(Seed)}};
+    std::vector<ExplicitArcFrame> Stack{{A, Seed}};
     RedVisited[Seed] = true;
     while (!Stack.empty()) {
-      RedFrame &F = Stack.back();
-      const auto &Arcs = *F.Arcs;
-      if (F.ArcIdx >= Arcs.size()) {
+      ExplicitArcFrame &F = Stack.back();
+      if (F.done()) {
         Stack.pop_back();
         continue;
       }
-      const Buchi::Arc &Arc = Arcs[F.ArcIdx++];
+      const Buchi::Arc &Arc = F.next();
       if (OnBlueStack[Arc.To]) {
         // Found a cycle closing into the blue stack.
         std::vector<Symbol> Path;
@@ -64,7 +54,7 @@ struct NestedDfsRun {
       }
       if (!RedVisited[Arc.To]) {
         RedVisited[Arc.To] = true;
-        Stack.push_back({Arc.To, 0, Arc.Sym, &A.arcsFrom(Arc.To)});
+        Stack.push_back({A, Arc.To, Arc.Sym});
       }
     }
     return std::nullopt;
@@ -75,16 +65,15 @@ struct NestedDfsRun {
   std::optional<LassoWord> blueSearch(State Root) {
     BlueVisited[Root] = true;
     OnBlueStack[Root] = true;
-    BlueStack.push_back({Root, 0, 0, &A.arcsFrom(Root)});
+    BlueStack.push_back({A, Root});
     while (!BlueStack.empty()) {
-      BlueFrame &F = BlueStack.back();
-      const auto &Arcs = *F.Arcs;
-      if (F.ArcIdx < Arcs.size()) {
-        const Buchi::Arc &Arc = Arcs[F.ArcIdx++];
+      ExplicitArcFrame &F = BlueStack.back();
+      if (!F.done()) {
+        const Buchi::Arc &Arc = F.next();
         if (!BlueVisited[Arc.To]) {
           BlueVisited[Arc.To] = true;
           OnBlueStack[Arc.To] = true;
-          BlueStack.push_back({Arc.To, 0, Arc.Sym, &A.arcsFrom(Arc.To)});
+          BlueStack.push_back({A, Arc.To, Arc.Sym});
         }
         continue;
       }

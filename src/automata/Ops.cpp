@@ -233,16 +233,21 @@ Buchi termcheck::unionBa(const Buchi &A, const Buchi &B) {
 
 std::optional<bool> termcheck::isIncludedIn(const Buchi &A, const Buchi &B) {
   assert(A.numSymbols() == B.numSymbols() && "alphabet mismatch");
+  // A pure language-inclusion query never needs the materialized
+  // difference, so let the engine stop at the first accepting SCC (and
+  // the Auto strategy run Couvreur with its on-stack cutoffs).
+  DifferenceOptions Opts;
+  Opts.EmptinessOnly = true;
   Buchi Complete = completeWithSink(B);
   if (Complete.isDeterministic()) {
     DbaComplementOracle O(Complete);
-    return difference(A, O).IsEmpty;
+    return difference(A, O, Opts).IsEmpty;
   }
   std::optional<Sdba> Prepared = prepareSdba(Complete);
   if (!Prepared)
     return std::nullopt;
   NcsbOracle O(*Prepared, NcsbVariant::Lazy);
-  return difference(A, O).IsEmpty;
+  return difference(A, O, Opts).IsEmpty;
 }
 
 std::optional<bool> termcheck::isEquivalent(const Buchi &A, const Buchi &B) {

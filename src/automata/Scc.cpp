@@ -6,6 +6,7 @@
 
 #include "automata/Scc.h"
 
+#include "automata/DfsFrames.h"
 #include "automata/Interner.h"
 
 #include <algorithm>
@@ -20,11 +21,10 @@ using namespace termcheck;
 
 namespace {
 
-/// DFS frame of the iterative construct() of Algorithm 1.
+/// DFS frame of the iterative construct() of Algorithm 1: the shared
+/// arena slice (DfsFrames.h) plus Algorithm 1's nonemptiness flag.
 struct Frame {
-  State S;
-  std::vector<Buchi::Arc> Succs;
-  size_t Idx = 0;
+  ArcArena::Frame F;
   bool IsNemp = false;
 };
 
@@ -57,6 +57,7 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
   };
   std::vector<State> Act;
   std::vector<SccEntry> SCCs;
+  ArcArena Arena;
   std::vector<Frame> Frames;
   uint32_t Cnt = 0;
 
@@ -77,8 +78,7 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
     SCCs.push_back({S, Cnt, Src.acceptMask(S)});
     Act.push_back(S);
     Touch(OnAct, S) = 1;
-    Frames.push_back(Frame{S, {}, 0, false});
-    Src.arcs(S, Frames.back().Succs);
+    Frames.push_back(Frame{Arena.push(Src, S), false});
     ++Result.StatesExplored;
   };
 
@@ -109,8 +109,8 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
         return Result;
       }
       Frame &F = Frames.back();
-      if (F.Idx < F.Succs.size()) {
-        State T = F.Succs[F.Idx++].To;
+      if (!Arena.done(F.F)) {
+        State T = Arena.next(F.F).To;
         if (InSet(Useful, T)) {
           F.IsNemp = true;
           continue;
@@ -144,7 +144,8 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
       }
       // Leaving F.S: pop its SCC if F.S is the current candidate root.
       bool ChildNemp = F.IsNemp;
-      if (!SCCs.empty() && SCCs.back().Root == F.S) {
+      const State Leaving = F.F.S;
+      if (!SCCs.empty() && SCCs.back().Root == Leaving) {
         // A singleton state with a self-loop covering all conditions also
         // forms an accepting SCC; that case was handled by the merge above
         // (the self-loop closes a cycle on F.S itself).
@@ -161,8 +162,9 @@ RemoveUselessResult UselessStateRemover::run(GbaSource &Src) {
           } else {
             MarkUseless(U);
           }
-        } while (U != F.S);
+        } while (U != Leaving);
       }
+      Arena.pop(Frames.back().F);
       Frames.pop_back();
       if (!Frames.empty())
         Frames.back().IsNemp |= ChildNemp;
@@ -208,30 +210,24 @@ SccDecomposition termcheck::sccDecompose(const Buchi &A) {
   std::vector<State> Stack;
   uint32_t Next = 0;
 
-  struct TFrame {
-    State S;
-    size_t Idx;
-    const std::vector<Buchi::Arc> *Arcs; // cached: stable while we run
-  };
-  std::vector<TFrame> Frames;
+  std::vector<ExplicitArcFrame> Frames;
 
   for (State Root : A.initials().elems()) {
     if (Index[Root] != UINT32_MAX)
       continue;
-    Frames.push_back({Root, 0, &A.arcsFrom(Root)});
+    Frames.push_back({A, Root});
     Index[Root] = Low[Root] = Next++;
     Stack.push_back(Root);
     OnStack[Root] = true;
     while (!Frames.empty()) {
-      TFrame &F = Frames.back();
-      const auto &Arcs = *F.Arcs;
-      if (F.Idx < Arcs.size()) {
-        State T = Arcs[F.Idx++].To;
+      ExplicitArcFrame &F = Frames.back();
+      if (!F.done()) {
+        State T = F.next().To;
         if (Index[T] == UINT32_MAX) {
           Index[T] = Low[T] = Next++;
           Stack.push_back(T);
           OnStack[T] = true;
-          Frames.push_back({T, 0, &A.arcsFrom(T)});
+          Frames.push_back({A, T});
         } else if (OnStack[T]) {
           if (Index[T] < Low[F.S])
             Low[F.S] = Index[T];

@@ -77,6 +77,32 @@ BenchProgram invariantNeeded(const std::string &Name, int Step) {
           Expected::Terminating};
 }
 
+/// Terminating: a Depth-deep nest of constant-bound inner loops under one
+/// decreasing outer counter. The program automaton develops a long chain
+/// of non-accepting loop SCCs -- the shape the deep-SCC emptiness corpus
+/// (randomDeepSccBa) mirrors on the automaton side -- so these instances
+/// stress the emptiness engines' SCC stacks rather than the rankers (every
+/// level has the trivial ranking function of its own counter).
+BenchProgram deepNest(const std::string &Name, int Depth, int Bound) {
+  std::string Src = "program " + Name + "(i0) {\n";
+  std::string Ind = "  ";
+  Src += Ind + "while (i0 > 0) {\n";
+  for (int K = 1; K <= Depth; ++K) {
+    std::string V = "i" + num(K);
+    Ind += "  ";
+    Src += Ind + V + " := " + num(Bound) + ";\n";
+    Src += Ind + "while (" + V + " > 0) {\n";
+  }
+  Src += Ind + "  i" + num(Depth) + " := i" + num(Depth) + " - 1;\n";
+  for (int K = Depth; K >= 1; --K) {
+    Src += Ind + "}\n";
+    Ind.resize(Ind.size() - 2);
+    Src += Ind + "  i" + num(K - 1) + " := i" + num(K - 1) + " - 1;\n";
+  }
+  Src += Ind + "}\n}\n";
+  return {Name, Src, Expected::Terminating};
+}
+
 /// Nonterminating: i only grows inside the guard, so the guard region is
 /// a closed recurrent set for any Step >= 1.
 BenchProgram countUp(const std::string &Name, int Step) {
@@ -117,7 +143,7 @@ std::vector<BenchProgram> termcheck::batchPrograms(Rng &R, size_t Count) {
     // Roughly 2:1 terminating:nonterminating, the shape of the paper's
     // benchmark population; constants randomized within oracle-safe
     // ranges.
-    switch (R.below(9)) {
+    switch (R.below(10)) {
     case 0:
     case 1:
       Out.push_back(countdown(Id + "_cd", 1 + static_cast<int>(R.below(4)),
@@ -143,6 +169,10 @@ std::vector<BenchProgram> termcheck::batchPrograms(Rng &R, size_t Count) {
       break;
     case 7:
       Out.push_back(whileTrue(Id + "_wt"));
+      break;
+    case 8:
+      Out.push_back(deepNest(Id + "_deep", 2 + static_cast<int>(R.below(2)),
+                             2 + static_cast<int>(R.below(3))));
       break;
     default:
       Out.push_back(drift(Id + "_drift"));

@@ -18,7 +18,9 @@
 ///   * NcsbSuccessor    -- each NCSB successor computation,
 ///   * ProverEntry      -- entry of the lasso and recurrence provers,
 ///   * ModularExpand    -- each tuple expansion of the modular complement,
-///   * SandboxEntry     -- entry of a sandboxed termcheckd worker process.
+///   * SandboxEntry     -- entry of a sandboxed termcheckd worker process,
+///   * EmptinessStep    -- each state entered by the Couvreur emptiness
+///                         engine's SCC search.
 ///
 /// All sites but SandboxEntry throw through hit(). SandboxEntry is a HARD
 /// fault site: the sandbox worker consumes its plan via consumeHard() and
@@ -59,6 +61,7 @@ enum class FaultSite : uint8_t {
   ProverEntry,
   ModularExpand,
   SandboxEntry,
+  EmptinessStep,
   NumSites,
 };
 

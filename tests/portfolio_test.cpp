@@ -128,8 +128,8 @@ TEST(Portfolio, SequentialFallbackIsDeterministic) {
 
 TEST(Portfolio, RosterIsDiverseAndClamped) {
   EXPECT_EQ(defaultPortfolio(0).size(), 1u);
-  EXPECT_EQ(defaultPortfolio(100).size(), 16u);
-  std::vector<PortfolioConfig> Configs = defaultPortfolio(16);
+  EXPECT_EQ(defaultPortfolio(100).size(), 18u);
+  std::vector<PortfolioConfig> Configs = defaultPortfolio(18);
   for (size_t I = 0; I < Configs.size(); ++I)
     for (size_t J = I + 1; J < Configs.size(); ++J)
       EXPECT_NE(Configs[I].Name, Configs[J].Name);
@@ -149,9 +149,10 @@ TEST(Portfolio, RosterIsDiverseAndClamped) {
   EXPECT_EQ(Biased, 3u);
   EXPECT_GT(defaultPortfolio(4).back().Opts.Nonterm.MaxUnroll,
             DefaultNonterm.MaxUnroll);
-  // The modular entrants ride at the tail so historical prefixes are
-  // unchanged: every pre-existing slot races the Auto strategy, and the
-  // last two race the mix-and-match modular complement.
+  // The modular and Couvreur entrants ride at the tail so historical
+  // prefixes are unchanged: every pre-existing slot races the Auto
+  // complement strategy, slots 14-15 race the mix-and-match modular
+  // complement, and slots 16-17 race the Couvreur emptiness engine.
   for (size_t I = 0; I < 14; ++I)
     EXPECT_EQ(Configs[I].Opts.Complement, ComplementStrategy::Auto)
         << Configs[I].Name;
@@ -161,6 +162,21 @@ TEST(Portfolio, RosterIsDiverseAndClamped) {
     EXPECT_NE(Configs[I].Name.find("modular"), std::string::npos)
         << Configs[I].Name;
   }
+  for (size_t I = 0; I < 16; ++I)
+    EXPECT_EQ(Configs[I].Opts.Emptiness, EmptinessStrategy::Auto)
+        << Configs[I].Name;
+  for (size_t I = 16; I < 18; ++I) {
+    EXPECT_EQ(Configs[I].Opts.Emptiness, EmptinessStrategy::Couvreur)
+        << Configs[I].Name;
+    EXPECT_NE(Configs[I].Name.find("couvreur"), std::string::npos)
+        << Configs[I].Name;
+  }
+  // Entry 16 is entry 0 with only the emptiness engine flipped -- the
+  // head-to-head race the bench harness mirrors offline.
+  EXPECT_EQ(Configs[16].Opts.Sequence, Configs[0].Opts.Sequence);
+  EXPECT_EQ(Configs[16].Opts.Ncsb, Configs[0].Opts.Ncsb);
+  EXPECT_EQ(Configs[16].Opts.UseSubsumption, Configs[0].Opts.UseSubsumption);
+  EXPECT_EQ(Configs[16].Opts.Complement, ComplementStrategy::Auto);
 }
 
 TEST(Portfolio, ModularEntrantsAreDeterministicWithCounters) {

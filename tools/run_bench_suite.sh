@@ -1,12 +1,12 @@
 #!/bin/sh
 # run_bench_suite.sh -- run the full benchmark suite and merge the results
-# into one termcheck-bench-report document (BENCH_PR5.json by default).
+# into one termcheck-bench-report document (BENCH_PR10.json by default).
 #
 # usage: run_bench_suite.sh [--build-dir DIR] [--out FILE] [--baseline FILE]
 #                           [--repeat N] [--max-regress FRAC]
 #
 #   --build-dir DIR    CMake build directory            (default: build)
-#   --out FILE         merged report path               (default: BENCH_PR5.json)
+#   --out FILE         merged report path               (default: BENCH_PR10.json)
 #   --baseline FILE    a previous run's micro section (the "benchmarks" JSON
 #                      of bench_micro_ncsb, or a prior merged report). When
 #                      given, the report embeds the baseline numbers next to
@@ -22,7 +22,7 @@
 set -eu
 
 BUILD=build
-OUT=BENCH_PR5.json
+OUT=BENCH_PR10.json
 BASELINE=""
 REPEAT=3
 MAX_REGRESS=0.10
@@ -44,7 +44,9 @@ PORTFOLIO="$BUILD/bench/bench_portfolio"
 MODULAR="$BUILD/bench/bench_modular_complement"
 SERVER="$BUILD/bench/bench_server_throughput"
 MODCACHE="$BUILD/bench/bench_module_cache"
-for BIN in "$MICRO" "$FIG5" "$PORTFOLIO" "$MODULAR" "$SERVER" "$MODCACHE"; do
+EMPTINESS="$BUILD/bench/bench_emptiness"
+for BIN in "$MICRO" "$FIG5" "$PORTFOLIO" "$MODULAR" "$SERVER" "$MODCACHE" \
+           "$EMPTINESS"; do
   [ -x "$BIN" ] || { echo "run_bench_suite.sh: $BIN not built" >&2; exit 4; }
 done
 
@@ -72,6 +74,11 @@ echo "== bench_module_cache (median of $REPEAT) =="
 # Nonzero exit = verdicts changed or the warm pass never hit the cache --
 # both are hard failures, not perf data points.
 "$MODCACHE" --repeat "$REPEAT" --json "$TMP/module_cache.json"
+
+echo "== bench_emptiness (median of $REPEAT) =="
+# Nonzero exit = the two emptiness engines disagreed on some instance or a
+# witness failed validation -- a correctness failure, not a perf data point.
+"$EMPTINESS" --repeat "$REPEAT" --json "$TMP/emptiness.json"
 
 echo "== bench_portfolio (median of $REPEAT) =="
 "$PORTFOLIO" --repeat "$REPEAT" --json "$TMP/portfolio.json" benchmarks || {
@@ -160,11 +167,15 @@ with open(os.path.join(tmp, "server.json")) as f:
     report["server_throughput"] = json.load(f)
 with open(os.path.join(tmp, "module_cache.json")) as f:
     report["module_cache"] = json.load(f)
+with open(os.path.join(tmp, "emptiness.json")) as f:
+    report["emptiness"] = json.load(f)
 
 # The harness already fails hard on mismatches; re-assert here so a stale
 # or hand-edited section cannot slip through the merge.
 if report["module_cache"]["verdict_mismatches"] != 0:
     failures.append("module_cache: verdicts changed with the cache on")
+if report["emptiness"]["disagreements"] != 0:
+    failures.append("emptiness: engines disagreed on some instance")
 
 # The modular-complement wall joins the regression gate once a baseline
 # carries the section (older baselines predate the harness and skip it).
@@ -195,6 +206,21 @@ if baseline_path and "module_cache" in base_doc:
     if ratio < 1.0 - max_regress:
         failures.append(
             f"module_cache warm pass: {1/ratio:.3f}x slower than baseline")
+
+# The emptiness-engine wall joins the gate the same way: present in the
+# baseline -> compared, absent (pre-Couvreur baselines) -> skipped.
+if baseline_path and "emptiness" in base_doc:
+    base_ns = base_doc["emptiness"]["total_wall_ns"]
+    cur_ns = report["emptiness"]["total_wall_ns"]
+    ratio = base_ns / cur_ns if cur_ns > 0 else float("inf")
+    report["vs_baseline"]["emptiness"] = {
+        "baseline_ns": base_ns,
+        "current_ns": cur_ns,
+        "speedup": round(ratio, 4),
+    }
+    if ratio < 1.0 - max_regress:
+        failures.append(
+            f"emptiness: {1/ratio:.3f}x slower than baseline")
 
 # The batch-server wall joins the gate the same way: present in the
 # baseline -> compared, absent (pre-termcheckd baselines) -> skipped.
